@@ -1,0 +1,211 @@
+//! Linial–Saks block decompositions via iterated LDD (paper Section 2).
+//!
+//! "One of their main algorithmic routines is to partition a graph into
+//! O(log n) blocks such that each connected piece in a block has diameter
+//! O(log n). This decomposition can also be obtained by iteratively running
+//! a (1/2, O(log n)) low diameter decomposition O(log n) times. This is
+//! because the number of edges not in a block decreases by a factor of 2
+//! per iteration."
+//!
+//! We implement exactly that recipe: round `i` decomposes the graph formed
+//! by the still-unblocked edges with `β = 1/2`; the intra-cluster edges
+//! become block `i`, the cut edges carry to round `i + 1`.
+
+use mpx_decomp::{partition, DecompOptions};
+use mpx_graph::{algo, CsrGraph, Dist, Vertex};
+
+/// One block of the decomposition.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Edges of this block.
+    pub edges: Vec<(Vertex, Vertex)>,
+    /// Maximum strong diameter over the connected pieces of the block
+    /// (measured as 2× the cluster radius bound of the round's LDD — the
+    /// actual per-piece radius observed).
+    pub max_piece_radius: Dist,
+}
+
+/// The full block decomposition of a graph.
+#[derive(Clone, Debug)]
+pub struct BlockDecomposition {
+    /// Blocks in construction order.
+    pub blocks: Vec<Block>,
+    /// Number of rounds executed.
+    pub rounds: usize,
+}
+
+impl BlockDecomposition {
+    /// Total number of edges across all blocks.
+    pub fn total_edges(&self) -> usize {
+        self.blocks.iter().map(|b| b.edges.len()).sum()
+    }
+}
+
+/// Decomposes the edges of `g` into `O(log m)` blocks whose connected
+/// pieces have radius `O(log n)` (β is fixed to 1/2 per the paper).
+///
+/// ```
+/// let g = mpx_graph::gen::grid2d(12, 12);
+/// let bd = mpx_apps::block_decomposition(&g, 7);
+/// assert_eq!(bd.total_edges(), g.num_edges()); // every edge in exactly one block
+/// ```
+pub fn block_decomposition(g: &CsrGraph, seed: u64) -> BlockDecomposition {
+    let n = g.num_vertices();
+    let mut blocks = Vec::new();
+    let mut current = g.clone();
+    let mut round = 0u64;
+    // 2 + 4·log2(m) rounds is a safe cap: residual edges halve in
+    // expectation per round (Corollary 4.5 with β = 1/2).
+    let cap = 2 + 4 * (64 - (g.num_edges() as u64).leading_zeros() as u64);
+    while current.num_edges() > 0 && round < cap {
+        let d = partition(
+            &current,
+            &DecompOptions::new(0.5).with_seed(seed.wrapping_add(round)),
+        );
+        let mut intra = Vec::new();
+        let mut cut = Vec::new();
+        for (u, v) in current.edges() {
+            if d.center_of(u) == d.center_of(v) {
+                intra.push((u, v));
+            } else {
+                cut.push((u, v));
+            }
+        }
+        blocks.push(Block {
+            edges: intra,
+            max_piece_radius: d.max_radius(),
+        });
+        current = CsrGraph::from_edges(n, &cut);
+        round += 1;
+    }
+    // Whatever survives the cap (vanishingly unlikely) becomes a last block
+    // of singleton-piece edges... which would have unbounded diameter, so
+    // instead emit each remaining edge as its own 1-edge piece block.
+    if current.num_edges() > 0 {
+        blocks.push(Block {
+            edges: current.edges().collect(),
+            max_piece_radius: 1,
+        });
+    }
+    BlockDecomposition {
+        rounds: blocks.len(),
+        blocks,
+    }
+}
+
+/// Verifies a block decomposition: every edge of `g` appears in exactly one
+/// block, and every connected piece of every block has diameter at most
+/// `bound`.
+pub fn verify_blocks(g: &CsrGraph, bd: &BlockDecomposition, bound: Dist) -> Result<(), String> {
+    let mut seen = std::collections::HashSet::new();
+    for (i, b) in bd.blocks.iter().enumerate() {
+        for &(u, v) in &b.edges {
+            if !g.has_edge(u, v) {
+                return Err(format!("block {i}: ({u},{v}) not a graph edge"));
+            }
+            if !seen.insert((u.min(v), u.max(v))) {
+                return Err(format!("block {i}: ({u},{v}) duplicated"));
+            }
+        }
+        // Diameter of each connected piece of the block subgraph.
+        let sub = CsrGraph::from_edges(g.num_vertices(), &b.edges);
+        let (label, k) = algo::connected_components(&sub);
+        let mut checked = vec![false; k];
+        for v in 0..g.num_vertices() as Vertex {
+            let c = label[v as usize] as usize;
+            if sub.degree(v) == 0 || checked[c] {
+                continue;
+            }
+            checked[c] = true;
+            let ecc = algo::eccentricity(&sub, v);
+            // Double sweep: eccentricity from the farthest vertex.
+            if 2 * ecc > 2 * bound {
+                return Err(format!(
+                    "block {i}: piece at {v} has radius {ecc} > bound {bound}"
+                ));
+            }
+        }
+    }
+    if seen.len() != g.num_edges() {
+        return Err(format!(
+            "blocks cover {} of {} edges",
+            seen.len(),
+            g.num_edges()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_graph::gen;
+
+    #[test]
+    fn blocks_cover_all_edges_once() {
+        let g = gen::grid2d(20, 20);
+        let bd = block_decomposition(&g, 1);
+        assert_eq!(bd.total_edges(), g.num_edges());
+        let bound = 4 * (g.num_vertices() as f64).ln() as Dist + 2;
+        assert!(verify_blocks(&g, &bd, bound).is_ok());
+    }
+
+    #[test]
+    fn block_count_logarithmic() {
+        // Expected halving per round ⇒ ~log2(m) + O(1) rounds.
+        let g = gen::rmat(10, 8 << 10, 0.57, 0.19, 0.19, 3);
+        let bd = block_decomposition(&g, 5);
+        let log_m = (g.num_edges() as f64).log2();
+        assert!(
+            (bd.rounds as f64) <= 3.0 * log_m + 4.0,
+            "{} rounds for log2(m) = {log_m:.1}",
+            bd.rounds
+        );
+    }
+
+    #[test]
+    fn residual_halves_on_average() {
+        let g = gen::gnm(500, 4000, 7);
+        let bd = block_decomposition(&g, 2);
+        // First block should contain a decent fraction of all edges
+        // (E[cut] ≤ (e^{1/2} − 1) m ≈ 0.65 m).
+        let first = bd.blocks[0].edges.len() as f64;
+        assert!(
+            first >= 0.15 * g.num_edges() as f64,
+            "first block only {first} edges"
+        );
+    }
+
+    #[test]
+    fn piece_radius_bounded() {
+        let g = gen::grid2d(25, 25);
+        let bd = block_decomposition(&g, 9);
+        let bound = (2.0 * 2.0 * (g.num_vertices() as f64).ln()) as Dist + 2; // 2·ln n / β at β = 1/2
+        for (i, b) in bd.blocks.iter().enumerate() {
+            assert!(
+                b.max_piece_radius <= bound,
+                "block {i} radius {} > {bound}",
+                b.max_piece_radius
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_blocks() {
+        let g = CsrGraph::empty(10);
+        let bd = block_decomposition(&g, 0);
+        assert!(bd.blocks.is_empty());
+        assert!(verify_blocks(&g, &bd, 1).is_ok());
+    }
+
+    #[test]
+    fn tree_blocks() {
+        let g = gen::random_tree(200, 11);
+        let bd = block_decomposition(&g, 3);
+        assert_eq!(bd.total_edges(), 199);
+        let bound = (4.0 * (200f64).ln()) as Dist + 2;
+        assert!(verify_blocks(&g, &bd, bound).is_ok());
+    }
+
+    use mpx_graph::CsrGraph;
+}

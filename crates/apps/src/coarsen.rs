@@ -1,0 +1,102 @@
+//! Quotient-graph coarsening with representative-edge tracking.
+//!
+//! Contracting each cluster of a decomposition to a supernode yields the
+//! *cluster graph*. Multilevel pipelines (the AKPW tree construction, and
+//! coarse solvers generally) additionally need, for every quotient edge, a
+//! concrete *representative* edge of the fine graph realizing it — that is
+//! what [`Coarsened`] carries.
+
+use mpx_decomp::Decomposition;
+use mpx_graph::{CsrGraph, Vertex};
+use std::collections::HashMap;
+
+/// Result of contracting a graph along a decomposition.
+#[derive(Clone, Debug)]
+pub struct Coarsened {
+    /// Quotient graph: one vertex per cluster (dense ids), one edge per
+    /// adjacent cluster pair.
+    pub quotient: CsrGraph,
+    /// Map fine vertex → coarse vertex (dense cluster index).
+    pub map: Vec<Vertex>,
+    /// For each quotient edge `(a, b)` with `a < b`, the lexicographically
+    /// smallest fine edge `(u, v)` crossing between the two clusters.
+    pub rep: HashMap<(Vertex, Vertex), (Vertex, Vertex)>,
+}
+
+/// Contracts `g` along `d`. Deterministic: representatives are the
+/// lexicographically smallest crossing edges.
+pub fn coarsen(g: &CsrGraph, d: &Decomposition) -> Coarsened {
+    assert_eq!(g.num_vertices(), d.num_vertices());
+    let map: Vec<Vertex> = d.cluster_indices().to_vec();
+    let mut rep: HashMap<(Vertex, Vertex), (Vertex, Vertex)> = HashMap::new();
+    for (u, v) in g.edges() {
+        let (mut a, mut b) = (map[u as usize], map[v as usize]);
+        if a == b {
+            continue;
+        }
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        rep.entry((a, b))
+            .and_modify(|e| {
+                if (u, v) < *e {
+                    *e = (u, v);
+                }
+            })
+            .or_insert((u, v));
+    }
+    let quotient_edges: Vec<(Vertex, Vertex)> = rep.keys().copied().collect();
+    let quotient = CsrGraph::from_edges(d.num_clusters(), &quotient_edges);
+    Coarsened { quotient, map, rep }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_decomp::{partition, DecompOptions};
+    use mpx_graph::gen;
+
+    #[test]
+    fn quotient_structure_matches_contract() {
+        let g = gen::grid2d(15, 15);
+        let d = partition(&g, &DecompOptions::new(0.2).with_seed(4));
+        let c = coarsen(&g, &d);
+        let (q2, _) = g.contract(d.cluster_indices(), d.num_clusters());
+        assert_eq!(c.quotient, q2);
+        assert_eq!(c.map.len(), 225);
+    }
+
+    #[test]
+    fn representatives_are_real_crossing_edges() {
+        let g = gen::rmat(8, 3 << 8, 0.57, 0.19, 0.19, 5);
+        let d = partition(&g, &DecompOptions::new(0.3).with_seed(1));
+        let c = coarsen(&g, &d);
+        for (&(a, b), &(u, v)) in &c.rep {
+            assert!(g.has_edge(u, v));
+            let (cu, cv) = (c.map[u as usize], c.map[v as usize]);
+            assert_eq!((cu.min(cv), cu.max(cv)), (a, b));
+        }
+        assert_eq!(c.rep.len(), c.quotient.num_edges());
+    }
+
+    #[test]
+    fn single_cluster_coarsens_to_point() {
+        let g = gen::complete(10);
+        let d = partition(&g, &DecompOptions::new(0.01).with_seed(2));
+        if d.num_clusters() == 1 {
+            let c = coarsen(&g, &d);
+            assert_eq!(c.quotient.num_vertices(), 1);
+            assert_eq!(c.quotient.num_edges(), 0);
+            assert!(c.rep.is_empty());
+        }
+    }
+
+    #[test]
+    fn coarsening_shrinks_grid() {
+        let g = gen::grid2d(30, 30);
+        let d = partition(&g, &DecompOptions::new(0.1).with_seed(3));
+        let c = coarsen(&g, &d);
+        assert!(c.quotient.num_vertices() < g.num_vertices());
+        assert!(c.quotient.num_vertices() == d.num_clusters());
+    }
+}

@@ -1,0 +1,190 @@
+//! Tree path-length oracle via Euler tour + sparse-table LCA.
+//!
+//! Needed to evaluate the *stretch* of spanning trees: for an edge `(u, v)`
+//! of the original graph, the stretch is the tree path length
+//! `depth(u) + depth(v) − 2·depth(lca(u, v))`. Preprocessing is
+//! `O(n log n)`; queries are `O(1)`.
+
+use mpx_graph::{CsrGraph, Vertex, NO_VERTEX};
+
+/// Constant-time tree distance queries on a spanning forest.
+#[derive(Clone, Debug)]
+pub struct TreePathOracle {
+    depth: Vec<u32>,
+    component: Vec<u32>,
+    /// First occurrence of each vertex in the Euler tour.
+    first_seen: Vec<usize>,
+    /// Euler tour as (depth, vertex), and the sparse table of range minima.
+    tour: Vec<(u32, Vertex)>,
+    sparse: Vec<Vec<(u32, Vertex)>>,
+}
+
+impl TreePathOracle {
+    /// Builds the oracle from a forest given as an edge list over `n`
+    /// vertices. Panics if the edges contain a cycle.
+    pub fn new(n: usize, tree_edges: &[(Vertex, Vertex)]) -> Self {
+        // Forest adjacency.
+        let forest = CsrGraph::from_edges(n, tree_edges);
+        assert!(
+            forest.num_edges() == tree_edges.len(),
+            "tree edges must be distinct"
+        );
+        let mut depth = vec![0u32; n];
+        let mut component = vec![u32::MAX; n];
+        let mut first_seen = vec![usize::MAX; n];
+        let mut tour: Vec<(u32, Vertex)> = Vec::with_capacity(2 * n);
+        let mut visited = vec![false; n];
+
+        let mut comp = 0u32;
+        for root in 0..n as Vertex {
+            if visited[root as usize] {
+                continue;
+            }
+            // Iterative DFS producing an Euler tour.
+            let mut stack: Vec<(Vertex, Vertex, u32)> = vec![(root, NO_VERTEX, 0)];
+            while let Some((v, parent, d)) = stack.pop() {
+                if visited[v as usize] {
+                    // Returning to v in the tour after a child subtree.
+                    tour.push((depth[v as usize], v));
+                    continue;
+                }
+                visited[v as usize] = true;
+                depth[v as usize] = d;
+                component[v as usize] = comp;
+                first_seen[v as usize] = tour.len();
+                tour.push((d, v));
+                for &w in forest.neighbors(v) {
+                    if w != parent {
+                        assert!(!visited[w as usize], "cycle detected in tree edges");
+                        // Re-push v as a "return" marker, then the child.
+                        stack.push((v, NO_VERTEX, 0));
+                        stack.push((w, v, d + 1));
+                    }
+                }
+            }
+            comp += 1;
+        }
+
+        // Sparse table over the tour for range-minimum (by depth).
+        let levels = (usize::BITS - tour.len().max(1).leading_zeros()) as usize;
+        let mut sparse: Vec<Vec<(u32, Vertex)>> = Vec::with_capacity(levels);
+        sparse.push(tour.clone());
+        let mut len = 1usize;
+        while 2 * len <= tour.len() {
+            let prev = sparse.last().unwrap();
+            let row: Vec<(u32, Vertex)> = (0..=tour.len() - 2 * len)
+                .map(|i| std::cmp::min(prev[i], prev[i + len]))
+                .collect();
+            sparse.push(row);
+            len *= 2;
+        }
+
+        TreePathOracle {
+            depth,
+            component,
+            first_seen,
+            tour,
+            sparse,
+        }
+    }
+
+    /// Depth of `v` below its component root.
+    pub fn depth(&self, v: Vertex) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// Whether `u` and `v` lie in the same tree of the forest.
+    pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        self.component[u as usize] == self.component[v as usize]
+    }
+
+    /// Lowest common ancestor of `u` and `v`, or `None` if disconnected.
+    pub fn lca(&self, u: Vertex, v: Vertex) -> Option<Vertex> {
+        if !self.connected(u, v) {
+            return None;
+        }
+        let (mut a, mut b) = (self.first_seen[u as usize], self.first_seen[v as usize]);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let span = b - a + 1;
+        let k = (usize::BITS - 1 - span.leading_zeros()) as usize;
+        let left = self.sparse[k][a];
+        let right = self.sparse[k][b + 1 - (1 << k)];
+        Some(std::cmp::min(left, right).1)
+    }
+
+    /// Number of tree edges on the path from `u` to `v` (`None` if
+    /// disconnected).
+    pub fn path_len(&self, u: Vertex, v: Vertex) -> Option<u32> {
+        let l = self.lca(u, v)?;
+        Some(self.depth[u as usize] + self.depth[v as usize] - 2 * self.depth[l as usize])
+    }
+
+    /// Tour length (2n − #components entries) — exposed for tests.
+    pub fn tour_len(&self) -> usize {
+        self.tour.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_graph::{algo, gen};
+
+    #[test]
+    fn path_tree_distances() {
+        // Path 0-1-2-3-4 as a tree.
+        let o = TreePathOracle::new(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(o.path_len(0, 4), Some(4));
+        assert_eq!(o.path_len(1, 3), Some(2));
+        assert_eq!(o.path_len(2, 2), Some(0));
+        assert_eq!(o.lca(0, 4), Some(0));
+    }
+
+    #[test]
+    fn star_tree_distances() {
+        let edges: Vec<_> = (1..6u32).map(|v| (0, v)).collect();
+        let o = TreePathOracle::new(6, &edges);
+        assert_eq!(o.path_len(1, 2), Some(2));
+        assert_eq!(o.lca(3, 4), Some(0));
+        assert_eq!(o.path_len(0, 5), Some(1));
+    }
+
+    #[test]
+    fn forest_components() {
+        let o = TreePathOracle::new(6, &[(0, 1), (2, 3), (3, 4)]);
+        assert!(o.connected(0, 1));
+        assert!(!o.connected(0, 2));
+        assert_eq!(o.path_len(0, 3), None);
+        assert_eq!(o.path_len(2, 4), Some(2));
+        assert!(o.connected(5, 5));
+    }
+
+    #[test]
+    fn matches_bfs_distances_on_random_tree() {
+        let g = gen::random_tree(300, 9);
+        let edges: Vec<_> = g.edges().collect();
+        let o = TreePathOracle::new(300, &edges);
+        // Tree distance == BFS distance in the tree graph.
+        for src in [0u32, 100, 299] {
+            let d = algo::bfs(&g, src);
+            for v in 0..300u32 {
+                assert_eq!(o.path_len(src, v), Some(d[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_cycles() {
+        let _ = TreePathOracle::new(3, &[(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let o = TreePathOracle::new(1, &[]);
+        assert_eq!(o.path_len(0, 0), Some(0));
+        assert_eq!(o.depth(0), 0);
+    }
+}

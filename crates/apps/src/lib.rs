@@ -1,0 +1,45 @@
+//! # mpx-apps — applications of low-diameter decompositions
+//!
+//! The paper's introduction motivates LDDs through the algorithms built on
+//! top of them; this crate implements those pipelines on top of
+//! `mpx-decomp`:
+//!
+//! * [`spanner()`](spanner::spanner) — sparse spanners à la Cohen \[12\]: keep each cluster's BFS
+//!   tree plus one representative edge between adjacent clusters; stretch
+//!   is governed by the cluster radii (`O(log n / β)`).
+//! * [`lsst`] — low-stretch spanning trees in the AKPW \[3\] style: repeated
+//!   decompose-and-contract rounds whose union of intra-cluster BFS trees
+//!   forms the tree; this is the pipeline that turned the paper's routine
+//!   into faster SDD solvers \[9\]. Includes an Euler-tour/LCA oracle for
+//!   exact stretch evaluation.
+//! * [`blocks`] — Linial–Saks block decompositions \[22\] via the paper's
+//!   Section 2 recipe: iterate a `(1/2, O(log n))` decomposition; the edges
+//!   cut by round `i` feed round `i+1`, halving each time, so `O(log m)`
+//!   blocks suffice.
+//! * [`coarsen()`](coarsen::coarsen) — quotient-graph coarsening with representative-edge
+//!   tracking, the shared substrate of the spanner and LSST pipelines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx_sssp;
+pub mod blocks;
+pub mod connectivity;
+pub mod hst;
+pub mod coarsen;
+pub mod lca;
+pub mod lsst;
+pub mod separator;
+pub mod spanner;
+
+pub use approx_sssp::DistanceOracle;
+pub use blocks::{block_decomposition, BlockDecomposition};
+pub use connectivity::parallel_components;
+pub use hst::Hst;
+pub use coarsen::{coarsen, Coarsened};
+pub use lca::TreePathOracle;
+pub use lsst::{
+    bfs_spanning_tree, low_stretch_tree, low_stretch_tree_weighted, stretch_stats, StretchStats,
+};
+pub use separator::{decomposition_separator, verify_separator, Separator};
+pub use spanner::{spanner, Spanner};

@@ -1,0 +1,365 @@
+//! Low-stretch spanning trees in the AKPW style (\[3\], refined by \[15, 1, 2\]).
+//!
+//! This is the pipeline the paper names as its main application: the
+//! nearly-linear-work parallel SDD solver of Blelloch et al. \[9\] builds its
+//! preconditioning trees by repeatedly decomposing and contracting, and the
+//! final tree "is formed by combining the shortest path tree in each of the
+//! pieces" — strong diameter is what makes that sound.
+//!
+//! Construction: starting from `G`, repeatedly
+//!
+//! 1. decompose the current graph with parameter `β`,
+//! 2. add every cluster's internal BFS-tree edges (mapped back to original
+//!    edges) to the spanning forest,
+//! 3. contract clusters and keep one representative original edge per
+//!    quotient edge.
+//!
+//! Each round multiplies the vertex count by roughly the cluster rate, so
+//! `O(log n)` rounds suffice; the union of the per-round forests is a
+//! spanning forest of `G` (per component, a spanning tree).
+
+use crate::coarsen::coarsen;
+use crate::lca::TreePathOracle;
+use mpx_decomp::weighted::partition_weighted;
+use mpx_decomp::{partition, DecompOptions};
+use mpx_graph::{algo, CsrGraph, Vertex, WeightedCsrGraph, NO_VERTEX};
+use std::collections::HashMap;
+
+/// Builds a spanning forest of `g` with the AKPW-via-MPX construction.
+/// Returns the forest's edge list (original-graph edges; one spanning tree
+/// per connected component).
+///
+/// ```
+/// let g = mpx_graph::gen::grid2d(15, 15);
+/// let forest = mpx_apps::low_stretch_tree(&g, 0.25, 3);
+/// assert_eq!(forest.len(), g.num_vertices() - 1); // spanning tree
+/// let stats = mpx_apps::stretch_stats(&g, &forest);
+/// assert!(stats.avg >= 1.0);
+/// ```
+pub fn low_stretch_tree(g: &CsrGraph, beta: f64, seed: u64) -> Vec<(Vertex, Vertex)> {
+    let mut forest: Vec<(Vertex, Vertex)> = Vec::new();
+    // Current coarse graph + map coarse-vertex -> original representative
+    // edge bookkeeping. `orig_of_pair` maps a current-graph edge to an
+    // original edge realizing it.
+    let mut current = g.clone();
+    // For the first level the mapping is the identity.
+    let mut rep_of: std::collections::HashMap<(Vertex, Vertex), (Vertex, Vertex)> = current
+        .edges()
+        .map(|(u, v)| ((u, v), (u, v)))
+        .collect();
+    let mut round = 0u64;
+    while current.num_edges() > 0 {
+        let d = partition(
+            &current,
+            &DecompOptions::new(beta).with_seed(seed.wrapping_add(round)),
+        );
+        // Intra-cluster BFS tree edges, mapped back to original edges.
+        for (child, parent) in d.tree_edges() {
+            let key = if child < parent {
+                (child, parent)
+            } else {
+                (parent, child)
+            };
+            let orig = rep_of[&key];
+            forest.push(orig);
+        }
+        // Contract and remap representatives.
+        let c = coarsen(&current, &d);
+        let mut next_rep = std::collections::HashMap::with_capacity(c.rep.len());
+        for (&q_edge, &cur_edge) in &c.rep {
+            let cur_key = if cur_edge.0 < cur_edge.1 {
+                cur_edge
+            } else {
+                (cur_edge.1, cur_edge.0)
+            };
+            next_rep.insert(q_edge, rep_of[&cur_key]);
+        }
+        current = c.quotient;
+        rep_of = next_rep;
+        round += 1;
+    }
+    forest
+}
+
+/// Weighted low-stretch spanning forest (paper Section 6 pipeline).
+///
+/// `g`'s weights are interpreted as **lengths** (for conductance-weighted
+/// Laplacians pass `1/w`). Each round runs the weighted shifted-Dijkstra
+/// partition of Section 6, keeps every cluster's shortest-path-tree edges,
+/// contracts clusters keeping the *shortest* representative edge per
+/// quotient pair, and repeats. Short (heavy-conductance) edges end up on
+/// the tree — which is what makes the resulting tree a useful
+/// preconditioner on badly conditioned systems.
+pub fn low_stretch_tree_weighted(
+    g: &WeightedCsrGraph,
+    beta: f64,
+    seed: u64,
+) -> Vec<(Vertex, Vertex)> {
+    let mut forest: Vec<(Vertex, Vertex)> = Vec::new();
+    let mut current = g.clone();
+    let mut rep_of: HashMap<(Vertex, Vertex), (Vertex, Vertex)> = current
+        .edges()
+        .map(|(u, v, _)| ((u, v), (u, v)))
+        .collect();
+    let mut round = 0u64;
+    while current.num_edges() > 0 {
+        let d = partition_weighted(
+            &current,
+            &DecompOptions::new(beta).with_seed(seed.wrapping_add(round)),
+        );
+        // Recover shortest-path-tree parents: the weighted analogue of
+        // Lemma 4.1 guarantees every non-center has a same-cluster
+        // predecessor with dist[u] + len(u,v) = dist[v].
+        let n_cur = current.num_vertices();
+        for v in 0..n_cur as Vertex {
+            if d.assignment[v as usize] == v && d.dist_to_center[v as usize] == 0.0 {
+                continue; // center
+            }
+            let dv = d.dist_to_center[v as usize];
+            let cv = d.assignment[v as usize];
+            // Among valid shortest-path predecessors prefer the *shortest*
+            // edge (then smallest id): it keeps the tree light, which is
+            // what the preconditioning application wants.
+            let parent = current
+                .neighbors_weighted(v)
+                .filter(|&(u, w)| {
+                    d.assignment[u as usize] == cv
+                        && (d.dist_to_center[u as usize] + w - dv).abs() <= 1e-9 * (1.0 + dv.abs())
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                .map(|(u, _)| u)
+                .unwrap_or_else(|| panic!("weighted Lemma 4.1 violated at vertex {v}"));
+            let key = if v < parent { (v, parent) } else { (parent, v) };
+            forest.push(rep_of[&key]);
+        }
+        // Contract: dense cluster ids, shortest representative per pair.
+        let mut dense: HashMap<Vertex, Vertex> = HashMap::new();
+        for &c in &d.centers {
+            let id = dense.len() as Vertex;
+            dense.insert(c, id);
+        }
+        let mut best: HashMap<(Vertex, Vertex), (f64, (Vertex, Vertex))> = HashMap::new();
+        for (u, v, w) in current.edges() {
+            let (a, b) = (
+                dense[&d.assignment[u as usize]],
+                dense[&d.assignment[v as usize]],
+            );
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            let cand = (w, (u, v));
+            best.entry(key)
+                .and_modify(|e| {
+                    if cand.0 < e.0 || (cand.0 == e.0 && cand.1 < e.1) {
+                        *e = cand;
+                    }
+                })
+                .or_insert(cand);
+        }
+        let mut next_rep = HashMap::with_capacity(best.len());
+        let mut q_edges: Vec<(Vertex, Vertex, f64)> = Vec::with_capacity(best.len());
+        for (&(a, b), &(w, cur_edge)) in &best {
+            q_edges.push((a, b, w));
+            next_rep.insert((a, b), rep_of[&cur_edge]);
+        }
+        current = WeightedCsrGraph::from_edges(d.centers.len(), &q_edges);
+        rep_of = next_rep;
+        round += 1;
+    }
+    forest
+}
+
+/// Plain BFS spanning forest (rooted at the smallest vertex of each
+/// component) — the baseline trees are compared against.
+pub fn bfs_spanning_tree(g: &CsrGraph) -> Vec<(Vertex, Vertex)> {
+    let n = g.num_vertices();
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut visited = vec![false; n];
+    for root in 0..n as Vertex {
+        if visited[root as usize] {
+            continue;
+        }
+        let (dist, parent) = algo::bfs_parents(g, root);
+        for v in 0..n as Vertex {
+            if dist[v as usize] != mpx_graph::INFINITY && parent[v as usize] != NO_VERTEX {
+                edges.push((v, parent[v as usize]));
+                visited[v as usize] = true;
+            }
+        }
+        visited[root as usize] = true;
+    }
+    edges
+}
+
+/// Stretch statistics of a spanning forest with respect to the edges of
+/// `g`: for each original edge `(u, v)`, its stretch is the tree path
+/// length between `u` and `v`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StretchStats {
+    /// Average stretch over all edges.
+    pub avg: f64,
+    /// Maximum stretch.
+    pub max: u32,
+    /// Number of edges evaluated.
+    pub edges: usize,
+}
+
+/// Computes exact stretch statistics via the Euler-tour LCA oracle.
+///
+/// Panics if some graph edge connects two different trees of the forest
+/// (i.e. the forest does not span the components of `g`).
+pub fn stretch_stats(g: &CsrGraph, forest: &[(Vertex, Vertex)]) -> StretchStats {
+    let oracle = TreePathOracle::new(g.num_vertices(), forest);
+    let mut sum = 0u64;
+    let mut max = 0u32;
+    let mut m = 0usize;
+    for (u, v) in g.edges() {
+        let s = oracle
+            .path_len(u, v)
+            .unwrap_or_else(|| panic!("forest does not span edge ({u},{v})"));
+        sum += s as u64;
+        max = max.max(s);
+        m += 1;
+    }
+    StretchStats {
+        avg: if m == 0 { 0.0 } else { sum as f64 / m as f64 },
+        max,
+        edges: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_graph::algo::UnionFind;
+    use mpx_graph::gen;
+
+    fn assert_spanning_forest(g: &CsrGraph, forest: &[(Vertex, Vertex)]) {
+        // Forest edges are original edges, acyclic, and connect exactly the
+        // components of g.
+        let mut uf = UnionFind::new(g.num_vertices());
+        for &(u, v) in forest {
+            assert!(g.has_edge(u, v), "({u},{v}) not in g");
+            assert!(uf.union(u, v), "cycle at ({u},{v})");
+        }
+        assert_eq!(
+            uf.num_sets(),
+            algo::num_components(g),
+            "forest does not span"
+        );
+    }
+
+    #[test]
+    fn spans_varied_graphs() {
+        for (i, g) in [
+            gen::grid2d(15, 15),
+            gen::gnm(200, 700, 3),
+            gen::rmat(8, 3 << 8, 0.57, 0.19, 0.19, 1),
+            gen::random_tree(150, 4),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let forest = low_stretch_tree(&g, 0.2, i as u64);
+            assert_spanning_forest(&g, &forest);
+        }
+    }
+
+    #[test]
+    fn spans_disconnected_graphs() {
+        let g = CsrGraph::from_edges(9, &[(0, 1), (1, 2), (4, 5), (5, 6), (6, 4)]);
+        let forest = low_stretch_tree(&g, 0.3, 2);
+        assert_spanning_forest(&g, &forest);
+    }
+
+    #[test]
+    fn bfs_tree_spans() {
+        let g = gen::gnm(300, 1000, 8);
+        let forest = bfs_spanning_tree(&g);
+        assert_spanning_forest(&g, &forest);
+    }
+
+    #[test]
+    fn stretch_of_tree_input_is_one() {
+        let g = gen::random_tree(120, 6);
+        let forest = low_stretch_tree(&g, 0.2, 0);
+        let s = stretch_stats(&g, &forest);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.avg, 1.0);
+        assert_eq!(s.edges, 119);
+    }
+
+    #[test]
+    fn stretch_finite_and_recorded_on_grid() {
+        let g = gen::grid2d(20, 20);
+        let forest = low_stretch_tree(&g, 0.25, 5);
+        let s = stretch_stats(&g, &forest);
+        assert!(s.avg >= 1.0);
+        assert!(s.max >= 1);
+        assert_eq!(s.edges, g.num_edges());
+    }
+
+    #[test]
+    fn weighted_tree_spans_and_prefers_short_edges() {
+        // Anisotropic grid lengths: horizontal edges short (0.01), vertical
+        // long (1.0). The weighted construction should produce a much
+        // *lighter* tree (total length) than the length-oblivious one.
+        let side = 12;
+        let grid = gen::grid2d(side, side);
+        let edges: Vec<(Vertex, Vertex, f64)> = grid
+            .edges()
+            .map(|(u, v)| {
+                let horizontal = v == u + 1 && (u as usize % side) != side - 1;
+                (u, v, if horizontal { 0.01 } else { 1.0 })
+            })
+            .collect();
+        let wg = WeightedCsrGraph::from_edges(side * side, &edges);
+        let total_len = |forest: &[(Vertex, Vertex)]| -> f64 {
+            forest
+                .iter()
+                .map(|&(u, v)| wg.edge_weight(u, v).unwrap())
+                .sum()
+        };
+        let mut weighted_total = 0.0;
+        let mut oblivious_total = 0.0;
+        for seed in 0..3u64 {
+            let wf = low_stretch_tree_weighted(&wg, 0.1, seed);
+            assert_spanning_forest(&grid, &wf);
+            weighted_total += total_len(&wf);
+            oblivious_total += total_len(&low_stretch_tree(&grid, 0.1, seed));
+        }
+        assert!(
+            weighted_total < 0.7 * oblivious_total,
+            "weighted {weighted_total:.2} vs oblivious {oblivious_total:.2}"
+        );
+    }
+
+    #[test]
+    fn weighted_tree_matches_unweighted_on_unit_lengths() {
+        let g = gen::gnm(150, 450, 12);
+        let wg = WeightedCsrGraph::unit_weights(&g);
+        let forest = low_stretch_tree_weighted(&wg, 0.25, 3);
+        assert_spanning_forest(&g, &forest);
+    }
+
+    #[test]
+    fn beats_or_matches_bfs_tree_on_grid_on_average() {
+        // The motivation for AKPW trees: BFS trees have terrible stretch on
+        // meshes. Average both over a few seeds.
+        let g = gen::grid2d(30, 30);
+        let mut akpw = 0.0;
+        for seed in 0..3u64 {
+            let forest = low_stretch_tree(&g, 0.25, seed);
+            akpw += stretch_stats(&g, &forest).avg;
+        }
+        akpw /= 3.0;
+        let bfs = stretch_stats(&g, &bfs_spanning_tree(&g)).avg;
+        assert!(
+            akpw < bfs,
+            "AKPW avg stretch {akpw:.2} not below BFS tree {bfs:.2}"
+        );
+    }
+
+    use mpx_graph::CsrGraph;
+}

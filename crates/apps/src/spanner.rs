@@ -1,0 +1,158 @@
+//! Sparse spanners from low-diameter decompositions.
+//!
+//! The construction the paper's introduction attributes to Cohen \[12\]:
+//! decompose with parameter `β`, keep every cluster's internal BFS tree,
+//! and add one representative edge between every pair of adjacent
+//! clusters. For any edge `(u, v)` of `G`:
+//!
+//! * same cluster: the tree path has length ≤ `2·radius`;
+//! * different clusters: route `u → rep edge → v` through the two cluster
+//!   trees: ≤ `4·radius + 1`.
+//!
+//! so the result is a `(4·radius + 1)`-spanner with
+//! `n − k + (#adjacent cluster pairs)` edges, `radius = O(log n / β)`
+//! w.h.p. Smaller `β` ⇒ sparser but longer-stretch — the trade-off the
+//! experiment table T9 sweeps.
+
+use crate::coarsen::coarsen;
+use mpx_decomp::{partition, DecompOptions, Decomposition};
+use mpx_graph::{CsrGraph, Vertex};
+
+/// A spanner subgraph together with its provenance and guarantee.
+#[derive(Clone, Debug)]
+pub struct Spanner {
+    /// The spanner edges (subset of the input graph's edges).
+    pub edges: Vec<(Vertex, Vertex)>,
+    /// The decomposition that produced it.
+    pub decomposition: Decomposition,
+    /// Upper bound on the multiplicative stretch: `4·max_radius + 1`.
+    pub stretch_bound: u32,
+}
+
+impl Spanner {
+    /// Spanner as a graph on the same vertex set.
+    pub fn as_graph(&self, n: usize) -> CsrGraph {
+        CsrGraph::from_edges(n, &self.edges)
+    }
+
+    /// Number of spanner edges.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Builds an LDD-based spanner of `g` with decomposition parameter `beta`.
+///
+/// ```
+/// let g = mpx_graph::gen::gnm(300, 3000, 2);
+/// let s = mpx_apps::spanner(&g, 0.2, 1);
+/// assert!(s.size() < g.num_edges());          // sparser
+/// assert!(s.stretch_bound >= 1);              // certified stretch
+/// ```
+pub fn spanner(g: &CsrGraph, beta: f64, seed: u64) -> Spanner {
+    let d = partition(g, &DecompOptions::new(beta).with_seed(seed));
+    let mut edges: Vec<(Vertex, Vertex)> = d
+        .tree_edges()
+        .into_iter()
+        .map(|(c, p)| if c < p { (c, p) } else { (p, c) })
+        .collect();
+    let coarse = coarsen(g, &d);
+    edges.extend(coarse.rep.values().copied().map(|(u, v)| (u, v)));
+    edges.sort_unstable();
+    edges.dedup();
+    let stretch_bound = 4 * d.max_radius() + 1;
+    Spanner {
+        edges,
+        decomposition: d,
+        stretch_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_graph::{algo, gen, INFINITY};
+
+    /// Exhaustively checks the stretch guarantee on every edge of `g`.
+    fn max_edge_stretch(g: &CsrGraph, s: &Spanner) -> u32 {
+        let sg = s.as_graph(g.num_vertices());
+        let mut max_stretch = 0;
+        // BFS in the spanner from each vertex that has an edge (small
+        // graphs only).
+        for u in 0..g.num_vertices() as Vertex {
+            if g.degree(u) == 0 {
+                continue;
+            }
+            let d = algo::bfs(&sg, u);
+            for &v in g.neighbors(u) {
+                assert_ne!(d[v as usize], INFINITY, "spanner disconnected {u}-{v}");
+                max_stretch = max_stretch.max(d[v as usize]);
+            }
+        }
+        max_stretch
+    }
+
+    #[test]
+    fn stretch_bound_holds_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = gen::gnm(120, 500, seed);
+            let s = spanner(&g, 0.3, seed);
+            let got = max_edge_stretch(&g, &s);
+            assert!(
+                got <= s.stretch_bound,
+                "seed {seed}: stretch {got} > bound {}",
+                s.stretch_bound
+            );
+        }
+    }
+
+    #[test]
+    fn stretch_bound_holds_on_grid_and_hypercube() {
+        for g in [gen::grid2d(12, 12), gen::hypercube(7)] {
+            let s = spanner(&g, 0.25, 3);
+            assert!(max_edge_stretch(&g, &s) <= s.stretch_bound);
+        }
+    }
+
+    #[test]
+    fn spanner_is_subgraph() {
+        let g = gen::rmat(8, 4 << 8, 0.57, 0.19, 0.19, 2);
+        let s = spanner(&g, 0.2, 1);
+        for &(u, v) in &s.edges {
+            assert!(g.has_edge(u, v), "({u},{v}) not an original edge");
+        }
+    }
+
+    #[test]
+    fn spanner_sparsifies_dense_graphs() {
+        let g = gen::gnm(300, 6000, 7);
+        let s = spanner(&g, 0.1, 2);
+        assert!(
+            s.size() < g.num_edges() / 2,
+            "spanner kept {}/{} edges",
+            s.size(),
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn beta_controls_size_stretch_tradeoff() {
+        let g = gen::gnm(400, 8000, 9);
+        // Average over seeds: smaller beta ⇒ fewer clusters ⇒ fewer
+        // inter-cluster edges ⇒ sparser spanner.
+        let avg_size = |beta: f64| -> f64 {
+            (0..4u64)
+                .map(|s| spanner(&g, beta, s).size() as f64)
+                .sum::<f64>()
+                / 4.0
+        };
+        assert!(avg_size(0.05) < avg_size(0.8));
+    }
+
+    #[test]
+    fn tree_input_spanner_is_whole_tree() {
+        let g = gen::random_tree(100, 3);
+        let s = spanner(&g, 0.3, 1);
+        assert_eq!(s.size(), 99, "a tree is its only spanner");
+    }
+}

@@ -1,0 +1,185 @@
+//! Classic sequential ball growing (the paper's Section 1 description).
+//!
+//! "This process starts with a single vertex, and repeatedly adds the
+//! neighbors of the current set into the set. It terminates when the number
+//! of edges on the boundary is less than a β fraction of the edges within
+//! […] Once the first piece is found, the algorithm discards its vertices
+//! and repeats on the remaining graph."
+//!
+//! A consumption argument bounds each ball's radius by `O(log m / β)` and
+//! the stopping rule charges each cut edge to the interior of its ball, so
+//! the total cut is at most `β·m`. The weakness the paper attacks is the
+//! *sequential dependency chain*: balls must be carved out one after
+//! another (think of a path graph: `Ω(n)` balls).
+
+use mpx_decomp::parallel::compute_parents;
+use mpx_decomp::Decomposition;
+use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
+
+/// Sequential ball-growing `(β, O(log n/β))` decomposition. Balls are grown
+/// from unassigned vertices in increasing id order (deterministic). Total
+/// cost is `O(n + m)`: every vertex joins exactly one ball and every edge is
+/// inspected a constant number of times.
+///
+/// ```
+/// let g = mpx_graph::gen::grid2d(20, 20);
+/// let d = mpx_baselines::ball_growing(&g, 0.1);
+/// // The stopping rule guarantees cut <= beta * m deterministically.
+/// assert!(d.cut_edges(&g) as f64 <= 0.1 * g.num_edges() as f64 + 1.0);
+/// ```
+pub fn ball_growing(g: &CsrGraph, beta: f64) -> Decomposition {
+    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
+    let n = g.num_vertices();
+    let mut assignment: Vec<Vertex> = vec![NO_VERTEX; n];
+    let mut dist: Vec<Dist> = vec![0; n];
+    // Scratch: whether a vertex is in the ball currently being grown, and
+    // whether it is already queued as a next-level candidate.
+    let mut in_ball = vec![false; n];
+    let mut pending = vec![false; n];
+
+    for start in 0..n as Vertex {
+        if assignment[start as usize] != NO_VERTEX {
+            continue;
+        }
+        let mut members: Vec<Vertex> = vec![start];
+        let mut frontier: Vec<Vertex> = vec![start];
+        in_ball[start as usize] = true;
+        dist[start as usize] = 0;
+        let mut internal_edges = 0usize;
+        let mut level: Dist = 0;
+        loop {
+            // Next-level candidates and the boundary edge count.
+            let mut next: Vec<Vertex> = Vec::new();
+            let mut boundary = 0usize;
+            for &u in &frontier {
+                for &v in g.neighbors(u) {
+                    let vi = v as usize;
+                    if assignment[vi] == NO_VERTEX && !in_ball[vi] {
+                        boundary += 1;
+                        if !pending[vi] {
+                            pending[vi] = true;
+                            next.push(v);
+                        }
+                    }
+                }
+            }
+            for &v in &next {
+                pending[v as usize] = false;
+            }
+            // Stopping rule: boundary ≤ β · interior (or nothing to add).
+            if next.is_empty() || (boundary as f64) <= beta * internal_edges.max(1) as f64 {
+                break;
+            }
+            level += 1;
+            for &v in &next {
+                in_ball[v as usize] = true;
+                dist[v as usize] = level;
+            }
+            // Interior gains: every edge from a new vertex into the ball
+            // (edges between two new vertices counted once via id order).
+            for &v in &next {
+                for &w in g.neighbors(v) {
+                    if in_ball[w as usize] && (dist[w as usize] < level || w < v) {
+                        internal_edges += 1;
+                    }
+                }
+            }
+            members.extend_from_slice(&next);
+            frontier = next;
+        }
+        for &v in &members {
+            assignment[v as usize] = start;
+            in_ball[v as usize] = false;
+        }
+    }
+
+    let parent = compute_parents(g, &assignment, &dist);
+    Decomposition::from_raw(assignment, dist, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_decomp::verify_decomposition;
+    use mpx_graph::gen;
+
+    #[test]
+    fn valid_on_varied_graphs() {
+        for (i, g) in [
+            gen::grid2d(20, 20),
+            gen::path(300),
+            gen::complete(25),
+            gen::rmat(8, 3 << 8, 0.57, 0.19, 0.19, 1),
+            gen::random_tree(200, 2),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for beta in [0.1, 0.3] {
+                let d = ball_growing(&g, beta);
+                let r = verify_decomposition(&g, &d);
+                assert!(r.is_valid(), "graph #{i} β={beta}: {:?}", r.errors);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_bounded_by_beta_m() {
+        // The stopping rule gives a deterministic β·m cut bound (each cut
+        // edge is charged to the interior of the ball that stopped).
+        let g = gen::grid2d(40, 40);
+        for beta in [0.05, 0.1, 0.3] {
+            let d = ball_growing(&g, beta);
+            let cut = d.cut_edges(&g);
+            assert!(
+                (cut as f64) <= beta * g.num_edges() as f64 + 1.0,
+                "β={beta}: cut {cut} > βm"
+            );
+        }
+    }
+
+    #[test]
+    fn radius_bounded_logarithmically() {
+        let g = gen::grid2d(50, 50);
+        let beta = 0.2;
+        let d = ball_growing(&g, beta);
+        let bound = ((g.num_edges() as f64).ln() / beta.ln_1p()).ceil() as u32 + 1;
+        assert!(
+            d.max_radius() <= bound,
+            "radius {} exceeds consumption bound {bound}",
+            d.max_radius()
+        );
+    }
+
+    #[test]
+    fn complete_graph_is_one_ball() {
+        let g = gen::complete(30);
+        let d = ball_growing(&g, 0.2);
+        assert_eq!(d.num_clusters(), 1);
+        assert_eq!(d.max_radius(), 1);
+    }
+
+    #[test]
+    fn path_produces_many_balls() {
+        // The sequential pathology: a path shatters into Θ(n) balls when β
+        // forces small pieces — the dependency chain the paper eliminates.
+        let g = gen::path(500);
+        let d = ball_growing(&g, 0.9);
+        assert!(d.num_clusters() > 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gen::gnm(200, 500, 4);
+        assert_eq!(ball_growing(&g, 0.2), ball_growing(&g, 0.2));
+    }
+
+    #[test]
+    fn disconnected_graph_covered() {
+        let g = mpx_graph::CsrGraph::from_edges(6, &[(0, 1), (3, 4)]);
+        let d = ball_growing(&g, 0.25);
+        let r = verify_decomposition(&g, &d);
+        assert!(r.is_valid(), "{:?}", r.errors);
+        assert_eq!(d.center_of(2), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Naive random k-center Voronoi partition — the control baseline.
+//!
+//! Samples `k` centers uniformly at random and assigns every vertex to its
+//! nearest center (ties to the lower id); unreached vertices become
+//! singletons. Pieces are connected with exact BFS distances, but there is
+//! no cut guarantee and no diameter/β trade-off — exactly the gap the
+//! paper's exponential shifts close. The benchmark tables use it to show
+//! how much of MPX's quality comes from the shift distribution rather than
+//! from Voronoi clustering per se.
+
+use crate::voronoi::voronoi_bfs;
+use mpx_decomp::parallel::compute_parents;
+use mpx_decomp::Decomposition;
+use mpx_graph::{CsrGraph, Vertex, NO_VERTEX};
+use mpx_par::rng::hash_index;
+
+/// Random `k`-center Voronoi partition (`k ≥ 1`; clamped to `n`).
+pub fn kcenter_partition(g: &CsrGraph, k: usize, seed: u64) -> Decomposition {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Decomposition::from_raw(Vec::new(), Vec::new(), Vec::new());
+    }
+    let k = k.clamp(1, n);
+    // Sample k distinct centers by ranking vertices on a hash.
+    let mut ranked: Vec<Vertex> = (0..n as Vertex).collect();
+    ranked.sort_unstable_by_key(|&v| hash_index(seed, v as u64));
+    let mut centers: Vec<Vertex> = ranked[..k].to_vec();
+    centers.sort_unstable();
+
+    let active = vec![true; n];
+    let (mut assignment, mut dist) = voronoi_bfs(g, &centers, &active, u32::MAX);
+    // Vertices in components with no sampled center become singletons.
+    for v in 0..n {
+        if assignment[v] == NO_VERTEX {
+            assignment[v] = v as Vertex;
+            dist[v] = 0;
+        }
+    }
+    let parent = compute_parents(g, &assignment, &dist);
+    Decomposition::from_raw(assignment, dist, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_decomp::verify_decomposition;
+    use mpx_graph::gen;
+
+    #[test]
+    fn valid_partitions() {
+        let g = gen::grid2d(20, 20);
+        for k in [1, 5, 50, 400] {
+            let d = kcenter_partition(&g, k, 3);
+            let r = verify_decomposition(&g, &d);
+            assert!(r.is_valid(), "k={k}: {:?}", r.errors);
+            assert_eq!(d.num_clusters(), k.min(400));
+        }
+    }
+
+    #[test]
+    fn k_one_is_single_bfs_ball() {
+        let g = gen::grid2d(10, 10);
+        let d = kcenter_partition(&g, 1, 1);
+        assert_eq!(d.num_clusters(), 1);
+    }
+
+    #[test]
+    fn k_equals_n_is_all_singletons() {
+        let g = gen::cycle(12);
+        let d = kcenter_partition(&g, 12, 2);
+        assert_eq!(d.num_clusters(), 12);
+        assert_eq!(d.max_radius(), 0);
+        assert_eq!(d.cut_edges(&g), 12);
+    }
+
+    #[test]
+    fn disconnected_leftovers_become_singletons() {
+        let g = mpx_graph::CsrGraph::from_edges(8, &[(0, 1), (1, 2), (5, 6)]);
+        let d = kcenter_partition(&g, 1, 7);
+        let r = verify_decomposition(&g, &d);
+        assert!(r.is_valid(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = gen::gnm(150, 400, 8);
+        assert_eq!(kcenter_partition(&g, 10, 5), kcenter_partition(&g, 10, 5));
+        assert_ne!(
+            kcenter_partition(&g, 10, 5).assignment(),
+            kcenter_partition(&g, 10, 6).assignment()
+        );
+    }
+}

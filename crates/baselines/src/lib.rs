@@ -1,0 +1,37 @@
+//! # mpx-baselines — comparison decomposition algorithms
+//!
+//! The paper positions its one-BFS algorithm against two families of prior
+//! work; this crate implements both (plus a naive control) so that the
+//! benchmark tables can measure quality and cost side by side:
+//!
+//! * [`ball_growing`] — the classic *sequential* low-diameter decomposition
+//!   (Awerbuch-style): grow a BFS ball from an arbitrary vertex until its
+//!   boundary is at most a `β` fraction of its interior edges, carve it
+//!   out, repeat. Gives `(β, O(log n/β))` decompositions but has an
+//!   inherently sequential chain of up to `Ω(n)` ball growths — the paper's
+//!   Section 1 motivation.
+//! * [`iterative_ldd`] — a simplified rendition of the Blelloch et al.
+//!   SPAA'11 decomposition the paper improves on: iterations with
+//!   geometrically growing random center batches, each claiming a
+//!   radius-bounded Voronoi region of the *remaining* graph. (The original
+//!   resolves overlaps with uniformly shifted distances; we keep the
+//!   batched structure and the radius cap, which is what the cost/quality
+//!   comparison needs.)
+//! * [`kcenter_partition`] — `k` uniform random centers, plain BFS Voronoi
+//!   cells, leftovers become singletons. No quality guarantee: the control
+//!   group that shows *why* the exponential shifts matter.
+//!
+//! All baselines emit the same [`mpx_decomp::Decomposition`] type, so the
+//! verifier and statistics from `mpx-decomp` apply unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ball;
+pub mod iterative;
+pub mod kcenter;
+mod voronoi;
+
+pub use ball::ball_growing;
+pub use iterative::iterative_ldd;
+pub use kcenter::kcenter_partition;

@@ -1,0 +1,94 @@
+//! Shared multi-source BFS Voronoi machinery for the baselines.
+//!
+//! Assigns each active vertex to its nearest center, ties broken by center
+//! id — the zero-shift special case of the MPX claim rule, so cells are
+//! connected and carry their own BFS distances (the Lemma 4.1 argument with
+//! a constant shift).
+
+use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
+
+/// Multi-source BFS over the subgraph induced by `active`, claiming with
+/// `(distance, center id)` priority, up to `max_rounds` levels
+/// (`u32::MAX` = unbounded). Returns `(assignment, dist)` where untouched
+/// vertices keep `NO_VERTEX` / 0.
+pub(crate) fn voronoi_bfs(
+    g: &CsrGraph,
+    centers: &[Vertex],
+    active: &[bool],
+    max_rounds: u32,
+) -> (Vec<Vertex>, Vec<Dist>) {
+    let n = g.num_vertices();
+    let mut assignment = vec![NO_VERTEX; n];
+    let mut dist = vec![0 as Dist; n];
+    let mut frontier: Vec<Vertex> = Vec::new();
+    // Seed centers in id order so lower ids win seed collisions.
+    for &c in centers {
+        debug_assert!(active[c as usize]);
+        if assignment[c as usize] == NO_VERTEX {
+            assignment[c as usize] = c;
+            dist[c as usize] = 0;
+            frontier.push(c);
+        }
+    }
+    let mut level: Dist = 0;
+    while !frontier.is_empty() && level < max_rounds {
+        level += 1;
+        let mut next: Vec<Vertex> = Vec::new();
+        // Two-phase claim so that ties resolve by center id, not by frontier
+        // order: first collect best candidate per vertex, then commit.
+        let mut best: Vec<(Vertex, Vertex)> = Vec::new(); // (vertex, center)
+        for &u in &frontier {
+            let cu = assignment[u as usize];
+            for &v in g.neighbors(u) {
+                if active[v as usize] && assignment[v as usize] == NO_VERTEX {
+                    best.push((v, cu));
+                }
+            }
+        }
+        best.sort_unstable();
+        for &(v, c) in &best {
+            if assignment[v as usize] == NO_VERTEX {
+                assignment[v as usize] = c;
+                dist[v as usize] = level;
+                next.push(v);
+            }
+        }
+        frontier = next;
+    }
+    (assignment, dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_graph::gen;
+
+    #[test]
+    fn two_centers_split_a_path() {
+        let g = gen::path(7);
+        let active = vec![true; 7];
+        let (a, d) = voronoi_bfs(&g, &[0, 6], &active, u32::MAX);
+        assert_eq!(a, vec![0, 0, 0, 0, 6, 6, 6]); // tie at 3 goes to lower id
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn radius_cap_limits_growth() {
+        let g = gen::path(10);
+        let active = vec![true; 10];
+        let (a, _) = voronoi_bfs(&g, &[0], &active, 3);
+        assert_eq!(a[3], 0);
+        assert_eq!(a[4], NO_VERTEX);
+    }
+
+    #[test]
+    fn inactive_vertices_block_paths() {
+        let g = gen::path(5);
+        let mut active = vec![true; 5];
+        active[2] = false;
+        let (a, _) = voronoi_bfs(&g, &[0], &active, u32::MAX);
+        assert_eq!(a[1], 0);
+        assert_eq!(a[2], NO_VERTEX);
+        assert_eq!(a[3], NO_VERTEX);
+    }
+}

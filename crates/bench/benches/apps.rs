@@ -1,0 +1,39 @@
+//! Criterion bench: the application pipelines (wall-clock side of tables
+//! T8/T9/T10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpx_graph::gen;
+use std::time::Duration;
+
+fn configure(c: Criterion) -> Criterion {
+    c.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let grid = gen::grid2d(150, 150);
+    let rmat = gen::rmat(14, 8 << 14, 0.57, 0.19, 0.19, 1);
+
+    let mut group = c.benchmark_group("apps");
+    group.bench_function("spanner/rmat-s14", |b| {
+        b.iter(|| mpx_apps::spanner(&rmat, 0.1, 1))
+    });
+    group.bench_function("lsst/grid150", |b| {
+        b.iter(|| mpx_apps::low_stretch_tree(&grid, 0.2, 1))
+    });
+    group.bench_function("blocks/grid150", |b| {
+        b.iter(|| mpx_apps::block_decomposition(&grid, 1))
+    });
+    group.bench_function("bfs_tree/grid150", |b| {
+        b.iter(|| mpx_apps::bfs_spanning_tree(&grid))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench_apps
+}
+criterion_main!(benches);

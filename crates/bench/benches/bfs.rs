@@ -1,0 +1,33 @@
+//! Criterion bench: the parallel BFS substrate vs the sequential oracle
+//! (the `O(m)`-work engine behind Theorem 1.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpx_graph::{algo, gen};
+use mpx_par::par_bfs_from;
+use std::time::Duration;
+
+fn configure(c: Criterion) -> Criterion {
+    c.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let graphs = vec![
+        ("grid500", gen::grid2d(500, 500)),
+        ("rmat-s17", gen::rmat(17, 8 << 17, 0.57, 0.19, 0.19, 1)),
+    ];
+    for (name, g) in &graphs {
+        let mut group = c.benchmark_group(format!("bfs/{name}"));
+        group.bench_function("sequential", |b| b.iter(|| algo::bfs(g, 0)));
+        group.bench_function("parallel", |b| b.iter(|| par_bfs_from(g, 0)));
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench_bfs
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: the partition routine across β, graph families, and
+//! against the baselines (wall-clock side of tables T1/T2/T6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpx_decomp::{partition, partition_hybrid, partition_sequential, DecompOptions};
+use mpx_graph::gen;
+use std::time::Duration;
+
+fn configure(c: Criterion) -> Criterion {
+    c.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_beta_sweep(c: &mut Criterion) {
+    let g = gen::grid2d(300, 300);
+    let mut group = c.benchmark_group("partition/beta_grid300");
+    for beta in [0.01, 0.05, 0.2] {
+        group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, &beta| {
+            let opts = DecompOptions::new(beta).with_seed(1);
+            b.iter(|| partition(&g, &opts));
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_families(c: &mut Criterion) {
+    let graphs = vec![
+        ("grid300", gen::grid2d(300, 300)),
+        ("rmat-s16", gen::rmat(16, 8 << 16, 0.57, 0.19, 0.19, 1)),
+        ("reg-n90k-d4", gen::random_regular(90_000, 4, 2)),
+    ];
+    let mut group = c.benchmark_group("partition/families");
+    for (name, g) in &graphs {
+        group.bench_function(*name, |b| {
+            let opts = DecompOptions::new(0.1).with_seed(1);
+            b.iter(|| partition(g, &opts));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_baselines(c: &mut Criterion) {
+    let g = gen::grid2d(200, 200);
+    let opts = DecompOptions::new(0.1).with_seed(1);
+    let mut group = c.benchmark_group("partition/vs_baselines_grid200");
+    group.bench_function("mpx_parallel", |b| b.iter(|| partition(&g, &opts)));
+    group.bench_function("mpx_sequential", |b| b.iter(|| partition_sequential(&g, &opts)));
+    group.bench_function("mpx_hybrid", |b| b.iter(|| partition_hybrid(&g, &opts)));
+    group.bench_function("ball_growing", |b| b.iter(|| mpx_baselines::ball_growing(&g, 0.1)));
+    group.bench_function("iterative_bgkmpt", |b| {
+        b.iter(|| mpx_baselines::iterative_ldd(&g, 0.1, 1))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench_beta_sweep, bench_graph_families, bench_vs_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: Laplacian PCG under the different preconditioners
+//! (wall-clock side of table T11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpx_graph::WeightedCsrGraph;
+use mpx_solver::{pcg, Identity, Jacobi, Laplacian, TreeSolver};
+use std::time::Duration;
+
+fn configure(c: Criterion) -> Criterion {
+    c.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let p = mpx_solver::problems::anisotropic_grid(32, 1000.0);
+    let lap = Laplacian::new(p.graph.clone());
+    let lengths = WeightedCsrGraph::from_edges(
+        p.graph.num_vertices(),
+        &p.graph
+            .edges()
+            .map(|(u, v, w)| (u, v, 1.0 / w))
+            .collect::<Vec<_>>(),
+    );
+    let tree = mpx_apps::low_stretch_tree_weighted(&lengths, 0.2, 3);
+    let ts = TreeSolver::new(&p.graph, &tree);
+    let jacobi = Jacobi::new(lap.diagonal());
+
+    let mut group = c.benchmark_group("solver/aniso32-r1000");
+    group.bench_function("cg", |b| {
+        b.iter(|| pcg(&lap, &p.rhs, 1e-8, 20_000, &Identity))
+    });
+    group.bench_function("jacobi_pcg", |b| {
+        b.iter(|| pcg(&lap, &p.rhs, 1e-8, 20_000, &jacobi))
+    });
+    group.bench_function("tree_pcg", |b| {
+        b.iter(|| pcg(&lap, &p.rhs, 1e-8, 20_000, &ts))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench_solver
+}
+criterion_main!(benches);

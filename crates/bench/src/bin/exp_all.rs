@@ -1,0 +1,49 @@
+//! Runs every experiment binary's workload in sequence with moderate
+//! defaults — the one-command regeneration path for `EXPERIMENTS.md`.
+//!
+//! Usage: `exp_all [quick]` — pass `quick` to shrink sizes further.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) {
+    println!("\n==================== {bin} {} ====================", args.join(" "));
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let status = Command::new(dir.join(bin))
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(status.success(), "{bin} failed");
+}
+
+fn main() {
+    let quick = std::env::args().nth(1).map_or(false, |a| a == "quick");
+    if quick {
+        run("figure1", &["300"]);
+        run("table_quality", &["4000", "3"]);
+        run("table_maxshift", &["50"]);
+        run("table_depth_work", &["2"]);
+        run("table_tiebreak", &["120", "5"]);
+        run("table_baselines", &["10000"]);
+        run("table_scaling", &["16", "2"]);
+        run("table_blocks", &["6000"]);
+        run("table_apps", &["2000"]);
+        run("table_solver", &["32"]);
+        run("table_weighted", &["40", "2"]);
+        run("table_extensions", &["4000"]);
+    } else {
+        run("figure1", &["1000"]);
+        run("table_quality", &["10000", "5"]);
+        run("table_maxshift", &["200"]);
+        run("table_depth_work", &["3"]);
+        run("table_tiebreak", &["200", "10"]);
+        run("table_baselines", &["40000"]);
+        run("table_scaling", &["19", "3"]);
+        run("table_blocks", &["20000"]);
+        run("table_apps", &["4000"]);
+        run("table_solver", &["48"]);
+        run("table_weighted", &["60", "3"]);
+        run("table_extensions", &["10000"]);
+    }
+    println!("\nAll experiments completed.");
+}

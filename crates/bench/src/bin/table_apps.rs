@@ -1,0 +1,87 @@
+//! **T9/T10** — the Section 1 applications: spanner size/stretch trade-off
+//! (T9) and low-stretch spanning trees vs BFS trees (T10).
+//!
+//! Usage: `table_apps [scale]` (default 4000 — stretch verification does a
+//! BFS per vertex on the spanner graphs, so keep it moderate).
+
+use mpx_bench::{arg_or, f, time, Table};
+use mpx_graph::{algo, gen, Vertex, INFINITY};
+
+fn sampled_max_stretch(g: &mpx_graph::CsrGraph, s: &mpx_apps::Spanner, samples: usize) -> f64 {
+    let sg = s.as_graph(g.num_vertices());
+    let mut max_stretch = 0.0f64;
+    let step = (g.num_vertices() / samples.max(1)).max(1);
+    for u in (0..g.num_vertices()).step_by(step) {
+        let u = u as Vertex;
+        if g.degree(u) == 0 {
+            continue;
+        }
+        let d = algo::bfs(&sg, u);
+        for &v in g.neighbors(u) {
+            if d[v as usize] != INFINITY {
+                max_stretch = max_stretch.max(d[v as usize] as f64);
+            }
+        }
+    }
+    max_stretch
+}
+
+fn main() {
+    let scale: usize = arg_or(1, 4_000);
+    println!("# T9: spanner size/stretch trade-off (beta sweep)");
+    let g = gen::gnm(scale, scale * 8, 21);
+    let mut table = Table::new(&[
+        "graph", "beta", "spanner_edges", "m", "ratio", "stretch_bound", "sampled_stretch",
+    ]);
+    for &beta in &[0.1, 0.5, 1.0, 2.0, 4.0] {
+        let s = mpx_apps::spanner(&g, beta, 4);
+        let sampled = sampled_max_stretch(&g, &s, 50);
+        table.row(&[
+            format!("gnm-n{scale}-d16"),
+            format!("{beta}"),
+            s.size().to_string(),
+            g.num_edges().to_string(),
+            f(s.size() as f64 / g.num_edges() as f64, 3),
+            s.stretch_bound.to_string(),
+            f(sampled, 0),
+        ]);
+    }
+    table.print();
+    println!("\nExpectation: smaller beta => sparser spanner with larger stretch bound;\nlarger beta => smaller radii => denser spanner with tighter stretch.\nSampled stretch stays within the bound.\n");
+
+    println!("# T10: low-stretch spanning trees vs BFS trees");
+    let side = (scale as f64).sqrt() as usize;
+    let graphs = vec![
+        (format!("grid-{side}x{side}"), gen::grid2d(side, side)),
+        (
+            "rmat-s12".to_string(),
+            gen::rmat(12, 8 << 12, 0.57, 0.19, 0.19, 2),
+        ),
+        (format!("torus-{side}"), gen::torus2d(side, side)),
+    ];
+    let mut table = Table::new(&[
+        "graph", "tree", "avg_stretch", "max_stretch", "seconds",
+    ]);
+    for (name, g) in graphs {
+        let (akpw, t_akpw) = time(|| mpx_apps::low_stretch_tree(&g, 0.2, 7));
+        let s_akpw = mpx_apps::stretch_stats(&g, &akpw);
+        let (bfs_t, t_bfs) = time(|| mpx_apps::bfs_spanning_tree(&g));
+        let s_bfs = mpx_apps::stretch_stats(&g, &bfs_t);
+        table.row(&[
+            name.clone(),
+            "akpw-mpx".into(),
+            f(s_akpw.avg, 2),
+            s_akpw.max.to_string(),
+            f(t_akpw, 3),
+        ]);
+        table.row(&[
+            name,
+            "bfs".into(),
+            f(s_bfs.avg, 2),
+            s_bfs.max.to_string(),
+            f(t_bfs, 3),
+        ]);
+    }
+    table.print();
+    println!("\nExpectation: the AKPW-via-MPX tree has lower average stretch than\nthe BFS tree on meshes/tori (the workloads where BFS trees are bad).");
+}

@@ -1,0 +1,83 @@
+//! **T6** — MPX vs the baselines: quality (cut, radius) and wall-clock of
+//! the parallel shifted BFS against sequential ball growing, the
+//! BGKMPT'11-style iterative decomposition, and naive random k-centers
+//! (matched to MPX's cluster count).
+//!
+//! Usage: `table_baselines [scale]` (default 40000 vertices).
+
+use mpx_bench::{arg_or, f, standard_workloads, time, Table};
+use mpx_decomp::{partition, DecompOptions, DecompositionStats};
+
+fn main() {
+    let scale: usize = arg_or(1, 40_000);
+    let beta = 0.1;
+    println!("# T6: MPX vs baselines, beta={beta}");
+    let mut table = Table::new(&[
+        "graph", "algorithm", "clusters", "max_rad", "cut_frac", "seconds",
+    ]);
+    for (name, g) in standard_workloads(scale) {
+        let (mpx, t_mpx) = time(|| partition(&g, &DecompOptions::new(beta).with_seed(3)));
+        let k = mpx.num_clusters();
+        let s = DecompositionStats::compute(&g, &mpx);
+        table.row(&[
+            name.clone(),
+            "mpx-parallel".into(),
+            k.to_string(),
+            s.max_radius.to_string(),
+            f(s.cut_fraction, 4),
+            f(t_mpx, 3),
+        ]);
+
+        let (seq, t_seq) =
+            time(|| mpx_decomp::partition_sequential(&g, &DecompOptions::new(beta).with_seed(3)));
+        let s = DecompositionStats::compute(&g, &seq);
+        table.row(&[
+            name.clone(),
+            "mpx-sequential".into(),
+            seq.num_clusters().to_string(),
+            s.max_radius.to_string(),
+            f(s.cut_fraction, 4),
+            f(t_seq, 3),
+        ]);
+
+        let (ball, t_ball) = time(|| mpx_baselines::ball_growing(&g, beta));
+        let s = DecompositionStats::compute(&g, &ball);
+        table.row(&[
+            name.clone(),
+            "ball-growing".into(),
+            ball.num_clusters().to_string(),
+            s.max_radius.to_string(),
+            f(s.cut_fraction, 4),
+            f(t_ball, 3),
+        ]);
+
+        let (iter, t_iter) = time(|| mpx_baselines::iterative_ldd(&g, beta, 3));
+        let s = DecompositionStats::compute(&g, &iter);
+        table.row(&[
+            name.clone(),
+            "iterative-bgkmpt".into(),
+            iter.num_clusters().to_string(),
+            s.max_radius.to_string(),
+            f(s.cut_fraction, 4),
+            f(t_iter, 3),
+        ]);
+
+        let (kc, t_kc) = time(|| mpx_baselines::kcenter_partition(&g, k, 3));
+        let s = DecompositionStats::compute(&g, &kc);
+        table.row(&[
+            name.clone(),
+            "kcenter(k=mpx)".into(),
+            kc.num_clusters().to_string(),
+            s.max_radius.to_string(),
+            f(s.cut_fraction, 4),
+            f(t_kc, 3),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nExpectations: mpx-parallel and mpx-sequential agree exactly on quality;\n\
+         ball growing has comparable (deterministically bounded) cut;\n\
+         k-center with the same cluster count cuts noticeably more edges\n\
+         (no shift distribution), and mpx wall-clock wins on large inputs."
+    );
+}

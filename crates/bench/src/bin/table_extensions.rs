@@ -1,0 +1,118 @@
+//! **T13** — the remaining applications the paper's introduction names,
+//! measured end to end: hierarchical tree embeddings (Bartal/FRT
+//! direction, refs \[7, 16, 10\]), separators (\[23, 28\]), cluster-graph
+//! distance oracles (Cohen \[13\] direction), and LDD-based parallel
+//! connectivity.
+//!
+//! Usage: `table_extensions [scale]` (default 10000).
+
+use mpx_bench::{arg_or, f, time, Table};
+use mpx_graph::{algo, gen};
+
+fn main() {
+    let scale: usize = arg_or(1, 10_000);
+    let side = (scale as f64).sqrt() as usize;
+    let graphs = vec![
+        (format!("grid-{side}x{side}"), gen::grid2d(side, side)),
+        (
+            "rmat-s13".to_string(),
+            gen::rmat(13, 8 << 13, 0.57, 0.19, 0.19, 3),
+        ),
+    ];
+
+    println!("# T13a: hierarchical decomposition trees (Bartal-style HST)");
+    let mut table = Table::new(&[
+        "graph", "nodes", "height", "avg_edge_stretch", "ln(n)^2", "seconds",
+    ]);
+    for (name, g) in &graphs {
+        let (t, secs) = time(|| mpx_apps::Hst::build(g, 5));
+        let (avg, _max) = t.edge_stretch(g);
+        let ln_n = (g.num_vertices() as f64).ln();
+        table.row(&[
+            name.clone(),
+            t.num_nodes().to_string(),
+            t.height.to_string(),
+            f(avg, 1),
+            f(ln_n * ln_n, 1),
+            f(secs, 3),
+        ]);
+    }
+    table.print();
+    println!("\nExpectation: avg edge stretch = O(log^2 n) (Bartal), height = O(log diam).\n");
+
+    println!("# T13b: decomposition separators (refs [23, 28])");
+    let mut table = Table::new(&["graph", "beta", "separator", "4*beta*m", "property"]);
+    for (name, g) in &graphs {
+        for beta in [0.02, 0.1] {
+            let s = mpx_apps::decomposition_separator(g, beta, 7);
+            let ok = mpx_apps::verify_separator(g, &s).is_ok();
+            table.row(&[
+                name.clone(),
+                format!("{beta}"),
+                s.vertices.len().to_string(),
+                f(4.0 * beta * g.num_edges() as f64, 0),
+                ok.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nExpectation: |S| = O(beta*m); removing S confines pieces to clusters.\n");
+
+    println!("# T13c: cluster-graph distance oracles (Cohen [13] direction)");
+    let mut table = Table::new(&[
+        "graph", "beta", "clusters", "radius", "avg_upper/true", "bracket_valid",
+    ]);
+    for (name, g) in &graphs {
+        for beta in [0.05, 0.2] {
+            let oracle = mpx_apps::DistanceOracle::new(g, beta, 9);
+            let truth = algo::bfs(g, 0);
+            let bounds = oracle.bounds_from(0);
+            let mut ratio_sum = 0.0;
+            let mut count = 0usize;
+            let mut valid = true;
+            for v in 0..g.num_vertices() {
+                if let Some((lo, hi)) = bounds[v] {
+                    let t = truth[v];
+                    valid &= lo <= t && t <= hi;
+                    if t > 0 {
+                        ratio_sum += hi as f64 / t as f64;
+                        count += 1;
+                    }
+                }
+            }
+            table.row(&[
+                name.clone(),
+                format!("{beta}"),
+                oracle.decomposition().num_clusters().to_string(),
+                oracle.radius().to_string(),
+                f(ratio_sum / count.max(1) as f64, 1),
+                valid.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nExpectation: brackets always valid; upper/true ratio ~ O(radius) near the\nsource, tightening to ~2r+1 per quotient hop far away.\n");
+
+    println!("# T13d: LDD-based parallel connectivity");
+    let mut table = Table::new(&["graph", "components", "oracle", "match", "ldd_secs", "bfs_secs"]);
+    for (name, g) in &graphs {
+        let ((labels, k), secs) = time(|| mpx_apps::parallel_components(g, 0.3, 11));
+        let ((oracle, k2), bfs_secs) = time(|| algo::connected_components(g));
+        // Partition-equality check.
+        let mut map = std::collections::HashMap::new();
+        let mut matches = true;
+        for (a, b) in labels.iter().zip(&oracle) {
+            matches &= *map.entry(*a).or_insert(*b) == *b;
+        }
+        table.row(&[
+            name.clone(),
+            k.to_string(),
+            k2.to_string(),
+            matches.to_string(),
+            f(secs, 3),
+            f(bfs_secs, 3),
+        ]);
+    }
+    table.print();
+    println!("\nExpectation: identical component structure from O(log n) decompose-contract\nrounds instead of one sequential BFS sweep.");
+}

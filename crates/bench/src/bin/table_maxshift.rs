@@ -1,0 +1,46 @@
+//! **T3** — Lemma 4.2: `E[δ_max] = H_n/β`, and the w.h.p. tail
+//! `δ_max ≤ (d+1)·ln(n)/β`.
+//!
+//! Usage: `table_maxshift [trials]` (default 200).
+
+use mpx_bench::{arg_or, f, Table};
+use mpx_decomp::shift::{harmonic, ExpShifts};
+use mpx_decomp::DecompOptions;
+
+fn main() {
+    let trials: u64 = arg_or(1, 200);
+    println!("# T3: Lemma 4.2 — E[max shift] = H_n / beta ({trials} trials each)");
+    let mut table = Table::new(&[
+        "n", "beta", "measured E[max]", "H_n/beta", "ratio", "P[max > 2 ln n/beta]", "1/n bound",
+    ]);
+    for &n in &[100usize, 1_000, 10_000] {
+        for &beta in &[0.1f64, 0.5] {
+            let mut sum = 0.0;
+            let mut tail = 0u64;
+            let threshold = 2.0 * (n as f64).ln() / beta;
+            for t in 0..trials {
+                let s = ExpShifts::generate(
+                    n,
+                    &DecompOptions::new(beta).with_seed(0xC0FFEE + t * 13 + n as u64),
+                );
+                sum += s.delta_max;
+                if s.delta_max > threshold {
+                    tail += 1;
+                }
+            }
+            let measured = sum / trials as f64;
+            let predicted = harmonic(n) / beta;
+            table.row(&[
+                n.to_string(),
+                format!("{beta}"),
+                f(measured, 2),
+                f(predicted, 2),
+                f(measured / predicted, 3),
+                f(tail as f64 / trials as f64, 4),
+                f(1.0 / n as f64, 4),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nLemma 4.2: ratio should be ~1.000; the tail probability should be below 1/n.");
+}

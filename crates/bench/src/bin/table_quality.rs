@@ -1,0 +1,60 @@
+//! **T1/T2** — Theorem 1.2 & Corollary 4.5 quality table: max/avg radius vs
+//! `ln(n)/β` and cut fraction vs `β`, swept over β and graph families,
+//! averaged over seeds.
+//!
+//! Usage: `table_quality [scale] [trials]` (defaults: 10000 vertices, 5).
+
+use mpx_bench::{arg_or, f, standard_workloads, Table};
+use mpx_decomp::{partition, verify_decomposition, DecompOptions, DecompositionStats};
+
+fn main() {
+    let scale: usize = arg_or(1, 10_000);
+    let trials: u64 = arg_or(2, 5);
+    let betas = [0.01, 0.05, 0.1, 0.2, 0.4];
+
+    println!("# T1/T2: decomposition quality (avg of {trials} seeds)");
+    let mut table = Table::new(&[
+        "graph", "n", "m", "beta", "clusters", "max_rad", "ln(n)/beta", "rad*beta/ln(n)",
+        "cut_frac", "cut/beta", "valid",
+    ]);
+    for (name, g) in standard_workloads(scale) {
+        let ln_n = (g.num_vertices().max(2) as f64).ln();
+        for &beta in &betas {
+            let mut acc_clusters = 0.0;
+            let mut acc_maxrad = 0.0;
+            let mut acc_cut = 0.0;
+            let mut all_valid = true;
+            for seed in 0..trials {
+                let d = partition(&g, &DecompOptions::new(beta).with_seed(seed * 7919 + 1));
+                let s = DecompositionStats::compute(&g, &d);
+                acc_clusters += s.num_clusters as f64;
+                acc_maxrad += s.max_radius as f64;
+                acc_cut += s.cut_fraction;
+                if seed == 0 {
+                    all_valid &= verify_decomposition(&g, &d).is_valid();
+                }
+            }
+            let t = trials as f64;
+            let max_rad = acc_maxrad / t;
+            let cut = acc_cut / t;
+            table.row(&[
+                name.clone(),
+                g.num_vertices().to_string(),
+                g.num_edges().to_string(),
+                format!("{beta}"),
+                f(acc_clusters / t, 0),
+                f(max_rad, 1),
+                f(ln_n / beta, 0),
+                f(max_rad * beta / ln_n, 2),
+                f(cut, 4),
+                f(cut / beta, 2),
+                all_valid.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nTheorem 1.2: rad*beta/ln(n) should stay O(1) (radius = O(log n / beta));\n\
+         Corollary 4.5: cut/beta should stay below ~1 (E[cut] = O(beta*m))."
+    );
+}

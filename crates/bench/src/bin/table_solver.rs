@@ -1,0 +1,64 @@
+//! **T11** — the SDD-solver motivation: PCG iteration counts with no
+//! preconditioner, Jacobi, a BFS-tree preconditioner, and the
+//! MPX-low-stretch-tree preconditioner, on well- and badly-conditioned
+//! Laplacians.
+//!
+//! Usage: `table_solver [side]` (default 48).
+
+use mpx_bench::{arg_or, f, time, Table};
+use mpx_graph::WeightedCsrGraph;
+use mpx_solver::{pcg, Identity, Jacobi, Laplacian, TreeSolver};
+
+fn main() {
+    let side: usize = arg_or(1, 48);
+    let tol = 1e-8;
+    let max_iter = 20_000;
+    println!("# T11: Laplacian solver comparison (tol={tol}, grid side={side})");
+
+    let problems = vec![
+        mpx_solver::problems::grid_poisson(side),
+        mpx_solver::problems::anisotropic_grid(side, 100.0),
+        mpx_solver::problems::anisotropic_grid(side, 10_000.0),
+        mpx_solver::problems::expander_problem(side * side, 4, 3),
+    ];
+    let mut table = Table::new(&[
+        "problem", "preconditioner", "iterations", "rel_residual", "seconds",
+    ]);
+    for p in problems {
+        let lap = Laplacian::new(p.graph.clone());
+        // Trees over the length graph (lengths = 1/conductance).
+        let lengths = WeightedCsrGraph::from_edges(
+            p.graph.num_vertices(),
+            &p.graph
+                .edges()
+                .map(|(u, v, w)| (u, v, 1.0 / w))
+                .collect::<Vec<_>>(),
+        );
+        let lsst = mpx_apps::low_stretch_tree_weighted(&lengths, 0.2, 5);
+        let bfs_tree = mpx_apps::bfs_spanning_tree(&p.graph.to_unweighted());
+
+        let runs: Vec<(&str, Box<dyn mpx_solver::Preconditioner>)> = vec![
+            ("none (CG)", Box::new(Identity)),
+            ("jacobi", Box::new(Jacobi::new(lap.diagonal()))),
+            ("bfs-tree", Box::new(TreeSolver::new(&p.graph, &bfs_tree))),
+            ("mpx-lsst-tree", Box::new(TreeSolver::new(&p.graph, &lsst))),
+        ];
+        for (label, pc) in runs {
+            let (out, secs) = time(|| pcg(&lap, &p.rhs, tol, max_iter, pc.as_ref()));
+            table.row(&[
+                p.name.clone(),
+                label.into(),
+                out.iterations.to_string(),
+                format!("{:.1e}", out.relative_residual),
+                f(secs, 3),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nExpectation: on the anisotropic grids (badly conditioned), the\n\
+         mpx low-stretch tree preconditioner needs far fewer iterations than\n\
+         CG/Jacobi; on the expander (well conditioned) preconditioning is\n\
+         unnecessary — matching why [9] targets SDD systems."
+    );
+}

@@ -1,0 +1,112 @@
+//! **T5** — Section 5 tie-break ablation: the paper suggests the fractional
+//! parts of the shifts can be replaced by a random permutation of the
+//! vertices "and might be more easily studied empirically" — this is that
+//! empirical study. Lexicographic (plain id) order is the degenerate
+//! control.
+//!
+//! Usage: `table_tiebreak [side] [trials]` (defaults 200, 10).
+
+use mpx_bench::{arg_or, f, Table};
+use mpx_decomp::{partition, DecompOptions, DecompositionStats, ShiftStrategy, TieBreak};
+use mpx_graph::gen;
+
+fn main() {
+    let side: usize = arg_or(1, 200);
+    let trials: u64 = arg_or(2, 10);
+    let beta = 0.05;
+    println!("# T5: tie-break rules on grid-{side}x{side} and rmat, beta={beta}, {trials} seeds");
+
+    let graphs = vec![
+        (format!("grid-{side}x{side}"), gen::grid2d(side, side)),
+        ("rmat-s14".to_string(), gen::rmat(14, 8 << 14, 0.57, 0.19, 0.19, 7)),
+    ];
+    let mut table = Table::new(&[
+        "graph", "tiebreak", "clusters", "max_radius", "avg_radius", "cut_fraction",
+    ]);
+    for (name, g) in &graphs {
+        for (label, tb) in [
+            ("fractional", TieBreak::FractionalShift),
+            ("permutation", TieBreak::Permutation),
+            ("lexicographic", TieBreak::Lexicographic),
+        ] {
+            let mut clusters = 0.0;
+            let mut maxr = 0.0;
+            let mut avgr = 0.0;
+            let mut cut = 0.0;
+            for seed in 0..trials {
+                let d = partition(
+                    g,
+                    &DecompOptions::new(beta)
+                        .with_seed(seed * 31 + 2)
+                        .with_tie_break(tb),
+                );
+                let s = DecompositionStats::compute(g, &d);
+                clusters += s.num_clusters as f64;
+                maxr += s.max_radius as f64;
+                avgr += s.avg_radius;
+                cut += s.cut_fraction;
+            }
+            let t = trials as f64;
+            table.row(&[
+                name.clone(),
+                label.into(),
+                f(clusters / t, 0),
+                f(maxr / t, 1),
+                f(avgr / t, 2),
+                f(cut / t, 4),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nSection 5 expectation: all three rules give near-identical quality\n\
+         (the tie-break only matters on measure-zero events; quantization\n\
+         makes them merely rare instead).\n"
+    );
+
+    // T5b: the Section 5 shift-strategy variant — expected order statistics
+    // assigned through a random permutation instead of i.i.d. samples.
+    println!("# T5b: shift strategies (sampled Exp(beta) vs permutation-of-order-statistics)");
+    let mut table = Table::new(&[
+        "graph", "strategy", "clusters", "max_radius", "avg_radius", "cut_fraction",
+    ]);
+    for (name, g) in &graphs {
+        for (label, strat) in [
+            ("sampled-exponential", ShiftStrategy::SampledExponential),
+            ("order-statistics", ShiftStrategy::OrderStatisticPermutation),
+        ] {
+            let mut clusters = 0.0;
+            let mut maxr = 0.0;
+            let mut avgr = 0.0;
+            let mut cut = 0.0;
+            for seed in 0..trials {
+                let d = partition(
+                    g,
+                    &DecompOptions::new(beta)
+                        .with_seed(seed * 31 + 2)
+                        .with_shift_strategy(strat),
+                );
+                let s = DecompositionStats::compute(g, &d);
+                clusters += s.num_clusters as f64;
+                maxr += s.max_radius as f64;
+                avgr += s.avg_radius;
+                cut += s.cut_fraction;
+            }
+            let t = trials as f64;
+            table.row(&[
+                name.clone(),
+                label.into(),
+                f(clusters / t, 0),
+                f(maxr / t, 1),
+                f(avgr / t, 2),
+                f(cut / t, 4),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nSection 5 conjecture, studied empirically: replacing the sampled\n\
+         shifts by expected order statistics over a random permutation\n\
+         changes quality only marginally."
+    );
+}

@@ -1,0 +1,275 @@
+//! The output type of all partition routines.
+
+use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
+use rayon::prelude::*;
+
+/// A low-diameter decomposition: a partition of `V` into clusters, each
+/// identified by its *center* vertex (the `u` whose shifted distance the
+/// cluster members minimize — paper Definition 1.1 / Section 3).
+///
+/// Stored per vertex:
+/// * the center it is assigned to,
+/// * its BFS distance to that center (which, by Lemma 4.1, is realized by a
+///   path inside the cluster — the strong-diameter property),
+/// * its parent on that intra-cluster BFS path (`NO_VERTEX` at centers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decomposition {
+    assignment: Vec<Vertex>,
+    dist_to_center: Vec<Dist>,
+    parent: Vec<Vertex>,
+    centers: Vec<Vertex>,
+    cluster_index: Vec<Vertex>,
+}
+
+impl Decomposition {
+    /// Assembles a decomposition from raw per-vertex arrays.
+    ///
+    /// `assignment[v]` is the center of `v`'s cluster (every center must be
+    /// assigned to itself), `dist[v]` its hop distance to that center, and
+    /// `parent[v]` its predecessor on the cluster-internal BFS path
+    /// (`NO_VERTEX` iff `dist[v] == 0`).
+    pub fn from_raw(assignment: Vec<Vertex>, dist_to_center: Vec<Dist>, parent: Vec<Vertex>) -> Self {
+        let n = assignment.len();
+        assert_eq!(dist_to_center.len(), n);
+        assert_eq!(parent.len(), n);
+        let mut centers: Vec<Vertex> = assignment.clone();
+        centers.par_sort_unstable();
+        centers.dedup();
+        // Dense cluster ids via binary search over the sorted center list.
+        let cluster_index: Vec<Vertex> = assignment
+            .par_iter()
+            .map(|&c| centers.binary_search(&c).expect("center present") as Vertex)
+            .collect();
+        let d = Decomposition {
+            assignment,
+            dist_to_center,
+            parent,
+            centers,
+            cluster_index,
+        };
+        if let Err(e) = d.check_internal() {
+            panic!("invalid decomposition: {e}");
+        }
+        d
+    }
+
+    /// Internal coherence checks (cheap; full graph-aware verification lives
+    /// in [`crate::verify_decomposition`]).
+    pub fn check_internal(&self) -> Result<(), String> {
+        for &c in &self.centers {
+            if self.assignment[c as usize] != c {
+                return Err(format!("center {c} not assigned to itself"));
+            }
+            if self.dist_to_center[c as usize] != 0 {
+                return Err(format!("center {c} has nonzero distance"));
+            }
+        }
+        for v in 0..self.assignment.len() {
+            let is_center = self.assignment[v] == v as Vertex;
+            if is_center != (self.dist_to_center[v] == 0) {
+                return Err(format!("vertex {v}: dist 0 iff center violated"));
+            }
+            if is_center != (self.parent[v] == NO_VERTEX) {
+                return Err(format!("vertex {v}: parent NO_VERTEX iff center violated"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// The center vertex that `v` is assigned to.
+    #[inline]
+    pub fn center_of(&self, v: Vertex) -> Vertex {
+        self.assignment[v as usize]
+    }
+
+    /// Dense cluster index of `v`, in `0..num_clusters()`.
+    #[inline]
+    pub fn cluster_of(&self, v: Vertex) -> Vertex {
+        self.cluster_index[v as usize]
+    }
+
+    /// Hop distance from `v` to its center (inside the cluster).
+    #[inline]
+    pub fn dist_to_center(&self, v: Vertex) -> Dist {
+        self.dist_to_center[v as usize]
+    }
+
+    /// Parent of `v` on the intra-cluster BFS tree, or `None` at a center.
+    #[inline]
+    pub fn parent(&self, v: Vertex) -> Option<Vertex> {
+        let p = self.parent[v as usize];
+        (p != NO_VERTEX).then_some(p)
+    }
+
+    /// Sorted list of distinct centers.
+    pub fn centers(&self) -> &[Vertex] {
+        &self.centers
+    }
+
+    /// Per-vertex center assignment.
+    pub fn assignment(&self) -> &[Vertex] {
+        &self.assignment
+    }
+
+    /// Per-vertex dense cluster indices.
+    pub fn cluster_indices(&self) -> &[Vertex] {
+        &self.cluster_index
+    }
+
+    /// Per-vertex distances to centers.
+    pub fn distances(&self) -> &[Dist] {
+        &self.dist_to_center
+    }
+
+    /// Per-vertex intra-cluster BFS parents.
+    pub fn parents(&self) -> &[Vertex] {
+        &self.parent
+    }
+
+    /// Sizes of all clusters, indexed by dense cluster id.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_clusters()];
+        for &ci in &self.cluster_index {
+            sizes[ci as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Members of every cluster, indexed by dense cluster id (each member
+    /// list ascending).
+    pub fn cluster_members(&self) -> Vec<Vec<Vertex>> {
+        let mut members = vec![Vec::new(); self.num_clusters()];
+        for (v, &ci) in self.cluster_index.iter().enumerate() {
+            members[ci as usize].push(v as Vertex);
+        }
+        members
+    }
+
+    /// Maximum distance from any vertex to its center (the radius of the
+    /// decomposition; strong diameter of any piece is at most twice this).
+    pub fn max_radius(&self) -> Dist {
+        self.dist_to_center.par_iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of edges of `g` whose endpoints lie in different clusters.
+    pub fn cut_edges(&self, g: &CsrGraph) -> usize {
+        assert_eq!(g.num_vertices(), self.num_vertices());
+        (0..self.num_vertices() as Vertex)
+            .into_par_iter()
+            .map(|u| {
+                let cu = self.assignment[u as usize];
+                g.neighbors(u)
+                    .iter()
+                    .filter(|&&v| u < v && self.assignment[v as usize] != cu)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Fraction of edges cut, `cut_edges / m` (0 for edgeless graphs).
+    pub fn cut_fraction(&self, g: &CsrGraph) -> f64 {
+        let m = g.num_edges();
+        if m == 0 {
+            0.0
+        } else {
+            self.cut_edges(g) as f64 / m as f64
+        }
+    }
+
+    /// The intra-cluster BFS-tree edges `(child, parent)`, one per non-center
+    /// vertex. Together they form a spanning forest with one tree per
+    /// cluster — the forest that the SDD-solver pipeline of \[9, 10\] glues
+    /// into a spanning tree.
+    pub fn tree_edges(&self) -> Vec<(Vertex, Vertex)> {
+        self.parent
+            .par_iter()
+            .enumerate()
+            .filter_map(|(v, &p)| (p != NO_VERTEX).then_some((v as Vertex, p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny hand-built decomposition: path 0-1-2-3 split as {0,1} (center 0)
+    /// and {2,3} (center 2).
+    fn sample() -> Decomposition {
+        Decomposition::from_raw(
+            vec![0, 0, 2, 2],
+            vec![0, 1, 0, 1],
+            vec![NO_VERTEX, 0, NO_VERTEX, 2],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = sample();
+        assert_eq!(d.num_vertices(), 4);
+        assert_eq!(d.num_clusters(), 2);
+        assert_eq!(d.centers(), &[0, 2]);
+        assert_eq!(d.center_of(1), 0);
+        assert_eq!(d.cluster_of(3), 1);
+        assert_eq!(d.dist_to_center(3), 1);
+        assert_eq!(d.parent(1), Some(0));
+        assert_eq!(d.parent(0), None);
+        assert_eq!(d.max_radius(), 1);
+    }
+
+    #[test]
+    fn sizes_and_members() {
+        let d = sample();
+        assert_eq!(d.cluster_sizes(), vec![2, 2]);
+        assert_eq!(d.cluster_members(), vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn cut_edges_on_path() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = sample();
+        assert_eq!(d.cut_edges(&g), 1);
+        assert!((d.cut_fraction(&g) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_edges_span_non_centers() {
+        let d = sample();
+        let mut t = d.tree_edges();
+        t.sort_unstable();
+        assert_eq!(t, vec![(1, 0), (3, 2)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_center_not_self_assigned() {
+        // Vertex 1 claims center 0 but vertex 0 is assigned elsewhere.
+        let _ = Decomposition::from_raw(
+            vec![2, 0, 2],
+            vec![1, 1, 0],
+            vec![2, NO_VERTEX, NO_VERTEX],
+        );
+    }
+
+    #[test]
+    fn singleton_clusters() {
+        let d = Decomposition::from_raw(
+            vec![0, 1, 2],
+            vec![0, 0, 0],
+            vec![NO_VERTEX, NO_VERTEX, NO_VERTEX],
+        );
+        assert_eq!(d.num_clusters(), 3);
+        assert_eq!(d.cluster_sizes(), vec![1, 1, 1]);
+        assert!(d.tree_edges().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! # mpx-decomp — low-diameter decompositions via exponentially shifted shortest paths
+//!
+//! This crate is the reproduction of the core contribution of Miller, Peng &
+//! Xu, *Parallel Graph Decompositions Using Random Shifts* (SPAA 2013,
+//! arXiv:1307.3692).
+//!
+//! ## The algorithm
+//!
+//! Given an undirected unweighted graph `G = (V, E)` and `0 < β ≤ 1/2`:
+//!
+//! 1. Every vertex `u` draws a shift `δ_u ~ Exp(β)` independently
+//!    ([`shift::ExpShifts`]).
+//! 2. Every vertex `v` is assigned to the vertex `u` that minimizes the
+//!    *shifted distance* `dist(u, v) − δ_u`, ties broken by a fixed total
+//!    order on centers (Algorithm 2 of the paper).
+//! 3. Implemented as **one parallel BFS**: vertex `u` wakes at time
+//!    `δ_max − δ_u`; arrivals in the same integer round are ordered by the
+//!    fractional parts of the start times, which are constant per cluster
+//!    (Algorithm 1 / Section 5 of the paper).
+//!
+//! The result is a `(β, O(log n / β))` decomposition: every piece has
+//! strong diameter `O(log n / β)` w.h.p., and the expected fraction of
+//! edges between pieces is `O(β)` — see [`verify_decomposition`] which
+//! checks all of this on concrete outputs.
+//!
+//! ## Entry points
+//!
+//! | function | paper reference | notes |
+//! |----------|-----------------|-------|
+//! | [`partition`] | Algorithm 1 (Thm 1.2) | parallel shifted BFS |
+//! | [`partition_sequential`] | Algorithm 1 | sequential twin; bit-identical output |
+//! | [`partition_hybrid`] | Section 5 + \[8\] | direction-optimizing BFS; bit-identical output |
+//! | [`partition_exact`] | Algorithm 2 | `O(nm)` literal reference, for testing |
+//! | [`partition_with_retry`] | Theorem 1.2 proof | retries until the `(β, O(log n/β))` guarantee holds |
+//! | [`weighted::partition_weighted`] | Section 6 | shifted Dijkstra on weighted graphs |
+//! | [`weighted::partition_weighted_parallel`] | Section 6 (open problem) | Δ-stepping engineering extension |
+//!
+//! All variants are deterministic given `DecompOptions::seed` — the
+//! parallel, sequential and exact implementations return **identical**
+//! assignments, which the test suite exploits heavily.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpx_decomp::{partition, verify_decomposition, DecompOptions};
+//! use mpx_graph::gen;
+//!
+//! let g = gen::grid2d(60, 60);
+//! let d = partition(&g, &DecompOptions::new(0.1).with_seed(7));
+//! let report = verify_decomposition(&g, &d);
+//! assert!(report.is_valid());
+//! // Strong diameter bounded, few edges cut:
+//! assert!(report.max_radius <= (2.0 * (g.num_vertices() as f64).ln() / 0.1) as u32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decomposition;
+pub mod exact;
+pub mod hybrid;
+pub mod options;
+pub mod parallel;
+pub mod retry;
+pub mod sequential;
+pub mod shift;
+pub mod stats;
+pub mod verify;
+pub mod weighted;
+
+pub use decomposition::Decomposition;
+pub use exact::partition_exact;
+pub use hybrid::partition_hybrid;
+pub use options::{DecompOptions, RetryPolicy, ShiftStrategy, TieBreak};
+pub use parallel::partition;
+pub use retry::partition_with_retry;
+pub use sequential::partition_sequential;
+pub use shift::ExpShifts;
+pub use stats::DecompositionStats;
+pub use verify::{verify_decomposition, VerifyReport};

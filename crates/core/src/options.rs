@@ -1,0 +1,174 @@
+//! Configuration for the partition routines.
+
+/// Tie-breaking rule between clusters whose shifted distances land in the
+/// same integer BFS round (paper Sections 4–5).
+///
+/// Lemma 4.1 holds for *any* fixed total order on centers, so all three
+/// choices produce valid decompositions; they differ only in distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// The paper's Algorithm 1: compare the fractional parts of the start
+    /// times `δ_max − δ_u` (quantized to 32 bits; exact quantization ties
+    /// fall back to center id, the "rounding" case of Lemma 4.1).
+    #[default]
+    FractionalShift,
+    /// Section 5's alternative: a random permutation of the vertices,
+    /// realized as independent 32-bit priorities.
+    Permutation,
+    /// Deterministic baseline: lowest center id wins. Still valid, but the
+    /// tie-break no longer carries randomness (used in ablations).
+    Lexicographic,
+}
+
+/// How the per-vertex shifts `δ_u` are generated (paper Sections 3 and 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ShiftStrategy {
+    /// The paper's Algorithm 1/2: sample `δ_u ~ Exp(β)` independently per
+    /// vertex (inverse-CDF over counter-based uniforms).
+    #[default]
+    SampledExponential,
+    /// The Section 5 suggestion: "generate a random permutation of the
+    /// vertices, and assign the shift values based on positions in the
+    /// permutation". The vertex at rank `k` (0-based, ascending) receives
+    /// the *expected* `k+1`-st order statistic of `n` i.i.d. `Exp(β)`
+    /// draws, `(H_n − H_{n−k−1})/β` (Fact 3.1). The paper conjectures "the
+    /// slight changes in distributions could be accounted for … but might
+    /// be more easily studied empirically" — experiment table T5b is that
+    /// study.
+    OrderStatisticPermutation,
+}
+
+/// Options for one partition invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecompOptions {
+    /// The decomposition parameter `β > 0`. Smaller `β` gives larger
+    /// pieces with fewer cut edges; pieces have strong diameter
+    /// `O(log n / β)` w.h.p. The paper's cut bound assumes `β ≤ 1/2`.
+    pub beta: f64,
+    /// RNG seed; every run with the same seed (and tie-break rule) is
+    /// bit-identical across the parallel/sequential/exact implementations
+    /// and across thread counts.
+    pub seed: u64,
+    /// Tie-breaking rule (see [`TieBreak`]).
+    pub tie_break: TieBreak,
+    /// Shift generation rule (see [`ShiftStrategy`]).
+    pub shift_strategy: ShiftStrategy,
+}
+
+impl DecompOptions {
+    /// Options with the given `β`, seed 0 and fractional-shift tie-breaks.
+    ///
+    /// Panics unless `β > 0` and finite. The paper's `(β, O(log n/β))`
+    /// guarantee assumes `β ≤ 1/2`; larger values (used e.g. by the spanner
+    /// pipeline on dense low-diameter graphs, where tiny radii are needed)
+    /// still produce valid decompositions, but the `O(β)` cut constant
+    /// degrades toward `1 − e^{−β}`.
+    pub fn new(beta: f64) -> Self {
+        assert!(
+            beta > 0.0 && beta.is_finite(),
+            "beta must be positive and finite, got {beta}"
+        );
+        DecompOptions {
+            beta,
+            seed: 0,
+            tie_break: TieBreak::default(),
+            shift_strategy: ShiftStrategy::default(),
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the tie-break rule.
+    pub fn with_tie_break(mut self, tb: TieBreak) -> Self {
+        self.tie_break = tb;
+        self
+    }
+
+    /// Sets the shift-generation strategy.
+    pub fn with_shift_strategy(mut self, s: ShiftStrategy) -> Self {
+        self.shift_strategy = s;
+        self
+    }
+}
+
+/// Policy for [`crate::partition_with_retry`] (the proof of Theorem 1.2
+/// repeats the partition until both guarantees hold; each attempt succeeds
+/// with constant probability, so the expected number of repeats is `O(1)`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Accept when `cut_edges ≤ cut_slack · β · m`.
+    pub cut_slack: f64,
+    /// Accept when `max_radius ≤ radius_slack · ln(n) / β`.
+    pub radius_slack: f64,
+    /// Give up (and return the best attempt seen) after this many tries.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // cut: E[cut] ≤ (e^β − 1)m ≤ 1.3 βm for β ≤ 1/2; slack 4 makes the
+        // acceptance probability > 1/2 by Markov. radius: Lemma 4.2 gives
+        // δ_max ≤ 2 ln n / β with probability 1 − 1/n.
+        RetryPolicy {
+            cut_slack: 4.0,
+            radius_slack: 2.0,
+            max_attempts: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_pattern() {
+        let o = DecompOptions::new(0.25)
+            .with_seed(99)
+            .with_tie_break(TieBreak::Permutation);
+        assert_eq!(o.beta, 0.25);
+        assert_eq!(o.seed, 99);
+        assert_eq!(o.tie_break, TieBreak::Permutation);
+    }
+
+    #[test]
+    fn default_tiebreak_is_fractional() {
+        assert_eq!(DecompOptions::new(0.1).tie_break, TieBreak::FractionalShift);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_beta() {
+        let _ = DecompOptions::new(0.0);
+    }
+
+    #[test]
+    fn accepts_beta_above_one() {
+        // Large β = tiny shifts = small radii; used by the spanner pipeline.
+        assert_eq!(DecompOptions::new(4.0).beta, 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_infinite_beta() {
+        let _ = DecompOptions::new(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan_beta() {
+        let _ = DecompOptions::new(f64::NAN);
+    }
+
+    #[test]
+    fn retry_default_sane() {
+        let r = RetryPolicy::default();
+        assert!(r.cut_slack > 1.0);
+        assert!(r.radius_slack >= 1.0);
+        assert!(r.max_attempts >= 1);
+    }
+}

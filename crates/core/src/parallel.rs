@@ -1,0 +1,324 @@
+//! The paper's Algorithm 1: parallel partition by exponentially shifted BFS.
+//!
+//! One level-synchronous BFS computes the whole decomposition:
+//!
+//! * **Wake** (round `r`): every not-yet-claimed vertex `u` with
+//!   `⌊δ_max − δ_u⌋ = r` bids to start its own cluster.
+//! * **Expand**: every frontier vertex bids to claim its unvisited
+//!   neighbours on behalf of its cluster.
+//! * Bids are resolved by an atomic `fetch_min` on a packed 64-bit key
+//!   `(tie_key(cluster), center_id)` — smaller keys win. Because the winner
+//!   depends only on key values, never on thread interleaving, the result is
+//!   **deterministic**: identical to the sequential twin
+//!   ([`crate::partition_sequential`]) and independent of thread count.
+//!
+//! The integer part of a cluster's shifted distance to a vertex is exactly
+//! the round in which the cluster's frontier arrives, so distances come out
+//! as `round − wake_round(center)` for free; the fractional parts, constant
+//! per cluster, are the tie keys (paper Section 5).
+//!
+//! Work is `O(n + m)`: every vertex is claimed once and every arc is
+//! scanned at most twice (once from each endpoint's settling round).
+//! Rounds are bounded by `⌊δ_max⌋ + max cluster radius = O(log n / β)`
+//! w.h.p. (Lemma 4.2), which is the paper's depth bound modulo the
+//! per-round `O(log n)` PRAM factor.
+
+use crate::decomposition::Decomposition;
+use crate::options::DecompOptions;
+use crate::shift::ExpShifts;
+use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Work/depth proxies recorded by one partition run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionTelemetry {
+    /// Level-synchronous rounds executed (depth proxy; paper predicts
+    /// `O(log n / β)`).
+    pub rounds: u64,
+    /// Directed edges scanned (work proxy; paper predicts `O(m)`).
+    pub relaxations: u64,
+    /// Number of clusters formed.
+    pub clusters: u64,
+}
+
+/// Computes a `(β, O(log n / β))` decomposition with the parallel shifted
+/// BFS (paper Algorithm 1, Theorem 1.2).
+pub fn partition(g: &CsrGraph, opts: &DecompOptions) -> Decomposition {
+    partition_instrumented(g, opts).0
+}
+
+/// [`partition`] plus telemetry.
+pub fn partition_instrumented(g: &CsrGraph, opts: &DecompOptions) -> (Decomposition, PartitionTelemetry) {
+    let shifts = ExpShifts::generate(g.num_vertices(), opts);
+    partition_with_shifts(g, &shifts)
+}
+
+/// Runs the parallel shifted BFS under externally supplied shifts. This is
+/// the entry point the tests use to drive all three implementations with
+/// identical randomness.
+pub fn partition_with_shifts(g: &CsrGraph, shifts: &ExpShifts) -> (Decomposition, PartitionTelemetry) {
+    let n = g.num_vertices();
+    assert_eq!(shifts.len(), n, "shifts must cover every vertex");
+    if n == 0 {
+        return (
+            Decomposition::from_raw(Vec::new(), Vec::new(), Vec::new()),
+            PartitionTelemetry::default(),
+        );
+    }
+
+    // claim[v]: best (tie_key, center) bid seen so far; u64::MAX = untouched.
+    let claim: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    // assignment[v]: winning center once v's settling round finishes.
+    let assignment: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
+    // dist[v]: hop distance to the winning center.
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+
+    let buckets = shifts.wake_buckets();
+    let (claim_ref, assignment_ref, dist_ref) = (&claim, &assignment, &dist);
+
+    let mut telemetry = PartitionTelemetry::default();
+    let mut frontier: Vec<Vertex> = Vec::new();
+    let mut settled = 0usize;
+    let mut round = 0usize;
+    while settled < n {
+        telemetry.rounds += 1;
+
+        let wake_bid = |u: Vertex| -> bool {
+            assignment_ref[u as usize].load(Ordering::Relaxed) == NO_VERTEX
+                && claim_ref[u as usize].fetch_min(shifts.claim_key(u), Ordering::Relaxed)
+                    == u64::MAX
+        };
+        let frontier_degree: u64 = frontier.iter().map(|&u| g.degree(u) as u64).sum();
+        let bucket_len = buckets.get(round).map_or(0, Vec::len);
+        // Thin rounds run inline: rayon's per-round fan-out costs more than
+        // the round's whole work on mesh-like graphs (hundreds of rounds of
+        // tiny frontiers). The claim logic — and therefore the output — is
+        // identical on both paths.
+        let sequential_round =
+            frontier_degree + (bucket_len as u64) < mpx_par::bfs::SEQ_ROUND_CUTOFF;
+
+        // Wake phase: vertices whose start time has integer part `round`
+        // bid to found their own cluster (paper: "vertex u starting when the
+        // head of the queue has distance more than δ_max − δ_u").
+        let mut touched: Vec<Vertex> = if round < buckets.len() {
+            if sequential_round {
+                buckets[round].iter().copied().filter(|&u| wake_bid(u)).collect()
+            } else {
+                buckets[round].par_iter().copied().filter(|&u| wake_bid(u)).collect()
+            }
+        } else {
+            Vec::new()
+        };
+
+        // Expand phase: frontier vertices bid for unclaimed neighbours with
+        // their cluster's key. `fetch_min` returning MAX identifies the
+        // first bidder, which registers v exactly once in `touched`.
+        telemetry.relaxations += frontier_degree;
+        let expand_bid = |u: Vertex, v: Vertex| -> bool {
+            let center = assignment_ref[u as usize].load(Ordering::Relaxed);
+            let key = shifts.claim_key(center);
+            assignment_ref[v as usize].load(Ordering::Relaxed) == NO_VERTEX
+                && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed) == u64::MAX
+        };
+        if sequential_round {
+            for i in 0..frontier.len() {
+                let u = frontier[i];
+                let center = assignment_ref[u as usize].load(Ordering::Relaxed);
+                let key = shifts.claim_key(center);
+                for &v in g.neighbors(u) {
+                    if assignment_ref[v as usize].load(Ordering::Relaxed) == NO_VERTEX
+                        && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed) == u64::MAX
+                    {
+                        touched.push(v);
+                    }
+                }
+            }
+        } else {
+            let expand_bid = &expand_bid;
+            let expanded: Vec<Vertex> = frontier
+                .par_iter()
+                .with_min_len(128)
+                .flat_map_iter(|&u| {
+                    g.neighbors(u).iter().copied().filter(move |&v| expand_bid(u, v))
+                })
+                .collect();
+            touched.extend(expanded);
+        }
+
+        // Finalize phase: every vertex touched this round is settled by the
+        // winning bid; its distance is `round − wake_round(center)`.
+        let r32 = round as u32;
+        let finalize = |v: Vertex| {
+            let key = claim_ref[v as usize].load(Ordering::Relaxed);
+            let center = (key & u32::MAX as u64) as Vertex;
+            assignment_ref[v as usize].store(center, Ordering::Relaxed);
+            dist_ref[v as usize]
+                .store(r32 - shifts.start_round[center as usize], Ordering::Relaxed);
+        };
+        if sequential_round {
+            touched.iter().for_each(|&v| finalize(v));
+        } else {
+            touched.par_iter().for_each(|&v| finalize(v));
+        }
+
+        settled += touched.len();
+        frontier = touched;
+        round += 1;
+    }
+
+    let assignment: Vec<Vertex> = assignment.into_iter().map(|a| a.into_inner()).collect();
+    let dist: Vec<Dist> = dist.into_iter().map(|d| d.into_inner()).collect();
+    let parent = compute_parents(g, &assignment, &dist);
+    let d = Decomposition::from_raw(assignment, dist, parent);
+    telemetry.clusters = d.num_clusters() as u64;
+    (d, telemetry)
+}
+
+/// Deterministic intra-cluster BFS parents: the smallest-id neighbour in the
+/// same cluster one hop closer to the center. Lemma 4.1 guarantees such a
+/// neighbour exists for every non-center vertex; we panic otherwise because
+/// that would falsify the decomposition.
+///
+/// Public because every decomposition algorithm in the workspace (including
+/// the baselines) assembles its [`Decomposition`] through this helper.
+pub fn compute_parents(g: &CsrGraph, assignment: &[Vertex], dist: &[Dist]) -> Vec<Vertex> {
+    (0..g.num_vertices() as Vertex)
+        .into_par_iter()
+        .map(|v| {
+            let dv = dist[v as usize];
+            if dv == 0 {
+                return NO_VERTEX;
+            }
+            let cv = assignment[v as usize];
+            g.neighbors(v)
+                .iter()
+                .copied()
+                .find(|&u| assignment[u as usize] == cv && dist[u as usize] + 1 == dv)
+                .unwrap_or_else(|| {
+                    panic!("Lemma 4.1 violated at vertex {v}: no same-cluster predecessor")
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::TieBreak;
+    use mpx_graph::gen;
+
+    fn opts(beta: f64, seed: u64) -> DecompOptions {
+        DecompOptions::new(beta).with_seed(seed)
+    }
+
+    #[test]
+    fn covers_every_vertex() {
+        let g = gen::grid2d(30, 30);
+        let d = partition(&g, &opts(0.2, 1));
+        assert_eq!(d.num_vertices(), 900);
+        let total: usize = d.cluster_sizes().iter().sum();
+        assert_eq!(total, 900);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = gen::rmat(9, 4 << 9, 0.57, 0.19, 0.19, 2);
+        let a = partition(&g, &opts(0.1, 5));
+        let b = partition(&g, &opts(0.1, 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = gen::grid2d(40, 40);
+        let o = opts(0.15, 9);
+        let single = mpx_par::with_threads(1, || partition(&g, &o));
+        let multi = mpx_par::with_threads(8, || partition(&g, &o));
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = gen::grid2d(25, 25);
+        let a = partition(&g, &opts(0.2, 1));
+        let b = partition(&g, &opts(0.2, 2));
+        assert_ne!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (4, 5)]);
+        let d = partition(&g, &opts(0.3, 3));
+        // Every vertex assigned; clusters never span components.
+        for (u, v) in g.edges() {
+            let _ = (u, v);
+        }
+        for v in 0..7u32 {
+            let c = d.center_of(v);
+            assert!(c < 7);
+        }
+        // Isolated vertices form singleton clusters.
+        assert_eq!(d.center_of(3), 3);
+        assert_eq!(d.center_of(6), 6);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let e = CsrGraph::empty(0);
+        let d = partition(&e, &opts(0.2, 0));
+        assert_eq!(d.num_clusters(), 0);
+
+        let s = CsrGraph::empty(1);
+        let d = partition(&s, &opts(0.2, 0));
+        assert_eq!(d.num_clusters(), 1);
+        assert_eq!(d.center_of(0), 0);
+    }
+
+    #[test]
+    fn telemetry_work_is_linear() {
+        let g = gen::grid2d(50, 50);
+        let (_, t) = partition_instrumented(&g, &opts(0.2, 4));
+        // Every arc is scanned at most once from each endpoint.
+        assert!(t.relaxations <= 2 * g.num_arcs() as u64);
+        assert!(t.rounds > 0);
+        assert!(t.clusters > 0);
+    }
+
+    #[test]
+    fn radius_bounded_by_delta_max() {
+        // dist(v, center) ≤ δ_center ≤ δ_max (paper Section 4).
+        let g = gen::grid2d(40, 40);
+        let o = opts(0.1, 8);
+        let shifts = ExpShifts::generate(g.num_vertices(), &o);
+        let (d, _) = partition_with_shifts(&g, &shifts);
+        assert!(d.max_radius() as f64 <= shifts.delta_max + 1.0);
+    }
+
+    #[test]
+    fn low_beta_gives_fewer_clusters() {
+        let g = gen::grid2d(40, 40);
+        let coarse = partition(&g, &opts(0.02, 11)).num_clusters();
+        let fine = partition(&g, &opts(0.4, 11)).num_clusters();
+        assert!(
+            coarse < fine,
+            "β=0.02 gave {coarse} clusters, β=0.4 gave {fine}"
+        );
+    }
+
+    #[test]
+    fn all_tie_breaks_produce_valid_partitions() {
+        let g = gen::gnm(400, 1200, 6);
+        for tb in [
+            TieBreak::FractionalShift,
+            TieBreak::Permutation,
+            TieBreak::Lexicographic,
+        ] {
+            let d = partition(&g, &opts(0.2, 5).with_tie_break(tb));
+            let report = crate::verify::verify_decomposition(&g, &d);
+            assert!(report.is_valid(), "{tb:?}: {report:?}");
+        }
+    }
+
+    use mpx_graph::CsrGraph;
+}

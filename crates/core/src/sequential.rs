@@ -1,0 +1,149 @@
+//! Sequential twin of the parallel partition.
+//!
+//! Runs the identical wake/expand/finalize rounds as
+//! [`crate::parallel::partition_with_shifts`], with plain loops instead of
+//! parallel iterators and a `u64` min instead of `fetch_min`. Because the
+//! parallel version's claim resolution is order-free, the two produce
+//! **bit-identical** decompositions — the test suite and the benchmark
+//! baselines both rely on this.
+//!
+//! This is also the natural "good sequential algorithm" comparison point:
+//! `O(n + m)` time, one pass, no priority queue.
+
+use crate::decomposition::Decomposition;
+use crate::options::DecompOptions;
+use crate::parallel::compute_parents;
+use crate::shift::ExpShifts;
+use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
+
+/// Sequential shifted-BFS partition (same semantics and output as
+/// [`crate::partition`]).
+pub fn partition_sequential(g: &CsrGraph, opts: &DecompOptions) -> Decomposition {
+    let shifts = ExpShifts::generate(g.num_vertices(), opts);
+    partition_sequential_with_shifts(g, &shifts)
+}
+
+/// Sequential partition under externally supplied shifts.
+pub fn partition_sequential_with_shifts(g: &CsrGraph, shifts: &ExpShifts) -> Decomposition {
+    let n = g.num_vertices();
+    assert_eq!(shifts.len(), n);
+    if n == 0 {
+        return Decomposition::from_raw(Vec::new(), Vec::new(), Vec::new());
+    }
+
+    let mut claim: Vec<u64> = vec![u64::MAX; n];
+    let mut assignment: Vec<Vertex> = vec![NO_VERTEX; n];
+    let mut dist: Vec<Dist> = vec![0; n];
+
+    let buckets = shifts.wake_buckets();
+    let mut frontier: Vec<Vertex> = Vec::new();
+    let mut settled = 0usize;
+    let mut round = 0usize;
+    while settled < n {
+        let mut touched: Vec<Vertex> = Vec::new();
+
+        // Wake phase.
+        if round < buckets.len() {
+            for &u in &buckets[round] {
+                if assignment[u as usize] == NO_VERTEX {
+                    let key = shifts.claim_key(u);
+                    if claim[u as usize] == u64::MAX {
+                        touched.push(u);
+                    }
+                    claim[u as usize] = claim[u as usize].min(key);
+                }
+            }
+        }
+
+        // Expand phase.
+        for &u in &frontier {
+            let key = shifts.claim_key(assignment[u as usize]);
+            for &v in g.neighbors(u) {
+                if assignment[v as usize] == NO_VERTEX {
+                    if claim[v as usize] == u64::MAX {
+                        touched.push(v);
+                    }
+                    claim[v as usize] = claim[v as usize].min(key);
+                }
+            }
+        }
+
+        // Finalize phase.
+        for &v in &touched {
+            let center = (claim[v as usize] & u32::MAX as u64) as Vertex;
+            assignment[v as usize] = center;
+            dist[v as usize] = round as u32 - shifts.start_round[center as usize];
+        }
+
+        settled += touched.len();
+        frontier = touched;
+        round += 1;
+    }
+
+    let parent = compute_parents(g, &assignment, &dist);
+    Decomposition::from_raw(assignment, dist, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::partition_with_shifts;
+    use mpx_graph::gen;
+
+    fn opts(beta: f64, seed: u64) -> DecompOptions {
+        DecompOptions::new(beta).with_seed(seed)
+    }
+
+    #[test]
+    fn identical_to_parallel_on_grid() {
+        let g = gen::grid2d(35, 35);
+        let o = opts(0.15, 3);
+        let shifts = ExpShifts::generate(g.num_vertices(), &o);
+        let seq = partition_sequential_with_shifts(&g, &shifts);
+        let (par, _) = partition_with_shifts(&g, &shifts);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn identical_to_parallel_on_many_random_graphs() {
+        for seed in 0..10u64 {
+            let g = gen::gnm(300, 1000, seed);
+            let o = opts(0.1 + 0.05 * seed as f64, seed);
+            let shifts = ExpShifts::generate(g.num_vertices(), &o);
+            let seq = partition_sequential_with_shifts(&g, &shifts);
+            let (par, _) = partition_with_shifts(&g, &shifts);
+            assert_eq!(seq, par, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn identical_on_skewed_graph() {
+        let g = gen::rmat(9, 6 << 9, 0.57, 0.19, 0.19, 17);
+        let o = opts(0.25, 17);
+        assert_eq!(
+            partition_sequential(&g, &o),
+            crate::partition(&g, &o)
+        );
+    }
+
+    #[test]
+    fn identical_on_trees_and_paths() {
+        for (g, seed) in [
+            (gen::path(500), 1u64),
+            (gen::random_tree(400, 4), 2),
+            (gen::star(200), 3),
+        ] {
+            let o = opts(0.2, seed);
+            assert_eq!(partition_sequential(&g, &o), crate::partition(&g, &o));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        let d = partition_sequential(&g, &opts(0.5, 0));
+        assert_eq!(d.num_clusters(), 0);
+    }
+
+    use mpx_graph::CsrGraph;
+}

@@ -1,0 +1,119 @@
+//! Summary statistics for decompositions (the numbers every experiment
+//! table reports).
+
+use crate::decomposition::Decomposition;
+use mpx_graph::{CsrGraph, Dist};
+
+/// Quantitative summary of one decomposition, aligned with Definition 1.1:
+/// the pair to watch is (`cut_fraction` vs `β`, `max_radius` vs
+/// `O(log n / β)`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecompositionStats {
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// Smallest cluster size.
+    pub min_cluster: usize,
+    /// Largest cluster size.
+    pub max_cluster: usize,
+    /// Mean cluster size.
+    pub avg_cluster: f64,
+    /// Max distance to center (radius; strong diameter ≤ 2×radius).
+    pub max_radius: Dist,
+    /// Mean distance to center.
+    pub avg_radius: f64,
+    /// Edges between clusters.
+    pub cut_edges: usize,
+    /// `cut_edges / m`.
+    pub cut_fraction: f64,
+}
+
+impl DecompositionStats {
+    /// Computes all statistics in `O(n + m)`.
+    pub fn compute(g: &CsrGraph, d: &Decomposition) -> Self {
+        let sizes = d.cluster_sizes();
+        let n = d.num_vertices().max(1);
+        let cut = d.cut_edges(g);
+        let m = g.num_edges();
+        DecompositionStats {
+            num_clusters: d.num_clusters(),
+            min_cluster: sizes.iter().copied().min().unwrap_or(0),
+            max_cluster: sizes.iter().copied().max().unwrap_or(0),
+            avg_cluster: n as f64 / d.num_clusters().max(1) as f64,
+            max_radius: d.max_radius(),
+            avg_radius: d.distances().iter().map(|&x| x as f64).sum::<f64>() / n as f64,
+            cut_edges: cut,
+            cut_fraction: if m == 0 { 0.0 } else { cut as f64 / m as f64 },
+        }
+    }
+}
+
+impl std::fmt::Display for DecompositionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "clusters={} size[{}..{} avg {:.1}] radius[max {} avg {:.2}] cut={} ({:.4} of m)",
+            self.num_clusters,
+            self.min_cluster,
+            self.max_cluster,
+            self.avg_cluster,
+            self.max_radius,
+            self.avg_radius,
+            self.cut_edges,
+            self.cut_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::DecompOptions;
+    use crate::parallel::partition;
+    use mpx_graph::gen;
+
+    #[test]
+    fn stats_consistency() {
+        let g = gen::grid2d(30, 30);
+        let d = partition(&g, &DecompOptions::new(0.2).with_seed(5));
+        let s = DecompositionStats::compute(&g, &d);
+        assert_eq!(s.num_clusters, d.num_clusters());
+        assert!(s.min_cluster >= 1);
+        assert!(s.max_cluster <= 900);
+        assert!(s.avg_cluster * s.num_clusters as f64 > 899.0);
+        assert!(s.cut_fraction >= 0.0 && s.cut_fraction <= 1.0);
+        assert!(s.avg_radius <= s.max_radius as f64);
+    }
+
+    #[test]
+    fn lower_beta_means_lower_cut_higher_radius() {
+        // The paper's core trade-off (visible in Figure 1): averaged over
+        // seeds to suppress variance.
+        let g = gen::grid2d(40, 40);
+        let runs = 5;
+        let avg = |beta: f64| {
+            let mut cut = 0.0;
+            let mut rad = 0.0;
+            for seed in 0..runs {
+                let d = partition(&g, &DecompOptions::new(beta).with_seed(seed));
+                let s = DecompositionStats::compute(&g, &d);
+                cut += s.cut_fraction;
+                rad += s.max_radius as f64;
+            }
+            (cut / runs as f64, rad / runs as f64)
+        };
+        let (cut_lo, rad_lo) = avg(0.02);
+        let (cut_hi, rad_hi) = avg(0.4);
+        assert!(cut_lo < cut_hi, "cut: {cut_lo} !< {cut_hi}");
+        assert!(rad_lo > rad_hi, "radius: {rad_lo} !> {rad_hi}");
+    }
+
+    #[test]
+    fn display_renders() {
+        let g = gen::path(10);
+        let d = partition(&g, &DecompOptions::new(0.3));
+        let s = DecompositionStats::compute(&g, &d);
+        let text = format!("{s}");
+        assert!(text.contains("clusters="));
+        assert!(text.contains("cut="));
+    }
+}

@@ -1,0 +1,90 @@
+//! Connected components.
+
+use crate::csr::{CsrGraph, Vertex, NO_VERTEX};
+use std::collections::VecDeque;
+
+/// Labels each vertex with a component id in `0..k` (ids assigned in order
+/// of discovery by vertex id) and returns `(labels, k)`.
+pub fn connected_components(g: &CsrGraph) -> (Vec<Vertex>, usize) {
+    let n = g.num_vertices();
+    let mut label = vec![NO_VERTEX; n];
+    let mut next = 0 as Vertex;
+    let mut queue = VecDeque::new();
+    for s in 0..n as Vertex {
+        if label[s as usize] != NO_VERTEX {
+            continue;
+        }
+        label[s as usize] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v as usize] == NO_VERTEX {
+                    label[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// Number of connected components.
+pub fn num_components(g: &CsrGraph) -> usize {
+    connected_components(g).1
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    g.num_vertices() == 0 || num_components(g) == 1
+}
+
+/// Boolean mask selecting the largest connected component (ties broken by
+/// smallest component id).
+pub fn largest_component_mask(g: &CsrGraph) -> Vec<bool> {
+    let (label, k) = connected_components(g);
+    let mut sizes = vec![0usize; k];
+    for &l in &label {
+        sizes[l as usize] += 1;
+    }
+    let best = (0..k).max_by_key(|&i| (sizes[i], std::cmp::Reverse(i))).unwrap_or(0) as Vertex;
+    label.iter().map(|&l| l == best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn single_component() {
+        let g = gen::cycle(8);
+        assert!(is_connected(&g));
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn multiple_components() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (2, 3)]);
+        let (label, k) = connected_components(&g);
+        assert_eq!(k, 4); // {0,1}, {2,3}, {4}, {5}
+        assert_eq!(label[0], label[1]);
+        assert_eq!(label[2], label[3]);
+        assert_ne!(label[0], label[2]);
+    }
+
+    #[test]
+    fn empty_graph_connected() {
+        assert!(is_connected(&CsrGraph::empty(0)));
+        assert!(!is_connected(&CsrGraph::empty(2)));
+    }
+
+    #[test]
+    fn largest_component() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (3, 4)]);
+        let mask = largest_component_mask(&g);
+        assert_eq!(mask, vec![true, true, true, false, false, false, false]);
+    }
+
+    use crate::CsrGraph;
+}

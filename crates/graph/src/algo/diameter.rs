@@ -1,0 +1,85 @@
+//! Diameter and eccentricity helpers.
+
+use crate::algo::bfs;
+use crate::csr::{CsrGraph, Vertex};
+use crate::{Dist, INFINITY};
+
+/// Eccentricity of `v`: max finite BFS distance from `v` (ignores
+/// unreachable vertices; returns 0 for isolated vertices).
+pub fn eccentricity(g: &CsrGraph, v: Vertex) -> Dist {
+    bfs(g, v)
+        .into_iter()
+        .filter(|&d| d != INFINITY)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact diameter by running BFS from every vertex — `O(nm)`; use only on
+/// small graphs (tests and verification).
+pub fn exact_diameter(g: &CsrGraph) -> Dist {
+    (0..g.num_vertices() as Vertex)
+        .map(|v| eccentricity(g, v))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `start`, then BFS from
+/// the farthest vertex found. Exact on trees; a good estimate on meshes.
+pub fn estimate_diameter(g: &CsrGraph, start: Vertex) -> Dist {
+    let d1 = bfs(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != INFINITY)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(v, _)| v as Vertex)
+        .unwrap_or(start);
+    eccentricity(g, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn path_diameter() {
+        let g = gen::path(10);
+        assert_eq!(exact_diameter(&g), 9);
+        assert_eq!(estimate_diameter(&g, 4), 9);
+    }
+
+    #[test]
+    fn grid_diameter() {
+        let g = gen::grid2d(5, 7);
+        assert_eq!(exact_diameter(&g), 4 + 6);
+        assert_eq!(estimate_diameter(&g, 17), 10);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(exact_diameter(&gen::cycle(10)), 5);
+        assert_eq!(exact_diameter(&gen::cycle(11)), 5);
+    }
+
+    #[test]
+    fn complete_diameter_is_one() {
+        assert_eq!(exact_diameter(&gen::complete(6)), 1);
+    }
+
+    #[test]
+    fn eccentricity_of_center() {
+        let g = gen::star(9);
+        assert_eq!(eccentricity(&g, 0), 1);
+        assert_eq!(eccentricity(&g, 1), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_ignored() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)]);
+        assert_eq!(eccentricity(&g, 0), 1);
+        assert_eq!(eccentricity(&g, 3), 0);
+    }
+
+    use crate::CsrGraph;
+}

@@ -1,0 +1,120 @@
+//! Sequential Dijkstra oracles for weighted graphs.
+
+use crate::csr::Vertex;
+use crate::weighted::WeightedCsrGraph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by smallest distance first.
+#[derive(PartialEq)]
+struct Entry {
+    dist: f64,
+    vertex: Vertex,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour on BinaryHeap (a max-heap).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Single-source shortest path distances; `f64::INFINITY` if unreachable.
+pub fn dijkstra(g: &WeightedCsrGraph, source: Vertex) -> Vec<f64> {
+    multi_source_dijkstra(g, &[(source, 0.0)])
+}
+
+/// Multi-source Dijkstra where each source `s` starts with an initial
+/// distance offset `d0 ≥ 0`. This is exactly the "super-source" formulation
+/// used by the paper's Section 5 reduction (the offset plays the role of the
+/// length of the edge from the virtual source `s` to the vertex).
+pub fn multi_source_dijkstra(g: &WeightedCsrGraph, sources: &[(Vertex, f64)]) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::with_capacity(sources.len());
+    for &(s, d0) in sources {
+        assert!(d0 >= 0.0 && d0.is_finite(), "source offsets must be finite non-negative");
+        if d0 < dist[s as usize] {
+            dist[s as usize] = d0;
+            heap.push(Entry { dist: d0, vertex: s });
+        }
+    }
+    while let Some(Entry { dist: du, vertex: u }) = heap.pop() {
+        if du > dist[u as usize] {
+            continue; // stale
+        }
+        for (v, w) in g.neighbors_weighted(u) {
+            let cand = du + w;
+            if cand < dist[v as usize] {
+                dist[v as usize] = cand;
+                heap.push(Entry { dist: cand, vertex: v });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::WeightedCsrGraph;
+
+    #[test]
+    fn dijkstra_on_weighted_path() {
+        let g = WeightedCsrGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_lighter_detour() {
+        // 0-2 direct weight 10, or 0-1-2 with weight 2 + 3.
+        let g = WeightedCsrGraph::from_edges(3, &[(0, 2, 10.0), (0, 1, 2.0), (1, 2, 3.0)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], 5.0);
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_weights() {
+        let g = gen::grid2d(9, 7);
+        let wg = WeightedCsrGraph::unit_weights(&g);
+        let bfs_d = crate::algo::bfs(&g, 3);
+        let dij_d = dijkstra(&wg, 3);
+        for v in 0..g.num_vertices() {
+            assert_eq!(bfs_d[v] as f64, dij_d[v]);
+        }
+    }
+
+    #[test]
+    fn multi_source_offsets() {
+        // Path 0-1-2-3-4, sources 0 (offset 2.5) and 4 (offset 0).
+        let g = WeightedCsrGraph::unit_weights(&gen::path(5));
+        let d = multi_source_dijkstra(&g, &[(0, 2.5), (4, 0.0)]);
+        assert_eq!(d[4], 0.0);
+        assert_eq!(d[3], 1.0);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(d[0], 2.5);
+        // Vertex 1: min(2.5 + 1, 0 + 3) = 3.0.
+        assert_eq!(d[1], 3.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = WeightedCsrGraph::from_edges(3, &[(0, 1, 1.0)]);
+        let d = dijkstra(&g, 0);
+        assert!(d[2].is_infinite());
+    }
+}

@@ -1,0 +1,182 @@
+//! Incremental construction of [`CsrGraph`]s.
+//!
+//! The builder accumulates an edge list and finalizes it into CSR form with
+//! a parallel sort + dedup + counting pass. Finalization cost is
+//! `O(m log m)` work with rayon's parallel sort; this is where all graph
+//! construction in the workspace funnels through, so it is worth keeping
+//! tight.
+
+use crate::csr::{CsrGraph, Vertex};
+use rayon::prelude::*;
+
+/// Accumulates edges and produces a [`CsrGraph`].
+///
+/// ```
+/// use mpx_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+}
+
+impl GraphBuilder {
+    /// New builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self::with_capacity(n, 0)
+    }
+
+    /// New builder with pre-reserved capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex ids must fit in u32");
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of vertices the final graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edge records added so far (before dedup).
+    pub fn num_edge_records(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are silently dropped.
+    ///
+    /// Panics if an endpoint is out of range.
+    #[inline]
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        if u != v {
+            self.edges.push(if u < v { (u, v) } else { (v, u) });
+        }
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (Vertex, Vertex)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Finalizes into a [`CsrGraph`], deduplicating and symmetrizing.
+    pub fn build(self) -> CsrGraph {
+        let GraphBuilder { n, mut edges } = self;
+        // Sort + dedup the canonical (u < v) pairs.
+        if edges.len() > 1 << 14 {
+            edges.par_sort_unstable();
+        } else {
+            edges.sort_unstable();
+        }
+        edges.dedup();
+
+        // Count degrees (each edge contributes to both endpoints).
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        // Scatter both directions. Reuse `degree` as per-vertex cursors.
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as Vertex; acc];
+        for &(u, v) in &edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Because edges were sorted by (u, v), the out-lists written at `u`
+        // are already ascending; the in-lists written at `v` are ascending in
+        // u as well, but the two interleave, so sort each list. Lists are
+        // typically short; parallelize over vertices.
+        {
+            let offs = &offsets;
+            // Split `targets` into per-vertex chunks without overlap.
+            let mut rest: &mut [Vertex] = &mut targets;
+            let mut chunks: Vec<&mut [Vertex]> = Vec::with_capacity(n);
+            let mut prev = 0usize;
+            for v in 0..n {
+                let len = offs[v + 1] - prev;
+                let (head, tail) = rest.split_at_mut(len);
+                chunks.push(head);
+                rest = tail;
+                prev = offs[v + 1];
+            }
+            chunks.par_iter_mut().for_each(|c| c.sort_unstable());
+        }
+        CsrGraph::from_parts(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_dedups_and_symmetrizes() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(3, 1);
+        b.add_edge(1, 3);
+        b.add_edge(0, 1);
+        b.add_edge(2, 2); // dropped
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 3]);
+        assert_eq!(g.neighbors(3), &[1]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_extend() {
+        let mut b = GraphBuilder::new(5);
+        b.extend_edges((0..4).map(|i| (i, i + 1)));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_on_large_random_input() {
+        // Exercise the parallel sort path with > 2^14 edge records.
+        let n = 2000u32;
+        let mut b = GraphBuilder::new(n as usize);
+        let mut state = 0x12345678u64;
+        for _ in 0..40_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 16) % n as u64) as u32;
+            let v = ((state >> 40) % n as u64) as u32;
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Mesh generators: 2-D/3-D grids and the 2-D torus.
+//!
+//! [`grid2d`] is the paper's Figure 1 workload (a 1000×1000 square grid).
+//! Grids are emitted directly in CSR order, so construction is `O(n)` and
+//! allocation-light even at the million-vertex scale.
+
+use crate::csr::{CsrGraph, Vertex};
+use crate::GraphBuilder;
+
+/// `rows × cols` 2-D grid graph. Vertex `(r, c)` has id `r * cols + c` and is
+/// adjacent to its 4-neighborhood.
+///
+/// ```
+/// let g = mpx_graph::gen::grid2d(3, 4);
+/// assert_eq!(g.num_vertices(), 12);
+/// assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // rows*(cols-1) + (rows-1)*cols
+/// ```
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let n = rows * cols;
+    let m_directed = 2 * (rows * (cols - 1) + (rows - 1) * cols);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets = Vec::with_capacity(m_directed);
+    offsets.push(0usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as Vertex;
+            // Neighbors in ascending id order: up, left, right, down.
+            if r > 0 {
+                targets.push(id - cols as Vertex);
+            }
+            if c > 0 {
+                targets.push(id - 1);
+            }
+            if c + 1 < cols {
+                targets.push(id + 1);
+            }
+            if r + 1 < rows {
+                targets.push(id + cols as Vertex);
+            }
+            offsets.push(targets.len());
+        }
+    }
+    CsrGraph::from_parts(offsets, targets)
+}
+
+/// `x × y × z` 3-D grid graph with 6-neighborhoods.
+pub fn grid3d(x: usize, y: usize, z: usize) -> CsrGraph {
+    assert!(x > 0 && y > 0 && z > 0, "grid dimensions must be positive");
+    let n = x * y * z;
+    let id = |i: usize, j: usize, k: usize| -> Vertex { ((i * y + j) * z + k) as Vertex };
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                if i + 1 < x {
+                    b.add_edge(id(i, j, k), id(i + 1, j, k));
+                }
+                if j + 1 < y {
+                    b.add_edge(id(i, j, k), id(i, j + 1, k));
+                }
+                if k + 1 < z {
+                    b.add_edge(id(i, j, k), id(i, j, k + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` 2-D torus (grid with wraparound edges). Every vertex has
+/// degree 4 when both dimensions exceed 2.
+pub fn torus2d(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows > 0 && cols > 0, "torus dimensions must be positive");
+    let n = rows * cols;
+    let id = |r: usize, c: usize| -> Vertex { (r * cols + c) as Vertex };
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_structure() {
+        let g = grid2d(3, 3);
+        assert_eq!(g.num_vertices(), 9);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(4), 4); // center
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn grid2d_single_row_is_path() {
+        let g = grid2d(1, 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn grid2d_one_by_one() {
+        let g = grid2d(1, 1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn grid2d_matches_builder_construction() {
+        // Fast CSR path must agree with the generic builder.
+        let fast = grid2d(7, 11);
+        let mut b = GraphBuilder::new(77);
+        for r in 0..7u32 {
+            for c in 0..11u32 {
+                let id = r * 11 + c;
+                if c + 1 < 11 {
+                    b.add_edge(id, id + 1);
+                }
+                if r + 1 < 7 {
+                    b.add_edge(id, id + 11);
+                }
+            }
+        }
+        assert_eq!(fast, b.build());
+    }
+
+    #[test]
+    fn grid3d_structure() {
+        let g = grid3d(2, 3, 4);
+        assert_eq!(g.num_vertices(), 24);
+        // Edge count: (x-1)yz + x(y-1)z + xy(z-1) = 12 + 16 + 18 = 46.
+        assert_eq!(g.num_edges(), 46);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus2d(4, 5);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert_eq!(g.num_edges(), 2 * 20);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn small_torus_degenerates_gracefully() {
+        // 2x2 torus: wraparound edges coincide with grid edges.
+        let g = torus2d(2, 2);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,135 @@
+//! Stochastic block model (planted partition) generator.
+//!
+//! The natural "ground truth" workload for decomposition quality: `k`
+//! communities with dense intra-community and sparse inter-community
+//! edges. A good low-diameter decomposition should cut roughly the
+//! inter-community edges and little more.
+
+use crate::csr::{CsrGraph, Vertex};
+use crate::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Planted partition: `k` equal blocks over `n` vertices; each
+/// intra-block pair is an edge with probability `p_in`, each inter-block
+/// pair with probability `p_out`. Vertex `v` belongs to block `v % k`.
+///
+/// The pair stream is enumerated lazily with geometric skips over each
+/// probability class, but the class filter still walks all `O(n²)` pairs —
+/// intended for workloads up to `n ≈ 10⁴` (community-structure tests), not
+/// for million-vertex benchmarking.
+pub fn sbm(n: usize, k: usize, p_in: f64, p_out: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 1 && k <= n.max(1), "need 1 <= k <= n");
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Sample pairs with a two-phase skip: iterate blocks-of-pairs by
+    // probability class. Simpler: one pass over classes.
+    sample_class(&mut b, n, k, p_in, true, &mut rng);
+    sample_class(&mut b, n, k, p_out, false, &mut rng);
+    b.build()
+}
+
+/// Block id of a vertex under the canonical `v % k` layout.
+pub fn sbm_block(v: Vertex, k: usize) -> Vertex {
+    v % k as Vertex
+}
+
+fn sample_class(
+    b: &mut GraphBuilder,
+    n: usize,
+    k: usize,
+    p: f64,
+    intra: bool,
+    rng: &mut StdRng,
+) {
+    if p <= 0.0 || n < 2 {
+        return;
+    }
+    // Enumerate the pairs of the class lazily with geometric skips.
+    let pairs: Vec<(Vertex, Vertex)> = if p >= 1.0 {
+        class_pairs(n, k, intra).collect()
+    } else {
+        let log_q = (1.0 - p).ln();
+        let mut out = Vec::new();
+        let mut skip = sample_skip(rng, log_q);
+        for pair in class_pairs(n, k, intra) {
+            if skip == 0 {
+                out.push(pair);
+                skip = sample_skip(rng, log_q);
+            } else {
+                skip -= 1;
+            }
+        }
+        out
+    };
+    for (u, v) in pairs {
+        b.add_edge(u, v);
+    }
+}
+
+fn sample_skip(rng: &mut StdRng, log_q: f64) -> usize {
+    let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (r.ln() / log_q).floor() as usize
+}
+
+fn class_pairs(n: usize, k: usize, intra: bool) -> impl Iterator<Item = (Vertex, Vertex)> {
+    (0..n as Vertex).flat_map(move |u| {
+        ((u + 1)..n as Vertex)
+            .filter(move |&v| (u % k as Vertex == v % k as Vertex) == intra)
+            .map(move |v| (u, v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_structure_visible() {
+        let n = 300;
+        let k = 3;
+        let g = sbm(n, k, 0.2, 0.005, 7);
+        assert!(g.validate().is_ok());
+        let intra = g
+            .edges()
+            .filter(|&(u, v)| sbm_block(u, k) == sbm_block(v, k))
+            .count();
+        let inter = g.num_edges() - intra;
+        assert!(
+            intra > 5 * inter,
+            "expected dominant intra-block edges: {intra} vs {inter}"
+        );
+    }
+
+    #[test]
+    fn edge_counts_concentrate() {
+        let n = 400;
+        let k = 4;
+        let (p_in, p_out) = (0.1, 0.01);
+        let g = sbm(n, k, p_in, p_out, 3);
+        // Expected intra pairs: k * C(n/k, 2); inter: C(n,2) - that.
+        let intra_pairs = k * (n / k) * (n / k - 1) / 2;
+        let inter_pairs = n * (n - 1) / 2 - intra_pairs;
+        let expect = p_in * intra_pairs as f64 + p_out * inter_pairs as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expect).abs() < 6.0 * expect.sqrt(),
+            "edges {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(sbm(10, 1, 0.0, 0.0, 1).num_edges(), 0);
+        let complete_blocks = sbm(9, 3, 1.0, 0.0, 1);
+        assert_eq!(complete_blocks.num_edges(), 3 * 3); // 3 triangles
+        assert!(sbm(2, 2, 0.0, 1.0, 1).has_edge(0, 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(sbm(100, 4, 0.1, 0.01, 9), sbm(100, 4, 0.1, 0.01, 9));
+        assert_ne!(sbm(100, 4, 0.1, 0.01, 9), sbm(100, 4, 0.1, 0.01, 10));
+    }
+}

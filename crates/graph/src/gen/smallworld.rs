@@ -1,0 +1,71 @@
+//! Watts–Strogatz small-world generator.
+
+use crate::csr::{CsrGraph, Vertex};
+use crate::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz ring: `n` vertices on a cycle, each joined to its `k`
+/// nearest neighbours on each side, then every edge's far endpoint is
+/// rewired to a uniform random vertex with probability `p`.
+///
+/// `p = 0` gives a ring lattice (large diameter); small `p` gives the
+/// small-world regime (low diameter, high clustering) — a useful middle
+/// ground between meshes and random graphs for decomposition quality tables.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n");
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    for u in 0..n {
+        for off in 1..=k {
+            let v = (u + off) % n;
+            if rng.gen::<f64>() < p {
+                // Rewire: keep u, choose random target avoiding self-loop.
+                let mut t = rng.gen_range(0..n);
+                let mut guard = 0;
+                while t == u && guard < 16 {
+                    t = rng.gen_range(0..n);
+                    guard += 1;
+                }
+                if t != u {
+                    b.add_edge(u as Vertex, t as Vertex);
+                }
+            } else {
+                b.add_edge(u as Vertex, v as Vertex);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_rewiring_gives_ring_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 1);
+        assert_eq!(g.num_edges(), 40);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 19));
+        assert!(g.has_edge(0, 18));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn rewiring_changes_structure_but_keeps_simplicity() {
+        let g = watts_strogatz(200, 3, 0.3, 5);
+        assert!(g.validate().is_ok());
+        // Edge count can only shrink (dedup/rare self-loop skips).
+        assert!(g.num_edges() <= 600);
+        assert!(g.num_edges() > 500);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(50, 2, 0.2, 3), watts_strogatz(50, 2, 0.2, 3));
+    }
+}

@@ -1,0 +1,77 @@
+//! Tree generators. Trees are boundary cases for decompositions (`m = n-1`,
+//! every piece boundary is a single edge) and are the substrate for the
+//! low-stretch spanning tree application.
+
+use crate::csr::{CsrGraph, Vertex};
+use crate::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random recursive tree: vertex `i ≥ 1` attaches to a uniform
+/// random earlier vertex.
+pub fn random_tree(n: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        b.add_edge(parent as Vertex, i as Vertex);
+    }
+    b.build()
+}
+
+/// Complete `arity`-ary tree of the given `depth` (depth 0 = single root).
+pub fn balanced_tree(arity: usize, depth: u32) -> CsrGraph {
+    assert!(arity >= 1);
+    // n = (arity^(depth+1) - 1) / (arity - 1) for arity > 1, depth+1 for arity = 1.
+    let n: usize = if arity == 1 {
+        depth as usize + 1
+    } else {
+        (arity.pow(depth + 1) - 1) / (arity - 1)
+    };
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        let parent = (i - 1) / arity;
+        b.add_edge(parent as Vertex, i as Vertex);
+    }
+    b.build()
+}
+
+/// Complete binary tree with `depth` levels below the root.
+pub fn binary_tree(depth: u32) -> CsrGraph {
+    balanced_tree(2, depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_is_tree() {
+        let g = random_tree(100, 9);
+        assert_eq!(g.num_edges(), 99);
+        let dist = crate::algo::bfs(&g, 0);
+        assert!(dist.iter().all(|&d| d != crate::INFINITY), "tree connected");
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let g = balanced_tree(3, 2); // 1 + 3 + 9 = 13
+        assert_eq!(g.num_vertices(), 13);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn binary_tree_depth_zero() {
+        let g = binary_tree(0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn unary_tree_is_path() {
+        let g = balanced_tree(1, 4);
+        assert_eq!(g.num_vertices(), 5);
+        assert!(g.vertices().filter(|&v| g.degree(v) == 1).count() == 2);
+    }
+}

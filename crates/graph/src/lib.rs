@@ -1,0 +1,44 @@
+//! # mpx-graph — graph substrate for the MPX workspace
+//!
+//! This crate provides the graph representation and supporting machinery
+//! used by every other crate in the reproduction of Miller, Peng & Xu,
+//! *Parallel Graph Decompositions Using Random Shifts* (SPAA 2013):
+//!
+//! * [`CsrGraph`] — a compact, immutable, symmetric adjacency structure in
+//!   Compressed Sparse Row form. This is the unweighted, undirected graph
+//!   `G = (V, E)` of the paper.
+//! * [`WeightedCsrGraph`] — the weighted counterpart used by the paper's
+//!   Section 6 extension and by the Laplacian solver crate.
+//! * [`GraphBuilder`] — incremental edge-list construction with parallel
+//!   finalization (sort + dedup + CSR assembly via rayon).
+//! * [`gen`] — a suite of graph generators (grids, random graphs, power-law
+//!   graphs, trees, …) that provide every workload used in the paper's
+//!   Figure 1 and our experiment tables.
+//! * [`io`] — plain edge-list, DIMACS `.gr` and METIS readers/writers.
+//! * [`algo`] — sequential oracles (BFS, Dijkstra, connected components,
+//!   union-find, diameter estimation) used to verify the parallel code.
+//!
+//! Vertices are `u32` ids in `0..n`. All graphs are stored symmetrically:
+//! if `v` appears in `neighbors(u)` then `u` appears in `neighbors(v)`.
+//! Self-loops and parallel edges are removed at construction time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod properties;
+pub mod weighted;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, Vertex, NO_VERTEX};
+pub use weighted::{WeightedCsrGraph, WeightedGraphBuilder};
+
+/// Distance value used by unweighted BFS; `u32::MAX` means unreachable.
+pub type Dist = u32;
+
+/// Sentinel distance for unreachable vertices.
+pub const INFINITY: Dist = u32::MAX;

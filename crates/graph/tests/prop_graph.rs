@@ -1,0 +1,146 @@
+//! Property-based tests of the graph substrate.
+
+use mpx_graph::{algo, CsrGraph, GraphBuilder, Vertex, WeightedCsrGraph, INFINITY};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(Vertex, Vertex)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as Vertex, 0..n as Vertex), 0..max_m)
+            .prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any edge list builds a valid, symmetric, deduplicated CSR graph.
+    #[test]
+    fn builder_always_produces_valid_csr((n, edges) in arb_edges(80, 300)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        prop_assert!(g.validate().is_ok());
+        // Edge count equals the number of distinct non-loop pairs.
+        let mut canon: Vec<(Vertex, Vertex)> = edges
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+        prop_assert_eq!(g.num_edges(), canon.len());
+    }
+
+    /// Building is idempotent: re-feeding a graph's own edges reproduces it.
+    #[test]
+    fn build_roundtrip((n, edges) in arb_edges(60, 200)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let edges2: Vec<_> = g.edges().collect();
+        let h = CsrGraph::from_edges(n, &edges2);
+        prop_assert_eq!(g, h);
+    }
+
+    /// Incremental builder equals batch construction.
+    #[test]
+    fn incremental_builder_matches((n, edges) in arb_edges(60, 200)) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        prop_assert_eq!(b.build(), CsrGraph::from_edges(n, &edges));
+    }
+
+    /// BFS distances satisfy the triangle property along edges and the
+    /// frontier property (neighbors differ by at most 1).
+    #[test]
+    fn bfs_distance_consistency((n, edges) in arb_edges(60, 200)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let d = algo::bfs(&g, 0);
+        prop_assert_eq!(d[0], 0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            match (du, dv) {
+                (INFINITY, INFINITY) => {}
+                (INFINITY, _) | (_, INFINITY) => {
+                    prop_assert!(false, "edge ({},{}) half-reachable", u, v)
+                }
+                (a, b) => prop_assert!(a.abs_diff(b) <= 1),
+            }
+        }
+    }
+
+    /// Dijkstra on unit weights equals BFS.
+    #[test]
+    fn dijkstra_equals_bfs_on_unit_weights((n, edges) in arb_edges(50, 150)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let wg = WeightedCsrGraph::unit_weights(&g);
+        let bd = algo::bfs(&g, 0);
+        let dd = algo::dijkstra(&wg, 0);
+        for v in 0..n {
+            if bd[v] == INFINITY {
+                prop_assert!(dd[v].is_infinite());
+            } else {
+                prop_assert_eq!(bd[v] as f64, dd[v]);
+            }
+        }
+    }
+
+    /// Components found by BFS labeling match union-find.
+    #[test]
+    fn components_match_union_find((n, edges) in arb_edges(80, 200)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let (labels, k) = algo::connected_components(&g);
+        let mut uf = algo::UnionFind::new(n);
+        for (u, v) in g.edges() {
+            uf.union(u, v);
+        }
+        prop_assert_eq!(k, uf.num_sets());
+        for (u, v) in g.edges() {
+            prop_assert_eq!(labels[u as usize], labels[v as usize]);
+        }
+    }
+
+    /// Contraction preserves the total edge mass: intra + cut = m, and the
+    /// quotient has no more vertices than clusters.
+    #[test]
+    fn contraction_conserves_edges((n, edges) in arb_edges(60, 200), k in 1usize..10) {
+        let g = CsrGraph::from_edges(n, &edges);
+        // Arbitrary labeling into k blocks.
+        let label: Vec<Vertex> = (0..n).map(|v| (v % k) as Vertex).collect();
+        let (q, cut) = g.contract(&label, k);
+        let intra = g
+            .edges()
+            .filter(|&(u, v)| label[u as usize] == label[v as usize])
+            .count();
+        prop_assert_eq!(intra + cut, g.num_edges());
+        prop_assert!(q.num_vertices() == k);
+        prop_assert!(q.num_edges() <= cut);
+    }
+
+    /// Induced subgraphs keep exactly the edges among kept vertices.
+    #[test]
+    fn induced_subgraph_edge_set((n, edges) in arb_edges(50, 150), mask_seed in 0u64..1000) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let keep: Vec<bool> = (0..n)
+            .map(|v| (mask_seed.wrapping_mul(v as u64 + 7) % 3) != 0)
+            .collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        prop_assert!(sub.validate().is_ok());
+        let expected = g
+            .edges()
+            .filter(|&(u, v)| keep[u as usize] && keep[v as usize])
+            .count();
+        prop_assert_eq!(sub.num_edges(), expected);
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(map[a as usize], map[b as usize]));
+        }
+    }
+
+    /// Eccentricity estimate (double sweep) is a valid lower bound of the
+    /// exact diameter, and exact ≥ estimate always.
+    #[test]
+    fn diameter_estimate_is_lower_bound((n, edges) in arb_edges(40, 120)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let est = algo::estimate_diameter(&g, 0);
+        let exact = algo::exact_diameter(&g);
+        prop_assert!(est <= exact);
+    }
+}

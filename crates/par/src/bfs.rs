@@ -1,0 +1,192 @@
+//! Level-synchronous parallel BFS with CAS claims.
+//!
+//! This is the frontier-based parallel breadth-first search the paper uses
+//! as its workhorse (step 3 of Algorithm 1, with the cited `O(Δ log n)`
+//! depth / `O(m)` work bounds of Klein–Subramanian \[18\] and the practical
+//! engineering of Leiserson–Schardl \[21\] and Beamer et al. \[8\]).
+//!
+//! Each round expands the current frontier in parallel; a vertex is claimed
+//! by the first thread to CAS its distance slot from `INFINITY` to the new
+//! level, which guarantees every vertex enters the next frontier exactly
+//! once. Distances are therefore deterministic; parent choices among
+//! same-level claimants depend on the race winner unless the caller needs
+//! determinism (the decomposition crate layers deterministic tie-break keys
+//! on top of the same pattern).
+
+use crate::telemetry::Telemetry;
+use mpx_graph::{CsrGraph, Dist, Vertex, INFINITY, NO_VERTEX};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Below this many frontier edge-scans a round is processed sequentially —
+/// rayon's per-round fan-out/collect overhead (~1 ms) otherwise dominates
+/// thin-frontier (mesh-like) searches by orders of magnitude.
+pub const SEQ_ROUND_CUTOFF: u64 = 8192;
+
+/// Output of a parallel BFS run.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// Distance from the nearest source (`INFINITY` if unreachable).
+    pub dist: Vec<Dist>,
+    /// BFS-tree parent (`NO_VERTEX` for sources and unreachable vertices).
+    /// Among equal-level claimants the parent is an arbitrary valid one.
+    pub parent: Vec<Vertex>,
+    /// Number of level-synchronous rounds executed (depth proxy).
+    pub rounds: u64,
+    /// Number of directed edges inspected (work proxy).
+    pub relaxations: u64,
+}
+
+/// Single-source parallel BFS distances.
+pub fn par_bfs_from(g: &CsrGraph, source: Vertex) -> Vec<Dist> {
+    par_bfs(g, &[source])
+}
+
+/// Multi-source parallel BFS distances (distance to nearest source).
+pub fn par_bfs(g: &CsrGraph, sources: &[Vertex]) -> Vec<Dist> {
+    par_bfs_parents(g, sources).dist
+}
+
+/// Multi-source parallel BFS with parents and telemetry.
+pub fn par_bfs_parents(g: &CsrGraph, sources: &[Vertex]) -> BfsResult {
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INFINITY)).collect();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
+
+    let mut frontier: Vec<Vertex> = Vec::with_capacity(sources.len());
+    for &s in sources {
+        if dist[s as usize]
+            .compare_exchange(INFINITY, 0, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            frontier.push(s);
+        }
+    }
+
+    let telemetry = Telemetry::new();
+    // Shadow as shared references so the `move` closures below capture
+    // cheap copies of the references rather than the vectors themselves.
+    let (dist_ref, parent_ref) = (&dist, &parent);
+    let mut level: Dist = 0;
+    while !frontier.is_empty() {
+        telemetry.add_round();
+        let scanned: u64 = frontier.iter().map(|&u| g.degree(u) as u64).sum();
+        telemetry.add_relaxations(scanned);
+        let next_level = level + 1;
+        let claim = |u: Vertex, v: Vertex| -> bool {
+            dist_ref[v as usize].load(Ordering::Relaxed) == INFINITY
+                && dist_ref[v as usize]
+                    .compare_exchange(INFINITY, next_level, Ordering::Relaxed, Ordering::Relaxed)
+                    .map(|_| parent_ref[v as usize].store(u, Ordering::Relaxed))
+                    .is_ok()
+        };
+        // Thin frontiers (high-diameter graphs run many rounds of them) are
+        // processed inline: the per-round cost of a parallel collect dwarfs
+        // the work itself. The claim logic is identical either way.
+        let next: Vec<Vertex> = if scanned < SEQ_ROUND_CUTOFF {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in g.neighbors(u) {
+                    if claim(u, v) {
+                        next.push(v);
+                    }
+                }
+            }
+            next
+        } else {
+            let claim = &claim;
+            frontier
+                .par_iter()
+                .with_min_len(128)
+                .flat_map_iter(|&u| g.neighbors(u).iter().copied().filter(move |&v| claim(u, v)))
+                .collect()
+        };
+        telemetry.add_claims(next.len() as u64);
+        frontier = next;
+        level = next_level;
+    }
+
+    BfsResult {
+        dist: dist.into_iter().map(|d| d.into_inner()).collect(),
+        parent: parent.into_iter().map(|p| p.into_inner()).collect(),
+        rounds: telemetry.rounds(),
+        relaxations: telemetry.relaxations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_graph::{algo, gen};
+
+    #[test]
+    fn matches_sequential_on_grid() {
+        let g = gen::grid2d(20, 30);
+        let seq = algo::bfs(&g, 7);
+        let par = par_bfs_from(&g, 7);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn matches_sequential_on_rmat() {
+        let g = gen::rmat(10, 8 << 10, 0.57, 0.19, 0.19, 3);
+        let seq = algo::bfs(&g, 0);
+        let par = par_bfs_from(&g, 0);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn multi_source_matches_sequential() {
+        let g = gen::grid2d(15, 15);
+        let sources = [0, 224, 112];
+        assert_eq!(algo::multi_source_bfs(&g, &sources), par_bfs(&g, &sources));
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        let d = par_bfs_from(&g, 0);
+        assert_eq!(d[4], INFINITY);
+        assert_eq!(d[2], INFINITY);
+        assert_eq!(d[1], 1);
+    }
+
+    #[test]
+    fn parents_are_consistent() {
+        let g = gen::gnm(500, 1500, 5);
+        let r = par_bfs_parents(&g, &[0]);
+        for v in 0..500u32 {
+            if r.dist[v as usize] == INFINITY || r.dist[v as usize] == 0 {
+                assert_eq!(r.parent[v as usize], NO_VERTEX);
+            } else {
+                let p = r.parent[v as usize];
+                assert!(g.has_edge(p, v));
+                assert_eq!(r.dist[p as usize] + 1, r.dist[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_equal_eccentricity_plus_one() {
+        let g = gen::path(10);
+        let r = par_bfs_parents(&g, &[0]);
+        // 10 frontiers: levels 0..=9.
+        assert_eq!(r.rounds, 10);
+    }
+
+    #[test]
+    fn relaxations_bounded_by_arcs() {
+        let g = gen::grid2d(30, 30);
+        let r = par_bfs_parents(&g, &[0]);
+        assert_eq!(r.relaxations, g.num_arcs() as u64); // connected: every arc scanned once
+    }
+
+    #[test]
+    fn duplicate_sources_are_deduplicated() {
+        let g = gen::path(4);
+        let d = par_bfs(&g, &[2, 2, 2]);
+        assert_eq!(d, vec![2, 1, 0, 1]);
+    }
+
+    use mpx_graph::CsrGraph;
+}

@@ -1,0 +1,124 @@
+//! Lock-free atomic bitset.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size bitset whose bits can be set concurrently without locks.
+///
+/// Used for visited sets and frontier deduplication in the parallel BFS:
+/// [`AtomicBitset::test_and_set`] returns whether the calling thread was the
+/// *first* to set the bit, which is exactly the "claim" primitive a
+/// CAS-based BFS needs.
+#[derive(Debug)]
+pub struct AtomicBitset {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitset {
+    /// All-zero bitset with `len` bits.
+    pub fn new(len: usize) -> Self {
+        let words = (0..(len + 63) / 64).map(|_| AtomicU64::new(0)).collect();
+        AtomicBitset { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitset has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let word = self.words[i / 64].load(Ordering::Relaxed);
+        word >> (i % 64) & 1 == 1
+    }
+
+    /// Atomically sets bit `i`, returning `true` iff this call changed it
+    /// from 0 to 1 (i.e. the caller won the claim).
+    #[inline]
+    pub fn test_and_set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        let prev = self.words[i / 64].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        debug_assert!(i < self.len);
+        let mask = !(1u64 << (i % 64));
+        self.words[i / 64].fetch_and(mask, Ordering::Relaxed);
+    }
+
+    /// Clears every bit (not atomic with respect to concurrent setters).
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn set_get_clear() {
+        let bs = AtomicBitset::new(130);
+        assert!(!bs.get(0));
+        assert!(bs.test_and_set(0));
+        assert!(!bs.test_and_set(0)); // second claim loses
+        assert!(bs.get(0));
+        assert!(bs.test_and_set(129));
+        assert!(bs.get(129));
+        bs.clear(129);
+        assert!(!bs.get(129));
+        assert_eq!(bs.count_ones(), 1);
+    }
+
+    #[test]
+    fn clear_all() {
+        let bs = AtomicBitset::new(200);
+        for i in (0..200).step_by(3) {
+            bs.test_and_set(i);
+        }
+        assert!(bs.count_ones() > 0);
+        bs.clear_all();
+        assert_eq!(bs.count_ones(), 0);
+    }
+
+    #[test]
+    fn concurrent_claims_have_exactly_one_winner_per_bit() {
+        let bs = AtomicBitset::new(1024);
+        // 64 claimants per bit; count total wins.
+        let wins: usize = (0..1024 * 64)
+            .into_par_iter()
+            .map(|i| usize::from(bs.test_and_set(i % 1024)))
+            .sum();
+        assert_eq!(wins, 1024);
+        assert_eq!(bs.count_ones(), 1024);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let bs = AtomicBitset::new(0);
+        assert!(bs.is_empty());
+        assert_eq!(bs.count_ones(), 0);
+    }
+}

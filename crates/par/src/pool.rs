@@ -1,0 +1,63 @@
+//! Scoped thread-pool control.
+//!
+//! Thread-scaling experiments (table T7) need to run the same algorithm
+//! under different worker counts without poisoning the global rayon pool.
+//! [`with_threads`] builds a dedicated pool, runs the closure inside it, and
+//! tears it down.
+
+/// Runs `f` on a fresh rayon pool with exactly `threads` workers. All rayon
+/// parallelism inside `f` (parallel iterators, joins, scopes) uses that
+/// pool.
+///
+/// ```
+/// let sum: u64 = mpx_par::with_threads(2, || {
+///     use rayon::prelude::*;
+///     (0..1000u64).into_par_iter().sum()
+/// });
+/// assert_eq!(sum, 499_500);
+/// ```
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    assert!(threads >= 1, "need at least one thread");
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+/// Number of logical CPUs rayon would use by default.
+pub fn default_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_requested_threads() {
+        let inside = with_threads(3, rayon::current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let v: Vec<i32> = with_threads(1, || {
+            use rayon::prelude::*;
+            (0..100).into_par_iter().map(|x| x * 2).collect()
+        });
+        assert_eq!(v.len(), 100);
+        assert_eq!(v[99], 198);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |t| {
+            with_threads(t, || {
+                use rayon::prelude::*;
+                (0..10_000u64).into_par_iter().map(|x| x * x % 7919).sum::<u64>()
+            })
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

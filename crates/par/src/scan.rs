@@ -1,0 +1,124 @@
+//! Prefix sums (scans).
+//!
+//! Exclusive scans are the classic PRAM compaction primitive; the parallel
+//! version here is the two-pass block algorithm: per-block sums, a small
+//! sequential scan over block totals, then a per-block local scan with the
+//! block offset added.
+
+use rayon::prelude::*;
+
+/// Sequential exclusive prefix sum: `out[i] = sum(input[0..i])`. Returns the
+/// total.
+pub fn exclusive_scan_seq(input: &[usize], out: &mut [usize]) -> usize {
+    assert_eq!(input.len(), out.len());
+    let mut acc = 0usize;
+    for (o, &x) in out.iter_mut().zip(input) {
+        *o = acc;
+        acc += x;
+    }
+    acc
+}
+
+/// Parallel exclusive prefix sum. Returns the total.
+///
+/// Falls back to the sequential version for small inputs where the two-pass
+/// overhead is not worth it.
+pub fn exclusive_scan(input: &[usize], out: &mut [usize]) -> usize {
+    assert_eq!(input.len(), out.len());
+    const BLOCK: usize = 1 << 14;
+    if input.len() <= BLOCK {
+        return exclusive_scan_seq(input, out);
+    }
+    let nblocks = (input.len() + BLOCK - 1) / BLOCK;
+    // Pass 1: per-block sums.
+    let mut block_sums: Vec<usize> = input
+        .par_chunks(BLOCK)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    // Small sequential scan over the block sums.
+    let mut total = 0usize;
+    for b in block_sums.iter_mut() {
+        let s = *b;
+        *b = total;
+        total += s;
+    }
+    // Pass 2: local scans with block offsets.
+    out.par_chunks_mut(BLOCK)
+        .zip(input.par_chunks(BLOCK))
+        .enumerate()
+        .for_each(|(bi, (oc, ic))| {
+            let mut acc = block_sums[bi];
+            for (o, &x) in oc.iter_mut().zip(ic) {
+                *o = acc;
+                acc += x;
+            }
+        });
+    let _ = nblocks;
+    total
+}
+
+/// Parallel compaction: returns the indices `i` where `keep[i]` is true, in
+/// ascending order. Equivalent to `(0..n).filter(|i| keep[i]).collect()` but
+/// parallel, via an exclusive scan over 0/1 flags.
+pub fn compact_indices(keep: &[bool]) -> Vec<u32> {
+    let flags: Vec<usize> = keep.par_iter().map(|&k| usize::from(k)).collect();
+    let mut offsets = vec![0usize; flags.len()];
+    let total = exclusive_scan(&flags, &mut offsets);
+    let mut out = vec![0u32; total];
+    // Scatter in parallel: each kept index knows its unique slot.
+    let slots: Vec<(usize, u32)> = keep
+        .par_iter()
+        .enumerate()
+        .filter_map(|(i, &k)| if k { Some((offsets[i], i as u32)) } else { None })
+        .collect();
+    for (slot, v) in slots {
+        out[slot] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_small() {
+        let input = [1usize, 2, 3, 4];
+        let mut out = [0usize; 4];
+        let total = exclusive_scan(&input, &mut out);
+        assert_eq!(out, [0, 1, 3, 6]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scan_empty() {
+        let mut out: [usize; 0] = [];
+        assert_eq!(exclusive_scan(&[], &mut out), 0);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_on_large_input() {
+        let n = 100_000;
+        let input: Vec<usize> = (0..n).map(|i| (i * 2654435761) % 7).collect();
+        let mut seq = vec![0usize; n];
+        let mut par = vec![0usize; n];
+        let t1 = exclusive_scan_seq(&input, &mut seq);
+        let t2 = exclusive_scan(&input, &mut par);
+        assert_eq!(t1, t2);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn compaction_basic() {
+        let keep = [true, false, true, true, false];
+        assert_eq!(compact_indices(&keep), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn compaction_large_matches_filter() {
+        let n = 50_000;
+        let keep: Vec<bool> = (0..n).map(|i| (i * 7 + 1) % 3 == 0).collect();
+        let expect: Vec<u32> = (0..n as u32).filter(|&i| keep[i as usize]).collect();
+        assert_eq!(compact_indices(&keep), expect);
+    }
+}

@@ -1,0 +1,119 @@
+//! Work/depth telemetry counters.
+//!
+//! The paper states PRAM bounds: `O(log² n / β)` depth and `O(m)` work
+//! (Theorem 1.2). On a real machine we can't observe PRAM depth directly, so
+//! the experiment harness records proxies:
+//!
+//! * **rounds** — number of level-synchronous BFS rounds executed. One round
+//!   is `O(log n)` PRAM depth, so `rounds × log n` tracks the depth bound.
+//! * **relaxations** — number of directed edge inspections. This tracks the
+//!   `O(m)` work bound.
+//!
+//! Counters are cache-padded atomics so that heavy parallel incrementing
+//! does not false-share, and increments are batched per frontier chunk (not
+//! per edge) in hot loops.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Work/depth proxy counters for one algorithm execution.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    rounds: CachePadded<AtomicU64>,
+    relaxations: CachePadded<AtomicU64>,
+    claims: CachePadded<AtomicU64>,
+}
+
+impl Telemetry {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one level-synchronous round (depth proxy).
+    #[inline]
+    pub fn add_round(&self) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `k` edge inspections (work proxy). Call once per chunk, not
+    /// per edge.
+    #[inline]
+    pub fn add_relaxations(&self, k: u64) {
+        self.relaxations.fetch_add(k, Ordering::Relaxed);
+    }
+
+    /// Records `k` successful vertex claims.
+    #[inline]
+    pub fn add_claims(&self, k: u64) {
+        self.claims.fetch_add(k, Ordering::Relaxed);
+    }
+
+    /// Number of rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Number of edge inspections recorded.
+    pub fn relaxations(&self) -> u64 {
+        self.relaxations.load(Ordering::Relaxed)
+    }
+
+    /// Number of vertex claims recorded.
+    pub fn claims(&self) -> u64 {
+        self.claims.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.rounds.store(0, Ordering::Relaxed);
+        self.relaxations.store(0, Ordering::Relaxed);
+        self.claims.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Display for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} relaxations={} claims={}",
+            self.rounds(),
+            self.relaxations(),
+            self.claims()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Telemetry::new();
+        t.add_round();
+        t.add_round();
+        t.add_relaxations(10);
+        t.add_claims(3);
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.relaxations(), 10);
+        assert_eq!(t.claims(), 3);
+        t.reset();
+        assert_eq!(t.rounds(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let t = Telemetry::new();
+        (0..10_000).into_par_iter().for_each(|_| t.add_relaxations(2));
+        assert_eq!(t.relaxations(), 20_000);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Telemetry::new();
+        t.add_round();
+        assert_eq!(format!("{t}"), "rounds=1 relaxations=0 claims=0");
+    }
+}

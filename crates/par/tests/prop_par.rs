@@ -1,0 +1,84 @@
+//! Property-based tests of the parallel primitives.
+
+use mpx_graph::{algo, CsrGraph, Vertex};
+use mpx_par::scan::{compact_indices, exclusive_scan, exclusive_scan_seq};
+use mpx_par::{par_bfs, par_bfs_parents, with_threads, AtomicBitset};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel scan equals sequential scan on any input.
+    #[test]
+    fn scan_equivalence(input in proptest::collection::vec(0usize..100, 0..2000)) {
+        let mut a = vec![0usize; input.len()];
+        let mut b = vec![0usize; input.len()];
+        let ta = exclusive_scan_seq(&input, &mut a);
+        let tb = exclusive_scan(&input, &mut b);
+        prop_assert_eq!(ta, tb);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Compaction equals the sequential filter.
+    #[test]
+    fn compaction_equivalence(keep in proptest::collection::vec(any::<bool>(), 0..2000)) {
+        let expect: Vec<u32> = (0..keep.len() as u32).filter(|&i| keep[i as usize]).collect();
+        prop_assert_eq!(compact_indices(&keep), expect);
+    }
+
+    /// Bitset counts set bits exactly under arbitrary set sequences.
+    #[test]
+    fn bitset_counts(ops in proptest::collection::vec(0usize..500, 0..400)) {
+        let bs = AtomicBitset::new(500);
+        let mut reference = std::collections::HashSet::new();
+        for &i in &ops {
+            let won = bs.test_and_set(i);
+            prop_assert_eq!(won, reference.insert(i));
+        }
+        prop_assert_eq!(bs.count_ones(), reference.len());
+        for i in 0..500 {
+            prop_assert_eq!(bs.get(i), reference.contains(&i));
+        }
+    }
+
+    /// Parallel BFS equals sequential BFS on arbitrary graphs and source
+    /// sets, under any thread count.
+    #[test]
+    fn par_bfs_equals_sequential(
+        n in 2usize..80,
+        edges in proptest::collection::vec((0u32..80, 0u32..80), 0..200),
+        sources in proptest::collection::vec(0u32..80, 1..4),
+        threads in 1usize..5,
+    ) {
+        let edges: Vec<(Vertex, Vertex)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let sources: Vec<Vertex> = sources.into_iter().map(|s| s % n as u32).collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        let seq = algo::multi_source_bfs(&g, &sources);
+        let par = with_threads(threads, || par_bfs(&g, &sources));
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Parallel BFS parents always form a valid shortest-path forest.
+    #[test]
+    fn par_bfs_parents_valid(
+        n in 2usize..60,
+        edges in proptest::collection::vec((0u32..60, 0u32..60), 0..150),
+    ) {
+        let edges: Vec<(Vertex, Vertex)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        let r = par_bfs_parents(&g, &[0]);
+        for v in 0..n as Vertex {
+            if r.dist[v as usize] != mpx_graph::INFINITY && r.dist[v as usize] > 0 {
+                let p = r.parent[v as usize];
+                prop_assert!(g.has_edge(p, v));
+                prop_assert_eq!(r.dist[p as usize] + 1, r.dist[v as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # mpx-solver — SDD/Laplacian solver substrate
+//!
+//! The paper's headline motivation is parallel solvers for SDD linear
+//! systems \[9, 11, 14\]: low-diameter decompositions beget low-stretch
+//! spanning trees, which beget preconditioners. This crate implements the
+//! downstream pipeline so the workspace can demonstrate the application
+//! end to end:
+//!
+//! * [`Laplacian`] — the graph Laplacian `L = D − A` as a matrix-free
+//!   operator over a weighted graph (parallel `apply`).
+//! * [`pcg`] — preconditioned conjugate gradients on the Laplacian's range
+//!   (the all-ones nullspace is projected out).
+//! * [`precond`] — three preconditioners: identity (plain CG),
+//!   [`precond::Jacobi`] (diagonal), and [`precond::TreeSolver`] — an exact
+//!   `O(n)` solver for spanning-tree Laplacians by subtree-flow
+//!   elimination, fed with the low-stretch trees from `mpx-apps`.
+//! * [`problems`] — Poisson-style test systems on grids and expanders.
+//!
+//! Experiment table T11 compares iteration counts of CG vs Jacobi-PCG vs
+//! tree-PCG (with BFS trees and with AKPW/MPX low-stretch trees).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod laplacian;
+pub mod precond;
+pub mod problems;
+
+pub use cg::{pcg, CgResult};
+pub use laplacian::Laplacian;
+pub use precond::{Identity, Jacobi, Preconditioner, TreeSolver};

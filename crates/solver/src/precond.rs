@@ -1,0 +1,256 @@
+//! Preconditioners for the Laplacian PCG, including the spanning-tree
+//! solver that the low-stretch-tree pipeline feeds.
+
+use mpx_graph::{Vertex, WeightedCsrGraph, NO_VERTEX};
+
+/// A linear operator `M⁻¹` applied to residuals inside PCG. Implementations
+/// must be symmetric positive (semi)definite on the mean-zero subspace.
+pub trait Preconditioner {
+    /// `z = M⁻¹ r`.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// No preconditioning: plain conjugate gradients.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Identity;
+
+impl Preconditioner for Identity {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner: `M = diag(L)`.
+#[derive(Clone, Debug)]
+pub struct Jacobi {
+    inv_diag: Vec<f64>,
+}
+
+impl Jacobi {
+    /// Builds from the Laplacian diagonal (weighted degrees). Isolated
+    /// vertices get passthrough scaling.
+    pub fn new(diagonal: &[f64]) -> Self {
+        Jacobi {
+            inv_diag: diagonal
+                .iter()
+                .map(|&d| if d > 0.0 { 1.0 / d } else { 1.0 })
+                .collect(),
+        }
+    }
+}
+
+impl Preconditioner for Jacobi {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+/// Exact `O(n)` solver for a spanning-tree Laplacian — the preconditioner
+/// at the heart of SDD solvers \[9\]: `M = L_T` for a spanning tree `T ⊆ G`.
+///
+/// Solving `L_T z = r` (with `Σr = 0` per component) is subtree-flow
+/// elimination: orient edges toward a root; the flow on edge `(v, parent)`
+/// must equal the sum of `r` over `v`'s subtree (current conservation), so
+/// potentials follow by one downward sweep of
+/// `z_v = z_parent + flow_v / w_v`. Results are normalized to mean zero per
+/// component.
+#[derive(Clone, Debug)]
+pub struct TreeSolver {
+    parent: Vec<Vertex>,
+    parent_weight: Vec<f64>,
+    /// Vertices in BFS order from the roots (parents precede children).
+    order: Vec<Vertex>,
+    /// Component id per vertex, and members per component (for de-meaning).
+    component: Vec<u32>,
+    comp_sizes: Vec<usize>,
+}
+
+impl TreeSolver {
+    /// Builds the solver from spanning-forest edges over `n` vertices,
+    /// taking edge weights from `g` (the tree edges must exist in `g`).
+    pub fn new(g: &WeightedCsrGraph, tree_edges: &[(Vertex, Vertex)]) -> Self {
+        let n = g.num_vertices();
+        // Forest adjacency with weights.
+        let mut adj: Vec<Vec<(Vertex, f64)>> = vec![Vec::new(); n];
+        for &(u, v) in tree_edges {
+            let w = g
+                .edge_weight(u, v)
+                .unwrap_or_else(|| panic!("tree edge ({u},{v}) not in graph"));
+            adj[u as usize].push((v, w));
+            adj[v as usize].push((u, w));
+        }
+        let mut parent = vec![NO_VERTEX; n];
+        let mut parent_weight = vec![0.0; n];
+        let mut component = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        let mut comp_sizes = Vec::new();
+        for root in 0..n as Vertex {
+            if component[root as usize] != u32::MAX {
+                continue;
+            }
+            let comp = comp_sizes.len() as u32;
+            let mut size = 0usize;
+            let mut queue = std::collections::VecDeque::new();
+            component[root as usize] = comp;
+            queue.push_back(root);
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                size += 1;
+                for &(w, wt) in &adj[v as usize] {
+                    if component[w as usize] == u32::MAX {
+                        component[w as usize] = comp;
+                        parent[w as usize] = v;
+                        parent_weight[w as usize] = wt;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            comp_sizes.push(size);
+        }
+        TreeSolver {
+            parent,
+            parent_weight,
+            order,
+            component,
+            comp_sizes,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+}
+
+impl Preconditioner for TreeSolver {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(r.len(), n);
+        assert_eq!(z.len(), n);
+        // Project r to mean zero per component (the solvable subspace).
+        let k = self.comp_sizes.len();
+        let mut comp_sum = vec![0.0; k];
+        for v in 0..n {
+            comp_sum[self.component[v] as usize] += r[v];
+        }
+        let comp_mean: Vec<f64> = comp_sum
+            .iter()
+            .zip(&self.comp_sizes)
+            .map(|(&s, &c)| s / c as f64)
+            .collect();
+        // Upward sweep (children before parents): subtree flows.
+        let mut flow: Vec<f64> = (0..n)
+            .map(|v| r[v] - comp_mean[self.component[v] as usize])
+            .collect();
+        for &v in self.order.iter().rev() {
+            let p = self.parent[v as usize];
+            if p != NO_VERTEX {
+                flow[p as usize] += flow[v as usize];
+            }
+        }
+        // Downward sweep (parents before children): potentials.
+        for &v in &self.order {
+            let p = self.parent[v as usize];
+            z[v as usize] = if p == NO_VERTEX {
+                0.0
+            } else {
+                z[p as usize] + flow[v as usize] / self.parent_weight[v as usize]
+            };
+        }
+        // De-mean per component (fix the nullspace representative).
+        let mut zsum = vec![0.0; k];
+        for v in 0..n {
+            zsum[self.component[v] as usize] += z[v];
+        }
+        for v in 0..n {
+            let c = self.component[v] as usize;
+            z[v] -= zsum[c] / self.comp_sizes[c] as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// L_T z = r must be solved exactly: generate a random mean-zero
+    /// potential z₀, compute r = L_T z₀, solve, and compare.
+    #[test]
+    fn tree_solver_is_exact_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..5 {
+            let t = gen::random_tree(80, trial);
+            let wg = WeightedCsrGraph::from_edges(
+                80,
+                &t.edges().map(|(u, v)| (u, v, rng.gen_range(0.5..3.0))).collect::<Vec<_>>(),
+            );
+            let lap = crate::Laplacian::new(wg.clone());
+            let edges: Vec<_> = wg.edges().map(|(u, v, _)| (u, v)).collect();
+            let solver = TreeSolver::new(&wg, &edges);
+
+            let mut z0: Vec<f64> = (0..80).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mean = z0.iter().sum::<f64>() / 80.0;
+            z0.iter_mut().for_each(|x| *x -= mean);
+            let mut r = vec![0.0; 80];
+            lap.apply(&z0, &mut r);
+
+            let mut z = vec![0.0; 80];
+            solver.apply(&r, &mut z);
+            for v in 0..80 {
+                assert!(
+                    (z[v] - z0[v]).abs() < 1e-9,
+                    "trial {trial} vertex {v}: {} vs {}",
+                    z[v],
+                    z0[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_solver_handles_forests() {
+        // Two disjoint paths.
+        let wg = WeightedCsrGraph::from_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 2.0), (4, 5, 2.0)],
+        );
+        let solver = TreeSolver::new(&wg, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let lap = crate::Laplacian::new(wg);
+        // Mean-zero r per component.
+        let r = vec![1.0, 0.0, -1.0, 2.0, -1.0, -1.0];
+        let mut z = vec![0.0; 6];
+        solver.apply(&r, &mut z);
+        let mut back = vec![0.0; 6];
+        lap.apply(&z, &mut back);
+        for v in 0..6 {
+            assert!((back[v] - r[v]).abs() < 1e-9, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn jacobi_inverts_diagonal() {
+        let j = Jacobi::new(&[2.0, 4.0, 0.0]);
+        let mut z = vec![0.0; 3];
+        j.apply(&[2.0, 2.0, 7.0], &mut z);
+        assert_eq!(z, vec![1.0, 0.5, 7.0]);
+    }
+
+    #[test]
+    fn identity_copies() {
+        let mut z = vec![0.0; 3];
+        Identity.apply(&[1.0, 2.0, 3.0], &mut z);
+        assert_eq!(z, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tree_solver_rejects_non_graph_edges() {
+        let wg = WeightedCsrGraph::from_edges(3, &[(0, 1, 1.0)]);
+        let _ = TreeSolver::new(&wg, &[(0, 2)]);
+    }
+}

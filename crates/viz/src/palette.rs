@@ -1,0 +1,73 @@
+//! Distinct cluster colors.
+//!
+//! Clusters are colored by hashing the cluster id onto the hue circle with
+//! the golden-ratio increment — neighbours in id space land far apart in
+//! hue, which is what makes the Figure 1 mosaics readable.
+
+/// Deterministic, well-separated RGB color for a cluster id.
+pub fn color_of_cluster(cluster: u32) -> [u8; 3] {
+    // Golden-ratio hue walk, two saturation/value bands for extra contrast.
+    let hue = (cluster as f64 * 0.618_033_988_749_895).fract();
+    let (sat, val) = if cluster % 2 == 0 { (0.65, 0.95) } else { (0.85, 0.75) };
+    hsv_to_rgb(hue, sat, val)
+}
+
+/// Converts HSV (all components in `[0, 1]`) to RGB bytes.
+pub fn hsv_to_rgb(h: f64, s: f64, v: f64) -> [u8; 3] {
+    let h6 = (h.fract() * 6.0).rem_euclid(6.0);
+    let i = h6.floor() as u32 % 6;
+    let f = h6 - h6.floor();
+    let p = v * (1.0 - s);
+    let q = v * (1.0 - f * s);
+    let t = v * (1.0 - (1.0 - f) * s);
+    let (r, g, b) = match i {
+        0 => (v, t, p),
+        1 => (q, v, p),
+        2 => (p, v, t),
+        3 => (p, q, v),
+        4 => (t, p, v),
+        _ => (v, p, q),
+    };
+    [
+        (r * 255.0).round() as u8,
+        (g * 255.0).round() as u8,
+        (b * 255.0).round() as u8,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsv_primaries() {
+        assert_eq!(hsv_to_rgb(0.0, 1.0, 1.0), [255, 0, 0]);
+        assert_eq!(hsv_to_rgb(1.0 / 3.0, 1.0, 1.0), [0, 255, 0]);
+        assert_eq!(hsv_to_rgb(2.0 / 3.0, 1.0, 1.0), [0, 0, 255]);
+        assert_eq!(hsv_to_rgb(0.5, 0.0, 1.0), [255, 255, 255]);
+        assert_eq!(hsv_to_rgb(0.2, 1.0, 0.0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn colors_deterministic_and_mostly_distinct() {
+        let colors: Vec<[u8; 3]> = (0..64).map(color_of_cluster).collect();
+        assert_eq!(colors, (0..64).map(color_of_cluster).collect::<Vec<_>>());
+        let distinct: std::collections::HashSet<_> = colors.iter().collect();
+        assert!(distinct.len() >= 60, "only {} distinct colors", distinct.len());
+    }
+
+    #[test]
+    fn adjacent_ids_get_far_hues() {
+        // Consecutive cluster ids should not produce near-identical colors.
+        for c in 0..20u32 {
+            let a = color_of_cluster(c);
+            let b = color_of_cluster(c + 1);
+            let dist: i32 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x as i32 - y as i32).abs())
+                .sum();
+            assert!(dist > 40, "clusters {c},{} too similar: {a:?} {b:?}", c + 1);
+        }
+    }
+}

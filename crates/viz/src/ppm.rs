@@ -1,0 +1,91 @@
+//! Minimal binary PPM (P6) image writer.
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// An RGB raster image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PpmImage {
+    width: usize,
+    height: usize,
+    /// Row-major RGB triples.
+    pixels: Vec<[u8; 3]>,
+}
+
+impl PpmImage {
+    /// A `width × height` image filled with `fill`.
+    pub fn new(width: usize, height: usize, fill: [u8; 3]) -> Self {
+        PpmImage {
+            width,
+            height,
+            pixels: vec![fill; width * height],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sets pixel `(x, y)` (panics out of range).
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        self.pixels[y * self.width + x] = rgb;
+    }
+
+    /// Reads pixel `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Writes binary PPM (P6) to `path`.
+    pub fn write<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut out = BufWriter::new(std::fs::File::create(path)?);
+        write!(out, "P6\n{} {}\n255\n", self.width, self.height)?;
+        for px in &self.pixels {
+            out.write_all(px)?;
+        }
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = PpmImage::new(4, 3, [0, 0, 0]);
+        img.set(2, 1, [10, 20, 30]);
+        assert_eq!(img.get(2, 1), [10, 20, 30]);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+    }
+
+    #[test]
+    fn file_format_header() {
+        let img = PpmImage::new(2, 2, [255, 0, 0]);
+        let mut p = std::env::temp_dir();
+        p.push(format!("mpx-viz-test-{}.ppm", std::process::id()));
+        img.write(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        assert!(bytes.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 12); // header + 4 pixels * 3 bytes
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut img = PpmImage::new(2, 2, [0; 3]);
+        img.set(2, 0, [1, 1, 1]);
+    }
+}

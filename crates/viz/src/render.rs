@@ -1,0 +1,61 @@
+//! Grid-partition rendering (the paper's Figure 1).
+
+use crate::palette::color_of_cluster;
+use crate::ppm::PpmImage;
+use mpx_decomp::Decomposition;
+
+/// Renders a decomposition of a `rows × cols` grid (vertex `(r, c)` has id
+/// `r·cols + c`, as produced by `mpx_graph::gen::grid2d`) as one pixel per
+/// vertex, colored by cluster — the exact format of the paper's Figure 1.
+pub fn render_grid_partition(rows: usize, cols: usize, d: &Decomposition) -> PpmImage {
+    assert_eq!(
+        rows * cols,
+        d.num_vertices(),
+        "decomposition does not match grid dimensions"
+    );
+    let mut img = PpmImage::new(cols, rows, [0, 0, 0]);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as u32;
+            img.set(c, r, color_of_cluster(d.cluster_of(v)));
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_decomp::{partition, DecompOptions};
+    use mpx_graph::gen;
+
+    #[test]
+    fn renders_one_pixel_per_vertex() {
+        let g = gen::grid2d(20, 30);
+        let d = partition(&g, &DecompOptions::new(0.2).with_seed(1));
+        let img = render_grid_partition(20, 30, &d);
+        assert_eq!(img.width(), 30);
+        assert_eq!(img.height(), 20);
+    }
+
+    #[test]
+    fn same_cluster_same_color() {
+        let g = gen::grid2d(10, 10);
+        let d = partition(&g, &DecompOptions::new(0.1).with_seed(2));
+        let img = render_grid_partition(10, 10, &d);
+        for r in 0..10 {
+            for c in 0..10 {
+                let v = (r * 10 + c) as u32;
+                assert_eq!(img.get(c, r), color_of_cluster(d.cluster_of(v)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let g = gen::grid2d(5, 5);
+        let d = partition(&g, &DecompOptions::new(0.3));
+        let _ = render_grid_partition(4, 5, &d);
+    }
+}

@@ -1,0 +1,39 @@
+//! Cluster-graph distance oracle + parallel connectivity, the remaining
+//! paper applications (Cohen [13] and the GBBS-style connectivity use).
+//!
+//! ```sh
+//! cargo run --release --example distance_oracle
+//! ```
+
+use mpx::apps::{parallel_components, DistanceOracle};
+use mpx::graph::{algo, gen};
+
+fn main() {
+    let g = gen::grid2d(120, 120);
+    println!("graph: n={}, m={}", g.num_vertices(), g.num_edges());
+
+    // Distance brackets from one quotient-BFS per source.
+    let oracle = DistanceOracle::new(&g, 0.1, 7);
+    println!(
+        "oracle: {} clusters, radius {}",
+        oracle.decomposition().num_clusters(),
+        oracle.radius()
+    );
+    let source = 0;
+    let truth = algo::bfs(&g, source);
+    let bounds = oracle.bounds_from(source);
+    for v in [500usize, 5_000, 14_000] {
+        let (lo, hi) = bounds[v].unwrap();
+        println!(
+            "dist({source}, {v}): true {:>4}   bracket [{lo:>3}, {hi:>4}]",
+            truth[v]
+        );
+        assert!(lo <= truth[v] && truth[v] <= hi);
+    }
+
+    // Parallel connectivity by decompose-and-contract.
+    let (labels, k) = parallel_components(&g, 0.3, 3);
+    println!("\nparallel connectivity: {k} component(s) over {} vertices", labels.len());
+    assert_eq!(k, algo::num_components(&g));
+    println!("matches the sequential BFS oracle.");
+}

@@ -1,0 +1,42 @@
+//! End-to-end SDD solve: decomposition → low-stretch tree → tree-PCG,
+//! compared against CG and Jacobi (the paper's headline application [9]).
+//!
+//! ```sh
+//! cargo run --release --example laplacian_solver
+//! ```
+
+use mpx::apps::low_stretch_tree_weighted;
+use mpx::graph::WeightedCsrGraph;
+use mpx::solver::{pcg, problems, Identity, Jacobi, Laplacian, TreeSolver};
+
+fn main() {
+    // A badly conditioned system: grid with 1000:1 anisotropic conductances.
+    let p = problems::anisotropic_grid(40, 1000.0);
+    println!("problem: {} (n={})", p.name, p.graph.num_vertices());
+    let lap = Laplacian::new(p.graph.clone());
+
+    // The MPX pipeline: lengths = 1/conductance, weighted low-stretch tree.
+    let lengths = WeightedCsrGraph::from_edges(
+        p.graph.num_vertices(),
+        &p.graph
+            .edges()
+            .map(|(u, v, w)| (u, v, 1.0 / w))
+            .collect::<Vec<_>>(),
+    );
+    let tree = low_stretch_tree_weighted(&lengths, 0.2, 3);
+    let tree_pc = TreeSolver::new(&p.graph, &tree);
+    let jacobi = Jacobi::new(lap.diagonal());
+
+    let tol = 1e-8;
+    for (label, out) in [
+        ("cg (no preconditioner)", pcg(&lap, &p.rhs, tol, 50_000, &Identity)),
+        ("jacobi-pcg", pcg(&lap, &p.rhs, tol, 50_000, &jacobi)),
+        ("mpx-tree-pcg", pcg(&lap, &p.rhs, tol, 50_000, &tree_pc)),
+    ] {
+        println!(
+            "{label:<24} iterations: {:>6}  residual: {:.2e}  converged: {}",
+            out.iterations, out.relative_residual, out.converged
+        );
+    }
+    println!("\nThe spanning-tree preconditioner built from the weighted MPX\ndecomposition absorbs the stiff direction of the anisotropic grid,\ncutting the iteration count by an order of magnitude.");
+}

@@ -1,0 +1,33 @@
+//! Build an AKPW-style low-stretch spanning tree with repeated MPX
+//! decompositions and compare its average stretch against a plain BFS tree
+//! (the application chain of paper references [3, 9, 15]).
+//!
+//! ```sh
+//! cargo run --release --example low_stretch_tree
+//! ```
+
+use mpx::apps::{bfs_spanning_tree, low_stretch_tree, stretch_stats};
+use mpx::graph::gen;
+
+fn main() {
+    for (name, g) in [
+        ("grid-100x100", gen::grid2d(100, 100)),
+        ("torus-80x80", gen::torus2d(80, 80)),
+        ("rmat-s13", gen::rmat(13, 8 << 13, 0.57, 0.19, 0.19, 4)),
+    ] {
+        let akpw = low_stretch_tree(&g, 0.2, 11);
+        let bfs = bfs_spanning_tree(&g);
+        let s_akpw = stretch_stats(&g, &akpw);
+        let s_bfs = stretch_stats(&g, &bfs);
+        println!("{name}: n={}, m={}", g.num_vertices(), g.num_edges());
+        println!(
+            "  akpw-mpx tree: avg stretch {:>8.2}  max {:>6}",
+            s_akpw.avg, s_akpw.max
+        );
+        println!(
+            "  bfs tree:      avg stretch {:>8.2}  max {:>6}",
+            s_bfs.avg, s_bfs.max
+        );
+    }
+    println!("\nOn meshes the BFS tree's average stretch blows up with the side\nlength while the decomposition-based tree stays polylogarithmic —\nthis is what makes it a useful SDD preconditioner (see the\nlaplacian_solver example).");
+}

@@ -1,0 +1,36 @@
+//! Build a sparse spanner of a dense random graph and verify its stretch
+//! empirically (paper Section 1's spanner application [12]).
+//!
+//! ```sh
+//! cargo run --release --example spanner_construction
+//! ```
+
+use mpx::apps::spanner;
+use mpx::graph::{algo, gen, Vertex};
+
+fn main() {
+    // Dense-ish random graph: 2000 vertices, average degree 20.
+    let g = gen::gnm(2000, 20_000, 7);
+    println!("input: n={}, m={}", g.num_vertices(), g.num_edges());
+
+    for beta in [0.05, 0.1, 0.3] {
+        let s = spanner(&g, beta, 1);
+        // Empirical stretch on a sample of edges.
+        let sg = s.as_graph(g.num_vertices());
+        let mut worst = 0u32;
+        for u in (0..g.num_vertices() as Vertex).step_by(97) {
+            let d = algo::bfs(&sg, u);
+            for &v in g.neighbors(u) {
+                worst = worst.max(d[v as usize]);
+            }
+        }
+        println!(
+            "beta={beta:<5} spanner edges: {:>6} ({:.1}% of m)  stretch bound: {:>3}  sampled worst: {worst}",
+            s.size(),
+            100.0 * s.size() as f64 / g.num_edges() as f64,
+            s.stretch_bound,
+        );
+        assert!(worst <= s.stretch_bound);
+    }
+    println!("\nSmaller beta → sparser spanner with larger stretch (size/stretch trade-off).");
+}

@@ -1,0 +1,61 @@
+//! # mpx — Parallel Graph Decompositions Using Random Shifts
+//!
+//! A production-quality Rust reproduction of Miller, Peng & Xu, *Parallel
+//! Graph Decompositions Using Random Shifts* (SPAA 2013, arXiv:1307.3692),
+//! together with the substrates the paper depends on and the applications it
+//! motivates.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`graph`] — CSR graphs, generators, I/O, sequential oracles.
+//! * [`par`] — parallel primitives (atomic bitsets, scans, parallel BFS,
+//!   thread-pool control, work/depth telemetry).
+//! * [`decomp`] — **the paper's contribution**: low-diameter decompositions
+//!   via exponentially shifted shortest paths, in parallel, sequential,
+//!   exact-reference and weighted variants.
+//! * [`baselines`] — sequential ball growing and other comparison
+//!   decomposition algorithms.
+//! * [`apps`] — spanners, low-stretch spanning trees, Linial–Saks block
+//!   decompositions, coarsening.
+//! * [`solver`] — Laplacian (SDD) solver substrate with spanning-tree
+//!   preconditioning.
+//! * [`viz`] — figure rendering (reproduces the paper's Figure 1).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpx::prelude::*;
+//!
+//! // The paper's Figure 1 workload, scaled down.
+//! let g = mpx::graph::gen::grid2d(100, 100);
+//! let opts = DecompOptions::new(0.1).with_seed(42);
+//! let d = partition(&g, &opts);
+//!
+//! // Every vertex is assigned, pieces are connected with bounded strong
+//! // diameter, and few edges are cut.
+//! let report = verify_decomposition(&g, &d);
+//! assert!(report.is_valid());
+//! println!(
+//!     "{} clusters, cut fraction {:.3}, max radius {}",
+//!     d.num_clusters(),
+//!     report.cut_fraction,
+//!     report.max_radius
+//! );
+//! ```
+
+pub use mpx_apps as apps;
+pub use mpx_baselines as baselines;
+pub use mpx_decomp as decomp;
+pub use mpx_graph as graph;
+pub use mpx_par as par;
+pub use mpx_solver as solver;
+pub use mpx_viz as viz;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use mpx_decomp::{
+        partition, partition_sequential, verify_decomposition, Decomposition, DecompOptions,
+        TieBreak,
+    };
+    pub use mpx_graph::{CsrGraph, GraphBuilder, Vertex, WeightedCsrGraph};
+}

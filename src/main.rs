@@ -1,0 +1,143 @@
+//! `mpx` — command-line front end for the decomposition library.
+//!
+//! ```text
+//! mpx gen <workload> <out.txt> [seed]        generate a graph (edge list)
+//! mpx stats <graph.txt>                      print graph statistics
+//! mpx partition <graph.txt> <beta> [seed] [labels-out.txt]
+//!                                            decompose + verify + stats
+//! mpx render-grid <side> <beta> <out.ppm> [seed]
+//!                                            Figure-1-style mosaic
+//! ```
+//!
+//! Workload syntax for `gen`: `grid:<side>`, `rmat:<scale>:<edge_factor>`,
+//! `gnm:<n>:<m>`, `ba:<n>:<m>`, `regular:<n>:<d>`, `path:<n>`,
+//! `sbm:<n>:<k>`.
+
+use mpx::decomp::{partition, verify_decomposition, DecompOptions, DecompositionStats};
+use mpx::graph::{gen, io, CsrGraph};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> &'static str {
+    "usage:\n  mpx gen <workload> <out.txt> [seed]\n  mpx stats <graph.txt>\n  mpx partition <graph.txt> <beta> [seed] [labels-out.txt]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k>"
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("render-grid") => cmd_render(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".into()),
+    }
+}
+
+/// Parses a workload spec like `grid:100` or `rmat:12:8`.
+fn parse_workload(spec: &str, seed: u64) -> Result<CsrGraph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .ok_or_else(|| format!("workload '{spec}': missing field {i}"))?
+            .parse()
+            .map_err(|_| format!("workload '{spec}': bad number in field {i}"))
+    };
+    match parts[0] {
+        "grid" => Ok(gen::grid2d(num(1)?, num(1)?)),
+        "rmat" => Ok(gen::rmat(num(1)? as u32, num(2)? << num(1)?, 0.57, 0.19, 0.19, seed)),
+        "gnm" => Ok(gen::gnm(num(1)?, num(2)?, seed)),
+        "ba" => Ok(gen::barabasi_albert(num(1)?, num(2)?, seed)),
+        "regular" => Ok(gen::random_regular(num(1)?, num(2)?, seed)),
+        "path" => Ok(gen::path(num(1)?)),
+        "sbm" => Ok(gen::sbm(num(1)?, num(2)?, 0.1, 0.005, seed)),
+        other => Err(format!("unknown workload family '{other}'")),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("gen: missing workload")?;
+    let out = args.get(1).ok_or("gen: missing output path")?;
+    let seed: u64 = args.get(2).map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let g = parse_workload(spec, seed)?;
+    io::write_edge_list(&g, out).map_err(|e| e.to_string())?;
+    println!("wrote {out}: n={} m={}", g.num_vertices(), g.num_edges());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats: missing graph path")?;
+    let g = io::read_edge_list(path).map_err(|e| e.to_string())?;
+    println!("{}", mpx::graph::properties::GraphStats::of(&g));
+    let hist = mpx::graph::properties::degree_histogram(&g);
+    println!("degree histogram (powers of two): {hist:?}");
+    Ok(())
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("partition: missing graph path")?;
+    let beta: f64 = args
+        .get(1)
+        .ok_or("partition: missing beta")?
+        .parse()
+        .map_err(|_| "bad beta".to_string())?;
+    let seed: u64 = args.get(2).map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let g = io::read_edge_list(path).map_err(|e| e.to_string())?;
+    let d = partition(&g, &DecompOptions::new(beta).with_seed(seed));
+    let stats = DecompositionStats::compute(&g, &d);
+    println!("{stats}");
+    let report = verify_decomposition(&g, &d);
+    if report.is_valid() {
+        println!("verified: partition + strong diameter + Lemma 4.1 hold");
+    } else {
+        return Err(format!("verification FAILED: {:?}", report.errors));
+    }
+    if let Some(out) = args.get(3) {
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| e.to_string())?,
+        );
+        for v in 0..g.num_vertices() {
+            writeln!(f, "{}", d.center_of(v as u32)).map_err(|e| e.to_string())?;
+        }
+        println!("labels written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_render(args: &[String]) -> Result<(), String> {
+    let side: usize = args
+        .first()
+        .ok_or("render-grid: missing side")?
+        .parse()
+        .map_err(|_| "bad side".to_string())?;
+    let beta: f64 = args
+        .get(1)
+        .ok_or("render-grid: missing beta")?
+        .parse()
+        .map_err(|_| "bad beta".to_string())?;
+    let out = args.get(2).ok_or("render-grid: missing output path")?;
+    let seed: u64 = args.get(3).map_or(Ok(2013), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let g = gen::grid2d(side, side);
+    let d = partition(&g, &DecompOptions::new(beta).with_seed(seed));
+    let img = mpx::viz::render_grid_partition(side, side, &d);
+    img.write(out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} clusters, max radius {}",
+        d.num_clusters(),
+        d.max_radius()
+    );
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! End-to-end tests of the `mpx` command-line binary.
+
+use std::process::Command;
+
+fn mpx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mpx"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mpx-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn gen_stats_partition_pipeline() {
+    let graph_path = tmp("g.txt");
+    let labels_path = tmp("labels.txt");
+
+    let out = mpx()
+        .args(["gen", "grid:30", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("n=900"));
+
+    let out = mpx()
+        .args(["stats", graph_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("m=1740"));
+
+    let out = mpx()
+        .args([
+            "partition",
+            graph_path.to_str().unwrap(),
+            "0.2",
+            "7",
+            labels_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verified"), "{text}");
+
+    // Labels file: one center per vertex, all in range.
+    let labels = std::fs::read_to_string(&labels_path).unwrap();
+    let ids: Vec<u32> = labels.lines().map(|l| l.parse().unwrap()).collect();
+    assert_eq!(ids.len(), 900);
+    assert!(ids.iter().all(|&c| c < 900));
+
+    std::fs::remove_file(graph_path).ok();
+    std::fs::remove_file(labels_path).ok();
+}
+
+#[test]
+fn render_grid_writes_ppm() {
+    let img_path = tmp("fig.ppm");
+    let out = mpx()
+        .args(["render-grid", "40", "0.1", img_path.to_str().unwrap(), "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&img_path).unwrap();
+    assert!(bytes.starts_with(b"P6\n40 40\n255\n"));
+    std::fs::remove_file(img_path).ok();
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = mpx().args(["bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn sbm_workload_generates() {
+    let graph_path = tmp("sbm.txt");
+    let out = mpx()
+        .args(["gen", "sbm:200:4", graph_path.to_str().unwrap(), "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::remove_file(graph_path).ok();
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = mpx()
+        .args(["partition", "/nonexistent/graph.txt", "0.1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

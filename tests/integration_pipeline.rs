@@ -1,0 +1,105 @@
+//! End-to-end pipeline tests spanning all crates: decomposition →
+//! coarsening → spanner / tree / blocks → solver.
+
+use mpx::apps;
+use mpx::decomp::{partition, DecompOptions};
+use mpx::graph::{algo, gen, WeightedCsrGraph};
+use mpx::solver::{pcg, Identity, Laplacian, TreeSolver};
+
+#[test]
+fn decompose_coarsen_recurse_terminates() {
+    // Repeatedly decompose+contract until a single supernode per component;
+    // each level must shrink (β < 1 merges at least some neighbours w.h.p.,
+    // and the level cap catches pathologies).
+    let mut g = gen::grid2d(40, 40);
+    let mut levels = 0;
+    while g.num_edges() > 0 {
+        let d = partition(&g, &DecompOptions::new(0.2).with_seed(levels));
+        let c = apps::coarsen(&g, &d);
+        assert!(c.quotient.num_vertices() <= g.num_vertices());
+        g = c.quotient;
+        levels += 1;
+        assert!(levels < 64, "coarsening failed to converge");
+    }
+    assert!(levels >= 2, "grid should take several levels");
+}
+
+#[test]
+fn spanner_preserves_connectivity_and_distances_boundedly() {
+    let g = gen::gnm(500, 3000, 11);
+    let s = apps::spanner(&g, 0.2, 3);
+    let sg = s.as_graph(g.num_vertices());
+    assert_eq!(algo::num_components(&sg), algo::num_components(&g));
+    // Spot-check stretch from a few roots over all vertices (not just edges).
+    for root in [0u32, 123, 456] {
+        let dg = algo::bfs(&g, root);
+        let ds = algo::bfs(&sg, root);
+        for v in 0..g.num_vertices() {
+            if dg[v] != mpx::graph::INFINITY {
+                assert!(ds[v] >= dg[v], "spanner can't shorten");
+                assert!(
+                    ds[v] <= dg[v].saturating_mul(s.stretch_bound) + s.stretch_bound,
+                    "vertex {v}: {} vs {} (bound {})",
+                    ds[v],
+                    dg[v],
+                    s.stretch_bound
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lsst_feeds_tree_solver() {
+    // The full solver pipeline on a unit-weight grid.
+    let grid = gen::grid2d(25, 25);
+    let tree = apps::low_stretch_tree(&grid, 0.25, 5);
+    let wg = WeightedCsrGraph::unit_weights(&grid);
+    let lap = Laplacian::new(wg.clone());
+    let ts = TreeSolver::new(&wg, &tree);
+
+    let n = grid.num_vertices();
+    let mut b = vec![0.0; n];
+    b[0] = 1.0;
+    b[n - 1] = -1.0;
+    let out = pcg(&lap, &b, 1e-9, 5000, &ts);
+    assert!(out.converged);
+    assert!(lap.residual_norm(&out.x, &b) < 1e-6);
+    // Cross-check against plain CG's solution (both mean-zero).
+    let plain = pcg(&lap, &b, 1e-9, 5000, &Identity);
+    for v in 0..n {
+        assert!(
+            (out.x[v] - plain.x[v]).abs() < 1e-5,
+            "solutions disagree at {v}"
+        );
+    }
+}
+
+#[test]
+fn blocks_compose_with_decomposition_bounds() {
+    let g = gen::gnm(800, 4000, 13);
+    let bd = apps::block_decomposition(&g, 21);
+    assert_eq!(bd.total_edges(), g.num_edges());
+    let bound = (4.0 * (g.num_vertices() as f64).ln()) as u32 + 2;
+    assert!(apps::blocks::verify_blocks(&g, &bd, bound).is_ok());
+}
+
+#[test]
+fn weighted_partition_feeds_weighted_tree() {
+    // Section 6 pipeline: weighted decomposition → weighted LSST → solver,
+    // on an anisotropic grid.
+    let p = mpx::solver::problems::anisotropic_grid(16, 50.0);
+    let lengths = WeightedCsrGraph::from_edges(
+        p.graph.num_vertices(),
+        &p.graph
+            .edges()
+            .map(|(u, v, w)| (u, v, 1.0 / w))
+            .collect::<Vec<_>>(),
+    );
+    let tree = apps::low_stretch_tree_weighted(&lengths, 0.25, 9);
+    let lap = Laplacian::new(p.graph.clone());
+    let ts = TreeSolver::new(&p.graph, &tree);
+    let out = pcg(&lap, &p.rhs, 1e-8, 4000, &ts);
+    assert!(out.converged);
+    assert!(lap.residual_norm(&out.x, &p.rhs) < 1e-5);
+}

@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) of the core invariants, on arbitrary
+//! random graphs and parameters.
+
+use mpx::decomp::{
+    partition, partition_sequential, verify_decomposition, DecompOptions, ExpShifts, TieBreak,
+};
+use mpx::decomp::parallel::partition_with_shifts;
+use mpx::decomp::sequential::partition_sequential_with_shifts;
+use mpx::graph::{algo, CsrGraph, Vertex};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary simple graph with up to `max_n` vertices and
+/// `max_m` random edge records (dedup'd by the builder).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as Vertex, 0..n as Vertex), 0..max_m)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+fn arb_beta() -> impl Strategy<Value = f64> {
+    (0.01f64..0.9).prop_map(|b| b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The partition is always a valid decomposition: total coverage,
+    /// connected pieces, exact intra-cluster distances (Lemma 4.1), sane
+    /// parents — on *any* graph, β, and seed.
+    #[test]
+    fn partition_always_valid(
+        g in arb_graph(120, 400),
+        beta in arb_beta(),
+        seed in 0u64..1_000_000,
+    ) {
+        let d = partition(&g, &DecompOptions::new(beta).with_seed(seed));
+        let r = verify_decomposition(&g, &d);
+        prop_assert!(r.is_valid(), "{:?}", r.errors);
+    }
+
+    /// Parallel and sequential implementations are bit-identical under
+    /// shared shifts, for every tie-break rule.
+    #[test]
+    fn parallel_equals_sequential(
+        g in arb_graph(100, 300),
+        beta in arb_beta(),
+        seed in 0u64..1_000_000,
+        tb in prop_oneof![
+            Just(TieBreak::FractionalShift),
+            Just(TieBreak::Permutation),
+            Just(TieBreak::Lexicographic)
+        ],
+    ) {
+        let opts = DecompOptions::new(beta).with_seed(seed).with_tie_break(tb);
+        let shifts = ExpShifts::generate(g.num_vertices(), &opts);
+        let (par, _) = partition_with_shifts(&g, &shifts);
+        let seq = partition_sequential_with_shifts(&g, &shifts);
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Radius never exceeds δ_max + 1 (the paper's Section 4 argument:
+    /// dist(u, v) ≤ δ_u for v ∈ S_u).
+    #[test]
+    fn radius_bounded_by_max_shift(
+        g in arb_graph(100, 300),
+        beta in arb_beta(),
+        seed in 0u64..1_000_000,
+    ) {
+        let opts = DecompOptions::new(beta).with_seed(seed);
+        let shifts = ExpShifts::generate(g.num_vertices(), &opts);
+        let (d, _) = partition_with_shifts(&g, &shifts);
+        prop_assert!((d.max_radius() as f64) <= shifts.delta_max + 1.0);
+    }
+
+    /// Clusters never span connected components, and every component is
+    /// covered by clusters of its own vertices.
+    #[test]
+    fn clusters_respect_components(
+        g in arb_graph(80, 160),
+        seed in 0u64..1_000_000,
+    ) {
+        let d = partition(&g, &DecompOptions::new(0.2).with_seed(seed));
+        let (comp, _) = algo::connected_components(&g);
+        for v in 0..g.num_vertices() as Vertex {
+            prop_assert_eq!(
+                comp[v as usize],
+                comp[d.center_of(v) as usize],
+                "vertex {} assigned across components", v
+            );
+        }
+    }
+
+    /// The recorded distances are exactly the BFS distances from the
+    /// center within the whole graph (not just within the cluster) —
+    /// the stronger form of Lemma 4.1.
+    #[test]
+    fn distances_are_globally_shortest(
+        g in arb_graph(60, 150),
+        seed in 0u64..1_000_000,
+    ) {
+        let d = partition(&g, &DecompOptions::new(0.15).with_seed(seed));
+        for &c in d.centers() {
+            let dist = algo::bfs(&g, c);
+            for v in 0..g.num_vertices() as Vertex {
+                if d.center_of(v) == c {
+                    prop_assert_eq!(d.dist_to_center(v), dist[v as usize]);
+                }
+            }
+        }
+    }
+
+    /// Ball growing keeps its deterministic cut guarantee on arbitrary
+    /// graphs: cut ≤ β·m (+1 rounding slack).
+    #[test]
+    fn ball_growing_cut_bound(
+        g in arb_graph(100, 300),
+        beta in 0.05f64..0.5,
+    ) {
+        let d = mpx::baselines::ball_growing(&g, beta);
+        let cut = d.cut_edges(&g) as f64;
+        prop_assert!(cut <= beta * g.num_edges() as f64 + 1.0);
+    }
+
+    /// The spanner always stays a subgraph and preserves connectivity.
+    #[test]
+    fn spanner_subgraph_connectivity(
+        g in arb_graph(80, 240),
+        seed in 0u64..1_000,
+    ) {
+        let s = mpx::apps::spanner(&g, 0.3, seed);
+        let sg = s.as_graph(g.num_vertices());
+        for &(u, v) in &s.edges {
+            prop_assert!(g.has_edge(u, v));
+        }
+        prop_assert_eq!(algo::num_components(&sg), algo::num_components(&g));
+    }
+
+    /// The low-stretch forest spans every component, acyclically.
+    #[test]
+    fn lsst_is_spanning_forest(
+        g in arb_graph(80, 240),
+        seed in 0u64..1_000,
+    ) {
+        let forest = mpx::apps::low_stretch_tree(&g, 0.25, seed);
+        let mut uf = algo::UnionFind::new(g.num_vertices());
+        for &(u, v) in &forest {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(uf.union(u, v), "cycle at ({},{})", u, v);
+        }
+        prop_assert_eq!(uf.num_sets(), algo::num_components(&g));
+    }
+
+    /// Determinism: same options ⇒ same output (across the whole stack).
+    #[test]
+    fn partition_deterministic(
+        g in arb_graph(80, 200),
+        beta in arb_beta(),
+        seed in 0u64..1_000_000,
+    ) {
+        let opts = DecompOptions::new(beta).with_seed(seed);
+        prop_assert_eq!(partition(&g, &opts), partition_sequential(&g, &opts));
+    }
+}
