@@ -134,8 +134,8 @@ mod tests {
         let oracle = DistanceOracle::new(&g, 0.05, 7);
         if oracle.decomposition().num_clusters() == 1 {
             let bounds = oracle.bounds_from(0);
-            for v in 1..20 {
-                let (lo, hi) = bounds[v].unwrap();
+            for b in &bounds[1..20] {
+                let (lo, hi) = b.unwrap();
                 assert_eq!(lo, 0);
                 assert!(hi >= 1);
             }

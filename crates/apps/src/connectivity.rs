@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn matches_sequential_oracle_on_connected_graphs() {
-        for g in [gen::grid2d(20, 20), gen::rmat(9, 4 << 9, 0.57, 0.19, 0.19, 1)] {
+        for g in [
+            gen::grid2d(20, 20),
+            gen::rmat(9, 4 << 9, 0.57, 0.19, 0.19, 1),
+        ] {
             let (labels, count) = parallel_components(&g, 0.3, 7);
             let (oracle, k) = algo::connected_components(&g);
             assert_eq!(count, k);
@@ -104,7 +107,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = gen::gnm(400, 700, 5);
-        assert_eq!(parallel_components(&g, 0.3, 9), parallel_components(&g, 0.3, 9));
+        assert_eq!(
+            parallel_components(&g, 0.3, 9),
+            parallel_components(&g, 0.3, 9)
+        );
     }
 
     #[test]

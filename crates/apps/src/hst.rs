@@ -146,10 +146,8 @@ impl Hst {
                     mask[v as usize] = true;
                 }
                 let (child_sub, child_map) = sub.induced_subgraph(&mask);
-                let child_old: Vec<Vertex> = child_map
-                    .iter()
-                    .map(|&m| old_of_new[m as usize])
-                    .collect();
+                let child_old: Vec<Vertex> =
+                    child_map.iter().map(|&m| old_of_new[m as usize]).collect();
                 stack.push((id, child_sub, child_old, target));
             }
         }
@@ -202,7 +200,9 @@ impl Hst {
         let mut max = 0.0f64;
         let mut m = 0usize;
         for (u, v) in g.edges() {
-            let s = self.distance(u, v).expect("edge endpoints share a component");
+            let s = self
+                .distance(u, v)
+                .expect("edge endpoints share a component");
             sum += s;
             max = max.max(s);
             m += 1;

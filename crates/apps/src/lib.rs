@@ -24,9 +24,9 @@
 
 pub mod approx_sssp;
 pub mod blocks;
+pub mod coarsen;
 pub mod connectivity;
 pub mod hst;
-pub mod coarsen;
 pub mod lca;
 pub mod lsst;
 pub mod separator;
@@ -34,9 +34,9 @@ pub mod spanner;
 
 pub use approx_sssp::DistanceOracle;
 pub use blocks::{block_decomposition, BlockDecomposition};
+pub use coarsen::{coarsen, Coarsened};
 pub use connectivity::parallel_components;
 pub use hst::Hst;
-pub use coarsen::{coarsen, Coarsened};
 pub use lca::TreePathOracle;
 pub use lsst::{
     bfs_spanning_tree, low_stretch_tree, low_stretch_tree_weighted, stretch_stats, StretchStats,

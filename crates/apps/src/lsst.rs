@@ -43,10 +43,8 @@ pub fn low_stretch_tree(g: &CsrGraph, beta: f64, seed: u64) -> Vec<(Vertex, Vert
     // original edge realizing it.
     let mut current = g.clone();
     // For the first level the mapping is the identity.
-    let mut rep_of: std::collections::HashMap<(Vertex, Vertex), (Vertex, Vertex)> = current
-        .edges()
-        .map(|(u, v)| ((u, v), (u, v)))
-        .collect();
+    let mut rep_of: std::collections::HashMap<(Vertex, Vertex), (Vertex, Vertex)> =
+        current.edges().map(|(u, v)| ((u, v), (u, v))).collect();
     let mut round = 0u64;
     while current.num_edges() > 0 {
         let d = partition(
@@ -97,10 +95,8 @@ pub fn low_stretch_tree_weighted(
 ) -> Vec<(Vertex, Vertex)> {
     let mut forest: Vec<(Vertex, Vertex)> = Vec::new();
     let mut current = g.clone();
-    let mut rep_of: HashMap<(Vertex, Vertex), (Vertex, Vertex)> = current
-        .edges()
-        .map(|(u, v, _)| ((u, v), (u, v)))
-        .collect();
+    let mut rep_of: HashMap<(Vertex, Vertex), (Vertex, Vertex)> =
+        current.edges().map(|(u, v, _)| ((u, v), (u, v))).collect();
     let mut round = 0u64;
     while current.num_edges() > 0 {
         let d = partition_weighted(

@@ -57,7 +57,7 @@ pub fn spanner(g: &CsrGraph, beta: f64, seed: u64) -> Spanner {
         .map(|(c, p)| if c < p { (c, p) } else { (p, c) })
         .collect();
     let coarse = coarsen(g, &d);
-    edges.extend(coarse.rep.values().copied().map(|(u, v)| (u, v)));
+    edges.extend(coarse.rep.values().copied());
     edges.sort_unstable();
     edges.dedup();
     let stretch_bound = 4 * d.max_radius() + 1;

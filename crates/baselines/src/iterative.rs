@@ -96,10 +96,7 @@ pub fn iterative_ldd_instrumented(
     debug_assert!(remaining.is_empty(), "all vertices assigned by final sweep");
 
     let parent = compute_parents(g, &assignment, &dist);
-    (
-        Decomposition::from_raw(assignment, dist, parent),
-        telemetry,
-    )
+    (Decomposition::from_raw(assignment, dist, parent), telemetry)
 }
 
 #[cfg(test)]

@@ -45,9 +45,13 @@ fn bench_vs_baselines(c: &mut Criterion) {
     let opts = DecompOptions::new(0.1).with_seed(1);
     let mut group = c.benchmark_group("partition/vs_baselines_grid200");
     group.bench_function("mpx_parallel", |b| b.iter(|| partition(&g, &opts)));
-    group.bench_function("mpx_sequential", |b| b.iter(|| partition_sequential(&g, &opts)));
+    group.bench_function("mpx_sequential", |b| {
+        b.iter(|| partition_sequential(&g, &opts))
+    });
     group.bench_function("mpx_hybrid", |b| b.iter(|| partition_hybrid(&g, &opts)));
-    group.bench_function("ball_growing", |b| b.iter(|| mpx_baselines::ball_growing(&g, 0.1)));
+    group.bench_function("ball_growing", |b| {
+        b.iter(|| mpx_baselines::ball_growing(&g, 0.1))
+    });
     group.bench_function("iterative_bgkmpt", |b| {
         b.iter(|| mpx_baselines::iterative_ldd(&g, 0.1, 1))
     });

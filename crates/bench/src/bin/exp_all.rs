@@ -6,7 +6,10 @@
 use std::process::Command;
 
 fn run(bin: &str, args: &[&str]) {
-    println!("\n==================== {bin} {} ====================", args.join(" "));
+    println!(
+        "\n==================== {bin} {} ====================",
+        args.join(" ")
+    );
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     let status = Command::new(dir.join(bin))
@@ -17,7 +20,7 @@ fn run(bin: &str, args: &[&str]) {
 }
 
 fn main() {
-    let quick = std::env::args().nth(1).map_or(false, |a| a == "quick");
+    let quick = std::env::args().nth(1).is_some_and(|a| a == "quick");
     if quick {
         run("figure1", &["300"]);
         run("table_quality", &["4000", "3"]);

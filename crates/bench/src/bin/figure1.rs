@@ -29,8 +29,15 @@ fn main() {
     let ln_n = (g.num_vertices() as f64).ln();
 
     let mut table = Table::new(&[
-        "fig", "beta", "clusters", "max_radius", "ln(n)/beta", "avg_radius", "cut_fraction",
-        "cut/beta", "seconds",
+        "fig",
+        "beta",
+        "clusters",
+        "max_radius",
+        "ln(n)/beta",
+        "avg_radius",
+        "cut_fraction",
+        "cut/beta",
+        "seconds",
     ]);
     for (i, &beta) in betas.iter().enumerate() {
         let opts = DecompOptions::new(beta).with_seed(2013 + i as u64);

@@ -31,7 +31,13 @@ fn main() {
     println!("# T9: spanner size/stretch trade-off (beta sweep)");
     let g = gen::gnm(scale, scale * 8, 21);
     let mut table = Table::new(&[
-        "graph", "beta", "spanner_edges", "m", "ratio", "stretch_bound", "sampled_stretch",
+        "graph",
+        "beta",
+        "spanner_edges",
+        "m",
+        "ratio",
+        "stretch_bound",
+        "sampled_stretch",
     ]);
     for &beta in &[0.1, 0.5, 1.0, 2.0, 4.0] {
         let s = mpx_apps::spanner(&g, beta, 4);
@@ -59,9 +65,7 @@ fn main() {
         ),
         (format!("torus-{side}"), gen::torus2d(side, side)),
     ];
-    let mut table = Table::new(&[
-        "graph", "tree", "avg_stretch", "max_stretch", "seconds",
-    ]);
+    let mut table = Table::new(&["graph", "tree", "avg_stretch", "max_stretch", "seconds"]);
     for (name, g) in graphs {
         let (akpw, t_akpw) = time(|| mpx_apps::low_stretch_tree(&g, 0.2, 7));
         let s_akpw = mpx_apps::stretch_stats(&g, &akpw);

@@ -13,7 +13,12 @@ fn main() {
     let beta = 0.1;
     println!("# T6: MPX vs baselines, beta={beta}");
     let mut table = Table::new(&[
-        "graph", "algorithm", "clusters", "max_rad", "cut_frac", "seconds",
+        "graph",
+        "algorithm",
+        "clusters",
+        "max_rad",
+        "cut_frac",
+        "seconds",
     ]);
     for (name, g) in standard_workloads(scale) {
         let (mpx, t_mpx) = time(|| partition(&g, &DecompOptions::new(beta).with_seed(3)));

@@ -17,13 +17,15 @@ fn main() {
             "rmat-s14".to_string(),
             gen::rmat(14, 8 << 14, 0.57, 0.19, 0.19, 5),
         ),
-        (
-            format!("ba-n{scale}"),
-            gen::barabasi_albert(scale, 3, 9),
-        ),
+        (format!("ba-n{scale}"), gen::barabasi_albert(scale, 3, 9)),
     ];
     let mut table = Table::new(&[
-        "graph", "m", "blocks", "log2(m)", "max_piece_radius", "2*ln(n)",
+        "graph",
+        "m",
+        "blocks",
+        "log2(m)",
+        "max_piece_radius",
+        "2*ln(n)",
         "first_block_frac",
     ]);
     for (name, g) in graphs {
@@ -34,9 +36,10 @@ fn main() {
             .map(|b| b.max_piece_radius)
             .max()
             .unwrap_or(0);
-        let first_frac = bd.blocks.first().map_or(0.0, |b| {
-            b.edges.len() as f64 / g.num_edges().max(1) as f64
-        });
+        let first_frac = bd
+            .blocks
+            .first()
+            .map_or(0.0, |b| b.edges.len() as f64 / g.num_edges().max(1) as f64);
         table.row(&[
             name,
             g.num_edges().to_string(),

@@ -14,7 +14,14 @@ fn main() {
     let trials: u64 = arg_or(1, 3);
     println!("# T4: depth & work proxies (avg of {trials} seeds)");
     let mut table = Table::new(&[
-        "graph", "n", "m", "beta", "rounds", "rounds*beta/ln(n)", "relaxations", "relax/m",
+        "graph",
+        "n",
+        "m",
+        "beta",
+        "rounds",
+        "rounds*beta/ln(n)",
+        "relaxations",
+        "relax/m",
     ]);
     let sides = [100usize, 200, 400];
     let betas = [0.02f64, 0.1, 0.4];

@@ -22,7 +22,12 @@ fn main() {
 
     println!("# T13a: hierarchical decomposition trees (Bartal-style HST)");
     let mut table = Table::new(&[
-        "graph", "nodes", "height", "avg_edge_stretch", "ln(n)^2", "seconds",
+        "graph",
+        "nodes",
+        "height",
+        "avg_edge_stretch",
+        "ln(n)^2",
+        "seconds",
     ]);
     for (name, g) in &graphs {
         let (t, secs) = time(|| mpx_apps::Hst::build(g, 5));
@@ -60,7 +65,12 @@ fn main() {
 
     println!("# T13c: cluster-graph distance oracles (Cohen [13] direction)");
     let mut table = Table::new(&[
-        "graph", "beta", "clusters", "radius", "avg_upper/true", "bracket_valid",
+        "graph",
+        "beta",
+        "clusters",
+        "radius",
+        "avg_upper/true",
+        "bracket_valid",
     ]);
     for (name, g) in &graphs {
         for beta in [0.05, 0.2] {
@@ -94,7 +104,14 @@ fn main() {
     println!("\nExpectation: brackets always valid; upper/true ratio ~ O(radius) near the\nsource, tightening to ~2r+1 per quotient hop far away.\n");
 
     println!("# T13d: LDD-based parallel connectivity");
-    let mut table = Table::new(&["graph", "components", "oracle", "match", "ldd_secs", "bfs_secs"]);
+    let mut table = Table::new(&[
+        "graph",
+        "components",
+        "oracle",
+        "match",
+        "ldd_secs",
+        "bfs_secs",
+    ]);
     for (name, g) in &graphs {
         let ((labels, k), secs) = time(|| mpx_apps::parallel_components(g, 0.3, 11));
         let ((oracle, k2), bfs_secs) = time(|| algo::connected_components(g));

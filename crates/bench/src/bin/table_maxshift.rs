@@ -11,7 +11,13 @@ fn main() {
     let trials: u64 = arg_or(1, 200);
     println!("# T3: Lemma 4.2 — E[max shift] = H_n / beta ({trials} trials each)");
     let mut table = Table::new(&[
-        "n", "beta", "measured E[max]", "H_n/beta", "ratio", "P[max > 2 ln n/beta]", "1/n bound",
+        "n",
+        "beta",
+        "measured E[max]",
+        "H_n/beta",
+        "ratio",
+        "P[max > 2 ln n/beta]",
+        "1/n bound",
     ]);
     for &n in &[100usize, 1_000, 10_000] {
         for &beta in &[0.1f64, 0.5] {

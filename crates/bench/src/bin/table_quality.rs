@@ -14,8 +14,17 @@ fn main() {
 
     println!("# T1/T2: decomposition quality (avg of {trials} seeds)");
     let mut table = Table::new(&[
-        "graph", "n", "m", "beta", "clusters", "max_rad", "ln(n)/beta", "rad*beta/ln(n)",
-        "cut_frac", "cut/beta", "valid",
+        "graph",
+        "n",
+        "m",
+        "beta",
+        "clusters",
+        "max_rad",
+        "ln(n)/beta",
+        "rad*beta/ln(n)",
+        "cut_frac",
+        "cut/beta",
+        "valid",
     ]);
     for (name, g) in standard_workloads(scale) {
         let ln_n = (g.num_vertices().max(2) as f64).ln();

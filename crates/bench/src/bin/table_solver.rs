@@ -22,7 +22,11 @@ fn main() {
         mpx_solver::problems::expander_problem(side * side, 4, 3),
     ];
     let mut table = Table::new(&[
-        "problem", "preconditioner", "iterations", "rel_residual", "seconds",
+        "problem",
+        "preconditioner",
+        "iterations",
+        "rel_residual",
+        "seconds",
     ]);
     for p in problems {
         let lap = Laplacian::new(p.graph.clone());

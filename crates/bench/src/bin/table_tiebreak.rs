@@ -18,10 +18,18 @@ fn main() {
 
     let graphs = vec![
         (format!("grid-{side}x{side}"), gen::grid2d(side, side)),
-        ("rmat-s14".to_string(), gen::rmat(14, 8 << 14, 0.57, 0.19, 0.19, 7)),
+        (
+            "rmat-s14".to_string(),
+            gen::rmat(14, 8 << 14, 0.57, 0.19, 0.19, 7),
+        ),
     ];
     let mut table = Table::new(&[
-        "graph", "tiebreak", "clusters", "max_radius", "avg_radius", "cut_fraction",
+        "graph",
+        "tiebreak",
+        "clusters",
+        "max_radius",
+        "avg_radius",
+        "cut_fraction",
     ]);
     for (name, g) in &graphs {
         for (label, tb) in [
@@ -68,7 +76,12 @@ fn main() {
     // assigned through a random permutation instead of i.i.d. samples.
     println!("# T5b: shift strategies (sampled Exp(beta) vs permutation-of-order-statistics)");
     let mut table = Table::new(&[
-        "graph", "strategy", "clusters", "max_radius", "avg_radius", "cut_fraction",
+        "graph",
+        "strategy",
+        "clusters",
+        "max_radius",
+        "avg_radius",
+        "cut_fraction",
     ]);
     for (name, g) in &graphs {
         for (label, strat) in [

@@ -15,8 +15,8 @@ fn random_lengths(g: &mpx_graph::CsrGraph, seed: u64) -> WeightedCsrGraph {
     let edges: Vec<(Vertex, Vertex, f64)> = g
         .edges()
         .map(|(u, v)| {
-            let r = (hash_index(seed, (u as u64) << 32 | v as u64) >> 11) as f64
-                / (1u64 << 53) as f64;
+            let r =
+                (hash_index(seed, (u as u64) << 32 | v as u64) >> 11) as f64 / (1u64 << 53) as f64;
             (u, v, 0.25 + 3.75 * r)
         })
         .collect();
@@ -29,7 +29,13 @@ fn main() {
     println!("# T12: weighted (Section 6) partitions, grid-{side}x{side} with U[0.25,4] lengths");
     let g = random_lengths(&gen::grid2d(side, side), 99);
     let mut table = Table::new(&[
-        "beta", "clusters", "max_radius", "cut_frac", "cut/beta", "dij_secs", "dstep_secs",
+        "beta",
+        "clusters",
+        "max_radius",
+        "cut_frac",
+        "cut/beta",
+        "dij_secs",
+        "dstep_secs",
         "agree",
     ]);
     for &beta in &[0.02, 0.05, 0.1, 0.2, 0.4] {

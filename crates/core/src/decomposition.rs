@@ -28,7 +28,11 @@ impl Decomposition {
     /// assigned to itself), `dist[v]` its hop distance to that center, and
     /// `parent[v]` its predecessor on the cluster-internal BFS path
     /// (`NO_VERTEX` iff `dist[v] == 0`).
-    pub fn from_raw(assignment: Vec<Vertex>, dist_to_center: Vec<Dist>, parent: Vec<Vertex>) -> Self {
+    pub fn from_raw(
+        assignment: Vec<Vertex>,
+        dist_to_center: Vec<Dist>,
+        parent: Vec<Vertex>,
+    ) -> Self {
         let n = assignment.len();
         assert_eq!(dist_to_center.len(), n);
         assert_eq!(parent.len(), n);
@@ -254,11 +258,8 @@ mod tests {
     #[should_panic]
     fn rejects_center_not_self_assigned() {
         // Vertex 1 claims center 0 but vertex 0 is assigned elsewhere.
-        let _ = Decomposition::from_raw(
-            vec![2, 0, 2],
-            vec![1, 1, 0],
-            vec![2, NO_VERTEX, NO_VERTEX],
-        );
+        let _ =
+            Decomposition::from_raw(vec![2, 0, 2], vec![1, 1, 0], vec![2, NO_VERTEX, NO_VERTEX]);
     }
 
     #[test]

@@ -93,7 +93,10 @@ pub fn partition_hybrid_with_shifts(
                 .copied()
                 .filter(|&v| settled_ref[v as usize].load(Ordering::Relaxed) == u32::MAX)
                 .collect();
-            telemetry.relaxations += unsettled.par_iter().map(|&v| g.degree(v) as u64).sum::<u64>();
+            telemetry.relaxations += unsettled
+                .par_iter()
+                .map(|&v| g.degree(v) as u64)
+                .sum::<u64>();
             let prev = r32.wrapping_sub(1);
             unsettled
                 .par_iter()
@@ -227,7 +230,11 @@ mod tests {
         let g = gen::gnm(800, 8000, 7);
         for seed in 0..8u64 {
             let o = opts(0.1 + 0.1 * (seed % 4) as f64, seed);
-            assert_eq!(crate::partition(&g, &o), partition_hybrid(&g, &o), "seed {seed}");
+            assert_eq!(
+                crate::partition(&g, &o),
+                partition_hybrid(&g, &o),
+                "seed {seed}"
+            );
         }
     }
 

@@ -49,7 +49,10 @@ pub fn partition(g: &CsrGraph, opts: &DecompOptions) -> Decomposition {
 }
 
 /// [`partition`] plus telemetry.
-pub fn partition_instrumented(g: &CsrGraph, opts: &DecompOptions) -> (Decomposition, PartitionTelemetry) {
+pub fn partition_instrumented(
+    g: &CsrGraph,
+    opts: &DecompOptions,
+) -> (Decomposition, PartitionTelemetry) {
     let shifts = ExpShifts::generate(g.num_vertices(), opts);
     partition_with_shifts(g, &shifts)
 }
@@ -57,7 +60,10 @@ pub fn partition_instrumented(g: &CsrGraph, opts: &DecompOptions) -> (Decomposit
 /// Runs the parallel shifted BFS under externally supplied shifts. This is
 /// the entry point the tests use to drive all three implementations with
 /// identical randomness.
-pub fn partition_with_shifts(g: &CsrGraph, shifts: &ExpShifts) -> (Decomposition, PartitionTelemetry) {
+pub fn partition_with_shifts(
+    g: &CsrGraph,
+    shifts: &ExpShifts,
+) -> (Decomposition, PartitionTelemetry) {
     let n = g.num_vertices();
     assert_eq!(shifts.len(), n, "shifts must cover every vertex");
     if n == 0 {
@@ -103,9 +109,17 @@ pub fn partition_with_shifts(g: &CsrGraph, shifts: &ExpShifts) -> (Decomposition
         // head of the queue has distance more than δ_max − δ_u").
         let mut touched: Vec<Vertex> = if round < buckets.len() {
             if sequential_round {
-                buckets[round].iter().copied().filter(|&u| wake_bid(u)).collect()
+                buckets[round]
+                    .iter()
+                    .copied()
+                    .filter(|&u| wake_bid(u))
+                    .collect()
             } else {
-                buckets[round].par_iter().copied().filter(|&u| wake_bid(u)).collect()
+                buckets[round]
+                    .par_iter()
+                    .copied()
+                    .filter(|&u| wake_bid(u))
+                    .collect()
             }
         } else {
             Vec::new()
@@ -122,8 +136,7 @@ pub fn partition_with_shifts(g: &CsrGraph, shifts: &ExpShifts) -> (Decomposition
                 && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed) == u64::MAX
         };
         if sequential_round {
-            for i in 0..frontier.len() {
-                let u = frontier[i];
+            for &u in frontier.iter() {
                 let center = assignment_ref[u as usize].load(Ordering::Relaxed);
                 let key = shifts.claim_key(center);
                 for &v in g.neighbors(u) {
@@ -140,7 +153,10 @@ pub fn partition_with_shifts(g: &CsrGraph, shifts: &ExpShifts) -> (Decomposition
                 .par_iter()
                 .with_min_len(128)
                 .flat_map_iter(|&u| {
-                    g.neighbors(u).iter().copied().filter(move |&v| expand_bid(u, v))
+                    g.neighbors(u)
+                        .iter()
+                        .copied()
+                        .filter(move |&v| expand_bid(u, v))
                 })
                 .collect();
             touched.extend(expanded);

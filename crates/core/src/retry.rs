@@ -43,7 +43,9 @@ pub fn partition_with_retry(
 
     let mut best: Option<(usize, Decomposition)> = None;
     for attempt in 0..policy.max_attempts {
-        let run_opts = opts.clone().with_seed(opts.seed.wrapping_add(attempt as u64));
+        let run_opts = opts
+            .clone()
+            .with_seed(opts.seed.wrapping_add(attempt as u64));
         let d = partition(g, &run_opts);
         let cut = d.cut_edges(g);
         let radius = d.max_radius();
@@ -56,7 +58,7 @@ pub fn partition_with_retry(
                 radius_threshold,
             };
         }
-        if best.as_ref().map_or(true, |(c, _)| cut < *c) {
+        if best.as_ref().is_none_or(|(c, _)| cut < *c) {
             best = Some((cut, d));
         }
     }

@@ -120,10 +120,7 @@ mod tests {
     fn identical_on_skewed_graph() {
         let g = gen::rmat(9, 6 << 9, 0.57, 0.19, 0.19, 17);
         let o = opts(0.25, 17);
-        assert_eq!(
-            partition_sequential(&g, &o),
-            crate::partition(&g, &o)
-        );
+        assert_eq!(partition_sequential(&g, &o), crate::partition(&g, &o));
     }
 
     #[test]

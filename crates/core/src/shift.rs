@@ -258,14 +258,8 @@ mod tests {
     fn tie_break_variants_share_shifts() {
         let base = opts(0.3, 5);
         let frac = ExpShifts::generate(100, &base);
-        let perm = ExpShifts::generate(
-            100,
-            &base.clone().with_tie_break(TieBreak::Permutation),
-        );
-        let lex = ExpShifts::generate(
-            100,
-            &base.with_tie_break(TieBreak::Lexicographic),
-        );
+        let perm = ExpShifts::generate(100, &base.clone().with_tie_break(TieBreak::Permutation));
+        let lex = ExpShifts::generate(100, &base.with_tie_break(TieBreak::Lexicographic));
         assert_eq!(frac.delta, perm.delta);
         assert_eq!(frac.start_round, lex.start_round);
         assert!(lex.frac_key.iter().all(|&k| k == 0));

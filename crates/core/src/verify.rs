@@ -126,7 +126,11 @@ fn report_with_errors(g: &CsrGraph, d: &Decomposition, errors: Vec<String>) -> V
         max_radius: d.max_radius(),
         avg_radius: d.distances().iter().map(|&x| x as f64).sum::<f64>() / n as f64,
         cut_edges,
-        cut_fraction: if m == 0 { 0.0 } else { cut_edges as f64 / m as f64 },
+        cut_fraction: if m == 0 {
+            0.0
+        } else {
+            cut_edges as f64 / m as f64
+        },
         errors,
     }
 }
@@ -166,11 +170,8 @@ mod tests {
     fn detects_disconnected_cluster() {
         // Path 0-1-2 with fake decomposition {0,2} centered at 0 and {1}.
         let g = gen::path(3);
-        let d = Decomposition::from_raw(
-            vec![0, 1, 0],
-            vec![0, 0, 1],
-            vec![NO_VERTEX, NO_VERTEX, 1],
-        );
+        let d =
+            Decomposition::from_raw(vec![0, 1, 0], vec![0, 0, 1], vec![NO_VERTEX, NO_VERTEX, 1]);
         let r = verify_decomposition(&g, &d);
         assert!(!r.is_valid());
     }

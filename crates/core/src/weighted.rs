@@ -123,15 +123,23 @@ pub fn partition_weighted(g: &WeightedCsrGraph, opts: &DecompOptions) -> Weighte
         });
     }
     let mut settled = vec![false; n];
-    while let Some(Entry { dist: du, root: ru, vertex: u }) = heap.pop() {
-        if settled[u as usize] || du > dist[u as usize] || (du == dist[u as usize] && ru != root[u as usize]) {
+    while let Some(Entry {
+        dist: du,
+        root: ru,
+        vertex: u,
+    }) = heap.pop()
+    {
+        if settled[u as usize]
+            || du > dist[u as usize]
+            || (du == dist[u as usize] && ru != root[u as usize])
+        {
             continue;
         }
         settled[u as usize] = true;
         for (v, w) in g.neighbors_weighted(u) {
             let cand = du + w;
-            let better = cand < dist[v as usize]
-                || (cand == dist[v as usize] && ru < root[v as usize]);
+            let better =
+                cand < dist[v as usize] || (cand == dist[v as usize] && ru < root[v as usize]);
             if !settled[v as usize] && better {
                 dist[v as usize] = cand;
                 root[v as usize] = ru;
@@ -144,9 +152,7 @@ pub fn partition_weighted(g: &WeightedCsrGraph, opts: &DecompOptions) -> Weighte
         }
     }
 
-    let dist_to_center: Vec<f64> = (0..n)
-        .map(|v| dist[v] - start[root[v] as usize])
-        .collect();
+    let dist_to_center: Vec<f64> = (0..n).map(|v| dist[v] - start[root[v] as usize]).collect();
     WeightedDecomposition::from_raw(root, dist_to_center)
 }
 
@@ -318,7 +324,12 @@ pub fn verify_weighted(g: &WeightedCsrGraph, d: &WeightedDecomposition) -> Resul
             vertex: c,
         });
     }
-    while let Some(Entry { dist: du, vertex: u, .. }) = heap.pop() {
+    while let Some(Entry {
+        dist: du,
+        vertex: u,
+        ..
+    }) = heap.pop()
+    {
         if du > dist[u as usize] {
             continue;
         }
@@ -337,14 +348,16 @@ pub fn verify_weighted(g: &WeightedCsrGraph, d: &WeightedDecomposition) -> Resul
             }
         }
     }
-    for v in 0..n {
-        if !dist[v].is_finite() {
-            return Err(format!("vertex {v} disconnected from its center within cluster"));
+    for (v, &dv) in dist.iter().enumerate() {
+        if !dv.is_finite() {
+            return Err(format!(
+                "vertex {v} disconnected from its center within cluster"
+            ));
         }
-        if (dist[v] - d.dist_to_center[v]).abs() > 1e-6 * (1.0 + dist[v].abs()) {
+        if (dv - d.dist_to_center[v]).abs() > 1e-6 * (1.0 + dv.abs()) {
             return Err(format!(
                 "vertex {v}: recorded dist {} vs intra-cluster dist {}",
-                d.dist_to_center[v], dist[v]
+                d.dist_to_center[v], dv
             ));
         }
     }

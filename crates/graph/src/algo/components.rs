@@ -47,7 +47,9 @@ pub fn largest_component_mask(g: &CsrGraph) -> Vec<bool> {
     for &l in &label {
         sizes[l as usize] += 1;
     }
-    let best = (0..k).max_by_key(|&i| (sizes[i], std::cmp::Reverse(i))).unwrap_or(0) as Vertex;
+    let best = (0..k)
+        .max_by_key(|&i| (sizes[i], std::cmp::Reverse(i)))
+        .unwrap_or(0) as Vertex;
     label.iter().map(|&l| l == best).collect()
 }
 

@@ -45,13 +45,23 @@ pub fn multi_source_dijkstra(g: &WeightedCsrGraph, sources: &[(Vertex, f64)]) ->
     let mut dist = vec![f64::INFINITY; n];
     let mut heap = BinaryHeap::with_capacity(sources.len());
     for &(s, d0) in sources {
-        assert!(d0 >= 0.0 && d0.is_finite(), "source offsets must be finite non-negative");
+        assert!(
+            d0 >= 0.0 && d0.is_finite(),
+            "source offsets must be finite non-negative"
+        );
         if d0 < dist[s as usize] {
             dist[s as usize] = d0;
-            heap.push(Entry { dist: d0, vertex: s });
+            heap.push(Entry {
+                dist: d0,
+                vertex: s,
+            });
         }
     }
-    while let Some(Entry { dist: du, vertex: u }) = heap.pop() {
+    while let Some(Entry {
+        dist: du,
+        vertex: u,
+    }) = heap.pop()
+    {
         if du > dist[u as usize] {
             continue; // stale
         }
@@ -59,7 +69,10 @@ pub fn multi_source_dijkstra(g: &WeightedCsrGraph, sources: &[(Vertex, f64)]) ->
             let cand = du + w;
             if cand < dist[v as usize] {
                 dist[v as usize] = cand;
-                heap.push(Entry { dist: cand, vertex: v });
+                heap.push(Entry {
+                    dist: cand,
+                    vertex: v,
+                });
             }
         }
     }

@@ -162,7 +162,9 @@ mod tests {
         let mut b = GraphBuilder::new(n as usize);
         let mut state = 0x12345678u64;
         for _ in 0..40_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 16) % n as u64) as u32;
             let v = ((state >> 40) % n as u64) as u32;
             if u != v {

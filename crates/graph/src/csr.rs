@@ -188,7 +188,7 @@ impl CsrGraph {
                 if u as usize == v {
                     return Err(format!("self-loop at {v}"));
                 }
-                if !self.neighbors(u).binary_search(&(v as Vertex)).is_ok() {
+                if self.neighbors(u).binary_search(&(v as Vertex)).is_err() {
                     return Err(format!("edge ({v},{u}) not symmetric"));
                 }
             }

@@ -21,7 +21,9 @@ mod sbm;
 mod smallworld;
 mod trees;
 
-pub use classic::{caterpillar, complete, complete_bipartite, cycle, hypercube, lollipop, path, star};
+pub use classic::{
+    caterpillar, complete, complete_bipartite, cycle, hypercube, lollipop, path, star,
+};
 pub use grid::{grid2d, grid3d, torus2d};
 pub use powerlaw::{barabasi_albert, rmat};
 pub use random::{gnm, gnp, random_regular};
@@ -95,7 +97,10 @@ mod tests {
         let ws = [
             Workload::Grid { side: 10 },
             Workload::Gnm { n: 100, avg_deg: 4 },
-            Workload::Rmat { scale: 6, edge_factor: 8 },
+            Workload::Rmat {
+                scale: 6,
+                edge_factor: 8,
+            },
             Workload::Ba { n: 100, m: 3 },
         ];
         let labels: std::collections::HashSet<_> = ws.iter().map(|w| w.label()).collect();
@@ -108,7 +113,10 @@ mod tests {
             Workload::Grid { side: 8 },
             Workload::Grid3d { side: 4 },
             Workload::Gnm { n: 200, avg_deg: 6 },
-            Workload::Rmat { scale: 7, edge_factor: 8 },
+            Workload::Rmat {
+                scale: 7,
+                edge_factor: 8,
+            },
             Workload::Ba { n: 150, m: 2 },
             Workload::Regular { n: 100, d: 4 },
             Workload::SmallWorld { n: 120, k: 4 },
@@ -122,7 +130,10 @@ mod tests {
 
     #[test]
     fn workload_build_deterministic() {
-        let w = Workload::Rmat { scale: 7, edge_factor: 8 };
+        let w = Workload::Rmat {
+            scale: 7,
+            edge_factor: 8,
+        };
         assert_eq!(w.build(7), w.build(7));
     }
 }

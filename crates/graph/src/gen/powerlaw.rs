@@ -97,7 +97,11 @@ mod tests {
     fn rmat_basic() {
         let g = rmat(8, 2048, 0.57, 0.19, 0.19, 1);
         assert_eq!(g.num_vertices(), 256);
-        assert!(g.num_edges() > 512, "too many duplicates: {}", g.num_edges());
+        assert!(
+            g.num_edges() > 512,
+            "too many duplicates: {}",
+            g.num_edges()
+        );
         assert!(g.num_edges() <= 2048);
         assert!(g.validate().is_ok());
     }

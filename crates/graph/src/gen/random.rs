@@ -103,12 +103,14 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
 /// For constant `d` the expected number of retries is `O(e^{(d²-1)/4})`,
 /// small for the `d ≤ 10` range used in experiments.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> CsrGraph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be < n");
     let mut rng = StdRng::seed_from_u64(seed);
     'retry: for _attempt in 0..1000 {
         // Stubs: d copies of each vertex, shuffled, then paired up.
-        let mut stubs: Vec<Vertex> = (0..n as Vertex).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<Vertex> = (0..n as Vertex)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         // Fisher-Yates.
         for i in (1..stubs.len()).rev() {
             let j = rng.gen_range(0..=i);

@@ -35,14 +35,7 @@ pub fn sbm_block(v: Vertex, k: usize) -> Vertex {
     v % k as Vertex
 }
 
-fn sample_class(
-    b: &mut GraphBuilder,
-    n: usize,
-    k: usize,
-    p: f64,
-    intra: bool,
-    rng: &mut StdRng,
-) {
+fn sample_class(b: &mut GraphBuilder, n: usize, k: usize, p: f64, intra: bool, rng: &mut StdRng) {
     if p <= 0.0 || n < 2 {
         return;
     }

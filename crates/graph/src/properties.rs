@@ -71,7 +71,11 @@ pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
     let mut hist = vec![0usize; 33];
     for v in g.vertices() {
         let d = g.degree(v);
-        let bucket = if d <= 1 { 0 } else { usize::BITS as usize - (d.leading_zeros() as usize) };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            usize::BITS as usize - (d.leading_zeros() as usize)
+        };
         hist[bucket.min(32)] += 1;
     }
     while hist.len() > 1 && *hist.last().unwrap() == 0 {
@@ -120,6 +124,9 @@ mod tests {
     #[test]
     fn display_is_stable() {
         let s = GraphStats::of(&gen::path(3));
-        assert_eq!(format!("{s}"), "n=3 m=2 deg[min=1 avg=1.33 max=2] isolated=0");
+        assert_eq!(
+            format!("{s}"),
+            "n=3 m=2 deg[min=1 avg=1.33 max=2] isolated=0"
+        );
     }
 }

@@ -168,7 +168,10 @@ impl WeightedGraphBuilder {
             "edge ({u},{v}) out of range for n={}",
             self.n
         );
-        assert!(w.is_finite() && w > 0.0, "weight must be finite positive, got {w}");
+        assert!(
+            w.is_finite() && w > 0.0,
+            "weight must be finite positive, got {w}"
+        );
         if u != v {
             self.edges.push(if u < v { (u, v, w) } else { (v, u, w) });
         }

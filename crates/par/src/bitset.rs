@@ -17,7 +17,7 @@ pub struct AtomicBitset {
 impl AtomicBitset {
     /// All-zero bitset with `len` bits.
     pub fn new(len: usize) -> Self {
-        let words = (0..(len + 63) / 64).map(|_| AtomicU64::new(0)).collect();
+        let words = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
         AtomicBitset { words, len }
     }
 

@@ -55,7 +55,10 @@ mod tests {
         let run = |t| {
             with_threads(t, || {
                 use rayon::prelude::*;
-                (0..10_000u64).into_par_iter().map(|x| x * x % 7919).sum::<u64>()
+                (0..10_000u64)
+                    .into_par_iter()
+                    .map(|x| x * x % 7919)
+                    .sum::<u64>()
             })
         };
         assert_eq!(run(1), run(4));

@@ -29,7 +29,7 @@ pub fn exclusive_scan(input: &[usize], out: &mut [usize]) -> usize {
     if input.len() <= BLOCK {
         return exclusive_scan_seq(input, out);
     }
-    let nblocks = (input.len() + BLOCK - 1) / BLOCK;
+    let nblocks = input.len().div_ceil(BLOCK);
     // Pass 1: per-block sums.
     let mut block_sums: Vec<usize> = input
         .par_chunks(BLOCK)
@@ -69,7 +69,13 @@ pub fn compact_indices(keep: &[bool]) -> Vec<u32> {
     let slots: Vec<(usize, u32)> = keep
         .par_iter()
         .enumerate()
-        .filter_map(|(i, &k)| if k { Some((offsets[i], i as u32)) } else { None })
+        .filter_map(|(i, &k)| {
+            if k {
+                Some((offsets[i], i as u32))
+            } else {
+                None
+            }
+        })
         .collect();
     for (slot, v) in slots {
         out[slot] = v;

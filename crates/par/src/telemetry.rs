@@ -106,7 +106,9 @@ mod tests {
     #[test]
     fn concurrent_increments_are_exact() {
         let t = Telemetry::new();
-        (0..10_000).into_par_iter().for_each(|_| t.add_relaxations(2));
+        (0..10_000)
+            .into_par_iter()
+            .for_each(|_| t.add_relaxations(2));
         assert_eq!(t.relaxations(), 20_000);
     }
 

@@ -212,7 +212,11 @@ mod tests {
         let plain = pcg(&lap, &p.rhs, 1e-8, 4000, &Identity);
         let jac = pcg(&lap, &p.rhs, 1e-8, 4000, &Jacobi::new(lap.diagonal()));
 
-        assert!(with_tree.converged, "tree-PCG residual {}", with_tree.relative_residual);
+        assert!(
+            with_tree.converged,
+            "tree-PCG residual {}",
+            with_tree.relative_residual
+        );
         assert!(
             with_tree.iterations * 2 < plain.iterations.max(jac.iterations),
             "tree {} vs cg {} vs jacobi {}",

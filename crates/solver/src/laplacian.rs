@@ -105,10 +105,8 @@ mod tests {
 
     #[test]
     fn quadratic_form_matches_apply() {
-        let g = WeightedCsrGraph::from_edges(
-            4,
-            &[(0, 1, 2.0), (1, 2, 0.5), (2, 3, 1.5), (0, 3, 1.0)],
-        );
+        let g =
+            WeightedCsrGraph::from_edges(4, &[(0, 1, 2.0), (1, 2, 0.5), (2, 3, 1.5), (0, 3, 1.0)]);
         let lap = Laplacian::new(g);
         let x = [0.3, -1.2, 2.0, 0.7];
         let mut y = vec![0.0; 4];

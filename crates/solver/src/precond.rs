@@ -161,12 +161,12 @@ impl Preconditioner for TreeSolver {
         }
         // De-mean per component (fix the nullspace representative).
         let mut zsum = vec![0.0; k];
-        for v in 0..n {
-            zsum[self.component[v] as usize] += z[v];
+        for (&c, &zv) in self.component.iter().zip(z.iter()) {
+            zsum[c as usize] += zv;
         }
-        for v in 0..n {
-            let c = self.component[v] as usize;
-            z[v] -= zsum[c] / self.comp_sizes[c] as f64;
+        for (&c, zv) in self.component.iter().zip(z.iter_mut()) {
+            let c = c as usize;
+            *zv -= zsum[c] / self.comp_sizes[c] as f64;
         }
     }
 }
@@ -187,7 +187,9 @@ mod tests {
             let t = gen::random_tree(80, trial);
             let wg = WeightedCsrGraph::from_edges(
                 80,
-                &t.edges().map(|(u, v)| (u, v, rng.gen_range(0.5..3.0))).collect::<Vec<_>>(),
+                &t.edges()
+                    .map(|(u, v)| (u, v, rng.gen_range(0.5..3.0)))
+                    .collect::<Vec<_>>(),
             );
             let lap = crate::Laplacian::new(wg.clone());
             let edges: Vec<_> = wg.edges().map(|(u, v, _)| (u, v)).collect();
@@ -215,10 +217,8 @@ mod tests {
     #[test]
     fn tree_solver_handles_forests() {
         // Two disjoint paths.
-        let wg = WeightedCsrGraph::from_edges(
-            6,
-            &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 2.0), (4, 5, 2.0)],
-        );
+        let wg =
+            WeightedCsrGraph::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 2.0), (4, 5, 2.0)]);
         let solver = TreeSolver::new(&wg, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
         let lap = crate::Laplacian::new(wg);
         // Mean-zero r per component.

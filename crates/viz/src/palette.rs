@@ -8,7 +8,11 @@
 pub fn color_of_cluster(cluster: u32) -> [u8; 3] {
     // Golden-ratio hue walk, two saturation/value bands for extra contrast.
     let hue = (cluster as f64 * 0.618_033_988_749_895).fract();
-    let (sat, val) = if cluster % 2 == 0 { (0.65, 0.95) } else { (0.85, 0.75) };
+    let (sat, val) = if cluster.is_multiple_of(2) {
+        (0.65, 0.95)
+    } else {
+        (0.85, 0.75)
+    };
     hsv_to_rgb(hue, sat, val)
 }
 
@@ -53,7 +57,11 @@ mod tests {
         let colors: Vec<[u8; 3]> = (0..64).map(color_of_cluster).collect();
         assert_eq!(colors, (0..64).map(color_of_cluster).collect::<Vec<_>>());
         let distinct: std::collections::HashSet<_> = colors.iter().collect();
-        assert!(distinct.len() >= 60, "only {} distinct colors", distinct.len());
+        assert!(
+            distinct.len() >= 60,
+            "only {} distinct colors",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ fn main() {
         (g.num_edges() as f64).log2()
     );
     let mut remaining = g.num_edges();
-    println!("{:>6} {:>10} {:>10} {:>16}", "block", "edges", "residual", "max_piece_radius");
+    println!(
+        "{:>6} {:>10} {:>10} {:>16}",
+        "block", "edges", "residual", "max_piece_radius"
+    );
     for (i, b) in bd.blocks.iter().enumerate() {
         remaining -= b.edges.len();
         println!(

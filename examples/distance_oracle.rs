@@ -33,7 +33,10 @@ fn main() {
 
     // Parallel connectivity by decompose-and-contract.
     let (labels, k) = parallel_components(&g, 0.3, 3);
-    println!("\nparallel connectivity: {k} component(s) over {} vertices", labels.len());
+    println!(
+        "\nparallel connectivity: {k} component(s) over {} vertices",
+        labels.len()
+    );
     assert_eq!(k, algo::num_components(&g));
     println!("matches the sequential BFS oracle.");
 }

@@ -15,8 +15,15 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
     let g = gen::grid2d(side, side);
-    println!("{side}x{side} grid: n={}, m={}", g.num_vertices(), g.num_edges());
-    println!("{:>8} {:>9} {:>11} {:>13} {:>9}", "beta", "clusters", "max_radius", "cut_fraction", "file");
+    println!(
+        "{side}x{side} grid: n={}, m={}",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!(
+        "{:>8} {:>9} {:>11} {:>13} {:>9}",
+        "beta", "clusters", "max_radius", "cut_fraction", "file"
+    );
 
     for beta in [0.002, 0.005, 0.01, 0.02, 0.05, 0.1] {
         let d = partition(&g, &DecompOptions::new(beta).with_seed(2013));

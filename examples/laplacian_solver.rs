@@ -29,7 +29,10 @@ fn main() {
 
     let tol = 1e-8;
     for (label, out) in [
-        ("cg (no preconditioner)", pcg(&lap, &p.rhs, tol, 50_000, &Identity)),
+        (
+            "cg (no preconditioner)",
+            pcg(&lap, &p.rhs, tol, 50_000, &Identity),
+        ),
         ("jacobi-pcg", pcg(&lap, &p.rhs, tol, 50_000, &jacobi)),
         ("mpx-tree-pcg", pcg(&lap, &p.rhs, tol, 50_000, &tree_pc)),
     ] {

@@ -4,8 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mpx::prelude::*;
 use mpx::graph::gen;
+use mpx::prelude::*;
 
 fn main() {
     // A 200×200 grid — the paper's Figure 1 workload, scaled down.
@@ -23,7 +23,11 @@ fn main() {
 
     // Inspect it.
     println!("clusters: {}", d.num_clusters());
-    println!("max radius: {} (ln(n)/β = {:.0})", d.max_radius(), (g.num_vertices() as f64).ln() / beta);
+    println!(
+        "max radius: {} (ln(n)/β = {:.0})",
+        d.max_radius(),
+        (g.num_vertices() as f64).ln() / beta
+    );
     println!(
         "cut edges: {} of {} ({:.2}% — β = {:.0}%)",
         d.cut_edges(&g),

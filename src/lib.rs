@@ -54,8 +54,8 @@ pub use mpx_viz as viz;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use mpx_decomp::{
-        partition, partition_sequential, verify_decomposition, Decomposition, DecompOptions,
-        TieBreak,
+        partition, partition_exact, partition_hybrid, partition_sequential, verify_decomposition,
+        DecompOptions, Decomposition, DecompositionStats, TieBreak,
     };
     pub use mpx_graph::{CsrGraph, GraphBuilder, Vertex, WeightedCsrGraph};
 }

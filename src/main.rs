@@ -46,6 +46,21 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Parses a beta argument, rejecting non-positive or non-finite values
+/// before they reach the `DecompOptions` assertion.
+fn parse_beta(s: &str) -> Result<f64, String> {
+    let beta: f64 = s.parse().map_err(|_| "bad beta".to_string())?;
+    if !beta.is_finite() || beta <= 0.0 {
+        return Err(format!("beta must be positive and finite, got {beta}"));
+    }
+    Ok(beta)
+}
+
+/// Hard cap on the vertex/edge count a CLI-generated graph may imply;
+/// larger requests get a clean error instead of a capacity-overflow panic
+/// or a doomed multi-gigabyte allocation inside a generator.
+const MAX_GEN_SIZE: usize = 1 << 31;
+
 /// Parses a workload spec like `grid:100` or `rmat:12:8`.
 fn parse_workload(spec: &str, seed: u64) -> Result<CsrGraph, String> {
     let parts: Vec<&str> = spec.split(':').collect();
@@ -56,14 +71,55 @@ fn parse_workload(spec: &str, seed: u64) -> Result<CsrGraph, String> {
             .parse()
             .map_err(|_| format!("workload '{spec}': bad number in field {i}"))
     };
+    // Rejects a workload whose implied size (vertices, or a product like
+    // side², n·d, n·m) exceeds the cap; `None` means it already
+    // overflowed `usize`.
+    let bounded = |what: &str, implied: Option<usize>| -> Result<usize, String> {
+        implied
+            .filter(|&s| s <= MAX_GEN_SIZE)
+            .ok_or_else(|| format!("workload '{spec}': {what} too large (max 2^31)"))
+    };
     match parts[0] {
-        "grid" => Ok(gen::grid2d(num(1)?, num(1)?)),
-        "rmat" => Ok(gen::rmat(num(1)? as u32, num(2)? << num(1)?, 0.57, 0.19, 0.19, seed)),
-        "gnm" => Ok(gen::gnm(num(1)?, num(2)?, seed)),
-        "ba" => Ok(gen::barabasi_albert(num(1)?, num(2)?, seed)),
-        "regular" => Ok(gen::random_regular(num(1)?, num(2)?, seed)),
-        "path" => Ok(gen::path(num(1)?)),
-        "sbm" => Ok(gen::sbm(num(1)?, num(2)?, 0.1, 0.005, seed)),
+        "grid" => {
+            let side = num(1)?;
+            bounded("grid size side*side", side.checked_mul(side))?;
+            Ok(gen::grid2d(side, side))
+        }
+        "rmat" => {
+            let scale = num(1)?;
+            if scale > 28 {
+                return Err(format!(
+                    "workload '{spec}': rmat scale {scale} too large (max 28)"
+                ));
+            }
+            let m = bounded("edge count", num(2)?.checked_mul(1usize << scale))?;
+            Ok(gen::rmat(scale as u32, m, 0.57, 0.19, 0.19, seed))
+        }
+        "gnm" => Ok(gen::gnm(
+            bounded("vertex count", Some(num(1)?))?,
+            bounded("edge count", Some(num(2)?))?,
+            seed,
+        )),
+        "ba" => {
+            let (n, m) = (num(1)?, num(2)?);
+            bounded("edge count n*m", n.checked_mul(m))?;
+            Ok(gen::barabasi_albert(n, m, seed))
+        }
+        "regular" => {
+            let (n, d) = (num(1)?, num(2)?);
+            bounded("edge count n*d", n.checked_mul(d))?;
+            Ok(gen::random_regular(n, d, seed))
+        }
+        "path" => Ok(gen::path(bounded("vertex count", Some(num(1)?))?)),
+        "sbm" => {
+            let (n, k) = (num(1)?, num(2)?);
+            // Expected edges ≈ p_in·n²/(2k) with p_in = 0.1.
+            bounded(
+                "expected edge count",
+                n.checked_mul(n).map(|s| s / 20 / k.max(1)),
+            )?;
+            Ok(gen::sbm(n, k, 0.1, 0.005, seed))
+        }
         other => Err(format!("unknown workload family '{other}'")),
     }
 }
@@ -71,7 +127,9 @@ fn parse_workload(spec: &str, seed: u64) -> Result<CsrGraph, String> {
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let spec = args.first().ok_or("gen: missing workload")?;
     let out = args.get(1).ok_or("gen: missing output path")?;
-    let seed: u64 = args.get(2).map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let seed: u64 = args
+        .get(2)
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
     let g = parse_workload(spec, seed)?;
     io::write_edge_list(&g, out).map_err(|e| e.to_string())?;
     println!("wrote {out}: n={} m={}", g.num_vertices(), g.num_edges());
@@ -89,12 +147,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 
 fn cmd_partition(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("partition: missing graph path")?;
-    let beta: f64 = args
-        .get(1)
-        .ok_or("partition: missing beta")?
-        .parse()
-        .map_err(|_| "bad beta".to_string())?;
-    let seed: u64 = args.get(2).map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let beta = parse_beta(args.get(1).ok_or("partition: missing beta")?)?;
+    let seed: u64 = args
+        .get(2)
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
     let g = io::read_edge_list(path).map_err(|e| e.to_string())?;
     let d = partition(&g, &DecompOptions::new(beta).with_seed(seed));
     let stats = DecompositionStats::compute(&g, &d);
@@ -106,9 +162,7 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         return Err(format!("verification FAILED: {:?}", report.errors));
     }
     if let Some(out) = args.get(3) {
-        let mut f = std::io::BufWriter::new(
-            std::fs::File::create(out).map_err(|e| e.to_string())?,
-        );
+        let mut f = std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| e.to_string())?);
         for v in 0..g.num_vertices() {
             writeln!(f, "{}", d.center_of(v as u32)).map_err(|e| e.to_string())?;
         }
@@ -123,13 +177,11 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
         .ok_or("render-grid: missing side")?
         .parse()
         .map_err(|_| "bad side".to_string())?;
-    let beta: f64 = args
-        .get(1)
-        .ok_or("render-grid: missing beta")?
-        .parse()
-        .map_err(|_| "bad beta".to_string())?;
+    let beta = parse_beta(args.get(1).ok_or("render-grid: missing beta")?)?;
     let out = args.get(2).ok_or("render-grid: missing output path")?;
-    let seed: u64 = args.get(3).map_or(Ok(2013), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let seed: u64 = args
+        .get(3)
+        .map_or(Ok(2013), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
     let g = gen::grid2d(side, side);
     let d = partition(&g, &DecompOptions::new(beta).with_seed(seed));
     let img = mpx::viz::render_grid_partition(side, side, &d);

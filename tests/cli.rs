@@ -21,7 +21,11 @@ fn gen_stats_partition_pipeline() {
         .args(["gen", "grid:30", graph_path.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("n=900"));
 
     let out = mpx()
@@ -41,7 +45,11 @@ fn gen_stats_partition_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("verified"), "{text}");
 
@@ -62,7 +70,11 @@ fn render_grid_writes_ppm() {
         .args(["render-grid", "40", "0.1", img_path.to_str().unwrap(), "3"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bytes = std::fs::read(&img_path).unwrap();
     assert!(bytes.starts_with(b"P6\n40 40\n255\n"));
     std::fs::remove_file(img_path).ok();

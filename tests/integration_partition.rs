@@ -2,8 +2,8 @@
 //! entry point, on every graph family, checked by the full verifier.
 
 use mpx::decomp::{
-    partition, partition_exact, partition_sequential, partition_with_retry,
-    verify_decomposition, DecompOptions, RetryPolicy, TieBreak,
+    partition, partition_exact, partition_sequential, partition_with_retry, verify_decomposition,
+    DecompOptions, RetryPolicy, TieBreak,
 };
 use mpx::graph::gen::{self, Workload};
 use mpx::par::with_threads;
@@ -13,8 +13,14 @@ fn all_workloads_all_betas_valid() {
     let workloads = [
         Workload::Grid { side: 40 },
         Workload::Grid3d { side: 12 },
-        Workload::Gnm { n: 2000, avg_deg: 6 },
-        Workload::Rmat { scale: 11, edge_factor: 8 },
+        Workload::Gnm {
+            n: 2000,
+            avg_deg: 6,
+        },
+        Workload::Rmat {
+            scale: 11,
+            edge_factor: 8,
+        },
         Workload::Ba { n: 1500, m: 3 },
         Workload::Regular { n: 1600, d: 4 },
         Workload::SmallWorld { n: 1500, k: 3 },
@@ -95,10 +101,7 @@ fn tie_break_rules_valid_and_similar_quality() {
     // Section 5: quality should be nearly identical across rules.
     let max = cuts.iter().cloned().fold(f64::MIN, f64::max);
     let min = cuts.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(
-        max - min < 0.25 * max,
-        "tie-break rules diverge: {cuts:?}"
-    );
+    assert!(max - min < 0.25 * max, "tie-break rules diverge: {cuts:?}");
 }
 
 #[test]

@@ -53,7 +53,7 @@ fn lemma_4_4_close_minima_probability() {
     }
     let p = close as f64 / trials as f64;
     let bound = (beta * c).exp() - 1.0; // ≈ 0.105
-    // Sampling slack: 4 standard errors.
+                                        // Sampling slack: 4 standard errors.
     let slack = 4.0 * (bound * (1.0 - bound) / trials as f64).sqrt();
     assert!(
         p <= bound + slack,

@@ -1,11 +1,11 @@
 //! Property-based tests (proptest) of the core invariants, on arbitrary
 //! random graphs and parameters.
 
+use mpx::decomp::parallel::partition_with_shifts;
+use mpx::decomp::sequential::partition_sequential_with_shifts;
 use mpx::decomp::{
     partition, partition_sequential, verify_decomposition, DecompOptions, ExpShifts, TieBreak,
 };
-use mpx::decomp::parallel::partition_with_shifts;
-use mpx::decomp::sequential::partition_sequential_with_shifts;
 use mpx::graph::{algo, CsrGraph, Vertex};
 use proptest::prelude::*;
 

@@ -4,8 +4,7 @@
 
 use mpx::decomp::weighted::{partition_weighted, partition_weighted_parallel, verify_weighted};
 use mpx::decomp::{
-    partition, partition_hybrid, verify_decomposition, DecompOptions, Decomposition,
-    ShiftStrategy,
+    partition, partition_hybrid, verify_decomposition, DecompOptions, Decomposition, ShiftStrategy,
 };
 use mpx::graph::{CsrGraph, Vertex, WeightedCsrGraph, NO_VERTEX};
 use proptest::prelude::*;
@@ -19,11 +18,7 @@ fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
 
 /// Rebuilds a Decomposition from mutated raw arrays, tolerating the cases
 /// where `from_raw` itself already rejects the corruption.
-fn rebuild(
-    assignment: Vec<Vertex>,
-    dist: Vec<u32>,
-    parent: Vec<Vertex>,
-) -> Option<Decomposition> {
+fn rebuild(assignment: Vec<Vertex>, dist: Vec<u32>, parent: Vec<Vertex>) -> Option<Decomposition> {
     std::panic::catch_unwind(|| Decomposition::from_raw(assignment, dist, parent)).ok()
 }
 

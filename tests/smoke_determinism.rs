@@ -1,0 +1,58 @@
+//! Smoke test for the determinism contract: the parallel, sequential,
+//! hybrid (direction-optimizing) and exact-reference implementations must
+//! produce **identical** assignments for the same options — on a grid and
+//! on a GNM graph, across several seeds. This is the invariant every
+//! later performance PR must preserve.
+
+use mpx::decomp::{
+    partition, partition_exact, partition_hybrid, partition_sequential, verify_decomposition,
+    DecompOptions,
+};
+use mpx::graph::{gen, CsrGraph};
+
+fn assert_all_variants_identical(g: &CsrGraph, name: &str) {
+    for seed in [1u64, 42, 20130723] {
+        for beta in [0.1, 0.25] {
+            let opts = DecompOptions::new(beta).with_seed(seed);
+            let par = partition(g, &opts);
+            let seq = partition_sequential(g, &opts);
+            let hyb = partition_hybrid(g, &opts);
+            let exact = partition_exact(g, &opts);
+
+            assert_eq!(
+                par.assignment(),
+                seq.assignment(),
+                "{name}: parallel != sequential (seed {seed}, beta {beta})"
+            );
+            assert_eq!(
+                par.assignment(),
+                hyb.assignment(),
+                "{name}: parallel != hybrid (seed {seed}, beta {beta})"
+            );
+            assert_eq!(
+                par.assignment(),
+                exact.assignment(),
+                "{name}: parallel != exact (seed {seed}, beta {beta})"
+            );
+
+            let report = verify_decomposition(g, &par);
+            assert!(
+                report.is_valid(),
+                "{name}: invalid decomposition (seed {seed}, beta {beta}): {:?}",
+                report.errors
+            );
+        }
+    }
+}
+
+#[test]
+fn all_variants_identical_on_grid() {
+    let g = gen::grid2d(40, 40);
+    assert_all_variants_identical(&g, "grid 40x40");
+}
+
+#[test]
+fn all_variants_identical_on_gnm() {
+    let g = gen::gnm(1200, 3600, 7);
+    assert_all_variants_identical(&g, "gnm n=1200 m=3600");
+}

@@ -1,0 +1,287 @@
+//! Offline stub of `criterion`: the macro + builder surface the workspace
+//! benches use. See `vendor/README.md`.
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then
+//! runs timed iterations until `measurement_time` elapses or
+//! `sample_size` samples are collected, and prints the mean, min and max
+//! iteration time on one line. No statistics beyond that — this exists
+//! so `cargo bench` runs offline and produces comparable wall-clock
+//! numbers, not confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: collects configuration and runs benchmark closures.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Parses CLI configuration — a no-op in this stub.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks. The group gets its own
+    /// copy of the configuration, so per-group overrides do not leak into
+    /// later benchmarks (matching real criterion's scoping).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: self.clone(),
+            name: name.into(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(self, id, &mut f);
+        self
+    }
+
+    /// Runs a standalone benchmark parameterized by an input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(self, &id.render(), &mut |b| f(b, input));
+        self
+    }
+}
+
+/// A named collection of benchmarks with its own copy of the parent
+/// configuration (overrides are scoped to the group).
+pub struct BenchmarkGroup<'a> {
+    config: Criterion,
+    name: String,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_one(&self.config, &label, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_one(&self.config, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of a single benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured
+/// routine.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measures repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least one run, until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: until the time budget or the sample target is hit.
+        let measure_start = Instant::now();
+        while self.samples.len() < self.config.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if measure_start.elapsed() >= self.config.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(config: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        b.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Defines a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

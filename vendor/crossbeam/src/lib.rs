@@ -1,0 +1,55 @@
+//! Offline stub of `crossbeam` exposing only what the workspace uses:
+//! [`utils::CachePadded`]. See `vendor/README.md`.
+
+/// Utilities for concurrent programming.
+pub mod utils {
+    use core::fmt;
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line (128 bytes,
+    /// matching crossbeam's choice on x86_64/aarch64).
+    #[derive(Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pads and aligns a value to the length of a cache line.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(t: T) -> Self {
+            CachePadded::new(t)
+        }
+    }
+}

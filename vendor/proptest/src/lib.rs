@@ -1,0 +1,206 @@
+//! Offline stub of `proptest`: the `proptest!` macro, the strategy
+//! combinators the workspace uses, and a deterministic case runner.
+//! See `vendor/README.md`.
+//!
+//! Differences from upstream: case generation is seeded from the test's
+//! module path + name (stable across runs and machines), and there is
+//! **no shrinking** — a failing case reports its case number and seed so
+//! it can be replayed, not a minimized input.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Supports the
+/// `#![proptest_config(...)]` header and one or more
+/// `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $crate::__proptest_one! {
+                config = $config;
+                $(#[$meta])*
+                fn $name( $($pat in $strat),+ ) $body
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $crate::__proptest_one! {
+                config = $crate::test_runner::ProptestConfig::default();
+                $(#[$meta])*
+                fn $name( $($pat in $strat),+ ) $body
+            }
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ ) $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __cases: u32 = __config.cases;
+            let __seed: u64 =
+                $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng = $crate::test_runner::TestRng::new(__seed);
+            // A tuple of strategies is itself a strategy for a tuple.
+            let __strats = ( $( $strat, )+ );
+            let mut __ran: u32 = 0;
+            let mut __rejects: u32 = 0;
+            // Mirrors upstream proptest's `max_global_rejects` default: the
+            // test either completes every configured case or fails loudly —
+            // rejection can never silently shrink coverage.
+            let __max_rejects: u32 = 1024;
+            while __ran < __cases {
+                let __case_rng_state = __rng.state();
+                let ( $( $pat, )+ ) =
+                    $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::std::result::Result::Ok(()) => __ran += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(reason)) => {
+                        __rejects += 1;
+                        ::std::assert!(
+                            __rejects <= __max_rejects,
+                            "proptest {}: too many global rejects ({} while completing {} of {} cases), last: {}",
+                            stringify!($name), __rejects, __ran, __cases, reason
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        ::std::panic!(
+                            "proptest {}: case #{} failed (rng state {:#018x}): {}",
+                            stringify!($name), __ran + 1, __case_rng_state, msg
+                        );
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __left, __right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right),
+                    ::std::format!($($fmt)+), __left, __right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if __left == __right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current test case (it is regenerated, not failed) unless
+/// the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![$($strategy),+])
+    };
+}

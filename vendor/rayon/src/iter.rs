@@ -1,0 +1,359 @@
+//! The parallel-iterator surface: a thin wrapper over `std` iterators.
+//!
+//! [`Par`] carries *inherent* methods for every rayon combinator the
+//! workspace uses; inherent methods take precedence over the `Iterator`
+//! trait methods `Par` also implements, so rayon-arity variants (e.g.
+//! two-argument `reduce`) resolve correctly.
+
+/// A "parallel" iterator: a newtype over a sequential iterator.
+#[derive(Clone, Debug)]
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: DoubleEndedIterator> DoubleEndedIterator for Par<I> {
+    fn next_back(&mut self) -> Option<I::Item> {
+        self.0.next_back()
+    }
+}
+
+impl<I: ExactSizeIterator> ExactSizeIterator for Par<I> {}
+
+/// Conversion into a parallel iterator (mirrors rayon's trait; blanket
+/// over everything iterable).
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The item type.
+    type Item;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter()` on `&self` (mirrors rayon's trait).
+pub trait IntoParallelRefIterator<'a> {
+    /// The underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The item type (a reference).
+    type Item: 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoParallelIterator,
+{
+    type Iter = <&'a T as IntoParallelIterator>::Iter;
+    type Item = <&'a T as IntoParallelIterator>::Item;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` on `&mut self` (mirrors rayon's trait).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The item type (a mutable reference).
+    type Item: 'a;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+where
+    &'a mut T: IntoParallelIterator,
+{
+    type Iter = <&'a mut T as IntoParallelIterator>::Iter;
+    type Item = <&'a mut T as IntoParallelIterator>::Item;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        self.into_par_iter()
+    }
+}
+
+/// Marker trait mirroring `rayon::iter::ParallelIterator` so that glob
+/// imports of the prelude resolve. All combinators are inherent on
+/// [`Par`].
+pub trait ParallelIterator {}
+impl<I: Iterator> ParallelIterator for Par<I> {}
+
+/// Marker trait mirroring `rayon::iter::IndexedParallelIterator`.
+pub trait IndexedParallelIterator: ParallelIterator {}
+impl<I: Iterator> IndexedParallelIterator for Par<I> {}
+
+impl<I: Iterator> Par<I> {
+    /// Maps each item.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Keeps items satisfying the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    /// Filter + map in one pass.
+    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    /// Maps each item to an iterable and flattens.
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, U, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    /// rayon's `flat_map_iter` — same as [`Par::flat_map`] here.
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, U, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Flattens nested iterables.
+    pub fn flatten(self) -> Par<std::iter::Flatten<I>>
+    where
+        I::Item: IntoIterator,
+    {
+        Par(self.0.flatten())
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Runs `f` on each item for side effects.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Copies referenced items.
+    pub fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.copied())
+    }
+
+    /// Clones referenced items.
+    pub fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<I>>
+    where
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.cloned())
+    }
+
+    /// Calls `f` on each item as it flows past.
+    pub fn inspect<F: FnMut(&I::Item)>(self, f: F) -> Par<std::iter::Inspect<I, F>> {
+        Par(self.0.inspect(f))
+    }
+
+    /// Chains another iterable after this one.
+    pub fn chain<J: IntoParallelIterator<Item = I::Item>>(
+        self,
+        other: J,
+    ) -> Par<std::iter::Chain<I, J::Iter>> {
+        Par(self.0.chain(other.into_par_iter().0))
+    }
+
+    /// Zips with another iterable.
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<std::iter::Zip<I, J::Iter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Steps by `n` (indexed combinator).
+    pub fn step_by(self, n: usize) -> Par<std::iter::StepBy<I>> {
+        Par(self.0.step_by(n))
+    }
+
+    /// Takes the first `n` items.
+    pub fn take(self, n: usize) -> Par<std::iter::Take<I>> {
+        Par(self.0.take(n))
+    }
+
+    /// Skips the first `n` items.
+    pub fn skip(self, n: usize) -> Par<std::iter::Skip<I>> {
+        Par(self.0.skip(n))
+    }
+
+    /// Reverses an indexed iterator.
+    pub fn rev(self) -> Par<std::iter::Rev<I>>
+    where
+        I: DoubleEndedIterator,
+    {
+        Par(self.0.rev())
+    }
+
+    /// Scheduling hint — a no-op in this sequential stub.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Scheduling hint — a no-op in this sequential stub.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// rayon-style fold: per-split accumulators. A sequential schedule has
+    /// exactly one split, so this yields a single accumulated value.
+    pub fn fold<T, ID: Fn() -> T, F: FnMut(T, I::Item) -> T>(
+        self,
+        identity: ID,
+        fold_op: F,
+    ) -> Par<std::iter::Once<T>> {
+        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// rayon-style two-argument reduce.
+    pub fn reduce<ID: Fn() -> I::Item, OP: FnMut(I::Item, I::Item) -> I::Item>(
+        self,
+        identity: ID,
+        op: OP,
+    ) -> I::Item {
+        self.0.fold(identity(), op)
+    }
+
+    /// Reduces with `op`, returning `None` on an empty iterator.
+    pub fn reduce_with<OP: FnMut(I::Item, I::Item) -> I::Item>(self, op: OP) -> Option<I::Item> {
+        self.0.reduce(op)
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Multiplies the items.
+    pub fn product<P: std::iter::Product<I::Item>>(self) -> P {
+        self.0.product()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Minimum by comparator.
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.min_by(f)
+    }
+
+    /// Maximum by comparator.
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.max_by(f)
+    }
+
+    /// Minimum by key.
+    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.min_by_key(f)
+    }
+
+    /// Maximum by key.
+    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.max_by_key(f)
+    }
+
+    /// True if any item satisfies the predicate.
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        it.any(f)
+    }
+
+    /// True if all items satisfy the predicate.
+    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        it.all(f)
+    }
+
+    /// Finds some item satisfying the predicate (the first, here).
+    pub fn find_any<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+        let mut it = self.0;
+        it.find(f)
+    }
+
+    /// Finds the first item satisfying the predicate.
+    pub fn find_first<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+        let mut it = self.0;
+        it.find(f)
+    }
+
+    /// Position of some item satisfying the predicate (the first, here).
+    pub fn position_any<F: FnMut(I::Item) -> bool>(self, f: F) -> Option<usize> {
+        let mut it = self.0;
+        it.position(f)
+    }
+
+    /// Position of the first item satisfying the predicate.
+    pub fn position_first<F: FnMut(I::Item) -> bool>(self, f: F) -> Option<usize> {
+        let mut it = self.0;
+        it.position(f)
+    }
+
+    /// Collects into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Collects an indexed iterator into the given vector, replacing its
+    /// contents.
+    pub fn collect_into_vec(self, target: &mut Vec<I::Item>) {
+        target.clear();
+        target.extend(self.0);
+    }
+
+    /// Unzips pair items into two collections.
+    pub fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+    where
+        I: Iterator<Item = (A, B)>,
+        FromA: Default + Extend<A>,
+        FromB: Default + Extend<B>,
+    {
+        self.0.unzip()
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stub of `rayon`: the parallel-iterator API surface the
+//! workspace uses, executed **sequentially**. See `vendor/README.md`.
+//!
+//! The decomposition algorithms in this workspace are deterministic *by
+//! construction* (CAS-free claiming orders, per-vertex counter RNG), so a
+//! sequential schedule is an admissible — if slower — execution of every
+//! parallel loop. Swapping in real rayon changes wall-clock, not output.
+//!
+//! [`ThreadPoolBuilder::build`] + [`ThreadPool::install`] maintain a
+//! logical thread count (thread-local) so that experiment code sweeping
+//! thread counts still observes `current_num_threads()` follow the pool.
+
+use std::cell::Cell;
+
+pub mod iter;
+pub mod slice;
+
+pub use iter::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par};
+pub use slice::{ParallelSlice, ParallelSliceMut};
+
+/// Everything needed to call `par_iter()` & friends, mirroring
+/// `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static LOGICAL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Returns the number of threads in the current pool (the logical count
+/// installed by [`ThreadPool::install`], or the machine parallelism).
+pub fn current_num_threads() -> usize {
+    LOGICAL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs two closures, nominally in parallel (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. Never produced by this stub.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a new builder with default (machine) parallelism.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the number of threads (0 means the machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in this stub.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool. Work "installed" on it runs on the calling
+/// thread, with [`current_num_threads`] reporting the pool's size.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Executes `f` in the scope of this pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = LOGICAL_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                LOGICAL_THREADS.with(|t| t.set(prev));
+            }
+        }
+        let _guard = Restore(prev);
+        f()
+    }
+
+    /// The number of threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v: Vec<u64> = (0..1000).collect();
+        let a: u64 = v.par_iter().map(|x| x * 2).sum();
+        let b: u64 = v.iter().map(|x| x * 2).sum();
+        assert_eq!(a, b);
+        let c: Vec<u64> = (0..50u64).into_par_iter().filter(|x| x % 3 == 0).collect();
+        let d: Vec<u64> = (0..50u64).filter(|x| x % 3 == 0).collect();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v = vec![5, 1, 4, 2, 3];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+}

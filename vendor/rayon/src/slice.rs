@@ -1,0 +1,80 @@
+//! Parallel slice extensions: `par_chunks`, `par_sort*`, etc., all
+//! delegating to the sequential `std` equivalents.
+
+use crate::iter::Par;
+use std::cmp::Ordering;
+
+/// Shared-slice parallel operations (mirrors `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over chunks of `size` elements.
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    /// Parallel iterator over exact chunks of `size` elements.
+    fn par_chunks_exact(&self, size: usize) -> Par<std::slice::ChunksExact<'_, T>>;
+    /// Parallel iterator over overlapping windows of `size` elements.
+    fn par_windows(&self, size: usize) -> Par<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+    fn par_chunks_exact(&self, size: usize) -> Par<std::slice::ChunksExact<'_, T>> {
+        Par(self.chunks_exact(size))
+    }
+    fn par_windows(&self, size: usize) -> Par<std::slice::Windows<'_, T>> {
+        Par(self.windows(size))
+    }
+}
+
+/// Mutable-slice parallel operations (mirrors
+/// `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over mutable chunks of `size` elements.
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    /// Stable parallel sort.
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    /// Stable parallel sort by comparator.
+    fn par_sort_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F);
+    /// Stable parallel sort by key.
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    /// Unstable parallel sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable parallel sort by comparator.
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F);
+    /// Unstable parallel sort by key.
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    fn par_sort_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F) {
+        self.sort_by(cmp);
+    }
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key);
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F) {
+        self.sort_unstable_by(cmp);
+    }
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
