@@ -35,6 +35,12 @@ pub struct BfsResult {
     pub rounds: u64,
     /// Number of directed edges inspected (work proxy).
     pub relaxations: u64,
+    /// Parallel regions dispatched to the worker pool across all rounds
+    /// (thin rounds run inline and contribute none).
+    pub par_regions: u64,
+    /// Sum over those regions of the distinct worker threads that served
+    /// them; `par_regions == 0` means the search ran fully sequentially.
+    pub worker_participations: u64,
 }
 
 /// Single-source parallel BFS distances.
@@ -70,6 +76,7 @@ pub fn par_bfs_parents(g: &CsrGraph, sources: &[Vertex]) -> BfsResult {
     let mut level: Dist = 0;
     while !frontier.is_empty() {
         telemetry.add_round();
+        let rt_before = mpx_runtime::stats::snapshot();
         let scanned: u64 = frontier.iter().map(|&u| g.degree(u) as u64).sum();
         telemetry.add_relaxations(scanned);
         let next_level = level + 1;
@@ -102,6 +109,8 @@ pub fn par_bfs_parents(g: &CsrGraph, sources: &[Vertex]) -> BfsResult {
                 .collect()
         };
         telemetry.add_claims(next.len() as u64);
+        let rt_delta = mpx_runtime::stats::snapshot().delta_since(&rt_before);
+        telemetry.add_round_utilization(rt_delta.regions, rt_delta.participations);
         frontier = next;
         level = next_level;
     }
@@ -111,6 +120,8 @@ pub fn par_bfs_parents(g: &CsrGraph, sources: &[Vertex]) -> BfsResult {
         parent: parent.into_iter().map(|p| p.into_inner()).collect(),
         rounds: telemetry.rounds(),
         relaxations: telemetry.relaxations(),
+        par_regions: telemetry.par_regions(),
+        worker_participations: telemetry.worker_participations(),
     }
 }
 

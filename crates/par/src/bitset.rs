@@ -107,7 +107,7 @@ mod tests {
     fn concurrent_claims_have_exactly_one_winner_per_bit() {
         let bs = AtomicBitset::new(1024);
         // 64 claimants per bit; count total wins.
-        let wins: usize = (0..1024 * 64)
+        let wins: usize = (0..1024 * 64usize)
             .into_par_iter()
             .map(|i| usize::from(bs.test_and_set(i % 1024)))
             .sum();

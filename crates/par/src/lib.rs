@@ -30,6 +30,6 @@ pub mod telemetry;
 
 pub use bfs::{par_bfs, par_bfs_from, par_bfs_parents, BfsResult};
 pub use bitset::AtomicBitset;
-pub use pool::with_threads;
+pub use pool::{default_threads, with_threads};
 pub use rng::SplitMix64;
 pub use telemetry::Telemetry;

@@ -1,13 +1,15 @@
 //! Scoped thread-pool control.
 //!
 //! Thread-scaling experiments (table T7) need to run the same algorithm
-//! under different worker counts without poisoning the global rayon pool.
-//! [`with_threads`] builds a dedicated pool, runs the closure inside it, and
-//! tears it down.
+//! under different worker counts without poisoning the global pool.
+//! [`with_threads`] builds a dedicated pool of real OS worker threads
+//! (backed by `mpx-runtime` through the rayon facade), runs the closure
+//! *on* it, and tears it down — joining the workers — when done.
 
-/// Runs `f` on a fresh rayon pool with exactly `threads` workers. All rayon
+/// Runs `f` on a fresh pool with exactly `threads` OS worker threads. All
 /// parallelism inside `f` (parallel iterators, joins, scopes) uses that
-/// pool.
+/// pool; the closure itself executes on one of the pool's workers, so
+/// `rayon::current_num_threads()` inside `f` reports `threads`.
 ///
 /// ```
 /// let sum: u64 = mpx_par::with_threads(2, || {
@@ -25,14 +27,19 @@ pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R 
     pool.install(f)
 }
 
-/// Number of logical CPUs rayon would use by default.
+/// Number of logical CPUs the default pool uses: the `MPX_THREADS`
+/// environment variable when set to a positive integer, else
+/// [`std::thread::available_parallelism`].
 pub fn default_threads() -> usize {
-    rayon::current_num_threads()
+    mpx_runtime::default_threads()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
 
     #[test]
     fn pool_has_requested_threads() {
@@ -44,7 +51,7 @@ mod tests {
     fn single_thread_pool_works() {
         let v: Vec<i32> = with_threads(1, || {
             use rayon::prelude::*;
-            (0..100).into_par_iter().map(|x| x * 2).collect()
+            (0..100i32).into_par_iter().map(|x| x * 2).collect()
         });
         assert_eq!(v.len(), 100);
         assert_eq!(v[99], 198);
@@ -62,5 +69,47 @@ mod tests {
             })
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn default_threads_reports_logical_cpus() {
+        let n = default_threads();
+        assert!(n >= 1);
+        // Unless overridden by MPX_THREADS, this is the machine's logical
+        // CPU count — not a thread-local constant some installed pool set.
+        if std::env::var("MPX_THREADS").is_err() {
+            assert_eq!(
+                n,
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1)
+            );
+        }
+    }
+
+    /// Acceptance criterion of the runtime subsystem: a 4-thread pool
+    /// demonstrably executes closures on distinct OS threads.
+    #[test]
+    fn with_threads_uses_multiple_os_threads() {
+        use rayon::prelude::*;
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        // Sleeping bodies hand the CPU to parked workers, which makes the
+        // spread reliable even on single-CPU machines; retry for safety.
+        for _ in 0..5 {
+            with_threads(4, || {
+                (0..64u32).into_par_iter().for_each(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                });
+            });
+            if seen.lock().unwrap().len() >= 2 {
+                break;
+            }
+        }
+        let unique = seen.lock().unwrap().len();
+        assert!(
+            unique >= 2,
+            "a 4-thread pool served every closure from {unique} thread"
+        );
     }
 }

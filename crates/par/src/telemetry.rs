@@ -1,4 +1,4 @@
-//! Work/depth telemetry counters.
+//! Work/depth and worker-utilization telemetry counters.
 //!
 //! The paper states PRAM bounds: `O(log² n / β)` depth and `O(m)` work
 //! (Theorem 1.2). On a real machine we can't observe PRAM depth directly, so
@@ -8,6 +8,20 @@
 //!   is `O(log n)` PRAM depth, so `rounds × log n` tracks the depth bound.
 //! * **relaxations** — number of directed edge inspections. This tracks the
 //!   `O(m)` work bound.
+//!
+//! With the `mpx-runtime` engine the harness can also observe how *wide*
+//! each round actually ran: every parallel region reports how many
+//! distinct worker threads claimed at least one of its chunks
+//! ([`mpx_runtime::stats`]). Callers snapshot those global counters
+//! around a round and record the delta via
+//! [`Telemetry::add_round_utilization`]:
+//!
+//! * **par_regions** — parallel regions dispatched to the pool (thin
+//!   rounds that ran on the sequential fast path contribute none).
+//! * **worker_participations** — sum over regions of distinct
+//!   participating workers; `worker_participations / par_regions` is the
+//!   average width a region achieved.
+//! * **peak_round_participations** — the busiest single round.
 //!
 //! Counters are cache-padded atomics so that heavy parallel incrementing
 //! does not false-share, and increments are batched per frontier chunk (not
@@ -22,6 +36,9 @@ pub struct Telemetry {
     rounds: CachePadded<AtomicU64>,
     relaxations: CachePadded<AtomicU64>,
     claims: CachePadded<AtomicU64>,
+    par_regions: CachePadded<AtomicU64>,
+    worker_participations: CachePadded<AtomicU64>,
+    peak_round_participations: CachePadded<AtomicU64>,
 }
 
 impl Telemetry {
@@ -49,6 +66,21 @@ impl Telemetry {
         self.claims.fetch_add(k, Ordering::Relaxed);
     }
 
+    /// Records one round's worker utilization: `regions` parallel regions
+    /// served by `participations` worker slots in total (a delta of
+    /// [`mpx_runtime::stats::snapshot`] taken around the round).
+    #[inline]
+    pub fn add_round_utilization(&self, regions: u64, participations: u64) {
+        if regions == 0 {
+            return;
+        }
+        self.par_regions.fetch_add(regions, Ordering::Relaxed);
+        self.worker_participations
+            .fetch_add(participations, Ordering::Relaxed);
+        self.peak_round_participations
+            .fetch_max(participations, Ordering::Relaxed);
+    }
+
     /// Number of rounds recorded.
     pub fn rounds(&self) -> u64 {
         self.rounds.load(Ordering::Relaxed)
@@ -64,11 +96,40 @@ impl Telemetry {
         self.claims.load(Ordering::Relaxed)
     }
 
+    /// Parallel regions dispatched to the worker pool.
+    pub fn par_regions(&self) -> u64 {
+        self.par_regions.load(Ordering::Relaxed)
+    }
+
+    /// Total worker participations across all recorded regions.
+    pub fn worker_participations(&self) -> u64 {
+        self.worker_participations.load(Ordering::Relaxed)
+    }
+
+    /// Worker participations of the busiest recorded round.
+    pub fn peak_round_participations(&self) -> u64 {
+        self.peak_round_participations.load(Ordering::Relaxed)
+    }
+
+    /// Average number of distinct workers that served each parallel
+    /// region (0 when nothing was dispatched to the pool).
+    pub fn avg_workers_per_region(&self) -> f64 {
+        let regions = self.par_regions();
+        if regions == 0 {
+            0.0
+        } else {
+            self.worker_participations() as f64 / regions as f64
+        }
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.rounds.store(0, Ordering::Relaxed);
         self.relaxations.store(0, Ordering::Relaxed);
         self.claims.store(0, Ordering::Relaxed);
+        self.par_regions.store(0, Ordering::Relaxed);
+        self.worker_participations.store(0, Ordering::Relaxed);
+        self.peak_round_participations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -76,10 +137,12 @@ impl std::fmt::Display for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "rounds={} relaxations={} claims={}",
+            "rounds={} relaxations={} claims={} par_regions={} avg_workers={:.2}",
             self.rounds(),
             self.relaxations(),
-            self.claims()
+            self.claims(),
+            self.par_regions(),
+            self.avg_workers_per_region()
         )
     }
 }
@@ -106,16 +169,56 @@ mod tests {
     #[test]
     fn concurrent_increments_are_exact() {
         let t = Telemetry::new();
-        (0..10_000)
+        (0..10_000u32)
             .into_par_iter()
             .for_each(|_| t.add_relaxations(2));
         assert_eq!(t.relaxations(), 20_000);
     }
 
     #[test]
+    fn utilization_counters_accumulate() {
+        let t = Telemetry::new();
+        t.add_round_utilization(0, 0); // no regions: no-op
+        t.add_round_utilization(2, 5);
+        t.add_round_utilization(1, 4);
+        assert_eq!(t.par_regions(), 3);
+        assert_eq!(t.worker_participations(), 9);
+        assert_eq!(t.peak_round_participations(), 5);
+        assert!((t.avg_workers_per_region() - 3.0).abs() < 1e-12);
+        t.reset();
+        assert_eq!(t.par_regions(), 0);
+        assert_eq!(t.avg_workers_per_region(), 0.0);
+    }
+
+    #[test]
+    fn utilization_observed_from_runtime_stats() {
+        // Drive a parallel region through a multi-thread pool and verify
+        // the runtime's stats delta is recordable. Counters are global,
+        // so only lower bounds are asserted.
+        let before = mpx_runtime::stats::snapshot();
+        crate::with_threads(2, || {
+            (0..4096u32).into_par_iter().for_each(|_| {
+                std::hint::black_box(());
+            });
+        });
+        let delta = mpx_runtime::stats::snapshot().delta_since(&before);
+        assert!(delta.regions >= 1, "parallel region was not recorded");
+        // Snapshots are two independent relaxed loads of global counters;
+        // concurrent tests can tear them, so clamp instead of asserting
+        // participations >= regions.
+        let participations = delta.participations.max(delta.regions);
+        let t = Telemetry::new();
+        t.add_round_utilization(delta.regions, participations);
+        assert!(t.avg_workers_per_region() >= 1.0);
+    }
+
+    #[test]
     fn display_format() {
         let t = Telemetry::new();
         t.add_round();
-        assert_eq!(format!("{t}"), "rounds=1 relaxations=0 claims=0");
+        assert_eq!(
+            format!("{t}"),
+            "rounds=1 relaxations=0 claims=0 par_regions=0 avg_workers=0.00"
+        );
     }
 }

@@ -1,0 +1,79 @@
+//! Blocking completion latches.
+//!
+//! A [`Latch`] is the one synchronization primitive waiters block on: a
+//! fast-path atomic flag backed by a mutex + condvar for the slow path.
+//! Setters flip the flag *then* notify under the lock, so a waiter that
+//! checks the flag under the same lock can never miss the wakeup.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A one-shot "done" flag a thread can block on.
+#[derive(Debug, Default)]
+pub(crate) struct Latch {
+    done: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    /// Fresh unset latch.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once [`Latch::set`] has been called.
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Marks the latch set and wakes every waiter. All memory writes made
+    /// by the setter before this call are visible to threads returning
+    /// from [`Latch::wait`].
+    pub(crate) fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        // Lock/unlock pairs with the waiter's check-under-lock: without it
+        // a waiter could observe `done == false`, lose the race to this
+        // notify, and sleep forever.
+        let _guard = self.lock.lock().unwrap();
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the latch is set.
+    pub(crate) fn wait(&self) {
+        if self.probe() {
+            return;
+        }
+        let mut guard = self.lock.lock().unwrap();
+        while !self.probe() {
+            guard = self.cv.wait(guard).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_before_wait_returns_immediately() {
+        let l = Latch::new();
+        l.set();
+        l.wait();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn wait_blocks_until_set() {
+        let l = Arc::new(Latch::new());
+        let l2 = l.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            l2.set();
+        });
+        l.wait();
+        assert!(l.probe());
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic parallel merge sort.
+//!
+//! Recursive halving down to a fixed cutoff, sequential `sort_by` at the
+//! leaves, pairwise merges on the way up with the two halves sorted via
+//! [`crate::join`]. Split points depend only on the slice length — never on
+//! the thread count or schedule — and the merge takes from the left run on
+//! ties, so the output is **stable and bit-identical** for every pool size
+//! (including for the `*_unstable` rayon entry points the facade maps
+//! here).
+
+use std::cmp::Ordering;
+use std::ptr;
+
+/// Below this length a sub-slice is sorted sequentially; the constant is
+/// part of the deterministic split layout, so changing it changes nothing
+/// observable (stable sorts are value-deterministic) but re-tunes the
+/// task granularity.
+const SORT_SEQ_CUTOFF: usize = 4096;
+
+/// Sorts `v` by `cmp` using fork-join parallelism. Stable.
+pub fn par_merge_sort_by<T, C>(v: &mut [T], cmp: &C)
+where
+    T: Send,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    if v.len() <= SORT_SEQ_CUTOFF || crate::current_num_threads() <= 1 {
+        v.sort_by(cmp);
+        return;
+    }
+    let mid = v.len() / 2;
+    let (left, right) = v.split_at_mut(mid);
+    crate::join(
+        || par_merge_sort_by(left, cmp),
+        || par_merge_sort_by(right, cmp),
+    );
+    merge(v, mid, cmp);
+}
+
+/// Merges the two sorted runs `v[..mid]` and `v[mid..]` in place, buffering
+/// the left run. Ties take the left element (stability).
+fn merge<T, C>(v: &mut [T], mid: usize, cmp: &C)
+where
+    C: Fn(&T, &T) -> Ordering,
+{
+    let len = v.len();
+    if mid == 0 || mid == len {
+        return;
+    }
+    let ptr = v.as_mut_ptr();
+    let mut buf: Vec<T> = Vec::with_capacity(mid);
+
+    /// Restores un-merged left-run elements into the hole on drop, which
+    /// keeps every element initialized exactly once even if `cmp` panics
+    /// mid-merge.
+    struct Hole<T> {
+        start: *mut T,
+        end: *mut T,
+        dest: *mut T,
+    }
+    impl<T> Drop for Hole<T> {
+        fn drop(&mut self) {
+            // SAFETY: `[start, end)` holds initialized elements the main
+            // loop has not yet consumed, and the hole at `dest` has
+            // exactly that much uninitialized room (see the dest < right
+            // invariant below).
+            unsafe {
+                let remaining = self.end.offset_from(self.start) as usize;
+                ptr::copy_nonoverlapping(self.start, self.dest, remaining);
+            }
+        }
+    }
+
+    // SAFETY: the left run is moved into `buf`'s spare capacity (buf.len()
+    // stays 0, so nothing double-drops); `v[..mid]` becomes a hole that the
+    // merge loop — or `Hole::drop` on panic — refills. The loop invariant
+    // `dest < right` holds because dest advances once per consumed element
+    // while at most `mid` left-elements can be consumed ahead of right's
+    // cursor, so the destination never overwrites unread right-run data.
+    unsafe {
+        ptr::copy_nonoverlapping(ptr, buf.as_mut_ptr(), mid);
+        let mut hole = Hole {
+            start: buf.as_mut_ptr(),
+            end: buf.as_mut_ptr().add(mid),
+            dest: ptr,
+        };
+        let mut right = ptr.add(mid);
+        let right_end = ptr.add(len);
+        while hole.start < hole.end && right < right_end {
+            // Strict `Less` keeps ties on the left: stability.
+            let take_right = cmp(&*right, &*hole.start) == Ordering::Less;
+            let src = if take_right { right } else { hole.start };
+            ptr::copy_nonoverlapping(src, hole.dest, 1);
+            if take_right {
+                right = right.add(1);
+            } else {
+                hole.start = hole.start.add(1);
+            }
+            hole.dest = hole.dest.add(1);
+        }
+        // Hole::drop copies any left-run tail into place; a right-run tail
+        // is already in position (dest == right exactly when the left run
+        // is exhausted).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(mut v: Vec<u64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_merge_sort_by(&mut v, &|a, b| a.cmp(b));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_small_and_large() {
+        check(vec![]);
+        check(vec![1]);
+        check(vec![3, 1, 2]);
+        let big: Vec<u64> = (0..50_000).map(|i| (i * 2654435761) % 10_007).collect();
+        check(big);
+    }
+
+    #[test]
+    fn stable_on_equal_keys() {
+        // Sort pairs by first element only; second element records input
+        // order and must stay sorted within equal keys.
+        let mut v: Vec<(u32, u32)> = (0..30_000u32).map(|i| (i % 7, i)).collect();
+        par_merge_sort_by(&mut v, &|a, b| a.0.cmp(&b.0));
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated: {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_across_pool_sizes() {
+        let input: Vec<u64> = (0..40_000).map(|i| (i * 48271) % 2_147_483_647).collect();
+        let sort_with = |threads: usize| {
+            let pool = crate::Pool::new(threads);
+            let mut v = input.clone();
+            pool.install(|| par_merge_sort_by(&mut v, &|a, b| a.cmp(b)));
+            v
+        };
+        let one = sort_with(1);
+        let four = sort_with(4);
+        assert_eq!(one, four);
+    }
+}

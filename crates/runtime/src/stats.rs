@@ -1,0 +1,92 @@
+//! Process-wide utilization counters.
+//!
+//! Every parallel-for region records how many distinct threads claimed at
+//! least one of its chunks. Telemetry layers (e.g. `mpx-par`) snapshot
+//! these monotone counters around a unit of work and report the delta.
+//! Counters are global across threads, so deltas taken while *other*
+//! threads also run parallel regions over-count — treat them as
+//! lower-bounded attribution, not an exact per-caller measure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static REGIONS: AtomicU64 = AtomicU64::new(0);
+static PARTICIPATIONS: AtomicU64 = AtomicU64::new(0);
+static CHUNKS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of the global utilization counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Parallel-for regions dispatched to the pool (sequential fast-path
+    /// executions are not counted).
+    pub regions: u64,
+    /// Sum over regions of the number of distinct participating threads.
+    pub participations: u64,
+    /// Total chunks claimed across all regions.
+    pub chunks: u64,
+}
+
+impl Snapshot {
+    /// Counter increments since `earlier` (saturating, in case `earlier`
+    /// is from another epoch).
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            regions: self.regions.saturating_sub(earlier.regions),
+            participations: self.participations.saturating_sub(earlier.participations),
+            chunks: self.chunks.saturating_sub(earlier.chunks),
+        }
+    }
+
+    /// Mean number of threads that served each region (0 when no regions
+    /// ran).
+    pub fn avg_workers_per_region(&self) -> f64 {
+        if self.regions == 0 {
+            0.0
+        } else {
+            self.participations as f64 / self.regions as f64
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        regions: REGIONS.load(Ordering::Relaxed),
+        participations: PARTICIPATIONS.load(Ordering::Relaxed),
+        chunks: CHUNKS.load(Ordering::Relaxed),
+    }
+}
+
+/// Records one completed parallel-for region.
+pub(crate) fn record_region(participants: usize, chunks: usize) {
+    REGIONS.fetch_add(1, Ordering::Relaxed);
+    PARTICIPATIONS.fetch_add(participants as u64, Ordering::Relaxed);
+    CHUNKS.fetch_add(chunks as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate() {
+        let before = snapshot();
+        record_region(3, 17);
+        record_region(1, 2);
+        let delta = snapshot().delta_since(&before);
+        // Other test threads may also record; bounds, not equalities.
+        assert!(delta.regions >= 2);
+        assert!(delta.participations >= 4);
+        assert!(delta.chunks >= 19);
+    }
+
+    #[test]
+    fn avg_workers_handles_empty() {
+        assert_eq!(Snapshot::default().avg_workers_per_region(), 0.0);
+        let s = Snapshot {
+            regions: 4,
+            participations: 10,
+            chunks: 0,
+        };
+        assert!((s.avg_workers_per_region() - 2.5).abs() < 1e-12);
+    }
+}

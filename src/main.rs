@@ -3,19 +3,25 @@
 //! ```text
 //! mpx gen <workload> <out.txt> [seed]        generate a graph (edge list)
 //! mpx stats <graph.txt>                      print graph statistics
-//! mpx partition <graph.txt> <beta> [seed] [labels-out.txt]
+//! mpx partition <graph.txt> <beta> [seed] [labels-out.txt] [--threads N]
 //!                                            decompose + verify + stats
+//! mpx bench <workload> <beta> [seed] [--threads N]
+//!                                            machine-readable JSON benchmark
 //! mpx render-grid <side> <beta> <out.ppm> [seed]
 //!                                            Figure-1-style mosaic
 //! ```
 //!
-//! Workload syntax for `gen`: `grid:<side>`, `rmat:<scale>:<edge_factor>`,
-//! `gnm:<n>:<m>`, `ba:<n>:<m>`, `regular:<n>:<d>`, `path:<n>`,
-//! `sbm:<n>:<k>`.
+//! Workload syntax for `gen`/`bench`: `grid:<side>`,
+//! `rmat:<scale>:<edge_factor>`, `gnm:<n>:<m>`, `ba:<n>:<m>`,
+//! `regular:<n>:<d>`, `path:<n>`, `sbm:<n>:<k>`.
+//!
+//! Thread count resolution: `--threads N` wins, else the `MPX_THREADS`
+//! environment variable, else the machine's logical CPU count.
 
 use mpx::decomp::{partition, verify_decomposition, DecompOptions, DecompositionStats};
 use mpx::graph::{gen, io, CsrGraph};
 use std::io::Write;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,7 +38,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mpx gen <workload> <out.txt> [seed]\n  mpx stats <graph.txt>\n  mpx partition <graph.txt> <beta> [seed] [labels-out.txt]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k>"
+    "usage:\n  mpx gen <workload> <out.txt> [seed]\n  mpx stats <graph.txt>\n  mpx partition <graph.txt> <beta> [seed] [labels-out.txt] [--threads N]\n  mpx bench <workload> <beta> [seed] [--threads N]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k>\nthreads: --threads N > MPX_THREADS env > logical CPUs"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -40,9 +46,52 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("gen") => cmd_gen(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("partition") => cmd_partition(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("render-grid") => cmd_render(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
+    }
+}
+
+/// Extracts a `--threads N` / `--threads=N` flag (anywhere in the
+/// argument list), returning the remaining positional arguments and the
+/// parsed count. Any other `--` argument is rejected rather than being
+/// silently absorbed as a positional.
+fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), String> {
+    let parse = |value: &str| -> Result<usize, String> {
+        let n: usize = value
+            .parse()
+            .map_err(|_| format!("--threads: bad value '{value}'"))?;
+        if n == 0 {
+            return Err("--threads: need at least one thread".into());
+        }
+        Ok(n)
+    };
+    let mut rest = Vec::with_capacity(args.len());
+    let mut threads = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let value = it.next().ok_or("--threads: missing value")?;
+            threads = Some(parse(value)?);
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            threads = Some(parse(value)?);
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag '{arg}'"));
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, threads))
+}
+
+/// Runs `f` under the requested thread count: a dedicated pool for an
+/// explicit `--threads`, the default pool (which honors `MPX_THREADS`)
+/// otherwise.
+fn with_thread_choice<R: Send>(threads: Option<usize>, f: impl FnOnce() -> R + Send) -> R {
+    match threads {
+        Some(n) => mpx::par::with_threads(n, f),
+        None => f(),
     }
 }
 
@@ -146,13 +195,15 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let (args, threads) = extract_threads(args)?;
     let path = args.first().ok_or("partition: missing graph path")?;
     let beta = parse_beta(args.get(1).ok_or("partition: missing beta")?)?;
     let seed: u64 = args
         .get(2)
         .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
     let g = io::read_edge_list(path).map_err(|e| e.to_string())?;
-    let d = partition(&g, &DecompOptions::new(beta).with_seed(seed));
+    let opts = DecompOptions::new(beta).with_seed(seed);
+    let d = with_thread_choice(threads, || partition(&g, &opts));
     let stats = DecompositionStats::compute(&g, &d);
     println!("{stats}");
     let report = verify_decomposition(&g, &d);
@@ -168,6 +219,85 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         }
         println!("labels written to {out}");
     }
+    Ok(())
+}
+
+/// `mpx bench <workload> <beta> [seed] [--threads N]` — runs the full
+/// decomposition pipeline on a generated graph and emits one JSON object
+/// on stdout: per-phase wall-clock, thread count, partition statistics and
+/// worker-pool utilization. This is the machine-readable baseline the
+/// perf-trajectory files (`BENCH_*.json`) are built from.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (args, threads) = extract_threads(args)?;
+    let spec = args.first().ok_or("bench: missing workload")?;
+    let beta = parse_beta(args.get(1).ok_or("bench: missing beta")?)?;
+    let seed: u64 = args
+        .get(2)
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let effective_threads = threads.unwrap_or_else(mpx::par::default_threads);
+
+    fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+        let start = Instant::now();
+        let r = f();
+        (r, start.elapsed().as_secs_f64() * 1e3)
+    }
+
+    let opts = DecompOptions::new(beta).with_seed(seed);
+    let rt_before = mpx_runtime::stats::snapshot();
+    // The whole pipeline — including graph generation and verification,
+    // which have parallel inner loops — runs under the requested thread
+    // count so every phase's wall-clock is attributable to it.
+    let (g, gen_ms, shifts_ms, d, telemetry, partition_ms, report, verify_ms) =
+        with_thread_choice(threads, || {
+            let (g, gen_ms) = time_ms(|| parse_workload(spec, seed));
+            let g = g?;
+            let (shifts, shifts_ms) =
+                time_ms(|| mpx::decomp::ExpShifts::generate(g.num_vertices(), &opts));
+            let ((d, telemetry), partition_ms) =
+                time_ms(|| mpx::decomp::parallel::partition_with_shifts(&g, &shifts));
+            let (report, verify_ms) = time_ms(|| verify_decomposition(&g, &d));
+            Ok::<_, String>((
+                g,
+                gen_ms,
+                shifts_ms,
+                d,
+                telemetry,
+                partition_ms,
+                report,
+                verify_ms,
+            ))
+        })?;
+    let g = &g;
+    let rt_delta = mpx_runtime::stats::snapshot().delta_since(&rt_before);
+    if !report.is_valid() {
+        return Err(format!("bench: verification FAILED: {:?}", report.errors));
+    }
+    let stats = DecompositionStats::compute(g, &d);
+
+    // Hand-rolled JSON: flat, stable key order, no external deps.
+    println!("{{");
+    println!("  \"workload\": \"{spec}\",");
+    println!("  \"beta\": {beta},");
+    println!("  \"seed\": {seed},");
+    println!("  \"threads\": {effective_threads},");
+    println!("  \"n\": {},", g.num_vertices());
+    println!("  \"m\": {},", g.num_edges());
+    println!(
+        "  \"phases_ms\": {{ \"gen\": {gen_ms:.3}, \"shifts\": {shifts_ms:.3}, \"partition\": {partition_ms:.3}, \"verify\": {verify_ms:.3} }},"
+    );
+    println!(
+        "  \"partition\": {{ \"clusters\": {}, \"max_radius\": {}, \"cut_edges\": {}, \"rounds\": {}, \"relaxations\": {} }},",
+        d.num_clusters(),
+        d.max_radius(),
+        stats.cut_edges,
+        telemetry.rounds,
+        telemetry.relaxations
+    );
+    println!(
+        "  \"runtime\": {{ \"par_regions\": {}, \"worker_participations\": {}, \"chunks_claimed\": {} }}",
+        rt_delta.regions, rt_delta.participations, rt_delta.chunks
+    );
+    println!("}}");
     Ok(())
 }
 

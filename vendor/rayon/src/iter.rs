@@ -1,59 +1,44 @@
-//! The parallel-iterator surface: a thin wrapper over `std` iterators.
+//! The parallel-iterator surface, mirroring `rayon::iter`.
 //!
-//! [`Par`] carries *inherent* methods for every rayon combinator the
-//! workspace uses; inherent methods take precedence over the `Iterator`
-//! trait methods `Par` also implements, so rayon-arity variants (e.g.
-//! two-argument `reduce`) resolve correctly.
+//! Pipelines are built lazily from *sources* (ranges, slices, vectors)
+//! through *adapters* (`map`, `filter`, `zip`, …) and executed by
+//! *terminals* (`for_each`, `collect`, `sum`, …). Execution is genuinely
+//! multi-threaded via [`crate::plumbing`] over the `mpx-runtime` pool,
+//! with a chunk layout and combine order that are pure functions of the
+//! input — see the plumbing module for the determinism argument.
+//!
+//! Two traits carry the combinators, exactly like real rayon:
+//! [`ParallelIterator`] for everything, and the
+//! [`IndexedParallelIterator`] marker for pipelines that produce exactly
+//! one item per base index, which is what makes position-sensitive
+//! adapters (`enumerate`, `zip`, `skip`, …) meaningful.
 
-/// A "parallel" iterator: a newtype over a sequential iterator.
-#[derive(Clone, Debug)]
-pub struct Par<I>(pub I);
+use crate::plumbing::{drive, Plumbing, Reducer};
+use std::cmp::Ordering;
+use std::marker::PhantomData;
 
-impl<I: Iterator> Iterator for Par<I> {
-    type Item = I::Item;
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
-    }
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
-    }
-}
+// ===========================================================================
+// Conversion traits
+// ===========================================================================
 
-impl<I: DoubleEndedIterator> DoubleEndedIterator for Par<I> {
-    fn next_back(&mut self) -> Option<I::Item> {
-        self.0.next_back()
-    }
-}
-
-impl<I: ExactSizeIterator> ExactSizeIterator for Par<I> {}
-
-/// Conversion into a parallel iterator (mirrors rayon's trait; blanket
-/// over everything iterable).
+/// Conversion into a parallel iterator (mirrors rayon's trait).
 pub trait IntoParallelIterator {
-    /// The underlying sequential iterator.
-    type Iter: Iterator<Item = Self::Item>;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
     /// The item type.
-    type Item;
+    type Item: Send;
     /// Converts `self` into a parallel iterator.
-    fn into_par_iter(self) -> Par<Self::Iter>;
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
-    type Item = T::Item;
-    fn into_par_iter(self) -> Par<T::IntoIter> {
-        Par(self.into_iter())
-    }
+    fn into_par_iter(self) -> Self::Iter;
 }
 
 /// `par_iter()` on `&self` (mirrors rayon's trait).
 pub trait IntoParallelRefIterator<'a> {
-    /// The underlying sequential iterator.
-    type Iter: Iterator<Item = Self::Item>;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
     /// The item type (a reference).
-    type Item: 'a;
+    type Item: Send + 'a;
     /// Borrowing parallel iterator.
-    fn par_iter(&'a self) -> Par<Self::Iter>;
+    fn par_iter(&'a self) -> Self::Iter;
 }
 
 impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
@@ -62,19 +47,19 @@ where
 {
     type Iter = <&'a T as IntoParallelIterator>::Iter;
     type Item = <&'a T as IntoParallelIterator>::Item;
-    fn par_iter(&'a self) -> Par<Self::Iter> {
+    fn par_iter(&'a self) -> Self::Iter {
         self.into_par_iter()
     }
 }
 
 /// `par_iter_mut()` on `&mut self` (mirrors rayon's trait).
 pub trait IntoParallelRefMutIterator<'a> {
-    /// The underlying sequential iterator.
-    type Iter: Iterator<Item = Self::Item>;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
     /// The item type (a mutable reference).
-    type Item: 'a;
+    type Item: Send + 'a;
     /// Mutably borrowing parallel iterator.
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
 }
 
 impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
@@ -83,277 +68,1395 @@ where
 {
     type Iter = <&'a mut T as IntoParallelIterator>::Iter;
     type Item = <&'a mut T as IntoParallelIterator>::Item;
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
         self.into_par_iter()
     }
 }
 
-/// Marker trait mirroring `rayon::iter::ParallelIterator` so that glob
-/// imports of the prelude resolve. All combinators are inherent on
-/// [`Par`].
-pub trait ParallelIterator {}
-impl<I: Iterator> ParallelIterator for Par<I> {}
+// ===========================================================================
+// Sources
+// ===========================================================================
 
-/// Marker trait mirroring `rayon::iter::IndexedParallelIterator`.
-pub trait IndexedParallelIterator: ParallelIterator {}
-impl<I: Iterator> IndexedParallelIterator for Par<I> {}
+/// Parallel iterator over an integer range.
+#[derive(Clone, Debug)]
+pub struct RangePar<T> {
+    start: T,
+    end: T,
+}
 
-impl<I: Iterator> Par<I> {
+macro_rules! range_par_impl {
+    ($(($t:ty, $ut:ty)),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangePar<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangePar<$t> {
+                RangePar { start: self.start, end: self.end }
+            }
+        }
+
+        impl Plumbing for RangePar<$t> {
+            type Item = $t;
+            type Part<'a> = std::ops::Range<$t>;
+            fn base_len(&self) -> usize {
+                if self.end <= self.start {
+                    0
+                } else {
+                    // Two's-complement span via the unsigned twin: exact
+                    // even for signed ranges wider than the type's max
+                    // (e.g. i8::MIN..i8::MAX).
+                    (self.end as $ut).wrapping_sub(self.start as $ut) as usize
+                }
+            }
+            unsafe fn part(&self, lo: usize, hi: usize) -> std::ops::Range<$t> {
+                // Offsets applied in the unsigned twin wrap back to the
+                // right signed values.
+                let at = |o: usize| (self.start as $ut).wrapping_add(o as $ut) as $t;
+                at(lo)..at(hi)
+            }
+        }
+
+        impl IndexedParallelIterator for RangePar<$t> {}
+    )*};
+}
+
+range_par_impl!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+/// Parallel iterator over `&[T]`.
+#[derive(Clone, Debug)]
+pub struct SlicePar<'d, T> {
+    slice: &'d [T],
+}
+
+impl<'d, T> SlicePar<'d, T> {
+    pub(crate) fn new(slice: &'d [T]) -> Self {
+        SlicePar { slice }
+    }
+}
+
+impl<'d, T: Sync> Plumbing for SlicePar<'d, T> {
+    type Item = &'d T;
+    type Part<'a>
+        = std::slice::Iter<'d, T>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> std::slice::Iter<'d, T> {
+        self.slice[lo..hi].iter()
+    }
+}
+
+impl<'d, T: Sync> IndexedParallelIterator for SlicePar<'d, T> {}
+
+impl<'d, T: Sync> IntoParallelIterator for &'d [T] {
+    type Iter = SlicePar<'d, T>;
+    type Item = &'d T;
+    fn into_par_iter(self) -> SlicePar<'d, T> {
+        SlicePar::new(self)
+    }
+}
+
+impl<'d, T: Sync> IntoParallelIterator for &'d Vec<T> {
+    type Iter = SlicePar<'d, T>;
+    type Item = &'d T;
+    fn into_par_iter(self) -> SlicePar<'d, T> {
+        SlicePar::new(self.as_slice())
+    }
+}
+
+/// Parallel iterator over `&mut [T]`, handing out disjoint `&mut T`.
+#[derive(Debug)]
+pub struct SliceMutPar<'d, T> {
+    ptr: *mut T,
+    len: usize,
+    marker: PhantomData<&'d mut [T]>,
+}
+
+// SAFETY: represents exclusive access to the slice; the plumbing contract
+// (each index produced at most once) keeps handed-out `&mut T` disjoint.
+unsafe impl<T: Send> Send for SliceMutPar<'_, T> {}
+unsafe impl<T: Send> Sync for SliceMutPar<'_, T> {}
+
+impl<'d, T> SliceMutPar<'d, T> {
+    pub(crate) fn new(slice: &'d mut [T]) -> Self {
+        SliceMutPar {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'d, T: Send> Plumbing for SliceMutPar<'d, T> {
+    type Item = &'d mut T;
+    type Part<'a>
+        = std::slice::IterMut<'d, T>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.len
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> std::slice::IterMut<'d, T> {
+        // SAFETY: sub-ranges are disjoint per the plumbing contract, so
+        // the reconstructed sub-slices never alias.
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo).iter_mut()
+    }
+}
+
+impl<'d, T: Send> IndexedParallelIterator for SliceMutPar<'d, T> {}
+
+impl<'d, T: Send> IntoParallelIterator for &'d mut [T] {
+    type Iter = SliceMutPar<'d, T>;
+    type Item = &'d mut T;
+    fn into_par_iter(self) -> SliceMutPar<'d, T> {
+        SliceMutPar::new(self)
+    }
+}
+
+impl<'d, T: Send> IntoParallelIterator for &'d mut Vec<T> {
+    type Iter = SliceMutPar<'d, T>;
+    type Item = &'d mut T;
+    fn into_par_iter(self) -> SliceMutPar<'d, T> {
+        SliceMutPar::new(self.as_mut_slice())
+    }
+}
+
+/// By-value parallel iterator over a `Vec<T>`: items are moved out of the
+/// buffer chunk by chunk.
+#[derive(Debug)]
+pub struct VecPar<T> {
+    ptr: *mut T,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: logically owns the elements; the plumbing contract makes every
+// element move out at most once.
+unsafe impl<T: Send> Send for VecPar<T> {}
+unsafe impl<T: Send> Sync for VecPar<T> {}
+
+impl<T> Drop for VecPar<T> {
+    fn drop(&mut self) {
+        // Free the buffer without dropping elements: consumed elements
+        // moved out through `VecDrain`; unconsumed ones (possible only on
+        // panic or index-truncating adapters like `take`) leak, which is
+        // safe.
+        // SAFETY: ptr/cap come from a Vec we took apart in `from`.
+        unsafe { drop(Vec::from_raw_parts(self.ptr, 0, self.cap)) };
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecPar<T> {
+        let mut vec = std::mem::ManuallyDrop::new(self);
+        VecPar {
+            ptr: vec.as_mut_ptr(),
+            len: vec.len(),
+            cap: vec.capacity(),
+        }
+    }
+}
+
+/// Moves items out of one sub-range of a [`VecPar`] buffer; drops the
+/// items it never yielded. Remaining items are counted (not measured by
+/// pointer difference) so zero-sized item types work.
+#[derive(Debug)]
+pub struct VecDrain<T> {
+    cur: *mut T,
+    remaining: usize,
+}
+
+// SAFETY: exclusively owns the elements of its sub-range.
+unsafe impl<T: Send> Send for VecDrain<T> {}
+
+impl<T> Iterator for VecDrain<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // SAFETY: `remaining > 0` elements of the exclusively-owned
+        // sub-range start at `cur`; each is read exactly once.
+        let item = unsafe { std::ptr::read(self.cur) };
+        self.cur = unsafe { self.cur.add(1) };
+        self.remaining -= 1;
+        Some(item)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<T> ExactSizeIterator for VecDrain<T> {}
+
+impl<T> Drop for VecDrain<T> {
+    fn drop(&mut self) {
+        // SAFETY: the remaining elements are owned and unread.
+        unsafe {
+            std::ptr::drop_in_place(std::ptr::slice_from_raw_parts_mut(self.cur, self.remaining));
+        }
+    }
+}
+
+impl<T: Send> Plumbing for VecPar<T> {
+    type Item = T;
+    type Part<'a>
+        = VecDrain<T>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.len
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> VecDrain<T> {
+        VecDrain {
+            cur: self.ptr.add(lo),
+            remaining: hi - lo,
+        }
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for VecPar<T> {}
+
+// ===========================================================================
+// Adapters
+// ===========================================================================
+
+macro_rules! forward_len_and_hint {
+    () => {
+        fn base_len(&self) -> usize {
+            self.base.base_len()
+        }
+        fn min_len_hint(&self) -> usize {
+            self.base.min_len_hint()
+        }
+    };
+}
+
+/// `map` adapter.
+#[derive(Clone, Debug)]
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, U> Plumbing for Map<B, F>
+where
+    B: Plumbing,
+    F: Fn(B::Item) -> U + Sync + Send,
+    U: Send,
+{
+    type Item = U;
+    type Part<'a>
+        = std::iter::Map<B::Part<'a>, &'a F>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi).map(&self.f)
+    }
+}
+
+impl<B, F, U> IndexedParallelIterator for Map<B, F>
+where
+    B: IndexedParallelIterator,
+    F: Fn(B::Item) -> U + Sync + Send,
+    U: Send,
+{
+}
+
+/// `filter` adapter.
+#[derive(Clone, Debug)]
+pub struct Filter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F> Plumbing for Filter<B, F>
+where
+    B: Plumbing,
+    F: Fn(&B::Item) -> bool + Sync + Send,
+{
+    type Item = B::Item;
+    type Part<'a>
+        = std::iter::Filter<B::Part<'a>, &'a F>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi).filter(&self.f)
+    }
+}
+
+/// `filter_map` adapter.
+#[derive(Clone, Debug)]
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, U> Plumbing for FilterMap<B, F>
+where
+    B: Plumbing,
+    F: Fn(B::Item) -> Option<U> + Sync + Send,
+    U: Send,
+{
+    type Item = U;
+    type Part<'a>
+        = std::iter::FilterMap<B::Part<'a>, &'a F>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi).filter_map(&self.f)
+    }
+}
+
+/// `flat_map` / `flat_map_iter` adapter.
+#[derive(Clone, Debug)]
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, U> Plumbing for FlatMap<B, F>
+where
+    B: Plumbing,
+    F: Fn(B::Item) -> U + Sync + Send,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Item = U::Item;
+    type Part<'a>
+        = std::iter::FlatMap<B::Part<'a>, U, &'a F>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi).flat_map(&self.f)
+    }
+}
+
+/// `flatten` adapter.
+#[derive(Clone, Debug)]
+pub struct Flatten<B> {
+    base: B,
+}
+
+impl<B> Plumbing for Flatten<B>
+where
+    B: Plumbing,
+    B::Item: IntoIterator,
+    <B::Item as IntoIterator>::Item: Send,
+{
+    type Item = <B::Item as IntoIterator>::Item;
+    type Part<'a>
+        = std::iter::Flatten<B::Part<'a>>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi).flatten()
+    }
+}
+
+/// `inspect` adapter.
+#[derive(Clone, Debug)]
+pub struct Inspect<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F> Plumbing for Inspect<B, F>
+where
+    B: Plumbing,
+    F: Fn(&B::Item) + Sync + Send,
+{
+    type Item = B::Item;
+    type Part<'a>
+        = std::iter::Inspect<B::Part<'a>, &'a F>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi).inspect(&self.f)
+    }
+}
+
+impl<B, F> IndexedParallelIterator for Inspect<B, F>
+where
+    B: IndexedParallelIterator,
+    F: Fn(&B::Item) + Sync + Send,
+{
+}
+
+/// `copied` adapter.
+#[derive(Clone, Debug)]
+pub struct Copied<B> {
+    base: B,
+}
+
+impl<'x, T, B> Plumbing for Copied<B>
+where
+    B: Plumbing<Item = &'x T>,
+    T: Copy + Send + Sync + 'x,
+{
+    type Item = T;
+    type Part<'a>
+        = std::iter::Copied<B::Part<'a>>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi).copied()
+    }
+}
+
+impl<'x, T, B> IndexedParallelIterator for Copied<B>
+where
+    B: IndexedParallelIterator + Plumbing<Item = &'x T>,
+    T: Copy + Send + Sync + 'x,
+{
+}
+
+/// `cloned` adapter.
+#[derive(Clone, Debug)]
+pub struct Cloned<B> {
+    base: B,
+}
+
+impl<'x, T, B> Plumbing for Cloned<B>
+where
+    B: Plumbing<Item = &'x T>,
+    T: Clone + Send + Sync + 'x,
+{
+    type Item = T;
+    type Part<'a>
+        = std::iter::Cloned<B::Part<'a>>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi).cloned()
+    }
+}
+
+impl<'x, T, B> IndexedParallelIterator for Cloned<B>
+where
+    B: IndexedParallelIterator + Plumbing<Item = &'x T>,
+    T: Clone + Send + Sync + 'x,
+{
+}
+
+/// `enumerate` adapter (indexed pipelines only: positions are base
+/// indices).
+#[derive(Clone, Debug)]
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B> Plumbing for Enumerate<B>
+where
+    B: Plumbing,
+{
+    type Item = (usize, B::Item);
+    type Part<'a>
+        = std::iter::Zip<std::ops::Range<usize>, B::Part<'a>>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        (lo..hi).zip(self.base.part(lo, hi))
+    }
+}
+
+impl<B: IndexedParallelIterator> IndexedParallelIterator for Enumerate<B> {}
+
+/// `zip` adapter (indexed pipelines only).
+#[derive(Clone, Debug)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Plumbing for Zip<A, B>
+where
+    A: Plumbing,
+    B: Plumbing,
+{
+    type Item = (A::Item, B::Item);
+    type Part<'a>
+        = std::iter::Zip<A::Part<'a>, B::Part<'a>>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.a.base_len().min(self.b.base_len())
+    }
+    fn min_len_hint(&self) -> usize {
+        self.a.min_len_hint().max(self.b.min_len_hint())
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.a.part(lo, hi).zip(self.b.part(lo, hi))
+    }
+}
+
+impl<A: IndexedParallelIterator, B: IndexedParallelIterator> IndexedParallelIterator for Zip<A, B> {}
+
+/// `chain` adapter.
+#[derive(Clone, Debug)]
+pub struct Chain<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Plumbing for Chain<A, B>
+where
+    A: Plumbing,
+    B: Plumbing<Item = A::Item>,
+{
+    type Item = A::Item;
+    type Part<'a>
+        = std::iter::Chain<A::Part<'a>, B::Part<'a>>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.a.base_len() + self.b.base_len()
+    }
+    fn min_len_hint(&self) -> usize {
+        self.a.min_len_hint().max(self.b.min_len_hint())
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        let na = self.a.base_len();
+        let left = self.a.part(lo.min(na), hi.min(na));
+        let right = self.b.part(lo.saturating_sub(na), hi.saturating_sub(na));
+        left.chain(right)
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Chain<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator + Plumbing<Item = A::Item>,
+{
+}
+
+/// `step_by` adapter (indexed).
+#[derive(Clone, Debug)]
+pub struct StepBy<B> {
+    base: B,
+    step: usize,
+}
+
+impl<B> Plumbing for StepBy<B>
+where
+    B: Plumbing,
+{
+    type Item = B::Item;
+    type Part<'a>
+        = std::iter::StepBy<B::Part<'a>>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.base.base_len().div_ceil(self.step)
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint().div_ceil(self.step).max(1)
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        if lo >= hi {
+            return self.base.part(0, 0).step_by(self.step);
+        }
+        let n = self.base.base_len();
+        let start = lo * self.step;
+        let end = ((hi - 1) * self.step + 1).min(n);
+        self.base.part(start, end).step_by(self.step)
+    }
+}
+
+impl<B: IndexedParallelIterator> IndexedParallelIterator for StepBy<B> {}
+
+/// `take` adapter (indexed).
+#[derive(Clone, Debug)]
+pub struct Take<B> {
+    base: B,
+    n: usize,
+}
+
+impl<B: Plumbing> Plumbing for Take<B> {
+    type Item = B::Item;
+    type Part<'a>
+        = B::Part<'a>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.base.base_len().min(self.n)
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi)
+    }
+}
+
+impl<B: IndexedParallelIterator> IndexedParallelIterator for Take<B> {}
+
+/// `skip` adapter (indexed).
+#[derive(Clone, Debug)]
+pub struct Skip<B> {
+    base: B,
+    n: usize,
+}
+
+impl<B: Plumbing> Plumbing for Skip<B> {
+    type Item = B::Item;
+    type Part<'a>
+        = B::Part<'a>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.base.base_len().saturating_sub(self.n)
+    }
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo + self.n, hi + self.n)
+    }
+}
+
+impl<B: IndexedParallelIterator> IndexedParallelIterator for Skip<B> {}
+
+/// `rev` adapter (indexed).
+#[derive(Clone, Debug)]
+pub struct Rev<B> {
+    base: B,
+}
+
+impl<B> Plumbing for Rev<B>
+where
+    B: Plumbing,
+    for<'a> B::Part<'a>: DoubleEndedIterator,
+{
+    type Item = B::Item;
+    type Part<'a>
+        = std::iter::Rev<B::Part<'a>>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        let n = self.base.base_len();
+        self.base.part(n - hi, n - lo).rev()
+    }
+}
+
+impl<B> IndexedParallelIterator for Rev<B>
+where
+    B: IndexedParallelIterator,
+    for<'a> B::Part<'a>: DoubleEndedIterator,
+{
+}
+
+/// `with_min_len` adapter: raises the minimum chunk granularity.
+#[derive(Clone, Debug)]
+pub struct MinLen<B> {
+    base: B,
+    min: usize,
+}
+
+impl<B: Plumbing> Plumbing for MinLen<B> {
+    type Item = B::Item;
+    type Part<'a>
+        = B::Part<'a>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+    fn min_len_hint(&self) -> usize {
+        self.min.max(self.base.min_len_hint())
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi)
+    }
+}
+
+impl<B: IndexedParallelIterator> IndexedParallelIterator for MinLen<B> {}
+
+/// `with_max_len` adapter: accepted for API fidelity; the scheduling hint
+/// is not used by this engine (chunk layout must stay thread-independent).
+#[derive(Clone, Debug)]
+pub struct MaxLen<B> {
+    base: B,
+}
+
+impl<B: Plumbing> Plumbing for MaxLen<B> {
+    type Item = B::Item;
+    type Part<'a>
+        = B::Part<'a>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        self.base.part(lo, hi)
+    }
+}
+
+impl<B: IndexedParallelIterator> IndexedParallelIterator for MaxLen<B> {}
+
+/// rayon-style `fold` adapter: one accumulator per execution chunk.
+#[derive(Clone, Debug)]
+pub struct Fold<B, ID, F> {
+    base: B,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<B, ID, F, T> Plumbing for Fold<B, ID, F>
+where
+    B: Plumbing,
+    ID: Fn() -> T + Sync + Send,
+    F: Fn(T, B::Item) -> T + Sync + Send,
+    T: Send,
+{
+    type Item = T;
+    type Part<'a>
+        = std::iter::Once<T>
+    where
+        Self: 'a;
+    forward_len_and_hint!();
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_> {
+        let mut acc = (self.identity)();
+        for item in self.base.part(lo, hi) {
+            acc = (self.fold_op)(acc, item);
+        }
+        std::iter::once(acc)
+    }
+}
+
+// ===========================================================================
+// Reducers (terminal accumulation logic)
+// ===========================================================================
+
+struct ForEachReducer<F>(F);
+
+impl<Item, F> Reducer<Item> for ForEachReducer<F>
+where
+    F: Fn(Item) + Sync,
+{
+    type Acc = ();
+    fn start(&self) {}
+    fn feed(&self, (): (), item: Item) {
+        (self.0)(item)
+    }
+}
+
+struct CollectReducer;
+
+impl<Item: Send> Reducer<Item> for CollectReducer {
+    type Acc = Vec<Item>;
+    fn start(&self) -> Vec<Item> {
+        Vec::new()
+    }
+    fn feed(&self, mut acc: Vec<Item>, item: Item) -> Vec<Item> {
+        acc.push(item);
+        acc
+    }
+}
+
+struct CountReducer;
+
+impl<Item> Reducer<Item> for CountReducer {
+    type Acc = usize;
+    fn start(&self) -> usize {
+        0
+    }
+    fn feed(&self, acc: usize, _item: Item) -> usize {
+        acc + 1
+    }
+}
+
+struct SumReducer<S>(PhantomData<fn() -> S>);
+
+impl<Item, S> Reducer<Item> for SumReducer<S>
+where
+    S: Send + std::iter::Sum<Item> + std::iter::Sum<S>,
+{
+    type Acc = S;
+    fn start(&self) -> S {
+        std::iter::empty::<Item>().sum()
+    }
+    fn feed(&self, acc: S, item: Item) -> S {
+        let one: S = std::iter::once(item).sum();
+        std::iter::once(acc).chain(std::iter::once(one)).sum()
+    }
+}
+
+struct ProductReducer<P>(PhantomData<fn() -> P>);
+
+impl<Item, P> Reducer<Item> for ProductReducer<P>
+where
+    P: Send + std::iter::Product<Item> + std::iter::Product<P>,
+{
+    type Acc = P;
+    fn start(&self) -> P {
+        std::iter::empty::<Item>().product()
+    }
+    fn feed(&self, acc: P, item: Item) -> P {
+        let one: P = std::iter::once(item).product();
+        std::iter::once(acc).chain(std::iter::once(one)).product()
+    }
+}
+
+struct ReduceReducer<ID, OP> {
+    identity: ID,
+    op: OP,
+}
+
+impl<Item, ID, OP> Reducer<Item> for ReduceReducer<ID, OP>
+where
+    Item: Send,
+    ID: Fn() -> Item + Sync,
+    OP: Fn(Item, Item) -> Item + Sync,
+{
+    type Acc = Item;
+    fn start(&self) -> Item {
+        (self.identity)()
+    }
+    fn feed(&self, acc: Item, item: Item) -> Item {
+        (self.op)(acc, item)
+    }
+}
+
+/// Folds with a binary op, `None` until the first item (for
+/// `reduce_with`, `min*`, `max*`).
+struct OptionReducer<OP>(OP);
+
+impl<Item, OP> Reducer<Item> for OptionReducer<OP>
+where
+    Item: Send,
+    OP: Fn(Item, Item) -> Item + Sync,
+{
+    type Acc = Option<Item>;
+    fn start(&self) -> Option<Item> {
+        None
+    }
+    fn feed(&self, acc: Option<Item>, item: Item) -> Option<Item> {
+        Some(match acc {
+            None => item,
+            Some(a) => (self.0)(a, item),
+        })
+    }
+}
+
+struct PredicateReducer<F> {
+    pred: F,
+    all: bool,
+}
+
+impl<Item, F> Reducer<Item> for PredicateReducer<F>
+where
+    F: Fn(Item) -> bool + Sync,
+{
+    type Acc = bool;
+    fn start(&self) -> bool {
+        self.all
+    }
+    fn feed(&self, acc: bool, item: Item) -> bool {
+        let hit = (self.pred)(item);
+        if self.all {
+            acc && hit
+        } else {
+            acc || hit
+        }
+    }
+}
+
+struct FindReducer<F>(F);
+
+impl<Item, F> Reducer<Item> for FindReducer<F>
+where
+    Item: Send,
+    F: Fn(&Item) -> bool + Sync,
+{
+    type Acc = Option<Item>;
+    fn start(&self) -> Option<Item> {
+        None
+    }
+    fn feed(&self, acc: Option<Item>, item: Item) -> Option<Item> {
+        match acc {
+            Some(found) => Some(found),
+            None if (self.0)(&item) => Some(item),
+            None => None,
+        }
+    }
+}
+
+struct PositionReducer<F>(F);
+
+impl<Item, F> Reducer<Item> for PositionReducer<F>
+where
+    F: Fn(Item) -> bool + Sync,
+{
+    /// (items seen in this chunk, first local hit position)
+    type Acc = (usize, Option<usize>);
+    fn start(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
+    fn feed(&self, (seen, found): (usize, Option<usize>), item: Item) -> (usize, Option<usize>) {
+        let found = match found {
+            Some(p) => Some(p),
+            None if (self.0)(item) => Some(seen),
+            None => None,
+        };
+        (seen + 1, found)
+    }
+}
+
+struct UnzipReducer;
+
+impl<A: Send, B: Send> Reducer<(A, B)> for UnzipReducer {
+    type Acc = (Vec<A>, Vec<B>);
+    fn start(&self) -> (Vec<A>, Vec<B>) {
+        (Vec::new(), Vec::new())
+    }
+    fn feed(&self, (mut va, mut vb): (Vec<A>, Vec<B>), (a, b): (A, B)) -> (Vec<A>, Vec<B>) {
+        va.push(a);
+        vb.push(b);
+        (va, vb)
+    }
+}
+
+// ===========================================================================
+// The combinator traits
+// ===========================================================================
+
+/// A genuinely parallel iterator (mirrors `rayon::iter::ParallelIterator`;
+/// every combinator the workspace uses is a provided method).
+pub trait ParallelIterator: Plumbing + Sized {
+    // ----- adapters ------------------------------------------------------
+
     /// Maps each item.
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync + Send,
+        U: Send,
+    {
+        Map { base: self, f }
     }
 
     /// Keeps items satisfying the predicate.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
-        Par(self.0.filter(f))
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, f }
     }
 
     /// Filter + map in one pass.
-    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
-        self,
-        f: F,
-    ) -> Par<std::iter::FilterMap<I, F>> {
-        Par(self.0.filter_map(f))
+    fn filter_map<U, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<U> + Sync + Send,
+        U: Send,
+    {
+        FilterMap { base: self, f }
     }
 
     /// Maps each item to an iterable and flattens.
-    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> Par<std::iter::FlatMap<I, U, F>> {
-        Par(self.0.flat_map(f))
+    fn flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync + Send,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        FlatMap { base: self, f }
     }
 
-    /// rayon's `flat_map_iter` — same as [`Par::flat_map`] here.
-    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> Par<std::iter::FlatMap<I, U, F>> {
-        Par(self.0.flat_map(f))
+    /// rayon's `flat_map_iter`: like [`ParallelIterator::flat_map`], the
+    /// produced sub-iterators run sequentially inside their chunk.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync + Send,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        FlatMap { base: self, f }
     }
 
     /// Flattens nested iterables.
-    pub fn flatten(self) -> Par<std::iter::Flatten<I>>
+    fn flatten(self) -> Flatten<Self>
     where
-        I::Item: IntoIterator,
+        Self::Item: IntoIterator,
+        <Self::Item as IntoIterator>::Item: Send,
     {
-        Par(self.0.flatten())
-    }
-
-    /// Pairs each item with its index.
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
-    }
-
-    /// Runs `f` on each item for side effects.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Copies referenced items.
-    pub fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<I>>
-    where
-        I: Iterator<Item = &'a T>,
-    {
-        Par(self.0.copied())
-    }
-
-    /// Clones referenced items.
-    pub fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<I>>
-    where
-        I: Iterator<Item = &'a T>,
-    {
-        Par(self.0.cloned())
+        Flatten { base: self }
     }
 
     /// Calls `f` on each item as it flows past.
-    pub fn inspect<F: FnMut(&I::Item)>(self, f: F) -> Par<std::iter::Inspect<I, F>> {
-        Par(self.0.inspect(f))
-    }
-
-    /// Chains another iterable after this one.
-    pub fn chain<J: IntoParallelIterator<Item = I::Item>>(
-        self,
-        other: J,
-    ) -> Par<std::iter::Chain<I, J::Iter>> {
-        Par(self.0.chain(other.into_par_iter().0))
-    }
-
-    /// Zips with another iterable.
-    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<std::iter::Zip<I, J::Iter>> {
-        Par(self.0.zip(other.into_par_iter().0))
-    }
-
-    /// Steps by `n` (indexed combinator).
-    pub fn step_by(self, n: usize) -> Par<std::iter::StepBy<I>> {
-        Par(self.0.step_by(n))
-    }
-
-    /// Takes the first `n` items.
-    pub fn take(self, n: usize) -> Par<std::iter::Take<I>> {
-        Par(self.0.take(n))
-    }
-
-    /// Skips the first `n` items.
-    pub fn skip(self, n: usize) -> Par<std::iter::Skip<I>> {
-        Par(self.0.skip(n))
-    }
-
-    /// Reverses an indexed iterator.
-    pub fn rev(self) -> Par<std::iter::Rev<I>>
+    fn inspect<F>(self, f: F) -> Inspect<Self, F>
     where
-        I: DoubleEndedIterator,
+        F: Fn(&Self::Item) + Sync + Send,
     {
-        Par(self.0.rev())
+        Inspect { base: self, f }
     }
 
-    /// Scheduling hint — a no-op in this sequential stub.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-
-    /// Scheduling hint — a no-op in this sequential stub.
-    pub fn with_max_len(self, _max: usize) -> Self {
-        self
-    }
-
-    /// rayon-style fold: per-split accumulators. A sequential schedule has
-    /// exactly one split, so this yields a single accumulated value.
-    pub fn fold<T, ID: Fn() -> T, F: FnMut(T, I::Item) -> T>(
-        self,
-        identity: ID,
-        fold_op: F,
-    ) -> Par<std::iter::Once<T>> {
-        Par(std::iter::once(self.0.fold(identity(), fold_op)))
-    }
-
-    /// rayon-style two-argument reduce.
-    pub fn reduce<ID: Fn() -> I::Item, OP: FnMut(I::Item, I::Item) -> I::Item>(
-        self,
-        identity: ID,
-        op: OP,
-    ) -> I::Item {
-        self.0.fold(identity(), op)
-    }
-
-    /// Reduces with `op`, returning `None` on an empty iterator.
-    pub fn reduce_with<OP: FnMut(I::Item, I::Item) -> I::Item>(self, op: OP) -> Option<I::Item> {
-        self.0.reduce(op)
-    }
-
-    /// Sums the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Multiplies the items.
-    pub fn product<P: std::iter::Product<I::Item>>(self) -> P {
-        self.0.product()
-    }
-
-    /// Counts the items.
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-
-    /// Minimum item.
-    pub fn min(self) -> Option<I::Item>
+    /// Copies referenced items.
+    fn copied<'a, T>(self) -> Copied<Self>
     where
-        I::Item: Ord,
+        Self: Plumbing<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
     {
-        self.0.min()
+        Copied { base: self }
     }
 
-    /// Maximum item.
-    pub fn max(self) -> Option<I::Item>
+    /// Clones referenced items.
+    fn cloned<'a, T>(self) -> Cloned<Self>
     where
-        I::Item: Ord,
+        Self: Plumbing<Item = &'a T>,
+        T: Clone + Send + Sync + 'a,
     {
-        self.0.max()
+        Cloned { base: self }
     }
 
-    /// Minimum by comparator.
-    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        f: F,
-    ) -> Option<I::Item> {
-        self.0.min_by(f)
-    }
-
-    /// Maximum by comparator.
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        f: F,
-    ) -> Option<I::Item> {
-        self.0.max_by(f)
-    }
-
-    /// Minimum by key.
-    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
-        self.0.min_by_key(f)
-    }
-
-    /// Maximum by key.
-    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
-        self.0.max_by_key(f)
-    }
-
-    /// True if any item satisfies the predicate.
-    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-        let mut it = self.0;
-        it.any(f)
-    }
-
-    /// True if all items satisfy the predicate.
-    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-        let mut it = self.0;
-        it.all(f)
-    }
-
-    /// Finds some item satisfying the predicate (the first, here).
-    pub fn find_any<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
-        let mut it = self.0;
-        it.find(f)
-    }
-
-    /// Finds the first item satisfying the predicate.
-    pub fn find_first<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
-        let mut it = self.0;
-        it.find(f)
-    }
-
-    /// Position of some item satisfying the predicate (the first, here).
-    pub fn position_any<F: FnMut(I::Item) -> bool>(self, f: F) -> Option<usize> {
-        let mut it = self.0;
-        it.position(f)
-    }
-
-    /// Position of the first item satisfying the predicate.
-    pub fn position_first<F: FnMut(I::Item) -> bool>(self, f: F) -> Option<usize> {
-        let mut it = self.0;
-        it.position(f)
-    }
-
-    /// Collects into any `FromIterator` collection.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Collects an indexed iterator into the given vector, replacing its
-    /// contents.
-    pub fn collect_into_vec(self, target: &mut Vec<I::Item>) {
-        target.clear();
-        target.extend(self.0);
-    }
-
-    /// Unzips pair items into two collections.
-    pub fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+    /// Chains another parallel iterator after this one.
+    fn chain<C>(self, other: C) -> Chain<Self, C>
     where
-        I: Iterator<Item = (A, B)>,
+        C: ParallelIterator<Item = Self::Item>,
+    {
+        Chain { a: self, b: other }
+    }
+
+    /// rayon-style fold: one accumulator per execution chunk; combine
+    /// with a terminal like [`ParallelIterator::reduce`] or
+    /// [`ParallelIterator::sum`].
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, Self::Item) -> T + Sync + Send,
+        T: Send,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    // ----- terminals ------------------------------------------------------
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive(&self, &ForEachReducer(f));
+    }
+
+    /// Collects into any `FromIterator` collection, in base order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        drive(&self, &CollectReducer)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Unzips pair items into two collections, in base order.
+    fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+    where
+        Self: Plumbing<Item = (A, B)>,
+        A: Send,
+        B: Send,
         FromA: Default + Extend<A>,
         FromB: Default + Extend<B>,
     {
-        self.0.unzip()
+        let mut out_a = FromA::default();
+        let mut out_b = FromB::default();
+        for (va, vb) in drive(&self, &UnzipReducer) {
+            out_a.extend(va);
+            out_b.extend(vb);
+        }
+        (out_a, out_b)
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive(&self, &SumReducer::<S>(PhantomData))
+            .into_iter()
+            .sum()
+    }
+
+    /// Multiplies the items.
+    fn product<P>(self) -> P
+    where
+        P: Send + std::iter::Product<Self::Item> + std::iter::Product<P>,
+    {
+        drive(&self, &ProductReducer::<P>(PhantomData))
+            .into_iter()
+            .product()
+    }
+
+    /// Counts the items.
+    fn count(self) -> usize {
+        drive(&self, &CountReducer).into_iter().sum()
+    }
+
+    /// rayon-style two-argument reduce: chunk-folds seeded with
+    /// `identity`, combined in chunk order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let parts = drive(
+            &self,
+            &ReduceReducer {
+                identity: &identity,
+                op: &op,
+            },
+        );
+        parts.into_iter().fold(identity(), op)
+    }
+
+    /// Reduces with `op`, `None` on an empty iterator.
+    fn reduce_with<OP>(self, op: OP) -> Option<Self::Item>
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        drive(&self, &OptionReducer(&op))
+            .into_iter()
+            .flatten()
+            .reduce(op)
+    }
+
+    /// Minimum item (first minimal one, like `Iterator::min`).
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(&self, &OptionReducer(|a, b| if b < a { b } else { a }))
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Maximum item (last maximal one, like `Iterator::max`).
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(&self, &OptionReducer(|a, b| if b >= a { b } else { a }))
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Minimum by comparator.
+    fn min_by<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> Ordering + Sync + Send,
+    {
+        drive(
+            &self,
+            &OptionReducer(|a, b| if f(&b, &a) == Ordering::Less { b } else { a }),
+        )
+        .into_iter()
+        .flatten()
+        .min_by(|a, b| f(a, b))
+    }
+
+    /// Maximum by comparator.
+    fn max_by<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> Ordering + Sync + Send,
+    {
+        drive(
+            &self,
+            &OptionReducer(|a, b| if f(&b, &a) == Ordering::Less { a } else { b }),
+        )
+        .into_iter()
+        .flatten()
+        .max_by(|a, b| f(a, b))
+    }
+
+    /// Minimum by key.
+    fn min_by_key<K, F>(self, f: F) -> Option<Self::Item>
+    where
+        K: Ord,
+        F: Fn(&Self::Item) -> K + Sync + Send,
+    {
+        drive(
+            &self,
+            &OptionReducer(|a, b| if f(&b) < f(&a) { b } else { a }),
+        )
+        .into_iter()
+        .flatten()
+        .min_by_key(|x| f(x))
+    }
+
+    /// Maximum by key.
+    fn max_by_key<K, F>(self, f: F) -> Option<Self::Item>
+    where
+        K: Ord,
+        F: Fn(&Self::Item) -> K + Sync + Send,
+    {
+        drive(
+            &self,
+            &OptionReducer(|a, b| if f(&b) >= f(&a) { b } else { a }),
+        )
+        .into_iter()
+        .flatten()
+        .max_by_key(|x| f(x))
+    }
+
+    /// True if any item satisfies the predicate.
+    fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        drive(
+            &self,
+            &PredicateReducer {
+                pred: f,
+                all: false,
+            },
+        )
+        .into_iter()
+        .any(|hit| hit)
+    }
+
+    /// True if all items satisfy the predicate.
+    fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        drive(&self, &PredicateReducer { pred: f, all: true })
+            .into_iter()
+            .all(|ok| ok)
+    }
+
+    /// Finds some item satisfying the predicate (the first, which is a
+    /// valid — and deterministic — choice of "any").
+    fn find_any<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        self.find_first(f)
+    }
+
+    /// Finds the first item satisfying the predicate.
+    fn find_first<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        drive(&self, &FindReducer(f)).into_iter().flatten().next()
+    }
+
+    /// Position of some item satisfying the predicate (the first).
+    fn position_any<F>(self, f: F) -> Option<usize>
+    where
+        F: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        self.position_first(f)
+    }
+
+    /// Position of the first item satisfying the predicate, counted over
+    /// produced items.
+    fn position_first<F>(self, f: F) -> Option<usize>
+    where
+        F: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        let mut offset = 0usize;
+        for (seen, found) in drive(&self, &PositionReducer(f)) {
+            if let Some(local) = found {
+                return Some(offset + local);
+            }
+            offset += seen;
+        }
+        None
+    }
+}
+
+impl<P: Plumbing + Sized> ParallelIterator for P {}
+
+/// Marker + combinators for pipelines producing exactly one item per base
+/// index (mirrors `rayon::iter::IndexedParallelIterator`).
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Zips with another indexed parallel iterator, truncating to the
+    /// shorter one.
+    fn zip<Z>(self, other: Z) -> Zip<Self, Z>
+    where
+        Z: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Steps by `n`.
+    fn step_by(self, n: usize) -> StepBy<Self> {
+        assert!(n > 0, "step_by requires a positive step");
+        StepBy {
+            base: self,
+            step: n,
+        }
+    }
+
+    /// Takes the first `n` items.
+    fn take(self, n: usize) -> Take<Self> {
+        Take { base: self, n }
+    }
+
+    /// Skips the first `n` items.
+    fn skip(self, n: usize) -> Skip<Self> {
+        Skip { base: self, n }
+    }
+
+    /// Reverses the iterator.
+    fn rev(self) -> Rev<Self>
+    where
+        for<'a> Self::Part<'a>: DoubleEndedIterator,
+    {
+        Rev { base: self }
+    }
+
+    /// Requires at least `min` base items per scheduled chunk.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+
+    /// Scheduling hint accepted for API fidelity; chunk layout stays a
+    /// pure function of the input, so this is a pass-through.
+    fn with_max_len(self, _max: usize) -> MaxLen<Self> {
+        MaxLen { base: self }
+    }
+
+    /// Collects into the given vector, replacing its contents.
+    fn collect_into_vec(self, target: &mut Vec<Self::Item>) {
+        target.clear();
+        for chunk in drive(&self, &CollectReducer) {
+            target.extend(chunk);
+        }
     }
 }

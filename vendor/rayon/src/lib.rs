@@ -1,21 +1,27 @@
-//! Offline stub of `rayon`: the parallel-iterator API surface the
-//! workspace uses, executed **sequentially**. See `vendor/README.md`.
+//! Offline facade of `rayon`, backed by the **`mpx-runtime`** execution
+//! engine: the parallel-iterator API surface the workspace uses, executed
+//! on a real multi-threaded worker pool. See `vendor/README.md` for the
+//! delegation seam — swapping this crate for registry rayon remains a
+//! no-source-change operation.
 //!
 //! The decomposition algorithms in this workspace are deterministic *by
-//! construction* (CAS-free claiming orders, per-vertex counter RNG), so a
-//! sequential schedule is an admissible — if slower — execution of every
-//! parallel loop. Swapping in real rayon changes wall-clock, not output.
+//! construction* (value-based `fetch_min` claiming, per-vertex counter
+//! RNG), and this facade adds the complementary engine-side guarantee:
+//! chunk layouts, collect order and reduction order are pure functions of
+//! the input, never of the thread count or schedule. Together these make
+//! every algorithm's output bit-identical from 1 to N threads.
 //!
-//! [`ThreadPoolBuilder::build`] + [`ThreadPool::install`] maintain a
-//! logical thread count (thread-local) so that experiment code sweeping
-//! thread counts still observes `current_num_threads()` follow the pool.
-
-use std::cell::Cell;
+//! [`ThreadPoolBuilder`] + [`ThreadPool::install`] create and target real
+//! dedicated pools of OS threads; [`current_num_threads`] reports the
+//! pool the current thread runs under (the lazily-created global pool
+//! otherwise, sized by `MPX_THREADS` or the machine's logical CPUs).
 
 pub mod iter;
+pub(crate) mod plumbing;
 pub mod slice;
 
-pub use iter::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par};
+pub use iter::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+pub use mpx_runtime::Scope;
 pub use slice::{ParallelSlice, ParallelSliceMut};
 
 /// Everything needed to call `par_iter()` & friends, mirroring
@@ -28,30 +34,36 @@ pub mod prelude {
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
-thread_local! {
-    static LOGICAL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
-/// Returns the number of threads in the current pool (the logical count
-/// installed by [`ThreadPool::install`], or the machine parallelism).
+/// Returns the number of threads in the current pool: the pool whose
+/// `install` scope (or worker) the current thread runs under, else the
+/// global pool.
 pub fn current_num_threads() -> usize {
-    LOGICAL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(usize::from)
-            .unwrap_or(1)
-    })
+    mpx_runtime::current_num_threads()
 }
 
-/// Runs two closures, nominally in parallel (sequentially here).
+/// Runs two closures, potentially in parallel on the current pool.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    mpx_runtime::join(a, b)
 }
 
-/// Error from [`ThreadPoolBuilder::build`]. Never produced by this stub.
+/// Creates a fork-join scope on the current pool; spawned closures may
+/// borrow from the enclosing stack frame.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    mpx_runtime::scope(op)
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. Never produced by this
+/// facade (pool construction panics on OS spawn failure instead).
 #[derive(Debug)]
 pub struct ThreadPoolBuildError(());
 
@@ -70,55 +82,52 @@ pub struct ThreadPoolBuilder {
 }
 
 impl ThreadPoolBuilder {
-    /// Creates a new builder with default (machine) parallelism.
+    /// Creates a new builder with default (machine / `MPX_THREADS`)
+    /// parallelism.
     pub fn new() -> Self {
         ThreadPoolBuilder { num_threads: 0 }
     }
 
-    /// Sets the number of threads (0 means the machine default).
+    /// Sets the number of threads (0 means the default).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Builds the pool. Infallible in this stub.
+    /// Builds the pool, spawning its worker threads.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(usize::from)
-                .unwrap_or(1)
+            mpx_runtime::default_threads()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { num_threads: n })
+        Ok(ThreadPool {
+            pool: mpx_runtime::Pool::new(n),
+        })
     }
 }
 
-/// A logical thread pool. Work "installed" on it runs on the calling
-/// thread, with [`current_num_threads`] reporting the pool's size.
+/// A dedicated pool of OS worker threads. Dropping it joins the workers.
 #[derive(Debug)]
 pub struct ThreadPool {
-    num_threads: usize,
+    pool: mpx_runtime::Pool,
 }
 
 impl ThreadPool {
-    /// Executes `f` in the scope of this pool.
-    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let prev = LOGICAL_THREADS.with(|t| t.replace(Some(self.num_threads)));
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                let prev = self.0;
-                LOGICAL_THREADS.with(|t| t.set(prev));
-            }
-        }
-        let _guard = Restore(prev);
-        f()
+    /// Executes `f` on this pool: the closure runs on a worker thread, so
+    /// nested parallelism (parallel iterators, `join`, `scope`) uses this
+    /// pool's workers. Blocks until `f` returns.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        self.pool.install(f)
     }
 
     /// The number of threads in this pool.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.pool.num_threads()
     }
 }
 
@@ -129,27 +138,238 @@ mod tests {
 
     #[test]
     fn install_scopes_thread_count() {
-        let outside = current_num_threads();
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         assert_eq!(pool.install(current_num_threads), 3);
-        assert_eq!(current_num_threads(), outside);
+        assert_eq!(pool.current_num_threads(), 3);
     }
 
     #[test]
     fn par_iter_matches_iter() {
-        let v: Vec<u64> = (0..1000).collect();
+        let v: Vec<u64> = (0..5000).collect();
         let a: u64 = v.par_iter().map(|x| x * 2).sum();
         let b: u64 = v.iter().map(|x| x * 2).sum();
         assert_eq!(a, b);
-        let c: Vec<u64> = (0..50u64).into_par_iter().filter(|x| x % 3 == 0).collect();
-        let d: Vec<u64> = (0..50u64).filter(|x| x % 3 == 0).collect();
+        let c: Vec<u64> = (0..5000u64)
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .collect();
+        let d: Vec<u64> = (0..5000u64).filter(|x| x % 3 == 0).collect();
         assert_eq!(c, d);
     }
 
     #[test]
-    fn par_sort_sorts() {
-        let mut v = vec![5, 1, 4, 2, 3];
+    fn collect_preserves_order_across_pool_sizes() {
+        let run = |threads: usize| -> Vec<u32> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                (0..100_000u32)
+                    .into_par_iter()
+                    .filter(|x| x % 7 == 1)
+                    .map(|x| x.wrapping_mul(2654435761))
+                    .collect()
+            })
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one, four);
+        let seq: Vec<u32> = (0..100_000u32)
+            .filter(|x| x % 7 == 1)
+            .map(|x| x.wrapping_mul(2654435761))
+            .collect();
+        assert_eq!(one, seq);
+    }
+
+    #[test]
+    fn float_reduce_is_bit_identical_across_pool_sizes() {
+        // Float addition is not associative; the fixed chunk layout plus
+        // ordered combine must hide that entirely.
+        let xs: Vec<f64> = (0..50_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let run = |threads: usize| -> f64 {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                xs.par_iter()
+                    .cloned()
+                    .fold(|| 0.0f64, |a, b| a + b)
+                    .sum::<f64>()
+            })
+        };
+        assert_eq!(run(1).to_bits(), run(4).to_bits());
+        assert_eq!(run(2).to_bits(), run(8).to_bits());
+    }
+
+    #[test]
+    fn flat_map_iter_matches_sequential() {
+        let par: Vec<(u32, u32)> = (0..200u32)
+            .into_par_iter()
+            .flat_map_iter(|u| (0..u % 5).map(move |v| (u, v)))
+            .collect();
+        let seq: Vec<(u32, u32)> = (0..200u32)
+            .flat_map(|u| (0..u % 5).map(move |v| (u, v)))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn zip_enumerate_chunks_roundtrip() {
+        let input: Vec<usize> = (0..10_000).map(|i| i % 13).collect();
+        let mut out = vec![0usize; input.len()];
+        out.par_chunks_mut(256)
+            .zip(input.par_chunks(256))
+            .enumerate()
+            .for_each(|(bi, (oc, ic))| {
+                for (o, &x) in oc.iter_mut().zip(ic) {
+                    *o = x + bi;
+                }
+            });
+        for (i, (&o, &x)) in out.iter().zip(&input).enumerate() {
+            assert_eq!(o, x + i / 256);
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_writes_every_element() {
+        let mut v = vec![0u32; 4096];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn by_value_vec_moves_items() {
+        let v: Vec<String> = (0..500).map(|i| format!("s{i}")).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 500);
+        assert_eq!(lens[0], 2);
+        assert_eq!(lens[499], 4);
+    }
+
+    #[test]
+    fn signed_ranges_spanning_zero_and_full_width() {
+        let par: Vec<i8> = (-100i8..100).into_par_iter().collect();
+        let seq: Vec<i8> = (-100i8..100).collect();
+        assert_eq!(par, seq);
+        // Span wider than i8::MAX: must not overflow in the element type.
+        assert_eq!((i8::MIN..i8::MAX).into_par_iter().count(), 255);
+        let total: i64 = (-1000i64..1000).into_par_iter().sum();
+        assert_eq!(total, -1000);
+    }
+
+    #[test]
+    fn by_value_vec_of_zero_sized_items() {
+        // ZSTs make every element pointer equal; the drain must count
+        // items, not measure pointers.
+        let v: Vec<()> = vec![(); 1234];
+        assert_eq!(v.into_par_iter().count(), 1234);
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        struct Marker;
+        let m: Vec<Marker> = vec![Marker; 77];
+        let collected: Vec<Marker> = m.into_par_iter().collect();
+        assert_eq!(collected.len(), 77);
+    }
+
+    #[test]
+    fn reduce_and_min_max_match_sequential() {
+        let xs: Vec<i64> = (0..10_000).map(|i| (i * 37) % 1001 - 500).collect();
+        let (mn, mx) = (
+            xs.par_iter().copied().min().unwrap(),
+            xs.par_iter().copied().max().unwrap(),
+        );
+        assert_eq!(mn, xs.iter().copied().min().unwrap());
+        assert_eq!(mx, xs.iter().copied().max().unwrap());
+        let total = xs.par_iter().copied().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, xs.iter().sum::<i64>());
+        assert_eq!(
+            xs.par_iter().copied().reduce_with(i64::max),
+            xs.iter().copied().reduce(i64::max)
+        );
+    }
+
+    #[test]
+    fn predicates_and_positions() {
+        let v: Vec<u32> = (0..3000).collect();
+        assert!(v.par_iter().any(|&x| x == 2999));
+        assert!(!v.par_iter().any(|&x| x == 3000));
+        assert!(v.par_iter().all(|&x| x < 3000));
+        assert_eq!(v.par_iter().position_first(|&x| x >= 1234), Some(1234));
+        assert_eq!(v.par_iter().find_first(|&&x| x > 2000), Some(&2001));
+        assert_eq!(v.par_iter().find_any(|&&x| x > 4000), None);
+    }
+
+    #[test]
+    fn par_sort_sorts_and_is_stable() {
+        let mut v: Vec<u64> = (0..20_000).map(|i| (i * 48271) % 997).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
         v.par_sort_unstable();
-        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+        assert_eq!(v, expect);
+
+        let mut pairs: Vec<(u32, u32)> = (0..20_000u32).map(|i| (i % 11, i)).collect();
+        pairs.par_sort_by_key(|p| p.0);
+        for w in pairs.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn join_and_scope_work() {
+        let (a, b) = join(|| 21 * 2, || "b");
+        assert_eq!((a, b), (42, "b"));
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn chain_step_take_skip_rev() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (100..250).collect();
+        let chained: Vec<u32> = a.par_iter().copied().chain(b.par_iter().copied()).collect();
+        assert_eq!(chained, (0..250).collect::<Vec<u32>>());
+        let stepped: Vec<u32> = (0..100u32).into_par_iter().step_by(7).collect();
+        assert_eq!(stepped, (0..100u32).step_by(7).collect::<Vec<u32>>());
+        let taken: Vec<u32> = (0..100u32).into_par_iter().take(13).collect();
+        assert_eq!(taken, (0..13).collect::<Vec<u32>>());
+        let skipped: Vec<u32> = (0..100u32).into_par_iter().skip(90).collect();
+        assert_eq!(skipped, (90..100).collect::<Vec<u32>>());
+        let reversed: Vec<u32> = (0..100u32).into_par_iter().rev().collect();
+        assert_eq!(reversed, (0..100u32).rev().collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn unzip_and_collect_into_vec() {
+        let (evens, odds): (Vec<u32>, Vec<u32>) = (0..1000u32)
+            .into_par_iter()
+            .map(|x| (x * 2, x * 2 + 1))
+            .unzip();
+        assert_eq!(evens[499], 998);
+        assert_eq!(odds[0], 1);
+        let mut target = vec![7u32; 3];
+        (0..2000u32).into_par_iter().collect_into_vec(&mut target);
+        assert_eq!(target.len(), 2000);
+        assert_eq!(target[1999], 1999);
+    }
+
+    #[test]
+    fn windows_and_chunks_exact() {
+        let v: Vec<u32> = (0..500).collect();
+        let sums: Vec<u32> = v.par_windows(3).map(|w| w.iter().sum()).collect();
+        assert_eq!(sums.len(), 498);
+        assert_eq!(sums[0], 3);
+        let exact: Vec<usize> = v.par_chunks_exact(7).map(<[u32]>::len).collect();
+        assert_eq!(exact.len(), 500 / 7);
+        assert!(exact.iter().all(|&l| l == 7));
     }
 }

@@ -1,0 +1,130 @@
+//! Execution plumbing: how a lazy parallel-iterator pipeline is split into
+//! chunks and driven over the `mpx-runtime` pool.
+//!
+//! Every pipeline bottoms out in a *splittable source* over a contiguous
+//! index space `0..base_len` (a range, a slice, chunk indices of a slice,
+//! …). Adapters compose lazily on top; [`Plumbing::part`] instantiates the
+//! whole pipeline over one sub-range as a plain sequential iterator.
+//! Terminal operations then:
+//!
+//! 1. compute a **chunk layout that is a pure function of `base_len` and
+//!    the `with_min_len` hint** — never of the thread count,
+//! 2. run one [`Reducer`] accumulation per chunk, claimed atomically
+//!    across the pool by [`mpx_runtime::parallel_for`],
+//! 3. combine the per-chunk accumulators **in chunk order** on the
+//!    calling thread.
+//!
+//! Steps 1 and 3 are what make every terminal — including ones built on
+//! non-associative float operations — produce bit-identical results for
+//! every thread count: the sequential fallback uses the *same* chunk
+//! boundaries and the same ordered combine.
+
+use std::cell::UnsafeCell;
+
+/// Upper bound on the number of chunks one terminal dispatches. Purely a
+/// granularity knob: it caps claiming overhead on huge inputs while
+/// leaving plenty of chunks for load balancing.
+const MAX_CHUNKS: usize = 1024;
+
+/// A splittable parallel-iterator pipeline.
+///
+/// Implementors describe a virtual sequence addressed by a *base index
+/// space* `0..base_len()`. Length-changing adapters (`filter`,
+/// `flat_map`, …) keep their input's base space and simply produce fewer
+/// or more items per base index; length-preserving pipelines additionally
+/// implement the [`crate::iter::IndexedParallelIterator`] marker, which
+/// gates position-sensitive adapters like `enumerate` and `zip`.
+pub trait Plumbing: Sync {
+    /// Items the pipeline produces.
+    type Item: Send;
+    /// The sequential iterator realizing this pipeline over one sub-range.
+    type Part<'a>: Iterator<Item = Self::Item>
+    where
+        Self: 'a;
+
+    /// Size of the base index space.
+    fn base_len(&self) -> usize;
+
+    /// Instantiates the pipeline over base indices `lo..hi`.
+    ///
+    /// # Safety
+    /// Across all concurrent `part` calls on one value, every base index
+    /// must be covered **at most once**. Mutable-slice and by-value
+    /// sources rely on this for exclusivity of the items they hand out.
+    unsafe fn part(&self, lo: usize, hi: usize) -> Self::Part<'_>;
+
+    /// Minimum number of base indices worth processing per chunk
+    /// (`with_min_len` hint, folded through adapters).
+    fn min_len_hint(&self) -> usize {
+        1
+    }
+}
+
+/// Per-chunk accumulation logic of one terminal operation.
+pub trait Reducer<Item>: Sync {
+    /// Per-chunk accumulator.
+    type Acc: Send;
+    /// Fresh accumulator for one chunk.
+    fn start(&self) -> Self::Acc;
+    /// Folds one item into the accumulator.
+    fn feed(&self, acc: Self::Acc, item: Item) -> Self::Acc;
+}
+
+/// Write-once result slot, one per chunk. Plain `UnsafeCell` because the
+/// parallel-for guarantees exactly one writer per index and the reader
+/// only looks after the region's completion barrier.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: disjoint one-shot writes (one chunk index = one claimant) and
+// reads strictly after the parallel_for barrier.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// The chunk layout for an input of `len` base indices: chunk size is the
+/// `min_len` hint, widened so at most [`MAX_CHUNKS`] chunks exist. A pure
+/// function of `(len, min_len)` — determinism depends on this.
+fn layout(len: usize, min_len: usize) -> (usize, usize) {
+    let chunk = min_len.max(1).max(len.div_ceil(MAX_CHUNKS));
+    (chunk, len.div_ceil(chunk))
+}
+
+/// Runs `reducer` over every item of `pipeline`, in parallel chunks, and
+/// returns the per-chunk accumulators **in chunk (base) order**.
+pub(crate) fn drive<P, R>(pipeline: &P, reducer: &R) -> Vec<R::Acc>
+where
+    P: Plumbing,
+    R: Reducer<P::Item>,
+{
+    let len = pipeline.base_len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let (chunk, n_chunks) = layout(len, pipeline.min_len_hint());
+    let run_chunk = |i: usize| -> R::Acc {
+        let lo = i * chunk;
+        let hi = ((i + 1) * chunk).min(len);
+        let mut acc = reducer.start();
+        // SAFETY: the chunk grid partitions `0..len` into disjoint ranges
+        // and each index `i` is claimed exactly once.
+        for item in unsafe { pipeline.part(lo, hi) } {
+            acc = reducer.feed(acc, item);
+        }
+        acc
+    };
+    if n_chunks == 1 || mpx_runtime::current_num_threads() == 1 {
+        // Same chunk boundaries, same combine order as the parallel path:
+        // thread count never changes observable values.
+        return (0..n_chunks).map(run_chunk).collect();
+    }
+    let slots: Vec<Slot<R::Acc>> = (0..n_chunks).map(|_| Slot(UnsafeCell::new(None))).collect();
+    mpx_runtime::parallel_for(n_chunks, |i| {
+        let value = run_chunk(i);
+        // SAFETY: `i` is claimed by exactly one thread, so this is the
+        // only writer of slot `i`; the read below happens after the
+        // barrier.
+        unsafe { *slots[i].0.get() = Some(value) };
+    });
+    slots
+        .into_iter()
+        .map(|s| s.0.into_inner().expect("chunk result missing"))
+        .collect()
+}

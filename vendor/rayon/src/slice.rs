@@ -1,80 +1,229 @@
-//! Parallel slice extensions: `par_chunks`, `par_sort*`, etc., all
-//! delegating to the sequential `std` equivalents.
+//! Parallel slice extensions: `par_chunks*`, `par_windows`, `par_sort*`,
+//! mirroring `rayon::slice`. Chunk/window iterators are real splittable
+//! sources (base index = chunk/window number); sorts delegate to
+//! [`mpx_runtime::sort::par_merge_sort_by`], whose fixed split points and
+//! stable merge keep results bit-identical across thread counts — also
+//! for the `*_unstable` entry points, which are allowed (not required) to
+//! be unstable.
 
-use crate::iter::Par;
+use crate::iter::IndexedParallelIterator;
+use crate::plumbing::Plumbing;
 use std::cmp::Ordering;
+use std::marker::PhantomData;
 
-/// Shared-slice parallel operations (mirrors `rayon::slice::ParallelSlice`).
-pub trait ParallelSlice<T> {
-    /// Parallel iterator over chunks of `size` elements.
-    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
-    /// Parallel iterator over exact chunks of `size` elements.
-    fn par_chunks_exact(&self, size: usize) -> Par<std::slice::ChunksExact<'_, T>>;
-    /// Parallel iterator over overlapping windows of `size` elements.
-    fn par_windows(&self, size: usize) -> Par<std::slice::Windows<'_, T>>;
+/// Parallel iterator over `size`-element chunks of a shared slice (last
+/// chunk may be shorter).
+#[derive(Clone, Debug)]
+pub struct ChunksPar<'d, T> {
+    slice: &'d [T],
+    size: usize,
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(size))
+impl<'d, T: Sync> Plumbing for ChunksPar<'d, T> {
+    type Item = &'d [T];
+    type Part<'a>
+        = std::slice::Chunks<'d, T>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
     }
-    fn par_chunks_exact(&self, size: usize) -> Par<std::slice::ChunksExact<'_, T>> {
-        Par(self.chunks_exact(size))
+    unsafe fn part(&self, lo: usize, hi: usize) -> std::slice::Chunks<'d, T> {
+        let start = lo * self.size;
+        let end = (hi * self.size).min(self.slice.len());
+        self.slice[start..end].chunks(self.size)
     }
-    fn par_windows(&self, size: usize) -> Par<std::slice::Windows<'_, T>> {
-        Par(self.windows(size))
+}
+
+impl<'d, T: Sync> IndexedParallelIterator for ChunksPar<'d, T> {}
+
+/// Parallel iterator over exact `size`-element chunks (remainder
+/// dropped).
+#[derive(Clone, Debug)]
+pub struct ChunksExactPar<'d, T> {
+    slice: &'d [T],
+    size: usize,
+}
+
+impl<'d, T: Sync> Plumbing for ChunksExactPar<'d, T> {
+    type Item = &'d [T];
+    type Part<'a>
+        = std::slice::ChunksExact<'d, T>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.slice.len() / self.size
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> std::slice::ChunksExact<'d, T> {
+        self.slice[lo * self.size..hi * self.size].chunks_exact(self.size)
+    }
+}
+
+impl<'d, T: Sync> IndexedParallelIterator for ChunksExactPar<'d, T> {}
+
+/// Parallel iterator over overlapping `size`-element windows.
+#[derive(Clone, Debug)]
+pub struct WindowsPar<'d, T> {
+    slice: &'d [T],
+    size: usize,
+}
+
+impl<'d, T: Sync> Plumbing for WindowsPar<'d, T> {
+    type Item = &'d [T];
+    type Part<'a>
+        = std::slice::Windows<'d, T>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        (self.slice.len() + 1).saturating_sub(self.size)
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> std::slice::Windows<'d, T> {
+        // Windows starting at positions lo..hi live in slice[lo..hi-1+size].
+        let end = if hi > lo { hi - 1 + self.size } else { lo };
+        self.slice[lo..end.min(self.slice.len())].windows(self.size)
+    }
+}
+
+impl<'d, T: Sync> IndexedParallelIterator for WindowsPar<'d, T> {}
+
+/// Parallel iterator over `size`-element mutable chunks.
+#[derive(Debug)]
+pub struct ChunksMutPar<'d, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    marker: PhantomData<&'d mut [T]>,
+}
+
+// SAFETY: exclusive access to the slice; the plumbing contract keeps the
+// handed-out chunks disjoint.
+unsafe impl<T: Send> Send for ChunksMutPar<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMutPar<'_, T> {}
+
+impl<'d, T: Send> Plumbing for ChunksMutPar<'d, T> {
+    type Item = &'d mut [T];
+    type Part<'a>
+        = std::slice::ChunksMut<'d, T>
+    where
+        Self: 'a;
+    fn base_len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    unsafe fn part(&self, lo: usize, hi: usize) -> std::slice::ChunksMut<'d, T> {
+        let start = lo * self.size;
+        let end = (hi * self.size).min(self.len);
+        // SAFETY: chunk ranges of disjoint part() calls are disjoint.
+        std::slice::from_raw_parts_mut(self.ptr.add(start), end - start).chunks_mut(self.size)
+    }
+}
+
+impl<'d, T: Send> IndexedParallelIterator for ChunksMutPar<'d, T> {}
+
+/// Shared-slice parallel operations (mirrors `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over chunks of `size` elements.
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T>;
+    /// Parallel iterator over exact chunks of `size` elements.
+    fn par_chunks_exact(&self, size: usize) -> ChunksExactPar<'_, T>;
+    /// Parallel iterator over overlapping windows of `size` elements.
+    fn par_windows(&self, size: usize) -> WindowsPar<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksPar { slice: self, size }
+    }
+    fn par_chunks_exact(&self, size: usize) -> ChunksExactPar<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksExactPar { slice: self, size }
+    }
+    fn par_windows(&self, size: usize) -> WindowsPar<'_, T> {
+        assert!(size > 0, "window size must be positive");
+        WindowsPar { slice: self, size }
     }
 }
 
 /// Mutable-slice parallel operations (mirrors
 /// `rayon::slice::ParallelSliceMut`).
-pub trait ParallelSliceMut<T> {
+pub trait ParallelSliceMut<T: Send> {
     /// Parallel iterator over mutable chunks of `size` elements.
-    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutPar<'_, T>;
     /// Stable parallel sort.
     fn par_sort(&mut self)
     where
         T: Ord;
     /// Stable parallel sort by comparator.
-    fn par_sort_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F);
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
     /// Stable parallel sort by key.
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-    /// Unstable parallel sort.
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+    /// "Unstable" parallel sort (actually stable here — permitted, and
+    /// what keeps output deterministic).
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
-    /// Unstable parallel sort by comparator.
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F);
-    /// Unstable parallel sort by key.
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    /// "Unstable" parallel sort by comparator.
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+    /// "Unstable" parallel sort by key.
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(size))
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutPar<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksMutPar {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            marker: PhantomData,
+        }
     }
     fn par_sort(&mut self)
     where
         T: Ord,
     {
-        self.sort();
+        mpx_runtime::par_merge_sort_by(self, &T::cmp);
     }
-    fn par_sort_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F) {
-        self.sort_by(cmp);
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        mpx_runtime::par_merge_sort_by(self, &cmp);
     }
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_by_key(key);
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        mpx_runtime::par_merge_sort_by(self, &|a, b| key(a).cmp(&key(b)));
     }
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.sort_unstable();
+        mpx_runtime::par_merge_sort_by(self, &T::cmp);
     }
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F) {
-        self.sort_unstable_by(cmp);
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        mpx_runtime::par_merge_sort_by(self, &cmp);
     }
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_unstable_by_key(key);
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        mpx_runtime::par_merge_sort_by(self, &|a, b| key(a).cmp(&key(b)));
     }
 }
