@@ -10,9 +10,24 @@
 //! We implement exactly that recipe: round `i` decomposes the graph formed
 //! by the still-unblocked edges with `β = 1/2`; the intra-cluster edges
 //! become block `i`, the cut edges carry to round `i + 1`.
+//!
+//! The **large** residual rounds are zero-copy: a per-arc liveness mask
+//! over the original CSR drives an [`EdgeFilteredView`], and the engine
+//! partitions that view directly — no `CsrGraph::from_edges` (parallel
+//! sort + dedup + CSR assembly) for the rounds where that rebuild is
+//! expensive. Once the residual drops below half of the original
+//! edges, the loop materializes it once and finishes on shrinking
+//! materialized graphs: a fixed-size view keeps paying `O(n + m)` per
+//! round while the materialized residual shrinks geometrically, and the
+//! crossover is measurable (see the zero-copy notes in
+//! `crates/bench/benches/apps.rs`). The block structure is **identical**
+//! on both sides of the switch — the engine sees the same residual edge
+//! set under the same vertex ids either way, which
+//! `matches_materialized_residual_rounds` pins.
 
-use mpx_decomp::{partition, DecompOptions};
-use mpx_graph::{algo, CsrGraph, Dist, Vertex};
+use mpx_decomp::{engine, DecompOptions, Traversal};
+use mpx_graph::{algo, CsrGraph, Dist, EdgeFilteredView, GraphView, Vertex};
+use rayon::prelude::*;
 
 /// One block of the decomposition.
 #[derive(Clone, Debug)]
@@ -51,17 +66,85 @@ impl BlockDecomposition {
 /// ```
 pub fn block_decomposition(g: &CsrGraph, seed: u64) -> BlockDecomposition {
     let n = g.num_vertices();
+    let offsets = g.offsets();
+    let targets = g.targets();
     let mut blocks = Vec::new();
-    let mut current = g.clone();
+    // Arc liveness: an edge still awaiting its block. Symmetric by
+    // construction (both directions are updated from the same labels).
+    let mut live = vec![true; g.num_arcs()];
+    let mut remaining = g.num_edges();
     let mut round = 0u64;
     // 2 + 4·log2(m) rounds is a safe cap: residual edges halve in
     // expectation per round (Corollary 4.5 with β = 1/2).
     let cap = 2 + 4 * (64 - (g.num_edges() as u64).leading_zeros() as u64);
+    // Top-down is pinned for every round: the residual graphs are
+    // singleton-heavy, where the auto heuristic's bottom-up scans pay
+    // `O(unsettled)` per round for nothing.
+    let opts = |round: u64| {
+        DecompOptions::new(0.5)
+            .with_seed(seed.wrapping_add(round))
+            .with_traversal(Traversal::TopDownPar)
+    };
+
+    // Phase 1 — zero-copy rounds while the residual is still a sizable
+    // fraction of the original edge set.
+    while remaining * 2 >= g.num_edges() && remaining > 0 && round < cap {
+        let view = EdgeFilteredView::new(g, &live);
+        let (d, _) = engine::partition_view(&view, &opts(round));
+        // Intra-cluster residual edges form this round's block… (parallel
+        // scan; the deterministic collect order keeps the edge list
+        // ascending, same as iterating a materialized residual).
+        let live_scan = &live;
+        let d_ref = &d;
+        let intra: Vec<(Vertex, Vertex)> = (0..n as Vertex)
+            .into_par_iter()
+            .flat_map_iter(|u| {
+                (offsets[u as usize]..offsets[u as usize + 1]).filter_map(move |a| {
+                    let v = targets[a];
+                    (u < v && live_scan[a] && d_ref.center_of(u) == d_ref.center_of(v))
+                        .then_some((u, v))
+                })
+            })
+            .collect();
+        // …and die in the mask; the cut edges stay live for the next
+        // round. One parallel pass, symmetric because both arcs of an edge
+        // compare the same pair of labels.
+        let labels = d.assignment();
+        let live_ref = &live;
+        live = (0..n as Vertex)
+            .into_par_iter()
+            .flat_map_iter(|u| {
+                let lu = labels[u as usize];
+                (offsets[u as usize]..offsets[u as usize + 1])
+                    .map(move |a| live_ref[a] && labels[targets[a] as usize] != lu)
+            })
+            .collect();
+        remaining -= intra.len();
+        blocks.push(Block {
+            edges: intra,
+            max_piece_radius: d.max_radius(),
+        });
+        round += 1;
+    }
+
+    // Phase 2 — the residual is small now; materialize it once and finish
+    // on geometrically shrinking graphs. Identical output: the engine sees
+    // the same edges under the same ids.
+    let mut current = if remaining > 0 {
+        let view = EdgeFilteredView::new(g, &live);
+        let leftovers: Vec<(Vertex, Vertex)> = (0..n as Vertex)
+            .flat_map(|u| {
+                view.neighbors_iter(u)
+                    .filter(move |&v| u < v)
+                    .map(move |v| (u, v))
+            })
+            .collect();
+        CsrGraph::from_edges(n, &leftovers)
+    } else {
+        CsrGraph::empty(n)
+    };
     while current.num_edges() > 0 && round < cap {
-        let d = partition(
-            &current,
-            &DecompOptions::new(0.5).with_seed(seed.wrapping_add(round)),
-        );
+        let (d, _) = engine::partition_view(&current, &opts(round));
         let mut intra = Vec::new();
         let mut cut = Vec::new();
         for (u, v) in current.edges() {
@@ -205,6 +288,36 @@ mod tests {
         assert_eq!(bd.total_edges(), 199);
         let bound = (4.0 * (200f64).ln()) as Dist + 2;
         assert!(verify_blocks(&g, &bd, bound).is_ok());
+    }
+
+    #[test]
+    fn matches_materialized_residual_rounds() {
+        // The mask-driven rounds must reproduce the old implementation: the
+        // same decomposition sequence as explicitly rebuilding the residual
+        // graph with `from_edges` each round.
+        let g = gen::gnm(300, 1200, 4);
+        let seed = 6u64;
+        let bd = block_decomposition(&g, seed);
+        let n = g.num_vertices();
+        let mut current = g.clone();
+        let mut round = 0u64;
+        let mut reference = Vec::new();
+        while current.num_edges() > 0 {
+            let d = mpx_decomp::partition(
+                &current,
+                &DecompOptions::new(0.5).with_seed(seed.wrapping_add(round)),
+            );
+            let (intra, cut): (Vec<_>, Vec<_>) = current
+                .edges()
+                .partition(|&(u, v)| d.center_of(u) == d.center_of(v));
+            reference.push(intra);
+            current = CsrGraph::from_edges(n, &cut);
+            round += 1;
+        }
+        assert_eq!(bd.blocks.len(), reference.len());
+        for (i, (b, r)) in bd.blocks.iter().zip(&reference).enumerate() {
+            assert_eq!(&b.edges, r, "round {i}");
+        }
     }
 
     use mpx_graph::CsrGraph;

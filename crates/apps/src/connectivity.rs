@@ -1,4 +1,4 @@
-//! Parallel connected components via repeated decomposition+contraction.
+//! Parallel connected components via decomposition + contraction.
 //!
 //! A classic use of low-diameter decompositions (and the way modern
 //! shared-memory frameworks in the GBBS lineage implement connectivity):
@@ -7,11 +7,32 @@
 //! component geometrically; `O(log n)` rounds of `O(n + m)` work flatten
 //! every component to a single supernode. Labels are propagated back down
 //! through the contraction maps.
+//!
+//! **Round 0 is zero-copy**: it runs the engine directly on the borrowed
+//! input graph (a [`CsrGraph`] *is* a [`mpx_graph::GraphView`]), where the
+//! old implementation started from a full `g.clone()`. The later rounds
+//! deliberately stay **materialized**: contraction is exactly what makes
+//! them cheap (the quotient shrinks geometrically, so all rounds after the
+//! first cost `O(n)` combined), whereas an edge-filtered view of the
+//! original graph keeps paying `Ω(n + m)` per round — measured at ~2×
+//! end-to-end on grids (see the zero-copy notes in
+//! `crates/bench/benches/apps.rs`). This is the one pipeline where a view
+//! measurably loses to materialization.
 
 use crate::coarsen::coarsen;
-use mpx_decomp::{partition, DecompOptions};
+use mpx_decomp::{engine, DecompOptions, Traversal};
 use mpx_graph::{CsrGraph, Vertex};
 use rayon::prelude::*;
+
+/// Decomposition options for one connectivity round. Top-down is pinned:
+/// the quotient rounds are small and the auto heuristic's bottom-up scans
+/// pay `O(unsettled)` per round on graphs dominated by already-flattened
+/// singleton supernodes.
+fn round_opts(beta: f64, seed: u64, round: u64) -> DecompOptions {
+    DecompOptions::new(beta)
+        .with_seed(seed.wrapping_add(round))
+        .with_traversal(Traversal::TopDownPar)
+}
 
 /// Connected-component labels via repeated MPX decomposition+contraction.
 ///
@@ -32,15 +53,24 @@ pub fn parallel_components(g: &CsrGraph, beta: f64, seed: u64) -> (Vec<Vertex>, 
     if n == 0 {
         return (Vec::new(), 0);
     }
-    // maps[i]: vertex of level-i graph -> vertex of level-(i+1) graph.
+    // Round 0 on the borrowed graph itself — the only full-size round, so
+    // the only one where avoiding a materialized copy matters.
     let mut maps: Vec<Vec<Vertex>> = Vec::new();
-    let mut current = g.clone();
+    let mut current: CsrGraph;
     let mut rounds = 0u64;
+    {
+        if g.num_edges() == 0 {
+            return ((0..n as Vertex).collect(), n);
+        }
+        let d = engine::partition_view(g, &round_opts(beta, seed, 0)).0;
+        let c = coarsen(g, &d);
+        maps.push(c.map);
+        current = c.quotient;
+        rounds += 1;
+    }
+    // Later rounds on geometrically shrinking quotients.
     while current.num_edges() > 0 {
-        let d = partition(
-            &current,
-            &DecompOptions::new(beta).with_seed(seed.wrapping_add(rounds)),
-        );
+        let d = engine::partition_view(&current, &round_opts(beta, seed, rounds)).0;
         let c = coarsen(&current, &d);
         maps.push(c.map);
         current = c.quotient;
@@ -129,6 +159,19 @@ mod tests {
         let (labels, count) = parallel_components(&g, 0.5, 1);
         let max = labels.iter().copied().max().unwrap() as usize;
         assert!(max < count);
+    }
+
+    #[test]
+    fn oracle_agreement_across_betas_and_seeds() {
+        let g = gen::sbm(400, 5, 0.08, 0.002, 11);
+        let (oracle, k) = algo::connected_components(&g);
+        for beta in [0.2, 0.5] {
+            for seed in [1u64, 9] {
+                let (labels, count) = parallel_components(&g, beta, seed);
+                assert_eq!(count, k, "beta {beta} seed {seed}");
+                assert!(same_partition(&labels, &oracle), "beta {beta} seed {seed}");
+            }
+        }
     }
 
     use mpx_graph::CsrGraph;

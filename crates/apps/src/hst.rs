@@ -13,14 +13,30 @@
 //! * leaves are single vertices; the edge from a child with bound `Δ/2` to
 //!   its parent has length `Δ/2`.
 //!
+//! The recursion is **zero-copy**: every piece is split through an
+//! [`InducedView`] of the *original* graph — an ascending member list plus
+//! a rank scratch buffer shared across all levels (the pieces alive at any
+//! moment are pairwise disjoint, so one buffer serves them all, and the
+//! sparse-set membership check makes stale entries harmless). No
+//! [`CsrGraph::induced_subgraph`] materialization happens at any level —
+//! the root test suite pins this with the
+//! process-wide [`mpx_graph::induced_materializations`] counter. Splitting a piece
+//! costs `O(Σ_{v ∈ piece} deg_G(v))` for the view's filtered scans, so the
+//! total build cost stays `O((n + m) · height)` like the old
+//! materialization-based construction, minus the per-level CSR
+//! allocations. (On graphs with extreme degree skew a piece's filtered
+//! scans can exceed its internal edge count — see the bench notes in
+//! `crates/bench/benches/apps.rs` — but across grid/GNM/RMAT the view
+//! path wins.)
+//!
 //! The resulting tree metric **dominates** the graph metric
 //! (`dist_T ≥ dist_G`, because two vertices separated below a node of
 //! bound `Δ` pay `≥ Δ ≥ dist_G` in the tree) and exceeds it by at most
 //! `O(log n)` per level in expectation — Bartal's `O(log² n)` expected
 //! stretch for this simple variant. The experiment table T13 measures it.
 
-use mpx_decomp::{partition, partition_sequential, DecompOptions};
-use mpx_graph::{algo, CsrGraph, Vertex};
+use mpx_decomp::{engine, DecompOptions, Traversal};
+use mpx_graph::{algo, CsrGraph, InducedView, Vertex};
 
 /// One node of the hierarchical decomposition tree.
 #[derive(Clone, Debug)]
@@ -58,10 +74,13 @@ impl Hst {
         let n = g.num_vertices();
         let mut nodes: Vec<Node> = Vec::new();
         let mut leaf = vec![NO_NODE; n];
-        // Work list: (node id, induced subgraph, map to original ids,
-        // diameter bound). Recursing on materialized subgraphs keeps the
-        // total split cost at O((n + m) · height) instead of O(n · #nodes).
-        let mut stack: Vec<(u32, CsrGraph, Vec<Vertex>, f64)> = Vec::new();
+        // Work list: (node id, ascending member list in ORIGINAL ids,
+        // diameter bound). Members of all pending entries are pairwise
+        // disjoint, so one shared rank buffer backs every InducedView; the
+        // view's sparse-set membership check ignores the stale slots left
+        // behind by already-split pieces.
+        let mut stack: Vec<(u32, Vec<Vertex>, f64)> = Vec::new();
+        let mut rank: Vec<Vertex> = vec![0; n];
 
         let (comp, k) = algo::connected_components(g);
         let mut members: Vec<Vec<Vertex>> = vec![Vec::new(); k];
@@ -77,18 +96,13 @@ impl Hst {
                 parent_edge: 0.0,
                 depth: 0,
             });
-            let mut mask = vec![false; n];
-            for &v in &mem {
-                mask[v as usize] = true;
-            }
-            let (sub, old_of_new) = g.induced_subgraph(&mask);
-            stack.push((id, sub, old_of_new, delta));
+            stack.push((id, mem, delta));
         }
 
         let mut salt = seed;
-        while let Some((node, sub, old_of_new, delta)) = stack.pop() {
-            if old_of_new.len() == 1 {
-                leaf[old_of_new[0] as usize] = node;
+        while let Some((node, members, delta)) = stack.pop() {
+            if members.len() == 1 {
+                leaf[members[0] as usize] = node;
                 continue;
             }
             // Split into pieces of diameter ≤ delta/2 (radius ≤ delta/4).
@@ -97,7 +111,7 @@ impl Hst {
             if target < 1.0 {
                 // Unit diameter bound: every vertex must stand alone, no
                 // partition call needed (β would be astronomically large).
-                for &old in &old_of_new {
+                for &old in &members {
                     let id = nodes.len() as u32;
                     nodes.push(Node {
                         parent: node,
@@ -108,19 +122,25 @@ impl Hst {
                 }
                 continue;
             }
-            let n_sub = sub.num_vertices().max(2) as f64;
+            for (i, &v) in members.iter().enumerate() {
+                rank[v as usize] = i as Vertex;
+            }
+            let view = InducedView::from_parts(g, &members, &rank);
+            let n_sub = members.len().max(2) as f64;
             let beta = (8.0 * n_sub.ln() / target).max(1e-9);
+            // The worker pool only pays off on big pieces; every strategy
+            // produces identical output, so this is purely scheduling.
+            let traversal = if members.len() >= 20_000 {
+                Traversal::Auto
+            } else {
+                Traversal::TopDownSeq
+            };
             let d = loop {
                 salt = salt.wrapping_add(0x9E37_79B9);
-                let opts = DecompOptions::new(beta).with_seed(salt);
-                // The parallel partition only pays off on big pieces; the
-                // two produce identical output, so this is purely a
-                // scheduling choice.
-                let d = if sub.num_vertices() >= 20_000 {
-                    partition(&sub, &opts)
-                } else {
-                    partition_sequential(&sub, &opts)
-                };
+                let opts = DecompOptions::new(beta)
+                    .with_seed(salt)
+                    .with_traversal(traversal);
+                let (d, _) = engine::partition_view(&view, &opts);
                 // Radius ≤ target/2 ⇒ strong diameter ≤ target. Lemma 4.2:
                 // exceeding 2·ln(n)/β = target/4 already has probability
                 // ~1/n, so this accepts almost immediately.
@@ -128,9 +148,9 @@ impl Hst {
                     break d;
                 }
             };
-            // Child subgraphs, extracted once per child from `sub`.
-            let clusters = d.cluster_members();
-            for cluster in clusters {
+            // Child member lists: dense cluster ids mapped back through the
+            // (monotonic) active list, so they come out ascending again.
+            for cluster in d.cluster_members() {
                 let id = nodes.len() as u32;
                 nodes.push(Node {
                     parent: node,
@@ -138,17 +158,14 @@ impl Hst {
                     depth,
                 });
                 if cluster.len() == 1 {
-                    leaf[old_of_new[cluster[0] as usize] as usize] = id;
+                    leaf[members[cluster[0] as usize] as usize] = id;
                     continue;
                 }
-                let mut mask = vec![false; sub.num_vertices()];
-                for &v in &cluster {
-                    mask[v as usize] = true;
-                }
-                let (child_sub, child_map) = sub.induced_subgraph(&mask);
-                let child_old: Vec<Vertex> =
-                    child_map.iter().map(|&m| old_of_new[m as usize]).collect();
-                stack.push((id, child_sub, child_old, target));
+                let child: Vec<Vertex> = cluster
+                    .iter()
+                    .map(|&dense| members[dense as usize])
+                    .collect();
+                stack.push((id, child, target));
             }
         }
 
@@ -296,6 +313,11 @@ mod tests {
         assert!(t.height <= 12, "height {}", t.height);
         assert!(t.num_nodes() >= g.num_vertices());
     }
+
+    // The zero-materialization acceptance assertion lives in the workspace
+    // root's `tests/hst_zero_copy.rs` — its own test binary, so the
+    // process-wide materialization counter can't be perturbed by other
+    // tests (the separator pipeline in this crate materializes legally).
 
     use mpx_graph::CsrGraph;
 }

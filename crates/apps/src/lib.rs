@@ -18,6 +18,12 @@
 //!   blocks suffice.
 //! * [`coarsen()`](coarsen::coarsen) — quotient-graph coarsening with representative-edge
 //!   tracking, the shared substrate of the spanner and LSST pipelines.
+//!
+//! The recursive pipelines ([`Hst`], [`blocks`], [`connectivity`]) run
+//! every level on zero-copy [`mpx_graph::InducedView`] /
+//! [`mpx_graph::EdgeFilteredView`] views of the original graph through
+//! [`mpx_decomp::engine`] — no per-level induced-subgraph or residual-graph
+//! materialization.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,5 +1,39 @@
 //! Criterion bench: the application pipelines (wall-clock side of tables
 //! T8/T9/T10).
+//!
+//! # Zero-copy recursion notes (measured vs the materializing versions)
+//!
+//! Since the engine refactor the recursive pipelines run on views of the
+//! original graph where that measurably wins, and keep a materialized path
+//! where it measurably loses (release timings, grid 200×200 and RMAT
+//! scale-12, 8 threads):
+//!
+//! * **HST** — fully zero-copy ([`mpx_graph::InducedView`] per split, one
+//!   shared rank scratch): grid 98 → 94 ms, RMAT 6.7 → 3.9 ms per build.
+//!   The old build's per-piece `induced_subgraph` allocations dominated on
+//!   the thousands of small pieces; the view's on-the-fly filtering is
+//!   cheaper at every level we measured, including the hub-heavy RMAT.
+//! * **Blocks** — hybrid: rounds run on an [`mpx_graph::EdgeFilteredView`]
+//!   mask while the residual holds ≥ half the original edges (skipping the
+//!   biggest `from_edges` rebuilds), then materialize the small residual
+//!   once. Grid ~72 vs ~68 ms (within run noise), RMAT 2.4 vs 1.6 ms: a
+//!   *fixed-size* view pays `O(n + m)` per round while a materialized
+//!   residual shrinks geometrically, so late rounds must materialize — the
+//!   pure-view variant measured 1.5× slower end-to-end.
+//! * **Components** — round 0 zero-copy on the borrowed graph (the only
+//!   full-size round; the old version started from `g.clone()`), then the
+//!   classic decompose-and-contract loop: grid 7.2 vs 7.5 ms, RMAT parity.
+//!   Contraction is what shrinks the problem; an edge-filtered view of the
+//!   original graph measured ~2× slower (`Ω(n)` engine work per round on a
+//!   vertex set that never shrinks). This is the pipeline where
+//!   materialization clearly earns its keep.
+//!
+//! `partition/view_vs_csr_*` in `benches/partition.rs` isolates the
+//! single-split trade; `hst/*` and `components/*` below track the
+//! end-to-end pipelines. One scheduling caveat the measurements exposed:
+//! singleton-heavy views must pin `Traversal::TopDownPar` — the auto
+//! heuristic's bottom-up rounds scan every unsettled vertex, `O(n)` per
+//! round, on graphs that are mostly isolated vertices.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpx_graph::gen;
@@ -31,9 +65,30 @@ fn bench_apps(c: &mut Criterion) {
     group.finish();
 }
 
+/// The recursive pipelines that used to materialize a subgraph per level —
+/// now one `InducedView`/`EdgeFilteredView` per split (see module notes).
+fn bench_recursive_pipelines(c: &mut Criterion) {
+    let grid = gen::grid2d(120, 120);
+    let rmat = gen::rmat(12, 8 << 12, 0.57, 0.19, 0.19, 2);
+
+    let mut group = c.benchmark_group("hst");
+    group.bench_function("grid120", |b| b.iter(|| mpx_apps::Hst::build(&grid, 1)));
+    group.bench_function("rmat-s12", |b| b.iter(|| mpx_apps::Hst::build(&rmat, 1)));
+    group.finish();
+
+    let mut group = c.benchmark_group("components");
+    group.bench_function("grid120", |b| {
+        b.iter(|| mpx_apps::parallel_components(&grid, 0.3, 1))
+    });
+    group.bench_function("rmat-s12", |b| {
+        b.iter(|| mpx_apps::parallel_components(&rmat, 0.3, 1))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = configure(Criterion::default());
-    targets = bench_apps
+    targets = bench_apps, bench_recursive_pipelines
 }
 criterion_main!(benches);

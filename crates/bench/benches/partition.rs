@@ -2,8 +2,10 @@
 //! against the baselines (wall-clock side of tables T1/T2/T6).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mpx_decomp::{partition, partition_hybrid, partition_sequential, DecompOptions};
-use mpx_graph::gen;
+use mpx_decomp::{
+    partition, partition_hybrid, partition_sequential, partition_view, DecompOptions, Traversal,
+};
+use mpx_graph::{gen, InducedView};
 use std::time::Duration;
 
 fn configure(c: Criterion) -> Criterion {
@@ -58,9 +60,73 @@ fn bench_vs_baselines(c: &mut Criterion) {
     group.finish();
 }
 
+/// One engine, four strategies: same output, different wall-clock profile.
+/// The interesting comparisons: `auto` vs `parallel` on the low-diameter
+/// RMAT (where bottom-up rounds pay) and on the grid (where they never
+/// trigger and auto must not lose).
+fn bench_traversal_strategies(c: &mut Criterion) {
+    let graphs = vec![
+        ("grid200-b0.1", gen::grid2d(200, 200), 0.1),
+        (
+            "rmat-s14-b0.3",
+            gen::rmat(14, 8 << 14, 0.57, 0.19, 0.19, 1),
+            0.3,
+        ),
+    ];
+    for (name, g, beta) in &graphs {
+        let mut group = c.benchmark_group(format!("partition/strategies_{name}"));
+        for strategy in [
+            Traversal::Auto,
+            Traversal::TopDownPar,
+            Traversal::TopDownSeq,
+            Traversal::BottomUp,
+        ] {
+            let opts = DecompOptions::new(*beta)
+                .with_seed(1)
+                .with_traversal(strategy);
+            group.bench_function(strategy.as_str(), |b| b.iter(|| partition_view(g, &opts)));
+        }
+        group.finish();
+    }
+}
+
+/// Zero-copy views vs materialized subgraphs: partitioning ~70% of a graph
+/// through an `InducedView` against paying `induced_subgraph` + partition.
+/// The view skips the CSR rebuild but filters neighbors on the fly; this
+/// group is the honest accounting of that trade (see the HST notes in
+/// `benches/apps.rs` for the recursive, repeated-split case where the view
+/// wins outright).
+fn bench_view_vs_materialized(c: &mut Criterion) {
+    let graphs = vec![
+        ("grid200", gen::grid2d(200, 200)),
+        ("rmat-s13", gen::rmat(13, 8 << 13, 0.57, 0.19, 0.19, 2)),
+    ];
+    for (name, g) in &graphs {
+        let keep: Vec<bool> = (0..g.num_vertices() as u64)
+            .map(|v| v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) % 10 < 7)
+            .collect();
+        let opts = DecompOptions::new(0.2).with_seed(3);
+        let mut group = c.benchmark_group(format!("partition/view_vs_csr_{name}"));
+        group.bench_function("induced_view", |b| {
+            b.iter(|| {
+                let view = InducedView::from_mask(g, &keep);
+                partition_view(&view, &opts)
+            })
+        });
+        group.bench_function("materialize_then_partition", |b| {
+            b.iter(|| {
+                let (sub, _) = g.induced_subgraph(&keep);
+                partition(&sub, &opts)
+            })
+        });
+        group.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = configure(Criterion::default());
-    targets = bench_beta_sweep, bench_graph_families, bench_vs_baselines
+    targets = bench_beta_sweep, bench_graph_families, bench_vs_baselines,
+        bench_traversal_strategies, bench_view_vs_materialized
 }
 criterion_main!(benches);

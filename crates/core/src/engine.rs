@@ -1,0 +1,449 @@
+//! The unified shifted-BFS engine.
+//!
+//! The paper's Algorithm 1 is *one* algorithm: a level-synchronous BFS in
+//! which every round
+//!
+//! 1. **wakes** the vertices whose shifted start time has integer part
+//!    equal to the round (they bid to found their own cluster),
+//! 2. **expands** the current frontier (settled last round) into bids for
+//!    unclaimed neighbors, and
+//! 3. **finalizes** every vertex that received a bid: the minimum claim key
+//!    wins, its distance is `round − wake_round(center)`.
+//!
+//! Because bids are resolved by a pure minimum over packed
+//! `(tie_key, center)` keys ([`ExpShifts::claim_key`]), the outcome depends
+//! only on key *values* — never on thread interleaving, iteration order, or
+//! traversal direction. This module exploits that: one round loop,
+//! parameterized by
+//!
+//! * a [`Traversal`] strategy — [`Traversal::TopDownPar`],
+//!   [`Traversal::TopDownSeq`], [`Traversal::BottomUp`], or
+//!   [`Traversal::Auto`] (Beamer-style direction optimization switching on
+//!   the [`DecompOptions::alpha`] heuristic) — all **bit-identical** in
+//!   output, and
+//! * a [`GraphView`] — the whole [`CsrGraph`](mpx_graph::CsrGraph), a
+//!   zero-copy [`InducedView`](mpx_graph::InducedView) of a vertex subset,
+//!   or an [`EdgeFilteredView`](mpx_graph::EdgeFilteredView) of an edge
+//!   subset — so recursive pipelines decompose pieces without materializing
+//!   induced subgraphs.
+//!
+//! [`crate::partition`], [`crate::partition_sequential`] and
+//! [`crate::partition_hybrid`] are thin wrappers pinning the strategy; they
+//! survive as the stable public API and as documentation of the three
+//! classic operating points.
+//!
+//! # Direction mechanics
+//!
+//! Top-down rounds race `fetch_min` bids from the frontier outward;
+//! bottom-up rounds instead have every *unsettled* vertex scan its own
+//! neighbors for clusters settled exactly last round and take the smallest
+//! key (including its own wake bid when its wake round has arrived). The
+//! winner of a round is "minimum claim key among (neighbors settled last
+//! round) ∪ (own wake bid)" in **both** directions, which is why they can
+//! be mixed freely per round. Bottom-up rounds write each vertex from
+//! exactly one task (itself), avoiding per-edge CAS traffic entirely — the
+//! payoff on fat frontiers. Thin rounds of any parallel strategy run
+//! inline: the worker-pool fan-out costs more than the round's whole work
+//! on mesh-like graphs (an output-invisible scheduling choice).
+
+use crate::decomposition::Decomposition;
+use crate::options::{DecompOptions, Traversal};
+use crate::shift::ExpShifts;
+use mpx_graph::{Dist, GraphView, Vertex, NO_VERTEX};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Work/depth proxies recorded by one partition run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionTelemetry {
+    /// Level-synchronous rounds executed (depth proxy; paper predicts
+    /// `O(log n / β)`).
+    pub rounds: u64,
+    /// Directed edges scanned (work proxy; paper predicts `O(m)` top-down;
+    /// bottom-up rounds scan the unsettled side instead).
+    pub relaxations: u64,
+    /// Number of clusters formed.
+    pub clusters: u64,
+    /// Rounds that ran bottom-up (0 under the pure top-down strategies).
+    pub bottom_up_rounds: u64,
+}
+
+/// Partitions a [`GraphView`] under `opts` (shifts generated from
+/// `opts.seed`, traversal from `opts.traversal`).
+///
+/// This is the general entry point: the classic wrappers
+/// ([`crate::partition`] & co.) pin a strategy and the full graph; the
+/// recursive pipelines call this directly on views.
+pub fn partition_view<V: GraphView>(
+    view: &V,
+    opts: &DecompOptions,
+) -> (Decomposition, PartitionTelemetry) {
+    let shifts = ExpShifts::generate(view.num_vertices(), opts);
+    partition_view_with_shifts(view, &shifts, opts.traversal, opts.alpha)
+}
+
+/// The engine proper: runs the wake/expand/finalize round loop over `view`
+/// under externally supplied shifts.
+///
+/// The output is invariant under `strategy`, `alpha`, and thread count —
+/// only the telemetry's work/direction profile changes.
+pub fn partition_view_with_shifts<V: GraphView>(
+    view: &V,
+    shifts: &ExpShifts,
+    strategy: Traversal,
+    alpha: u64,
+) -> (Decomposition, PartitionTelemetry) {
+    let n = view.num_vertices();
+    assert_eq!(shifts.len(), n, "shifts must cover every vertex");
+    if n == 0 {
+        return (
+            Decomposition::from_raw(Vec::new(), Vec::new(), Vec::new()),
+            PartitionTelemetry::default(),
+        );
+    }
+
+    // claim[v]: best (tie_key, center) bid seen so far; u64::MAX =
+    // untouched. Only the top-down paths bid through it — bottom-up rounds
+    // have each vertex fold its own minimum locally.
+    let claim: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    // assignment[v]: winning center once v's settling round finishes.
+    let assignment: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
+    // dist[v]: hop distance to the winning center.
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    // settled_round[v] (u32::MAX = unsettled): bottom-up rounds key off
+    // "settled exactly last round"; only maintained when a bottom-up round
+    // can occur.
+    let bottom_up_capable = matches!(strategy, Traversal::Auto | Traversal::BottomUp);
+    let settled_round: Vec<AtomicU32> = if bottom_up_capable {
+        (0..n).map(|_| AtomicU32::new(u32::MAX)).collect()
+    } else {
+        Vec::new()
+    };
+
+    let buckets = shifts.wake_buckets();
+    let (claim_ref, assignment_ref, dist_ref, settled_ref) =
+        (&claim, &assignment, &dist, &settled_round);
+
+    let mut telemetry = PartitionTelemetry::default();
+    let mut frontier: Vec<Vertex> = Vec::new();
+    // Unsettled vertices (compacted lazily) and their total view degree,
+    // maintained only for the bottom-up-capable strategies.
+    let mut unsettled: Vec<Vertex> = if bottom_up_capable {
+        (0..n as Vertex).collect()
+    } else {
+        Vec::new()
+    };
+    let mut unsettled_degree: u64 = view.total_degree();
+    let mut settled = 0usize;
+    let mut round = 0usize;
+
+    while settled < n {
+        telemetry.rounds += 1;
+        let r32 = round as u32;
+        let frontier_degree: u64 = frontier.iter().map(|&u| view.degree(u) as u64).sum();
+        let bucket = buckets.get(round).map_or(&[] as &[Vertex], Vec::as_slice);
+
+        let bottom_up = match strategy {
+            Traversal::TopDownPar | Traversal::TopDownSeq => false,
+            Traversal::BottomUp => true,
+            Traversal::Auto => frontier_degree.saturating_mul(alpha) > unsettled_degree,
+        };
+
+        let touched: Vec<Vertex> = if bottom_up {
+            telemetry.bottom_up_rounds += 1;
+            // The whole round's scan cost is the remaining unsettled degree;
+            // thin rounds run inline like their top-down counterparts.
+            let par = unsettled_degree >= mpx_par::bfs::SEQ_ROUND_CUTOFF;
+            // Compact the unsettled list first so the scan below only
+            // visits live vertices.
+            unsettled = if par {
+                unsettled
+                    .par_iter()
+                    .copied()
+                    .filter(|&v| settled_ref[v as usize].load(Ordering::Relaxed) == u32::MAX)
+                    .collect()
+            } else {
+                unsettled
+                    .iter()
+                    .copied()
+                    .filter(|&v| settled_ref[v as usize].load(Ordering::Relaxed) == u32::MAX)
+                    .collect()
+            };
+            telemetry.relaxations += unsettled
+                .iter()
+                .map(|&v| view.degree(v) as u64)
+                .sum::<u64>();
+            // Round 0 has no "settled last round" side; only wake bids.
+            let prev = r32.checked_sub(1);
+            let scan = |v: Vertex| -> bool {
+                // Own wake bid plus the best neighbor claim.
+                let mut best = if shifts.start_round[v as usize] == r32 {
+                    shifts.claim_key(v)
+                } else {
+                    u64::MAX
+                };
+                if let Some(prev) = prev {
+                    for u in view.neighbors_iter(v) {
+                        if settled_ref[u as usize].load(Ordering::Relaxed) == prev {
+                            let c = assignment_ref[u as usize].load(Ordering::Relaxed);
+                            best = best.min(shifts.claim_key(c));
+                        }
+                    }
+                }
+                if best == u64::MAX {
+                    return false;
+                }
+                let center = (best & u32::MAX as u64) as Vertex;
+                assignment_ref[v as usize].store(center, Ordering::Relaxed);
+                dist_ref[v as usize]
+                    .store(r32 - shifts.start_round[center as usize], Ordering::Relaxed);
+                settled_ref[v as usize].store(r32, Ordering::Relaxed);
+                true
+            };
+            if par {
+                unsettled
+                    .par_iter()
+                    .with_min_len(128)
+                    .copied()
+                    .filter(|&v| scan(v))
+                    .collect()
+            } else {
+                unsettled.iter().copied().filter(|&v| scan(v)).collect()
+            }
+        } else {
+            // Thin rounds run inline: the per-round worker fan-out costs
+            // more than the round's whole work on mesh-like graphs
+            // (hundreds of rounds of tiny frontiers). The claim logic — and
+            // therefore the output — is identical on both paths.
+            let par = strategy != Traversal::TopDownSeq
+                && frontier_degree + bucket.len() as u64 >= mpx_par::bfs::SEQ_ROUND_CUTOFF;
+
+            // Wake phase: vertices whose start time has integer part
+            // `round` bid to found their own cluster (paper: "vertex u
+            // starting when the head of the queue has distance more than
+            // δ_max − δ_u").
+            let wake_bid = |u: Vertex| -> bool {
+                assignment_ref[u as usize].load(Ordering::Relaxed) == NO_VERTEX
+                    && claim_ref[u as usize].fetch_min(shifts.claim_key(u), Ordering::Relaxed)
+                        == u64::MAX
+            };
+            let mut touched: Vec<Vertex> = if par {
+                bucket
+                    .par_iter()
+                    .copied()
+                    .filter(|&u| wake_bid(u))
+                    .collect()
+            } else {
+                bucket.iter().copied().filter(|&u| wake_bid(u)).collect()
+            };
+
+            // Expand phase: frontier vertices bid for unclaimed neighbors
+            // with their cluster's key. `fetch_min` returning MAX
+            // identifies the first bidder, which registers v exactly once
+            // in `touched`.
+            telemetry.relaxations += frontier_degree;
+            if par {
+                let expanded: Vec<Vertex> = frontier
+                    .par_iter()
+                    .with_min_len(128)
+                    .flat_map_iter(|&u| {
+                        let center = assignment_ref[u as usize].load(Ordering::Relaxed);
+                        let key = shifts.claim_key(center);
+                        view.neighbors_iter(u).filter(move |&v| {
+                            assignment_ref[v as usize].load(Ordering::Relaxed) == NO_VERTEX
+                                && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed)
+                                    == u64::MAX
+                        })
+                    })
+                    .collect();
+                touched.extend(expanded);
+            } else {
+                for &u in frontier.iter() {
+                    let center = assignment_ref[u as usize].load(Ordering::Relaxed);
+                    let key = shifts.claim_key(center);
+                    for v in view.neighbors_iter(u) {
+                        if assignment_ref[v as usize].load(Ordering::Relaxed) == NO_VERTEX
+                            && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed) == u64::MAX
+                        {
+                            touched.push(v);
+                        }
+                    }
+                }
+            }
+
+            // Finalize phase: every vertex touched this round is settled by
+            // the winning bid; its distance is `round − wake_round(center)`.
+            let finalize = |v: Vertex| {
+                let key = claim_ref[v as usize].load(Ordering::Relaxed);
+                let center = (key & u32::MAX as u64) as Vertex;
+                assignment_ref[v as usize].store(center, Ordering::Relaxed);
+                dist_ref[v as usize]
+                    .store(r32 - shifts.start_round[center as usize], Ordering::Relaxed);
+                if bottom_up_capable {
+                    settled_ref[v as usize].store(r32, Ordering::Relaxed);
+                }
+            };
+            if par {
+                touched.par_iter().for_each(|&v| finalize(v));
+            } else {
+                touched.iter().for_each(|&v| finalize(v));
+            }
+            touched
+        };
+
+        if bottom_up_capable {
+            unsettled_degree -= touched.iter().map(|&v| view.degree(v) as u64).sum::<u64>();
+        }
+        settled += touched.len();
+        frontier = touched;
+        round += 1;
+    }
+
+    let assignment: Vec<Vertex> = assignment.into_iter().map(|a| a.into_inner()).collect();
+    let dist: Vec<Dist> = dist.into_iter().map(|d| d.into_inner()).collect();
+    let parent = compute_parents_view(view, &assignment, &dist);
+    let d = Decomposition::from_raw(assignment, dist, parent);
+    telemetry.clusters = d.num_clusters() as u64;
+    (d, telemetry)
+}
+
+/// Deterministic intra-cluster BFS parents: the smallest-id neighbor in the
+/// same cluster one hop closer to the center. Lemma 4.1 guarantees such a
+/// neighbor exists for every non-center vertex; we panic otherwise because
+/// that would falsify the decomposition.
+///
+/// Public (and re-exported as [`crate::parallel::compute_parents`] for the
+/// full-graph case) because every decomposition algorithm in the workspace,
+/// including the baselines, assembles its [`Decomposition`] through this
+/// helper.
+pub fn compute_parents_view<V: GraphView>(
+    view: &V,
+    assignment: &[Vertex],
+    dist: &[Dist],
+) -> Vec<Vertex> {
+    (0..view.num_vertices() as Vertex)
+        .into_par_iter()
+        .map(|v| {
+            let dv = dist[v as usize];
+            if dv == 0 {
+                return NO_VERTEX;
+            }
+            let cv = assignment[v as usize];
+            view.neighbors_iter(v)
+                .find(|&u| assignment[u as usize] == cv && dist[u as usize] + 1 == dv)
+                .unwrap_or_else(|| {
+                    panic!("Lemma 4.1 violated at vertex {v}: no same-cluster predecessor")
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_graph::{gen, CsrGraph, InducedView};
+
+    fn opts(beta: f64, seed: u64) -> DecompOptions {
+        DecompOptions::new(beta).with_seed(seed)
+    }
+
+    const ALL_STRATEGIES: [Traversal; 4] = [
+        Traversal::Auto,
+        Traversal::TopDownPar,
+        Traversal::TopDownSeq,
+        Traversal::BottomUp,
+    ];
+
+    #[test]
+    fn all_strategies_bit_identical() {
+        for (g, beta) in [
+            (gen::grid2d(30, 30), 0.15),
+            (gen::gnm(800, 6000, 2), 0.3),
+            (gen::rmat(9, 8 << 9, 0.57, 0.19, 0.19, 3), 0.25),
+            (gen::path(600), 0.2),
+        ] {
+            let o = opts(beta, 7);
+            let shifts = ExpShifts::generate(g.num_vertices(), &o);
+            let (base, _) = partition_view_with_shifts(&g, &shifts, Traversal::TopDownPar, o.alpha);
+            for s in ALL_STRATEGIES {
+                let (d, t) = partition_view_with_shifts(&g, &shifts, s, o.alpha);
+                assert_eq!(base, d, "strategy {s:?}");
+                assert_eq!(t.clusters as usize, d.num_clusters());
+                if matches!(s, Traversal::TopDownPar | Traversal::TopDownSeq) {
+                    assert_eq!(t.bottom_up_rounds, 0, "strategy {s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_up_strategy_counts_its_rounds() {
+        let g = gen::gnm(500, 4000, 1);
+        let o = opts(0.4, 5);
+        let shifts = ExpShifts::generate(g.num_vertices(), &o);
+        let (_, t) = partition_view_with_shifts(&g, &shifts, Traversal::BottomUp, o.alpha);
+        assert_eq!(t.rounds, t.bottom_up_rounds);
+        assert!(t.rounds > 0);
+    }
+
+    #[test]
+    fn auto_switch_is_alpha_tunable_but_output_invariant() {
+        let g = gen::gnm(2000, 30_000, 4);
+        let o = opts(0.5, 2);
+        let shifts = ExpShifts::generate(g.num_vertices(), &o);
+        let mut profiles = Vec::new();
+        let mut outputs = Vec::new();
+        for alpha in [1, 12, 1_000_000] {
+            let (d, t) = partition_view_with_shifts(&g, &shifts, Traversal::Auto, alpha);
+            profiles.push(t.bottom_up_rounds);
+            outputs.push(d);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+        // alpha = 1 switches late (or never); a huge alpha switches almost
+        // immediately — the profiles must differ to prove the knob is live.
+        assert!(profiles[2] > profiles[0], "profiles {profiles:?}");
+    }
+
+    #[test]
+    fn view_partition_matches_materialized_subgraph() {
+        for seed in 0..4u64 {
+            let g = gen::gnm(400, 1600, seed);
+            let keep: Vec<bool> = (0..400u64)
+                .map(|v| v.wrapping_mul(0x9E37_79B9).wrapping_add(seed) % 5 != 0)
+                .collect();
+            let view = InducedView::from_mask(&g, &keep);
+            let (sub, _) = g.induced_subgraph(&keep);
+            let o = opts(0.2, seed);
+            for s in ALL_STRATEGIES {
+                let shifts = ExpShifts::generate(view.num_vertices(), &o);
+                let (via_view, _) = partition_view_with_shifts(&view, &shifts, s, o.alpha);
+                let (via_sub, _) = partition_view_with_shifts(&sub, &shifts, s, o.alpha);
+                assert_eq!(via_view, via_sub, "seed {seed} strategy {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_view() {
+        let g = CsrGraph::empty(0);
+        for s in ALL_STRATEGIES {
+            let (d, t) = partition_view(&g, &opts(0.3, 1).with_traversal(s));
+            assert_eq!(d.num_clusters(), 0);
+            assert_eq!(t.rounds, 0);
+        }
+    }
+
+    #[test]
+    fn options_traversal_is_honored() {
+        let g = gen::gnm(1500, 20_000, 9);
+        let (d_auto, t_auto) = partition_view(
+            &g,
+            &opts(0.5, 3).with_traversal(Traversal::Auto).with_alpha(64),
+        );
+        let (d_td, t_td) = partition_view(&g, &opts(0.5, 3).with_traversal(Traversal::TopDownPar));
+        assert_eq!(d_auto, d_td);
+        assert!(t_auto.bottom_up_rounds > 0, "auto never switched");
+        assert_eq!(t_td.bottom_up_rounds, 0);
+    }
+}

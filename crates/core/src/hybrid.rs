@@ -3,10 +3,12 @@
 //! Section 5 of the paper points at the practical parallel-BFS literature
 //! ("There has been much practical work on such routines \[21, 8, 26\]") —
 //! reference \[8\] being Beamer et al.'s direction-optimizing BFS. This
-//! module applies that optimization to the shifted search:
+//! module is a thin wrapper pinning [`Traversal::Auto`] on the unified
+//! engine ([`crate::engine`]), which applies that optimization to the
+//! shifted search:
 //!
 //! * **top-down** rounds expand the frontier exactly like
-//!   [`crate::parallel::partition_with_shifts`];
+//!   [`crate::partition`];
 //! * **bottom-up** rounds instead iterate over *unsettled* vertices: each
 //!   scans its neighbours for clusters settled in the previous round and
 //!   takes the smallest claim key (including its own wake bid if its wake
@@ -19,21 +21,20 @@
 //! payoff is on low-diameter graphs with fat frontiers, where bottom-up
 //! rounds avoid per-edge CAS traffic entirely (each vertex is written by
 //! exactly one task: itself).
+//!
+//! The switch threshold — historically a hard-coded `ALPHA: u64 = 12` in
+//! this file — is now [`DecompOptions::alpha`], tunable per workload.
 
 use crate::decomposition::Decomposition;
-use crate::options::DecompOptions;
-use crate::parallel::{compute_parents, PartitionTelemetry};
+use crate::engine;
+use crate::options::{DecompOptions, Traversal, DEFAULT_ALPHA};
+use crate::parallel::PartitionTelemetry;
 use crate::shift::ExpShifts;
-use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-
-/// Beamer-style switch threshold: go bottom-up when the frontier's edge
-/// endpoints exceed `1/ALPHA` of the unsettled edge endpoints.
-const ALPHA: u64 = 12;
+use mpx_graph::CsrGraph;
 
 /// Direction-optimizing variant of [`crate::partition`]; identical output,
-/// different wall-clock profile (wins on low-diameter graphs).
+/// different wall-clock profile (wins on low-diameter graphs). Honors
+/// `opts.alpha` as the Beamer switch threshold.
 ///
 /// ```
 /// use mpx_decomp::{partition, partition_hybrid, DecompOptions};
@@ -43,143 +44,17 @@ const ALPHA: u64 = 12;
 /// ```
 pub fn partition_hybrid(g: &CsrGraph, opts: &DecompOptions) -> Decomposition {
     let shifts = ExpShifts::generate(g.num_vertices(), opts);
-    partition_hybrid_with_shifts(g, &shifts).0
+    engine::partition_view_with_shifts(g, &shifts, Traversal::Auto, opts.alpha).0
 }
 
-/// Hybrid partition under externally supplied shifts, with telemetry.
+/// Hybrid partition under externally supplied shifts, with telemetry (the
+/// default switch threshold; use [`engine::partition_view_with_shifts`]
+/// directly for a custom `alpha`).
 pub fn partition_hybrid_with_shifts(
     g: &CsrGraph,
     shifts: &ExpShifts,
 ) -> (Decomposition, PartitionTelemetry) {
-    let n = g.num_vertices();
-    assert_eq!(shifts.len(), n);
-    if n == 0 {
-        return (
-            Decomposition::from_raw(Vec::new(), Vec::new(), Vec::new()),
-            PartitionTelemetry::default(),
-        );
-    }
-
-    let claim: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-    let assignment: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
-    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    // Round in which each vertex settled (u32::MAX = unsettled) — the
-    // bottom-up scan keys off "settled exactly last round".
-    let settled_round: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
-
-    let buckets = shifts.wake_buckets();
-    let (claim_ref, assignment_ref, dist_ref, settled_ref) =
-        (&claim, &assignment, &dist, &settled_round);
-
-    let mut telemetry = PartitionTelemetry::default();
-    let mut frontier: Vec<Vertex> = Vec::new();
-    // Unsettled vertices, compacted lazily; and their total degree.
-    let mut unsettled: Vec<Vertex> = (0..n as Vertex).collect();
-    let mut unsettled_degree: u64 = g.num_arcs() as u64;
-    let mut settled = 0usize;
-    let mut round = 0usize;
-
-    while settled < n {
-        telemetry.rounds += 1;
-        let r32 = round as u32;
-        let frontier_degree: u64 = frontier.par_iter().map(|&u| g.degree(u) as u64).sum();
-        let bottom_up = frontier_degree.saturating_mul(ALPHA) > unsettled_degree;
-
-        let touched: Vec<Vertex> = if bottom_up {
-            // Compact the unsettled list first so the scan below only
-            // visits live vertices.
-            unsettled = unsettled
-                .par_iter()
-                .copied()
-                .filter(|&v| settled_ref[v as usize].load(Ordering::Relaxed) == u32::MAX)
-                .collect();
-            telemetry.relaxations += unsettled
-                .par_iter()
-                .map(|&v| g.degree(v) as u64)
-                .sum::<u64>();
-            let prev = r32.wrapping_sub(1);
-            unsettled
-                .par_iter()
-                .with_min_len(128)
-                .copied()
-                .filter(|&v| {
-                    // Own wake bid plus the best neighbour claim.
-                    let mut best = if shifts.start_round[v as usize] == r32 {
-                        shifts.claim_key(v)
-                    } else {
-                        u64::MAX
-                    };
-                    for &u in g.neighbors(v) {
-                        if settled_ref[u as usize].load(Ordering::Relaxed) == prev {
-                            let c = assignment_ref[u as usize].load(Ordering::Relaxed);
-                            best = best.min(shifts.claim_key(c));
-                        }
-                    }
-                    if best == u64::MAX {
-                        return false;
-                    }
-                    let center = (best & u32::MAX as u64) as Vertex;
-                    assignment_ref[v as usize].store(center, Ordering::Relaxed);
-                    dist_ref[v as usize]
-                        .store(r32 - shifts.start_round[center as usize], Ordering::Relaxed);
-                    settled_ref[v as usize].store(r32, Ordering::Relaxed);
-                    true
-                })
-                .collect()
-        } else {
-            // Top-down: identical to the baseline implementation, plus the
-            // settled-round bookkeeping.
-            let mut touched: Vec<Vertex> = if round < buckets.len() {
-                buckets[round]
-                    .par_iter()
-                    .copied()
-                    .filter(|&u| {
-                        assignment_ref[u as usize].load(Ordering::Relaxed) == NO_VERTEX
-                            && claim_ref[u as usize]
-                                .fetch_min(shifts.claim_key(u), Ordering::Relaxed)
-                                == u64::MAX
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            telemetry.relaxations += frontier_degree;
-            let expanded: Vec<Vertex> = frontier
-                .par_iter()
-                .with_min_len(128)
-                .flat_map_iter(|&u| {
-                    let center = assignment_ref[u as usize].load(Ordering::Relaxed);
-                    let key = shifts.claim_key(center);
-                    g.neighbors(u).iter().copied().filter(move |&v| {
-                        assignment_ref[v as usize].load(Ordering::Relaxed) == NO_VERTEX
-                            && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed) == u64::MAX
-                    })
-                })
-                .collect();
-            touched.extend(expanded);
-            touched.par_iter().for_each(|&v| {
-                let key = claim_ref[v as usize].load(Ordering::Relaxed);
-                let center = (key & u32::MAX as u64) as Vertex;
-                assignment_ref[v as usize].store(center, Ordering::Relaxed);
-                dist_ref[v as usize]
-                    .store(r32 - shifts.start_round[center as usize], Ordering::Relaxed);
-                settled_ref[v as usize].store(r32, Ordering::Relaxed);
-            });
-            touched
-        };
-
-        unsettled_degree -= touched.par_iter().map(|&v| g.degree(v) as u64).sum::<u64>();
-        settled += touched.len();
-        frontier = touched;
-        round += 1;
-    }
-
-    let assignment: Vec<Vertex> = assignment.into_iter().map(|a| a.into_inner()).collect();
-    let dist: Vec<Dist> = dist.into_iter().map(|d| d.into_inner()).collect();
-    let parent = compute_parents(g, &assignment, &dist);
-    let d = Decomposition::from_raw(assignment, dist, parent);
-    telemetry.clusters = d.num_clusters() as u64;
-    (d, telemetry)
+    engine::partition_view_with_shifts(g, shifts, Traversal::Auto, DEFAULT_ALPHA)
 }
 
 #[cfg(test)]
@@ -250,18 +125,19 @@ mod tests {
     #[test]
     fn bottom_up_rounds_do_trigger() {
         // On a dense random graph with large beta the frontier covers most
-        // edges quickly; make sure the hybrid actually exercises both paths
-        // by checking its relaxation profile differs from pure top-down.
+        // edges quickly; make sure the hybrid actually exercises both paths.
         let g = gen::gnm(3000, 60_000, 4);
         let o = opts(0.5, 2);
         let shifts = ExpShifts::generate(g.num_vertices(), &o);
         let (_, t_base) = partition_with_shifts(&g, &shifts);
         let (_, t_hybrid) = partition_hybrid_with_shifts(&g, &shifts);
         assert_eq!(t_base.clusters, t_hybrid.clusters);
-        assert_ne!(
-            t_base.relaxations, t_hybrid.relaxations,
+        assert_eq!(t_base.bottom_up_rounds, 0);
+        assert!(
+            t_hybrid.bottom_up_rounds > 0,
             "bottom-up never triggered; threshold or workload needs adjusting"
         );
+        assert_ne!(t_base.relaxations, t_hybrid.relaxations);
     }
 
     use mpx_graph::CsrGraph;

@@ -23,20 +23,46 @@
 //! edges between pieces is `O(β)` — see [`verify_decomposition`] which
 //! checks all of this on concrete outputs.
 //!
+//! ## Architecture: one engine, four strategies, any view
+//!
+//! All shifted-BFS variants are **one** implementation: the round loop in
+//! [`engine`] (wake → expand → finalize), parameterized along two
+//! independent axes.
+//!
+//! **Traversal strategy** ([`Traversal`], selectable via
+//! [`DecompOptions::traversal`]) decides how each round is scheduled —
+//! never what it computes; every strategy is bit-identical in output:
+//!
+//! | strategy | wrapper | when to pick it |
+//! |----------|---------|-----------------|
+//! | [`Traversal::Auto`] | [`partition_hybrid`] | default; Beamer-style direction switching ([`DecompOptions::alpha`]) wins on low-diameter graphs; on meshes the default `alpha` can switch too early — pin `TopDownPar` or lower `alpha` there |
+//! | [`Traversal::TopDownPar`] | [`partition`] | the paper's Algorithm 1 verbatim; predictable `O(m)` scans |
+//! | [`Traversal::TopDownSeq`] | [`partition_sequential`] | round loop fully inline (no per-round pool dispatch) — baselines, tiny pieces |
+//! | [`Traversal::BottomUp`] | — | ablation of the bottom-up half; only competitive on dense, very-low-diameter graphs |
+//!
+//! **Graph view** ([`mpx_graph::GraphView`]) decides what the engine
+//! traverses: the whole [`mpx_graph::CsrGraph`], a zero-copy
+//! [`mpx_graph::InducedView`] of a vertex subset, or an
+//! [`mpx_graph::EdgeFilteredView`] of an edge subset. Recursive pipelines
+//! (HSTs, block decompositions, connectivity) partition views of the
+//! original graph instead of materializing induced subgraphs at every
+//! level — see [`engine::partition_view`].
+//!
 //! ## Entry points
 //!
 //! | function | paper reference | notes |
 //! |----------|-----------------|-------|
-//! | [`partition`] | Algorithm 1 (Thm 1.2) | parallel shifted BFS |
-//! | [`partition_sequential`] | Algorithm 1 | sequential twin; bit-identical output |
-//! | [`partition_hybrid`] | Section 5 + \[8\] | direction-optimizing BFS; bit-identical output |
+//! | [`engine::partition_view`] | Algorithm 1 | the engine itself: any [`Traversal`] × any [`mpx_graph::GraphView`] |
+//! | [`partition`] | Algorithm 1 (Thm 1.2) | engine @ top-down parallel |
+//! | [`partition_sequential`] | Algorithm 1 | engine @ sequential; bit-identical output |
+//! | [`partition_hybrid`] | Section 5 + \[8\] | engine @ direction-optimizing; bit-identical output |
 //! | [`partition_exact`] | Algorithm 2 | `O(nm)` literal reference, for testing |
 //! | [`partition_with_retry`] | Theorem 1.2 proof | retries until the `(β, O(log n/β))` guarantee holds |
 //! | [`weighted::partition_weighted`] | Section 6 | shifted Dijkstra on weighted graphs |
 //! | [`weighted::partition_weighted_parallel`] | Section 6 (open problem) | Δ-stepping engineering extension |
 //!
-//! All variants are deterministic given `DecompOptions::seed` — the
-//! parallel, sequential and exact implementations return **identical**
+//! All variants are deterministic given `DecompOptions::seed` — every
+//! strategy, every view, every thread count returns **identical**
 //! assignments, which the test suite exploits heavily.
 //!
 //! ## Example
@@ -57,6 +83,7 @@
 #![warn(missing_docs)]
 
 pub mod decomposition;
+pub mod engine;
 pub mod exact;
 pub mod hybrid;
 pub mod options;
@@ -69,9 +96,10 @@ pub mod verify;
 pub mod weighted;
 
 pub use decomposition::Decomposition;
+pub use engine::{partition_view, partition_view_with_shifts, PartitionTelemetry};
 pub use exact::partition_exact;
 pub use hybrid::partition_hybrid;
-pub use options::{DecompOptions, RetryPolicy, ShiftStrategy, TieBreak};
+pub use options::{DecompOptions, RetryPolicy, ShiftStrategy, TieBreak, Traversal, DEFAULT_ALPHA};
 pub use parallel::partition;
 pub use retry::partition_with_retry;
 pub use sequential::partition_sequential;

@@ -38,6 +38,68 @@ pub enum ShiftStrategy {
     OrderStatisticPermutation,
 }
 
+/// Frontier-traversal strategy of the shifted-BFS engine
+/// ([`crate::engine`]). Every strategy produces **bit-identical**
+/// decompositions — claims are resolved by content-based key minima, never
+/// by schedule — so this is purely a wall-clock/scaling choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Traversal {
+    /// Beamer-style direction optimization: top-down rounds switch to
+    /// bottom-up when the frontier's edge endpoints exceed `1/alpha` of the
+    /// unsettled edge endpoints (see [`DecompOptions::alpha`]). The best
+    /// default on every graph family we measure.
+    #[default]
+    Auto,
+    /// Always top-down, parallel rounds (thin rounds still run inline —
+    /// that is a scheduling detail with no output effect).
+    TopDownPar,
+    /// Always top-down with every round run inline: the "good sequential
+    /// algorithm" baseline — one pass, no priority queue, no per-round
+    /// worker-pool dispatch. (Shift generation and parent assembly still
+    /// use the shared parallel helpers, as the sequential twin always
+    /// did.)
+    TopDownSeq,
+    /// Always bottom-up: every round scans the unsettled vertices for
+    /// neighbors settled in the previous round. Wins only on very dense,
+    /// very low-diameter graphs; pays `O(unsettled)` per round elsewhere.
+    BottomUp,
+}
+
+impl Traversal {
+    /// Canonical CLI token (`--strategy <token>`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Traversal::Auto => "auto",
+            Traversal::TopDownPar => "parallel",
+            Traversal::TopDownSeq => "sequential",
+            Traversal::BottomUp => "bottomup",
+        }
+    }
+}
+
+impl std::str::FromStr for Traversal {
+    type Err = String;
+
+    /// Parses a CLI token. `hybrid` is accepted as an alias of `auto` (the
+    /// direction-optimizing engine is what [`crate::partition_hybrid`]
+    /// runs).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" | "hybrid" => Ok(Traversal::Auto),
+            "parallel" | "topdown" => Ok(Traversal::TopDownPar),
+            "sequential" | "seq" => Ok(Traversal::TopDownSeq),
+            "bottomup" | "bottom-up" => Ok(Traversal::BottomUp),
+            other => Err(format!(
+                "unknown strategy '{other}' (expected auto|parallel|sequential|bottomup|hybrid)"
+            )),
+        }
+    }
+}
+
+/// Default Beamer switch constant (see [`DecompOptions::alpha`]); the value
+/// the direction-optimizing BFS literature and our own sweeps land on.
+pub const DEFAULT_ALPHA: u64 = 12;
+
 /// Options for one partition invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DecompOptions {
@@ -53,6 +115,15 @@ pub struct DecompOptions {
     pub tie_break: TieBreak,
     /// Shift generation rule (see [`ShiftStrategy`]).
     pub shift_strategy: ShiftStrategy,
+    /// Traversal strategy of the engine (see [`Traversal`]). Affects only
+    /// wall-clock, never output.
+    pub traversal: Traversal,
+    /// Beamer switch threshold for [`Traversal::Auto`]: a round goes
+    /// bottom-up when `frontier_degree * alpha > unsettled_degree`. Larger
+    /// values switch earlier (more bottom-up rounds). Tunable per workload;
+    /// the default ([`DEFAULT_ALPHA`]) is the classic direction-optimizing
+    /// BFS setting.
+    pub alpha: u64,
 }
 
 impl DecompOptions {
@@ -73,12 +144,30 @@ impl DecompOptions {
             seed: 0,
             tie_break: TieBreak::default(),
             shift_strategy: ShiftStrategy::default(),
+            traversal: Traversal::default(),
+            alpha: DEFAULT_ALPHA,
         }
     }
 
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the engine traversal strategy.
+    pub fn with_traversal(mut self, t: Traversal) -> Self {
+        self.traversal = t;
+        self
+    }
+
+    /// Sets the Beamer switch constant for [`Traversal::Auto`].
+    ///
+    /// Panics if `alpha == 0` (the switch predicate would never trigger
+    /// meaningfully and `0` almost always indicates a mis-parsed flag).
+    pub fn with_alpha(mut self, alpha: u64) -> Self {
+        assert!(alpha > 0, "alpha must be positive");
+        self.alpha = alpha;
         self
     }
 
@@ -162,6 +251,48 @@ mod tests {
     #[should_panic]
     fn rejects_nan_beta() {
         let _ = DecompOptions::new(f64::NAN);
+    }
+
+    #[test]
+    fn traversal_defaults_and_builders() {
+        let o = DecompOptions::new(0.2);
+        assert_eq!(o.traversal, Traversal::Auto);
+        assert_eq!(o.alpha, DEFAULT_ALPHA);
+        let o = o
+            .with_traversal(Traversal::BottomUp)
+            .with_alpha(3)
+            .with_seed(1);
+        assert_eq!(o.traversal, Traversal::BottomUp);
+        assert_eq!(o.alpha, 3);
+    }
+
+    #[test]
+    fn traversal_parses_cli_tokens() {
+        for (token, want) in [
+            ("auto", Traversal::Auto),
+            ("hybrid", Traversal::Auto),
+            ("parallel", Traversal::TopDownPar),
+            ("sequential", Traversal::TopDownSeq),
+            ("bottomup", Traversal::BottomUp),
+        ] {
+            assert_eq!(token.parse::<Traversal>().unwrap(), want, "{token}");
+        }
+        assert!("bogus".parse::<Traversal>().is_err());
+        // Canonical tokens round-trip.
+        for t in [
+            Traversal::Auto,
+            Traversal::TopDownPar,
+            Traversal::TopDownSeq,
+            Traversal::BottomUp,
+        ] {
+            assert_eq!(t.as_str().parse::<Traversal>().unwrap(), t);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_alpha() {
+        let _ = DecompOptions::new(0.1).with_alpha(0);
     }
 
     #[test]

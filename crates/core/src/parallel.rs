@@ -1,6 +1,11 @@
-//! The paper's Algorithm 1: parallel partition by exponentially shifted BFS.
+//! The paper's Algorithm 1: parallel partition by exponentially shifted
+//! BFS — the top-down operating point of the unified engine.
 //!
-//! One level-synchronous BFS computes the whole decomposition:
+//! Since the engine refactor, this module is a thin wrapper pinning
+//! [`Traversal::TopDownPar`]; the wake/expand/finalize round loop itself
+//! lives in [`crate::engine`] (one implementation shared with the
+//! sequential twin, the direction-optimizing hybrid, and the pure
+//! bottom-up strategy). The algorithmic story is unchanged:
 //!
 //! * **Wake** (round `r`): every not-yet-claimed vertex `u` with
 //!   `⌊δ_max − δ_u⌋ = r` bids to start its own cluster.
@@ -24,23 +29,12 @@
 //! per-round `O(log n)` PRAM factor.
 
 use crate::decomposition::Decomposition;
-use crate::options::DecompOptions;
+use crate::engine;
+use crate::options::{DecompOptions, Traversal, DEFAULT_ALPHA};
 use crate::shift::ExpShifts;
-use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use mpx_graph::{CsrGraph, Dist, Vertex};
 
-/// Work/depth proxies recorded by one partition run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct PartitionTelemetry {
-    /// Level-synchronous rounds executed (depth proxy; paper predicts
-    /// `O(log n / β)`).
-    pub rounds: u64,
-    /// Directed edges scanned (work proxy; paper predicts `O(m)`).
-    pub relaxations: u64,
-    /// Number of clusters formed.
-    pub clusters: u64,
-}
+pub use crate::engine::PartitionTelemetry;
 
 /// Computes a `(β, O(log n / β))` decomposition with the parallel shifted
 /// BFS (paper Algorithm 1, Theorem 1.2).
@@ -57,165 +51,23 @@ pub fn partition_instrumented(
     partition_with_shifts(g, &shifts)
 }
 
-/// Runs the parallel shifted BFS under externally supplied shifts. This is
-/// the entry point the tests use to drive all three implementations with
+/// Runs the top-down parallel shifted BFS under externally supplied shifts.
+/// This is the entry point the tests use to drive all implementations with
 /// identical randomness.
 pub fn partition_with_shifts(
     g: &CsrGraph,
     shifts: &ExpShifts,
 ) -> (Decomposition, PartitionTelemetry) {
-    let n = g.num_vertices();
-    assert_eq!(shifts.len(), n, "shifts must cover every vertex");
-    if n == 0 {
-        return (
-            Decomposition::from_raw(Vec::new(), Vec::new(), Vec::new()),
-            PartitionTelemetry::default(),
-        );
-    }
-
-    // claim[v]: best (tie_key, center) bid seen so far; u64::MAX = untouched.
-    let claim: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-    // assignment[v]: winning center once v's settling round finishes.
-    let assignment: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
-    // dist[v]: hop distance to the winning center.
-    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-
-    let buckets = shifts.wake_buckets();
-    let (claim_ref, assignment_ref, dist_ref) = (&claim, &assignment, &dist);
-
-    let mut telemetry = PartitionTelemetry::default();
-    let mut frontier: Vec<Vertex> = Vec::new();
-    let mut settled = 0usize;
-    let mut round = 0usize;
-    while settled < n {
-        telemetry.rounds += 1;
-
-        let wake_bid = |u: Vertex| -> bool {
-            assignment_ref[u as usize].load(Ordering::Relaxed) == NO_VERTEX
-                && claim_ref[u as usize].fetch_min(shifts.claim_key(u), Ordering::Relaxed)
-                    == u64::MAX
-        };
-        let frontier_degree: u64 = frontier.iter().map(|&u| g.degree(u) as u64).sum();
-        let bucket_len = buckets.get(round).map_or(0, Vec::len);
-        // Thin rounds run inline: rayon's per-round fan-out costs more than
-        // the round's whole work on mesh-like graphs (hundreds of rounds of
-        // tiny frontiers). The claim logic — and therefore the output — is
-        // identical on both paths.
-        let sequential_round =
-            frontier_degree + (bucket_len as u64) < mpx_par::bfs::SEQ_ROUND_CUTOFF;
-
-        // Wake phase: vertices whose start time has integer part `round`
-        // bid to found their own cluster (paper: "vertex u starting when the
-        // head of the queue has distance more than δ_max − δ_u").
-        let mut touched: Vec<Vertex> = if round < buckets.len() {
-            if sequential_round {
-                buckets[round]
-                    .iter()
-                    .copied()
-                    .filter(|&u| wake_bid(u))
-                    .collect()
-            } else {
-                buckets[round]
-                    .par_iter()
-                    .copied()
-                    .filter(|&u| wake_bid(u))
-                    .collect()
-            }
-        } else {
-            Vec::new()
-        };
-
-        // Expand phase: frontier vertices bid for unclaimed neighbours with
-        // their cluster's key. `fetch_min` returning MAX identifies the
-        // first bidder, which registers v exactly once in `touched`.
-        telemetry.relaxations += frontier_degree;
-        let expand_bid = |u: Vertex, v: Vertex| -> bool {
-            let center = assignment_ref[u as usize].load(Ordering::Relaxed);
-            let key = shifts.claim_key(center);
-            assignment_ref[v as usize].load(Ordering::Relaxed) == NO_VERTEX
-                && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed) == u64::MAX
-        };
-        if sequential_round {
-            for &u in frontier.iter() {
-                let center = assignment_ref[u as usize].load(Ordering::Relaxed);
-                let key = shifts.claim_key(center);
-                for &v in g.neighbors(u) {
-                    if assignment_ref[v as usize].load(Ordering::Relaxed) == NO_VERTEX
-                        && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed) == u64::MAX
-                    {
-                        touched.push(v);
-                    }
-                }
-            }
-        } else {
-            let expand_bid = &expand_bid;
-            let expanded: Vec<Vertex> = frontier
-                .par_iter()
-                .with_min_len(128)
-                .flat_map_iter(|&u| {
-                    g.neighbors(u)
-                        .iter()
-                        .copied()
-                        .filter(move |&v| expand_bid(u, v))
-                })
-                .collect();
-            touched.extend(expanded);
-        }
-
-        // Finalize phase: every vertex touched this round is settled by the
-        // winning bid; its distance is `round − wake_round(center)`.
-        let r32 = round as u32;
-        let finalize = |v: Vertex| {
-            let key = claim_ref[v as usize].load(Ordering::Relaxed);
-            let center = (key & u32::MAX as u64) as Vertex;
-            assignment_ref[v as usize].store(center, Ordering::Relaxed);
-            dist_ref[v as usize]
-                .store(r32 - shifts.start_round[center as usize], Ordering::Relaxed);
-        };
-        if sequential_round {
-            touched.iter().for_each(|&v| finalize(v));
-        } else {
-            touched.par_iter().for_each(|&v| finalize(v));
-        }
-
-        settled += touched.len();
-        frontier = touched;
-        round += 1;
-    }
-
-    let assignment: Vec<Vertex> = assignment.into_iter().map(|a| a.into_inner()).collect();
-    let dist: Vec<Dist> = dist.into_iter().map(|d| d.into_inner()).collect();
-    let parent = compute_parents(g, &assignment, &dist);
-    let d = Decomposition::from_raw(assignment, dist, parent);
-    telemetry.clusters = d.num_clusters() as u64;
-    (d, telemetry)
+    engine::partition_view_with_shifts(g, shifts, Traversal::TopDownPar, DEFAULT_ALPHA)
 }
 
-/// Deterministic intra-cluster BFS parents: the smallest-id neighbour in the
-/// same cluster one hop closer to the center. Lemma 4.1 guarantees such a
-/// neighbour exists for every non-center vertex; we panic otherwise because
-/// that would falsify the decomposition.
-///
-/// Public because every decomposition algorithm in the workspace (including
-/// the baselines) assembles its [`Decomposition`] through this helper.
+/// Deterministic intra-cluster BFS parents over the full graph — the
+/// [`CsrGraph`] specialization of [`engine::compute_parents_view`], kept
+/// under its historical name because every decomposition algorithm in the
+/// workspace (including the baselines) assembles its [`Decomposition`]
+/// through it.
 pub fn compute_parents(g: &CsrGraph, assignment: &[Vertex], dist: &[Dist]) -> Vec<Vertex> {
-    (0..g.num_vertices() as Vertex)
-        .into_par_iter()
-        .map(|v| {
-            let dv = dist[v as usize];
-            if dv == 0 {
-                return NO_VERTEX;
-            }
-            let cv = assignment[v as usize];
-            g.neighbors(v)
-                .iter()
-                .copied()
-                .find(|&u| assignment[u as usize] == cv && dist[u as usize] + 1 == dv)
-                .unwrap_or_else(|| {
-                    panic!("Lemma 4.1 violated at vertex {v}: no same-cluster predecessor")
-                })
-        })
-        .collect()
+    engine::compute_parents_view(g, assignment, dist)
 }
 
 #[cfg(test)]
@@ -299,6 +151,8 @@ mod tests {
         assert!(t.relaxations <= 2 * g.num_arcs() as u64);
         assert!(t.rounds > 0);
         assert!(t.clusters > 0);
+        // The wrapper pins pure top-down.
+        assert_eq!(t.bottom_up_rounds, 0);
     }
 
     #[test]

@@ -1,20 +1,20 @@
 //! Sequential twin of the parallel partition.
 //!
-//! Runs the identical wake/expand/finalize rounds as
-//! [`crate::parallel::partition_with_shifts`], with plain loops instead of
-//! parallel iterators and a `u64` min instead of `fetch_min`. Because the
-//! parallel version's claim resolution is order-free, the two produce
-//! **bit-identical** decompositions — the test suite and the benchmark
-//! baselines both rely on this.
+//! A thin wrapper pinning [`Traversal::TopDownSeq`]: the engine runs the
+//! identical wake/expand/finalize rounds as [`crate::partition`], with
+//! plain inline loops instead of worker-pool dispatch. Because the engine's
+//! claim resolution is order-free, the two produce **bit-identical**
+//! decompositions — the test suite and the benchmark baselines both rely
+//! on this.
 //!
 //! This is also the natural "good sequential algorithm" comparison point:
 //! `O(n + m)` time, one pass, no priority queue.
 
 use crate::decomposition::Decomposition;
-use crate::options::DecompOptions;
-use crate::parallel::compute_parents;
+use crate::engine;
+use crate::options::{DecompOptions, Traversal, DEFAULT_ALPHA};
 use crate::shift::ExpShifts;
-use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
+use mpx_graph::CsrGraph;
 
 /// Sequential shifted-BFS partition (same semantics and output as
 /// [`crate::partition`]).
@@ -25,63 +25,7 @@ pub fn partition_sequential(g: &CsrGraph, opts: &DecompOptions) -> Decomposition
 
 /// Sequential partition under externally supplied shifts.
 pub fn partition_sequential_with_shifts(g: &CsrGraph, shifts: &ExpShifts) -> Decomposition {
-    let n = g.num_vertices();
-    assert_eq!(shifts.len(), n);
-    if n == 0 {
-        return Decomposition::from_raw(Vec::new(), Vec::new(), Vec::new());
-    }
-
-    let mut claim: Vec<u64> = vec![u64::MAX; n];
-    let mut assignment: Vec<Vertex> = vec![NO_VERTEX; n];
-    let mut dist: Vec<Dist> = vec![0; n];
-
-    let buckets = shifts.wake_buckets();
-    let mut frontier: Vec<Vertex> = Vec::new();
-    let mut settled = 0usize;
-    let mut round = 0usize;
-    while settled < n {
-        let mut touched: Vec<Vertex> = Vec::new();
-
-        // Wake phase.
-        if round < buckets.len() {
-            for &u in &buckets[round] {
-                if assignment[u as usize] == NO_VERTEX {
-                    let key = shifts.claim_key(u);
-                    if claim[u as usize] == u64::MAX {
-                        touched.push(u);
-                    }
-                    claim[u as usize] = claim[u as usize].min(key);
-                }
-            }
-        }
-
-        // Expand phase.
-        for &u in &frontier {
-            let key = shifts.claim_key(assignment[u as usize]);
-            for &v in g.neighbors(u) {
-                if assignment[v as usize] == NO_VERTEX {
-                    if claim[v as usize] == u64::MAX {
-                        touched.push(v);
-                    }
-                    claim[v as usize] = claim[v as usize].min(key);
-                }
-            }
-        }
-
-        // Finalize phase.
-        for &v in &touched {
-            let center = (claim[v as usize] & u32::MAX as u64) as Vertex;
-            assignment[v as usize] = center;
-            dist[v as usize] = round as u32 - shifts.start_round[center as usize];
-        }
-
-        settled += touched.len();
-        frontier = touched;
-        round += 1;
-    }
-
-    let parent = compute_parents(g, &assignment, &dist);
-    Decomposition::from_raw(assignment, dist, parent)
+    engine::partition_view_with_shifts(g, shifts, Traversal::TopDownSeq, DEFAULT_ALPHA).0
 }
 
 #[cfg(test)]

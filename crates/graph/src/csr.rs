@@ -225,9 +225,13 @@ impl CsrGraph {
     /// boolean mask of length `n`).
     ///
     /// Returns the subgraph (with vertices renumbered densely) and the map
-    /// `new_id -> old_id`.
+    /// `new_id -> old_id`. This **materializes** fresh CSR arrays; recursive
+    /// pipelines should prefer the zero-copy [`crate::InducedView`] (each
+    /// call here bumps the process-wide [`induced_materializations`]
+    /// counter so tests can assert a pipeline stayed copy-free).
     pub fn induced_subgraph(&self, keep: &[bool]) -> (CsrGraph, Vec<Vertex>) {
         assert_eq!(keep.len(), self.num_vertices());
+        INDUCED_MATERIALIZATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let old_of_new: Vec<Vertex> = (0..self.num_vertices() as Vertex)
             .filter(|&v| keep[v as usize])
             .collect();
@@ -277,6 +281,18 @@ impl CsrGraph {
     pub fn degree_sum(&self) -> usize {
         self.targets.len()
     }
+}
+
+static INDUCED_MATERIALIZATIONS: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(0);
+
+/// Number of [`CsrGraph::induced_subgraph`] materializations performed by
+/// this **process** (all threads — a materialization hiding inside a
+/// worker-pool closure is counted too). Tests asserting a zero delta
+/// around a pipeline should run in their own test binary (one integration
+/// test per file), where no concurrent test can perturb the counter.
+pub fn induced_materializations() -> u64 {
+    INDUCED_MATERIALIZATIONS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 #[cfg(test)]

@@ -14,6 +14,10 @@
 //! * [`gen`] — a suite of graph generators (grids, random graphs, power-law
 //!   graphs, trees, …) that provide every workload used in the paper's
 //!   Figure 1 and our experiment tables.
+//! * [`view`] — zero-copy graph views: the [`GraphView`] traversal trait
+//!   plus [`InducedView`] (vertex subsets) and [`EdgeFilteredView`] (edge
+//!   subsets) over a borrowed [`CsrGraph`], so recursive pipelines can
+//!   decompose pieces without materializing induced subgraphs.
 //! * [`io`] — plain edge-list, DIMACS `.gr` and METIS readers/writers.
 //! * [`algo`] — sequential oracles (BFS, Dijkstra, connected components,
 //!   union-find, diameter estimation) used to verify the parallel code.
@@ -31,10 +35,12 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod properties;
+pub mod view;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
-pub use csr::{CsrGraph, Vertex, NO_VERTEX};
+pub use csr::{induced_materializations, CsrGraph, Vertex, NO_VERTEX};
+pub use view::{EdgeFilteredView, GraphView, InducedView};
 pub use weighted::{WeightedCsrGraph, WeightedGraphBuilder};
 
 /// Distance value used by unweighted BFS; `u32::MAX` means unreachable.

@@ -54,8 +54,11 @@ pub use mpx_viz as viz;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use mpx_decomp::{
-        partition, partition_exact, partition_hybrid, partition_sequential, verify_decomposition,
-        DecompOptions, Decomposition, DecompositionStats, TieBreak,
+        partition, partition_exact, partition_hybrid, partition_sequential, partition_view,
+        verify_decomposition, DecompOptions, Decomposition, DecompositionStats, TieBreak,
+        Traversal,
     };
-    pub use mpx_graph::{CsrGraph, GraphBuilder, Vertex, WeightedCsrGraph};
+    pub use mpx_graph::{
+        CsrGraph, EdgeFilteredView, GraphBuilder, GraphView, InducedView, Vertex, WeightedCsrGraph,
+    };
 }

@@ -3,9 +3,9 @@
 //! ```text
 //! mpx gen <workload> <out.txt> [seed]        generate a graph (edge list)
 //! mpx stats <graph.txt>                      print graph statistics
-//! mpx partition <graph.txt> <beta> [seed] [labels-out.txt] [--threads N]
+//! mpx partition <graph.txt> <beta> [seed] [labels-out.txt] [--threads N] [--strategy S]
 //!                                            decompose + verify + stats
-//! mpx bench <workload> <beta> [seed] [--threads N]
+//! mpx bench <workload> <beta> [seed] [--threads N] [--strategy S]
 //!                                            machine-readable JSON benchmark
 //! mpx render-grid <side> <beta> <out.ppm> [seed]
 //!                                            Figure-1-style mosaic
@@ -17,8 +17,16 @@
 //!
 //! Thread count resolution: `--threads N` wins, else the `MPX_THREADS`
 //! environment variable, else the machine's logical CPU count.
+//!
+//! `--strategy` selects the engine traversal
+//! (`auto|parallel|sequential|bottomup|hybrid`, default `auto`); every
+//! strategy produces byte-identical labels — it is a wall-clock knob, and
+//! `mpx bench` reports the per-strategy engine telemetry (rounds,
+//! relaxations, bottom-up round count) to compare them.
 
-use mpx::decomp::{partition, verify_decomposition, DecompOptions, DecompositionStats};
+use mpx::decomp::{
+    partition_view_with_shifts, verify_decomposition, DecompOptions, DecompositionStats, Traversal,
+};
 use mpx::graph::{gen, io, CsrGraph};
 use std::io::Write;
 use std::time::Instant;
@@ -38,7 +46,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mpx gen <workload> <out.txt> [seed]\n  mpx stats <graph.txt>\n  mpx partition <graph.txt> <beta> [seed] [labels-out.txt] [--threads N]\n  mpx bench <workload> <beta> [seed] [--threads N]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k>\nthreads: --threads N > MPX_THREADS env > logical CPUs"
+    "usage:\n  mpx gen <workload> <out.txt> [seed]\n  mpx stats <graph.txt>\n  mpx partition <graph.txt> <beta> [seed] [labels-out.txt] [--threads N] [--strategy S]\n  mpx bench <workload> <beta> [seed] [--threads N] [--strategy S]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k>\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -53,12 +61,19 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Extracts a `--threads N` / `--threads=N` flag (anywhere in the
-/// argument list), returning the remaining positional arguments and the
-/// parsed count. Any other `--` argument is rejected rather than being
-/// silently absorbed as a positional.
-fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), String> {
-    let parse = |value: &str| -> Result<usize, String> {
+/// Flags shared by `partition` and `bench`.
+struct RunFlags {
+    threads: Option<usize>,
+    strategy: Traversal,
+}
+
+/// Extracts the `--threads N` / `--threads=N` and `--strategy S` /
+/// `--strategy=S` flags (anywhere in the argument list), returning the
+/// remaining positional arguments and the parsed flags. Any other `--`
+/// argument is rejected rather than being silently absorbed as a
+/// positional.
+fn extract_flags(args: &[String]) -> Result<(Vec<String>, RunFlags), String> {
+    let parse_threads = |value: &str| -> Result<usize, String> {
         let n: usize = value
             .parse()
             .map_err(|_| format!("--threads: bad value '{value}'"))?;
@@ -67,22 +82,33 @@ fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), Stri
         }
         Ok(n)
     };
+    let parse_strategy = |value: &str| -> Result<Traversal, String> {
+        value.parse().map_err(|e| format!("--strategy: {e}"))
+    };
     let mut rest = Vec::with_capacity(args.len());
-    let mut threads = None;
+    let mut flags = RunFlags {
+        threads: None,
+        strategy: Traversal::Auto,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--threads" {
             let value = it.next().ok_or("--threads: missing value")?;
-            threads = Some(parse(value)?);
+            flags.threads = Some(parse_threads(value)?);
         } else if let Some(value) = arg.strip_prefix("--threads=") {
-            threads = Some(parse(value)?);
+            flags.threads = Some(parse_threads(value)?);
+        } else if arg == "--strategy" {
+            let value = it.next().ok_or("--strategy: missing value")?;
+            flags.strategy = parse_strategy(value)?;
+        } else if let Some(value) = arg.strip_prefix("--strategy=") {
+            flags.strategy = parse_strategy(value)?;
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag '{arg}'"));
         } else {
             rest.push(arg.clone());
         }
     }
-    Ok((rest, threads))
+    Ok((rest, flags))
 }
 
 /// Runs `f` under the requested thread count: a dedicated pool for an
@@ -195,17 +221,27 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_partition(args: &[String]) -> Result<(), String> {
-    let (args, threads) = extract_threads(args)?;
+    let (args, flags) = extract_flags(args)?;
     let path = args.first().ok_or("partition: missing graph path")?;
     let beta = parse_beta(args.get(1).ok_or("partition: missing beta")?)?;
     let seed: u64 = args
         .get(2)
         .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
     let g = io::read_edge_list(path).map_err(|e| e.to_string())?;
-    let opts = DecompOptions::new(beta).with_seed(seed);
-    let d = with_thread_choice(threads, || partition(&g, &opts));
+    let opts = DecompOptions::new(beta)
+        .with_seed(seed)
+        .with_traversal(flags.strategy);
+    let (d, telemetry) =
+        with_thread_choice(flags.threads, || mpx::decomp::partition_view(&g, &opts));
     let stats = DecompositionStats::compute(&g, &d);
     println!("{stats}");
+    println!(
+        "engine: strategy={} rounds={} relaxations={} bottom_up_rounds={}",
+        flags.strategy.as_str(),
+        telemetry.rounds,
+        telemetry.relaxations,
+        telemetry.bottom_up_rounds
+    );
     let report = verify_decomposition(&g, &d);
     if report.is_valid() {
         println!("verified: partition + strong diameter + Lemma 4.1 hold");
@@ -222,18 +258,21 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `mpx bench <workload> <beta> [seed] [--threads N]` — runs the full
-/// decomposition pipeline on a generated graph and emits one JSON object
-/// on stdout: per-phase wall-clock, thread count, partition statistics and
-/// worker-pool utilization. This is the machine-readable baseline the
-/// perf-trajectory files (`BENCH_*.json`) are built from.
+/// `mpx bench <workload> <beta> [seed] [--threads N] [--strategy S]` —
+/// runs the full decomposition pipeline on a generated graph and emits one
+/// JSON object on stdout: per-phase wall-clock, thread count, traversal
+/// strategy, partition statistics, engine telemetry and worker-pool
+/// utilization. This is the machine-readable baseline the perf-trajectory
+/// files (`BENCH_*.json`) are built from; CI archives one file per
+/// strategy so the trajectory distinguishes traversal modes.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let (args, threads) = extract_threads(args)?;
+    let (args, flags) = extract_flags(args)?;
     let spec = args.first().ok_or("bench: missing workload")?;
     let beta = parse_beta(args.get(1).ok_or("bench: missing beta")?)?;
     let seed: u64 = args
         .get(2)
         .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let threads = flags.threads;
     let effective_threads = threads.unwrap_or_else(mpx::par::default_threads);
 
     fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
@@ -242,7 +281,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         (r, start.elapsed().as_secs_f64() * 1e3)
     }
 
-    let opts = DecompOptions::new(beta).with_seed(seed);
+    let opts = DecompOptions::new(beta)
+        .with_seed(seed)
+        .with_traversal(flags.strategy);
     let rt_before = mpx_runtime::stats::snapshot();
     // The whole pipeline — including graph generation and verification,
     // which have parallel inner loops — runs under the requested thread
@@ -254,7 +295,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             let (shifts, shifts_ms) =
                 time_ms(|| mpx::decomp::ExpShifts::generate(g.num_vertices(), &opts));
             let ((d, telemetry), partition_ms) =
-                time_ms(|| mpx::decomp::parallel::partition_with_shifts(&g, &shifts));
+                time_ms(|| partition_view_with_shifts(&g, &shifts, opts.traversal, opts.alpha));
             let (report, verify_ms) = time_ms(|| verify_decomposition(&g, &d));
             Ok::<_, String>((
                 g,
@@ -280,18 +321,20 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     println!("  \"beta\": {beta},");
     println!("  \"seed\": {seed},");
     println!("  \"threads\": {effective_threads},");
+    println!("  \"strategy\": \"{}\",", flags.strategy.as_str());
     println!("  \"n\": {},", g.num_vertices());
     println!("  \"m\": {},", g.num_edges());
     println!(
         "  \"phases_ms\": {{ \"gen\": {gen_ms:.3}, \"shifts\": {shifts_ms:.3}, \"partition\": {partition_ms:.3}, \"verify\": {verify_ms:.3} }},"
     );
     println!(
-        "  \"partition\": {{ \"clusters\": {}, \"max_radius\": {}, \"cut_edges\": {}, \"rounds\": {}, \"relaxations\": {} }},",
+        "  \"partition\": {{ \"clusters\": {}, \"max_radius\": {}, \"cut_edges\": {}, \"rounds\": {}, \"relaxations\": {}, \"bottom_up_rounds\": {} }},",
         d.num_clusters(),
         d.max_radius(),
         stats.cut_edges,
         telemetry.rounds,
-        telemetry.relaxations
+        telemetry.relaxations,
+        telemetry.bottom_up_rounds
     );
     println!(
         "  \"runtime\": {{ \"par_regions\": {}, \"worker_participations\": {}, \"chunks_claimed\": {} }}",
@@ -313,7 +356,7 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
         .get(3)
         .map_or(Ok(2013), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
     let g = gen::grid2d(side, side);
-    let d = partition(&g, &DecompOptions::new(beta).with_seed(seed));
+    let d = mpx::decomp::partition(&g, &DecompOptions::new(beta).with_seed(seed));
     let img = mpx::viz::render_grid_partition(side, side, &d);
     img.write(out).map_err(|e| e.to_string())?;
     println!(

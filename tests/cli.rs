@@ -81,6 +81,61 @@ fn render_grid_writes_ppm() {
 }
 
 #[test]
+fn strategy_flag_is_a_pure_wall_clock_knob() {
+    let graph_path = tmp("strat-g.txt");
+    let out = mpx()
+        .args(["gen", "gnm:300:900", graph_path.to_str().unwrap(), "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let mut labels: Vec<String> = Vec::new();
+    for strategy in ["auto", "parallel", "sequential", "bottomup", "hybrid"] {
+        let labels_path = tmp(&format!("strat-{strategy}.txt"));
+        let out = mpx()
+            .args([
+                "partition",
+                graph_path.to_str().unwrap(),
+                "0.3",
+                "11",
+                labels_path.to_str().unwrap(),
+                "--strategy",
+                strategy,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{strategy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("engine: strategy="), "{text}");
+        labels.push(std::fs::read_to_string(&labels_path).unwrap());
+        std::fs::remove_file(labels_path).ok();
+    }
+    // Byte-identical labels regardless of strategy.
+    assert!(labels.windows(2).all(|w| w[0] == w[1]));
+
+    // Unknown strategies report a clean error.
+    let out = mpx()
+        .args([
+            "partition",
+            graph_path.to_str().unwrap(),
+            "0.3",
+            "11",
+            "--strategy",
+            "bogus",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
+
+    std::fs::remove_file(graph_path).ok();
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = mpx().args(["bogus"]).output().unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,42 @@
+//! Acceptance test of the zero-copy HST recursion: building the tree for a
+//! 200×200 grid performs **zero** `induced_subgraph` materializations at
+//! any level — on any thread, the counter is process-wide, and this file
+//! is deliberately a single-test binary so no concurrent test can perturb
+//! it — while producing a tree of equivalent quality: the metric dominates
+//! the graph metric and the average edge stretch stays in the Bartal
+//! `O(log² n)` regime.
+
+use mpx::apps::Hst;
+use mpx::graph::{algo, gen, induced_materializations};
+
+#[test]
+fn hst_200x200_grid_builds_without_materializing() {
+    let g = gen::grid2d(200, 200);
+    let before = induced_materializations();
+    let t = Hst::build(&g, 2013);
+    assert_eq!(
+        induced_materializations() - before,
+        0,
+        "Hst::build materialized an induced subgraph"
+    );
+
+    // Equivalent-stretch sanity: domination on sampled pairs…
+    let d = algo::bfs(&g, 0);
+    for v in [1u32, 199, 200, 20_100, 39_999] {
+        let td = t.distance(0, v).unwrap();
+        assert!(
+            td + 1e-9 >= d[v as usize] as f64,
+            "domination violated at {v}: {td} < {}",
+            d[v as usize]
+        );
+    }
+    // …and Bartal-regime average edge stretch.
+    let (avg, max) = t.edge_stretch(&g);
+    let ln_n = (g.num_vertices() as f64).ln();
+    assert!(avg >= 1.0 && max >= avg);
+    assert!(
+        avg <= 8.0 * ln_n * ln_n,
+        "avg stretch {avg} far above O(log² n)"
+    );
+    assert!(t.num_nodes() >= g.num_vertices());
+}
