@@ -26,7 +26,7 @@
 //! materialization.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod approx_sssp;
 pub mod blocks;

@@ -25,7 +25,7 @@
 //! verifier and statistics from `mpx-decomp` apply unchanged.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ball;
 pub mod iterative;

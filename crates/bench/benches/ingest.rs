@@ -1,0 +1,109 @@
+//! Criterion bench: the ingestion pipeline — sequential vs parallel text
+//! parsing, and text parsing vs binary snapshot loading (owned and mmap).
+//!
+//! This is the wall-clock side of the scale-ready ingestion work: the
+//! `mpx bench-ingest` CLI emits the same comparison as machine-readable
+//! JSON for the perf-trajectory archives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpx_graph::{gen, io, snapshot, CsrGraph, GraphFormat, TextParser};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn configure(c: Criterion) -> Criterion {
+    c.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mpx-bench-ingest-{}-{name}", std::process::id()));
+    p
+}
+
+/// One mid-size workload shared by every benchmark in this file.
+fn workload() -> CsrGraph {
+    gen::gnm(200_000, 800_000, 7)
+}
+
+fn bench_text_parsers(c: &mut Criterion) {
+    let g = workload();
+    let el = tmp("parse.txt");
+    let gr = tmp("parse.gr");
+    io::write_edge_list(&g, &el).unwrap();
+    io::write_dimacs(&g, &gr).unwrap();
+
+    let mut group = c.benchmark_group("ingest/text_parse");
+    group.bench_function("edge_list_sequential", |b| {
+        b.iter(|| io::read_graph_as(&el, GraphFormat::EdgeList, TextParser::Sequential).unwrap())
+    });
+    group.bench_function("edge_list_parallel", |b| {
+        b.iter(|| io::read_graph_as(&el, GraphFormat::EdgeList, TextParser::Parallel).unwrap())
+    });
+    group.bench_function("dimacs_sequential", |b| {
+        b.iter(|| io::read_graph_as(&gr, GraphFormat::Dimacs, TextParser::Sequential).unwrap())
+    });
+    group.bench_function("dimacs_parallel", |b| {
+        b.iter(|| io::read_graph_as(&gr, GraphFormat::Dimacs, TextParser::Parallel).unwrap())
+    });
+    group.finish();
+    std::fs::remove_file(el).ok();
+    std::fs::remove_file(gr).ok();
+}
+
+fn bench_text_vs_snapshot(c: &mut Criterion) {
+    let g = workload();
+    let el = tmp("load.txt");
+    let snap = tmp("load.mpx");
+    io::write_edge_list(&g, &el).unwrap();
+    snapshot::write_snapshot(&g, &snap).unwrap();
+
+    let mut group = c.benchmark_group("ingest/text_vs_snapshot");
+    group.bench_function("text_parse", |b| b.iter(|| io::read_graph(&el).unwrap()));
+    group.bench_function("snapshot_owned_load", |b| {
+        b.iter(|| snapshot::read_snapshot(&snap).unwrap())
+    });
+    group.bench_function("snapshot_mmap_open", |b| {
+        b.iter(|| snapshot::MappedCsr::open(&snap).unwrap())
+    });
+    // The end-to-end question: file on disk -> engine-ready view.
+    group.bench_function("snapshot_mmap_open_and_sweep", |b| {
+        b.iter(|| {
+            let m = snapshot::MappedCsr::open(&snap).unwrap();
+            // Touch every adjacency once, as a traversal would.
+            let mut acc = 0u64;
+            for v in 0..m.num_vertices() as u32 {
+                acc += m.neighbors(v).len() as u64;
+            }
+            acc
+        })
+    });
+    group.finish();
+    std::fs::remove_file(el).ok();
+    std::fs::remove_file(snap).ok();
+}
+
+fn bench_snapshot_write(c: &mut Criterion) {
+    let g = workload();
+    let snap = tmp("write.mpx");
+    let mut group = c.benchmark_group("ingest/snapshot_write");
+    group.bench_function("write_snapshot", |b| {
+        b.iter(|| snapshot::write_snapshot(&g, &snap).unwrap())
+    });
+    group.finish();
+    std::fs::remove_file(snap).ok();
+}
+
+fn benches_entry(c: &mut Criterion) {
+    bench_text_parsers(c);
+    bench_text_vs_snapshot(c);
+    bench_snapshot_write(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default().configure_from_args());
+    targets = benches_entry
+}
+criterion_main!(benches);

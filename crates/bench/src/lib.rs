@@ -22,7 +22,7 @@
 //! side: `partition`, `bfs`, `scaling`, `apps`, `solver`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::time::Instant;
 

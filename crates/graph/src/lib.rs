@@ -18,7 +18,11 @@
 //!   plus [`InducedView`] (vertex subsets) and [`EdgeFilteredView`] (edge
 //!   subsets) over a borrowed [`CsrGraph`], so recursive pipelines can
 //!   decompose pieces without materializing induced subgraphs.
-//! * [`io`] — plain edge-list, DIMACS `.gr` and METIS readers/writers.
+//! * [`io`] — plain edge-list, DIMACS `.gr` and METIS readers/writers,
+//!   format auto-detection, and chunked **parallel text parsers** that
+//!   assemble CSR directly (no intermediate edge list).
+//! * [`snapshot`] — the `.mpx` binary CSR snapshot format: versioned,
+//!   checksummed, and loadable zero-copy via [`MappedCsr`] (`mmap`).
 //! * [`algo`] — sequential oracles (BFS, Dijkstra, connected components,
 //!   union-find, diameter estimation) used to verify the parallel code.
 //!
@@ -26,8 +30,12 @@
 //! if `v` appears in `neighbors(u)` then `u` appears in `neighbors(v)`.
 //! Self-loops and parallel edges are removed at construction time.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// `deny` rather than `forbid`: two contained `#[allow(unsafe_code)]`
+// islands exist — the snapshot file buffer (mmap FFI + aligned reinterpret
+// casts) and the io scatter cell (disjoint-index concurrent stores during
+// parallel CSR assembly). Everything else stays unsafe-free.
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod algo;
 pub mod builder;
@@ -35,11 +43,14 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod properties;
+pub mod snapshot;
 pub mod view;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
 pub use csr::{induced_materializations, CsrGraph, Vertex, NO_VERTEX};
+pub use io::{GraphFormat, LoadedGraph, TextParser};
+pub use snapshot::MappedCsr;
 pub use view::{EdgeFilteredView, GraphView, InducedView};
 pub use weighted::{WeightedCsrGraph, WeightedGraphBuilder};
 

@@ -1,0 +1,960 @@
+//! Binary CSR snapshots: the `.mpx` on-disk graph format.
+//!
+//! Text formats (edge lists, DIMACS, METIS) pay integer parsing on every
+//! load. A snapshot instead stores the CSR arrays of a [`CsrGraph`]
+//! verbatim — little-endian, aligned, checksummed — so loading is either
+//! one `mmap` (zero-copy, [`MappedCsr`]) or one sequential read
+//! ([`read_snapshot`], the safe owned fallback). A mapped snapshot
+//! implements [`crate::GraphView`], so the decomposition engine traverses the
+//! file's pages directly; nothing is parsed and nothing is copied.
+//!
+//! # File layout (version 1)
+//!
+//! Full byte-level specification in `docs/FORMATS.md`. Summary:
+//!
+//! | bytes | field |
+//! |-------|-------|
+//! | 0..8  | magic `"MPXCSR1\n"` |
+//! | 8..12 | version (`u32` LE, = 1) |
+//! | 12..16 | flags (`u32` LE, must be 0) |
+//! | 16..24 | `n` — vertex count (`u64` LE) |
+//! | 24..32 | `m` — undirected edge count (`u64` LE) |
+//! | 32..40 | payload checksum (`u64` LE, chunked FNV-1a) |
+//! | 40..64 | reserved, must be zero |
+//! | 64..64+8(n+1) | CSR offsets, `n+1` × `u64` LE |
+//! | …end  | CSR targets, `2m` × `u32` LE |
+//!
+//! The header is 64 bytes so both arrays start naturally aligned in any
+//! page-aligned mapping, which is what makes the zero-copy casts sound.
+//!
+//! ```
+//! use mpx_graph::{gen, snapshot, GraphView};
+//! let g = gen::grid2d(8, 8);
+//! let mut path = std::env::temp_dir();
+//! path.push(format!("doc-snap-{}.mpx", std::process::id()));
+//! snapshot::write_snapshot(&g, &path).unwrap();
+//!
+//! // Owned load: decodes into a regular CsrGraph, works everywhere.
+//! assert_eq!(snapshot::read_snapshot(&path).unwrap(), g);
+//!
+//! // Zero-copy load: the engine traverses the mapped file directly.
+//! let mapped = snapshot::MappedCsr::open(&path).unwrap();
+//! assert_eq!(mapped.num_vertices(), 64);
+//! assert_eq!(mapped.neighbors(0), g.neighbors(0));
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+use crate::csr::{CsrGraph, Vertex};
+use rayon::prelude::*;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// First eight bytes of every snapshot. The trailing newline makes text
+/// tools fail fast on binary input.
+pub const MAGIC: [u8; 8] = *b"MPXCSR1\n";
+
+/// Current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// Header size in bytes; also the byte offset of the offsets array.
+pub const HEADER_LEN: usize = 64;
+
+/// Checksum chunk granularity: the payload is hashed in independent 1 MiB
+/// pieces (parallelizable) whose digests are folded in order.
+const CHECKSUM_CHUNK: usize = 1 << 20;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// FNV-1a over one chunk.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The snapshot checksum: FNV-1a digests of consecutive
+/// 1 MiB payload pieces, folded left-to-right with an
+/// FNV step. Chunk digests are independent, so verification parallelizes;
+/// the ordered fold keeps the result sensitive to chunk order.
+pub fn payload_checksum(payload: &[u8]) -> u64 {
+    let digests: Vec<u64> = payload
+        .par_chunks(CHECKSUM_CHUNK)
+        .map(fnv1a)
+        .collect::<Vec<_>>();
+    digests
+        .iter()
+        .fold(FNV_OFFSET, |acc, &h| (acc ^ h).wrapping_mul(FNV_PRIME))
+}
+
+/// Streaming twin of [`payload_checksum`] used by the writer: feeds bytes
+/// through the same chunking without materializing the payload.
+struct ChunkedFnv {
+    acc: u64,
+    cur: u64,
+    in_chunk: usize,
+}
+
+impl ChunkedFnv {
+    fn new() -> Self {
+        ChunkedFnv {
+            acc: FNV_OFFSET,
+            cur: FNV_OFFSET,
+            in_chunk: 0,
+        }
+    }
+
+    fn update(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            let take = (CHECKSUM_CHUNK - self.in_chunk).min(bytes.len());
+            for &b in &bytes[..take] {
+                self.cur = (self.cur ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+            self.in_chunk += take;
+            if self.in_chunk == CHECKSUM_CHUNK {
+                self.fold();
+            }
+            bytes = &bytes[take..];
+        }
+    }
+
+    fn fold(&mut self) {
+        self.acc = (self.acc ^ self.cur).wrapping_mul(FNV_PRIME);
+        self.cur = FNV_OFFSET;
+        self.in_chunk = 0;
+    }
+
+    fn finish(mut self) -> u64 {
+        // A partial final chunk folds; an empty payload folds nothing,
+        // matching `payload_checksum` (zero digests → `FNV_OFFSET`).
+        if self.in_chunk > 0 {
+            self.fold();
+        }
+        self.acc
+    }
+}
+
+/// Decoded snapshot header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Format version (currently always [`VERSION`]).
+    pub version: u32,
+    /// Feature flags; must be zero in version 1.
+    pub flags: u32,
+    /// Vertex count.
+    pub n: u64,
+    /// Undirected edge count (the targets array holds `2m` arcs).
+    pub m: u64,
+    /// Chunked-FNV checksum of the payload (both arrays).
+    pub checksum: u64,
+}
+
+impl SnapshotHeader {
+    /// Parses and validates the fixed-size header, rejecting wrong magic,
+    /// unknown versions, nonzero flags and nonzero reserved bytes. Does
+    /// *not* check the payload — see [`SnapshotHeader::expected_file_len`]
+    /// and [`payload_checksum`] for that.
+    pub fn parse(bytes: &[u8]) -> io::Result<SnapshotHeader> {
+        if bytes.len() < HEADER_LEN {
+            return Err(bad(format!(
+                "truncated snapshot header: {} bytes, need {HEADER_LEN}",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(bad("not an .mpx snapshot (bad magic)"));
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().unwrap());
+        let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        let header = SnapshotHeader {
+            version: u32_at(8),
+            flags: u32_at(12),
+            n: u64_at(16),
+            m: u64_at(24),
+            checksum: u64_at(32),
+        };
+        if header.version != VERSION {
+            return Err(bad(format!(
+                "unsupported snapshot version {} (this reader understands {VERSION})",
+                header.version
+            )));
+        }
+        if header.flags != 0 {
+            return Err(bad(format!(
+                "snapshot uses unknown feature flags {:#x}",
+                header.flags
+            )));
+        }
+        if bytes[40..HEADER_LEN].iter().any(|&b| b != 0) {
+            return Err(bad("nonzero reserved bytes in snapshot header"));
+        }
+        Ok(header)
+    }
+
+    /// Serializes the header into its 64-byte wire form.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[..8].copy_from_slice(&MAGIC);
+        out[8..12].copy_from_slice(&self.version.to_le_bytes());
+        out[12..16].copy_from_slice(&self.flags.to_le_bytes());
+        out[16..24].copy_from_slice(&self.n.to_le_bytes());
+        out[24..32].copy_from_slice(&self.m.to_le_bytes());
+        out[32..40].copy_from_slice(&self.checksum.to_le_bytes());
+        out
+    }
+
+    /// Exact file length this header implies, or an error when the counts
+    /// overflow the address space (a garbled header must produce a clean
+    /// error, never an arithmetic panic or a huge allocation).
+    pub fn expected_file_len(&self) -> io::Result<usize> {
+        let n: usize = self
+            .n
+            .try_into()
+            .map_err(|_| bad("snapshot n overflows usize"))?;
+        let m: usize = self
+            .m
+            .try_into()
+            .map_err(|_| bad("snapshot m overflows usize"))?;
+        let offsets = n
+            .checked_add(1)
+            .and_then(|c| c.checked_mul(8))
+            .ok_or_else(|| bad("snapshot offsets array overflows usize"))?;
+        let targets = m
+            .checked_mul(8) // 2m arcs × 4 bytes
+            .ok_or_else(|| bad("snapshot targets array overflows usize"))?;
+        HEADER_LEN
+            .checked_add(offsets)
+            .and_then(|t| t.checked_add(targets))
+            .ok_or_else(|| bad("snapshot file length overflows usize"))
+    }
+
+    /// Byte offset where the targets array starts.
+    fn targets_start(&self) -> usize {
+        HEADER_LEN + 8 * (self.n as usize + 1)
+    }
+}
+
+/// Writes `g` as a version-1 `.mpx` snapshot.
+///
+/// Single pass over the CSR arrays: values are serialized block-wise,
+/// hashed and written, then the checksum is patched into the header.
+///
+/// ```
+/// use mpx_graph::{gen, snapshot};
+/// let g = gen::cycle(10);
+/// let mut path = std::env::temp_dir();
+/// path.push(format!("doc-write-{}.mpx", std::process::id()));
+/// snapshot::write_snapshot(&g, &path).unwrap();
+/// let header = snapshot::read_header(&path).unwrap();
+/// assert_eq!((header.n, header.m), (10, 10));
+/// # std::fs::remove_file(&path).ok();
+/// ```
+pub fn write_snapshot<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    let mut header = SnapshotHeader {
+        version: VERSION,
+        flags: 0,
+        n: g.num_vertices() as u64,
+        m: g.num_edges() as u64,
+        checksum: 0,
+    };
+    file.write_all(&header.encode())?;
+
+    // Serialize in ~512 KiB blocks, feeding each block to the streaming
+    // checksum and then to the file.
+    const BLOCK_VALUES: usize = 64 * 1024;
+    let mut hasher = ChunkedFnv::new();
+    let mut buf = Vec::with_capacity(BLOCK_VALUES * 8);
+    let flush = |buf: &mut Vec<u8>, hasher: &mut ChunkedFnv, file: &mut File| -> io::Result<()> {
+        hasher.update(buf);
+        file.write_all(buf)?;
+        buf.clear();
+        Ok(())
+    };
+    for chunk in g.offsets().chunks(BLOCK_VALUES) {
+        for &o in chunk {
+            buf.extend_from_slice(&(o as u64).to_le_bytes());
+        }
+        flush(&mut buf, &mut hasher, &mut file)?;
+    }
+    for chunk in g.targets().chunks(BLOCK_VALUES) {
+        for &t in chunk {
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+        flush(&mut buf, &mut hasher, &mut file)?;
+    }
+    header.checksum = hasher.finish();
+    file.seek(SeekFrom::Start(0))?;
+    file.write_all(&header.encode())?;
+    file.flush()
+}
+
+/// Reads just the header of a snapshot (cheap: 64 bytes).
+pub fn read_header<P: AsRef<Path>>(path: P) -> io::Result<SnapshotHeader> {
+    let mut file = File::open(path)?;
+    let mut buf = [0u8; HEADER_LEN];
+    let mut read = 0;
+    while read < HEADER_LEN {
+        match file.read(&mut buf[read..])? {
+            0 => break,
+            k => read += k,
+        }
+    }
+    SnapshotHeader::parse(&buf[..read])
+}
+
+/// Safe owned load: reads the whole file and decodes the arrays
+/// explicitly (endianness-independent, no `unsafe`, works on any target).
+/// Verifies length and checksum. This is the fallback and portability
+/// path; the fast path is [`MappedCsr::open`].
+///
+/// ```
+/// use mpx_graph::{gen, snapshot};
+/// let g = gen::grid2d(5, 5);
+/// let mut path = std::env::temp_dir();
+/// path.push(format!("doc-read-{}.mpx", std::process::id()));
+/// snapshot::write_snapshot(&g, &path).unwrap();
+/// assert_eq!(snapshot::read_snapshot(&path).unwrap(), g);
+/// # std::fs::remove_file(&path).ok();
+/// ```
+pub fn read_snapshot<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    let bytes = std::fs::read(path)?;
+    let header = SnapshotHeader::parse(&bytes)?;
+    check_payload(&header, &bytes)?;
+    let n = header.n as usize;
+    let arcs = 2 * header.m as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for chunk in bytes[HEADER_LEN..header.targets_start()].chunks_exact(8) {
+        let v = u64::from_le_bytes(chunk.try_into().unwrap());
+        let v: usize = v
+            .try_into()
+            .map_err(|_| bad("snapshot offset overflows usize"))?;
+        offsets.push(v);
+    }
+    let mut targets = Vec::with_capacity(arcs);
+    for chunk in bytes[header.targets_start()..].chunks_exact(4) {
+        targets.push(Vertex::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    structural_check(&offsets, &targets, n)?;
+    Ok(CsrGraph::from_parts(offsets, targets))
+}
+
+/// Validates file length and payload checksum against the header.
+fn check_payload(header: &SnapshotHeader, bytes: &[u8]) -> io::Result<()> {
+    let expect = header.expected_file_len()?;
+    if bytes.len() != expect {
+        return Err(bad(format!(
+            "snapshot length mismatch: file has {} bytes, header implies {expect}",
+            bytes.len()
+        )));
+    }
+    let got = payload_checksum(&bytes[HEADER_LEN..]);
+    if got != header.checksum {
+        return Err(bad(format!(
+            "snapshot checksum mismatch: stored {:#018x}, computed {got:#018x}",
+            header.checksum
+        )));
+    }
+    Ok(())
+}
+
+/// Full structural validation giving clean errors for
+/// corrupt-but-checksummed files (a valid checksum only proves the bytes
+/// are what some writer produced, not that the writer was honest):
+/// monotonic offsets, and per vertex — strictly ascending neighbors (no
+/// duplicates), no self-loops, endpoints in range, and symmetry. One
+/// parallel `O(m log d)` pass; loaded graphs therefore always satisfy
+/// every [`CsrGraph`] invariant, with no panic path on untrusted input.
+fn structural_check(offsets: &[usize], targets: &[Vertex], n: usize) -> io::Result<()> {
+    if offsets.first() != Some(&0) {
+        return Err(bad("snapshot offsets[0] != 0"));
+    }
+    if offsets.last() != Some(&targets.len()) {
+        return Err(bad("snapshot offsets[n] != 2m"));
+    }
+    let monotonic = offsets.par_windows(2).all(|w| w[0] <= w[1]);
+    if !monotonic {
+        return Err(bad("snapshot offsets not non-decreasing"));
+    }
+    adjacency_check(n, targets, |i| offsets[i])
+}
+
+/// The per-vertex half of the structural audit, shared by the owned and
+/// mapped loaders (one implementation, two offsets representations).
+/// Precondition: `off` is monotonic with `off(n) == targets.len()`, so
+/// every slice below is in bounds.
+fn adjacency_check(
+    n: usize,
+    targets: &[Vertex],
+    off: impl Fn(usize) -> usize + Sync,
+) -> io::Result<()> {
+    let nbrs = |v: usize| &targets[off(v)..off(v + 1)];
+    let ok = (0..n).into_par_iter().all(|v| {
+        let ns = nbrs(v);
+        ns.windows(2).all(|w| w[0] < w[1])
+            && ns.iter().all(|&t| {
+                (t as usize) < n
+                    && (t as usize) != v
+                    && nbrs(t as usize).binary_search(&(v as Vertex)).is_ok()
+            })
+    });
+    if !ok {
+        return Err(bad(
+            "snapshot adjacency invalid (unsorted, duplicate, self-loop, \
+             out-of-range, or asymmetric neighbor)",
+        ));
+    }
+    Ok(())
+}
+
+/// The one place in this crate that needs `unsafe`: a read-only file
+/// buffer that is either a private `mmap` (unix) or an owned 8-byte-aligned
+/// allocation, plus the aligned reinterpret casts over it. Everything is
+/// bounds- and alignment-checked at construction; the exposed API is safe.
+#[allow(unsafe_code)]
+mod filebuf {
+    use std::fs::File;
+    use std::io::{self, Read};
+    use std::path::Path;
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    mod sys {
+        use std::ffi::c_void;
+        use std::fs::File;
+        use std::io;
+        use std::os::fd::AsRawFd;
+
+        extern "C" {
+            fn mmap(
+                addr: *mut c_void,
+                length: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                offset: i64,
+            ) -> *mut c_void;
+            fn munmap(addr: *mut c_void, length: usize) -> i32;
+        }
+
+        const PROT_READ: i32 = 1;
+        const MAP_PRIVATE: i32 = 2;
+
+        /// Maps `len` bytes of `file` read-only/private. `len` must be > 0.
+        pub fn map(file: &File, len: usize) -> io::Result<*const u8> {
+            // SAFETY: anonymous-address read-only private mapping of an
+            // open fd; failure is reported via MAP_FAILED (-1).
+            let p = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if p as isize == -1 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(p as *const u8)
+            }
+        }
+
+        pub fn unmap(ptr: *const u8, len: usize) {
+            // SAFETY: `ptr`/`len` came from a successful `map` call and are
+            // unmapped exactly once (owned by FileBytes::Mapped).
+            unsafe {
+                munmap(ptr as *mut c_void, len);
+            }
+        }
+    }
+
+    /// Read-only bytes of a snapshot file with an 8-byte-aligned base.
+    pub enum FileBytes {
+        /// A private read-only memory mapping (page-aligned base).
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        Mapped {
+            /// Mapping base address.
+            ptr: *const u8,
+            /// Mapping length in bytes.
+            len: usize,
+        },
+        /// Owned fallback: file bytes copied into a `u64` allocation so the
+        /// base is 8-aligned like a mapping.
+        Owned {
+            /// Backing words holding the raw file bytes in native order.
+            words: Vec<u64>,
+            /// Real byte length (the last word may be partially used).
+            len: usize,
+        },
+    }
+
+    // SAFETY: the mapping is private and read-only for its whole lifetime
+    // and the struct has no interior mutability, so shared references can
+    // cross threads freely.
+    unsafe impl Send for FileBytes {}
+    unsafe impl Sync for FileBytes {}
+
+    impl Drop for FileBytes {
+        fn drop(&mut self) {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            if let FileBytes::Mapped { ptr, len } = *self {
+                sys::unmap(ptr, len);
+            }
+        }
+    }
+
+    impl FileBytes {
+        /// Memory-maps `path` when possible, falling back to an owned
+        /// aligned read (non-unix, or `mmap` refusal e.g. on pseudo-files).
+        /// Returns the buffer and whether it is an actual mapping.
+        pub fn map_or_read(path: &Path) -> io::Result<(FileBytes, bool)> {
+            let mut file = File::open(path)?;
+            let len: usize = file
+                .metadata()?
+                .len()
+                .try_into()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large"))?;
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            if len > 0 {
+                if let Ok(ptr) = sys::map(&file, len) {
+                    return Ok((FileBytes::Mapped { ptr, len }, true));
+                }
+            }
+            Ok((Self::read_owned(&mut file, len)?, false))
+        }
+
+        fn read_owned(file: &mut File, len: usize) -> io::Result<FileBytes> {
+            let mut bytes = Vec::with_capacity(len);
+            file.read_to_end(&mut bytes)?;
+            let mut words = vec![0u64; bytes.len().div_ceil(8)];
+            for (i, chunk) in bytes.chunks(8).enumerate() {
+                let mut w = [0u8; 8];
+                w[..chunk.len()].copy_from_slice(chunk);
+                // Native order: the in-memory bytes must equal the file's.
+                words[i] = u64::from_ne_bytes(w);
+            }
+            let len = bytes.len();
+            Ok(FileBytes::Owned { words, len })
+        }
+
+        /// The file bytes.
+        pub fn bytes(&self) -> &[u8] {
+            match self {
+                #[cfg(all(unix, target_pointer_width = "64"))]
+                FileBytes::Mapped { ptr, len } => {
+                    // SAFETY: the mapping covers exactly `len` readable
+                    // bytes and lives as long as `self`.
+                    unsafe { std::slice::from_raw_parts(*ptr, *len) }
+                }
+                FileBytes::Owned { words, len } => {
+                    // SAFETY: `words` holds at least `len` initialized
+                    // bytes; u8 has no alignment requirement.
+                    unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, *len) }
+                }
+            }
+        }
+
+        /// Reinterprets `bytes()[start..start + 8 * count]` as `u64`s.
+        ///
+        /// These accessors sit on the engine's hot path (every `degree`/
+        /// `neighbors` call of a mapped graph), so bounds and alignment
+        /// are debug assertions only: every caller derives `start`/`count`
+        /// from a header that `MappedCsr::open` validated against the
+        /// exact file length, and the buffer base is 8-aligned by
+        /// construction (page-aligned mapping / `Vec<u64>` fallback).
+        pub fn as_u64s(&self, start: usize, count: usize) -> &[u64] {
+            let b = self.bytes();
+            debug_assert!(
+                start
+                    .checked_add(count * 8)
+                    .is_some_and(|end| end <= b.len()),
+                "u64 range out of bounds"
+            );
+            let ptr = b[start..].as_ptr();
+            debug_assert_eq!(ptr.align_offset(8), 0, "u64 range misaligned");
+            // SAFETY: in-bounds and aligned per the validated-header
+            // contract above; u64 tolerates any bit pattern.
+            unsafe { std::slice::from_raw_parts(ptr as *const u64, count) }
+        }
+
+        /// Reinterprets `bytes()[start..start + 4 * count]` as `u32`s
+        /// (same validated-header contract as [`FileBytes::as_u64s`]).
+        pub fn as_u32s(&self, start: usize, count: usize) -> &[u32] {
+            let b = self.bytes();
+            debug_assert!(
+                start
+                    .checked_add(count * 4)
+                    .is_some_and(|end| end <= b.len()),
+                "u32 range out of bounds"
+            );
+            let ptr = b[start..].as_ptr();
+            debug_assert_eq!(ptr.align_offset(4), 0, "u32 range misaligned");
+            // SAFETY: in-bounds and aligned per the validated-header
+            // contract above; u32 tolerates any bit pattern.
+            unsafe { std::slice::from_raw_parts(ptr as *const u32, count) }
+        }
+    }
+}
+
+/// A zero-copy, memory-mapped `.mpx` snapshot.
+///
+/// Implements [`crate::GraphView`], so it plugs straight into the decomposition
+/// engine: `partition_view(&mapped, &opts)` traverses the file's pages
+/// without materializing a [`CsrGraph`]. Opening validates everything:
+/// the header, the exact file length, the payload checksum, and the full
+/// adjacency structure (monotonic offsets; sorted, deduplicated,
+/// loop-free, in-range, symmetric neighbor lists) — an open `MappedCsr`
+/// satisfies every [`CsrGraph`] invariant, so downstream algorithms can
+/// never be driven out of bounds by a corrupt-but-checksummed file.
+///
+/// When no real mapping is available — non-unix targets, 32-bit unix
+/// (where the raw `mmap` FFI's `off_t` width would mismatch the C ABI),
+/// or an `mmap` call that fails — the bytes are held in an owned aligned
+/// buffer instead: same API, same zero-parse loads.
+/// Version-1 arrays are little-endian on disk; on a big-endian target
+/// `open` returns an error and [`read_snapshot`] (which byte-decodes)
+/// must be used instead.
+pub struct MappedCsr {
+    buf: filebuf::FileBytes,
+    header: SnapshotHeader,
+    mapped: bool,
+}
+
+impl MappedCsr {
+    /// Opens and fully checks a snapshot (see type docs for what is and is
+    /// not verified).
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<MappedCsr> {
+        if cfg!(target_endian = "big") {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "zero-copy snapshots require a little-endian target; use read_snapshot",
+            ));
+        }
+        let (buf, mapped) = filebuf::FileBytes::map_or_read(path.as_ref())?;
+        let header = SnapshotHeader::parse(buf.bytes())?;
+        check_payload(&header, buf.bytes())?;
+        let g = MappedCsr {
+            buf,
+            header,
+            mapped,
+        };
+        let offsets = g.offsets();
+        if offsets.first() != Some(&0) {
+            return Err(bad("snapshot offsets[0] != 0"));
+        }
+        if offsets.last() != Some(&(2 * header.m)) {
+            return Err(bad("snapshot offsets[n] != 2m"));
+        }
+        if !offsets.par_windows(2).all(|w| w[0] <= w[1]) {
+            return Err(bad("snapshot offsets not non-decreasing"));
+        }
+        // Full adjacency validation, same audit as `read_snapshot`'s
+        // (see `structural_check` for why a checksum alone is not
+        // enough). Offsets are monotonic with last == 2m, satisfying
+        // `adjacency_check`'s precondition.
+        adjacency_check(header.n as usize, g.targets(), |i| offsets[i] as usize)?;
+        Ok(g)
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &SnapshotHeader {
+        &self.header
+    }
+
+    /// Whether the bytes are an actual `mmap` (vs the owned fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.mapped
+    }
+
+    /// Vertex count `n`.
+    pub fn num_vertices(&self) -> usize {
+        self.header.n as usize
+    }
+
+    /// Undirected edge count `m`.
+    pub fn num_edges(&self) -> usize {
+        self.header.m as usize
+    }
+
+    /// Directed arc count `2m`.
+    pub fn num_arcs(&self) -> usize {
+        2 * self.num_edges()
+    }
+
+    /// The raw offsets array (`n + 1` values).
+    pub fn offsets(&self) -> &[u64] {
+        self.buf.as_u64s(HEADER_LEN, self.num_vertices() + 1)
+    }
+
+    /// The raw targets array (`2m` values).
+    pub fn targets(&self) -> &[Vertex] {
+        self.buf
+            .as_u32s(self.header.targets_start(), self.num_arcs())
+    }
+
+    /// Sorted neighbor slice of `v` — a view straight into the file.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        let offsets = self.offsets();
+        let lo = offsets[v as usize] as usize;
+        let hi = offsets[v as usize + 1] as usize;
+        &self.targets()[lo..hi]
+    }
+
+    /// Materializes an owned [`CsrGraph`] (for callers that need the full
+    /// owned API, e.g. the decomposition verifier).
+    pub fn to_graph(&self) -> CsrGraph {
+        let offsets: Vec<usize> = self.offsets().iter().map(|&o| o as usize).collect();
+        let targets: Vec<Vertex> = self.targets().to_vec();
+        CsrGraph::from_parts(offsets, targets)
+    }
+
+    /// Re-audits the structure via [`CsrGraph::validate`]. Redundant with
+    /// the checks [`MappedCsr::open`] already ran — useful as a guard
+    /// against the backing file being modified after opening.
+    pub fn validate(&self) -> Result<(), String> {
+        self.to_graph().validate()
+    }
+}
+
+impl std::fmt::Debug for MappedCsr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedCsr")
+            .field("n", &self.header.n)
+            .field("m", &self.header.m)
+            .field("mapped", &self.mapped)
+            .finish()
+    }
+}
+
+impl crate::view::GraphView for MappedCsr {
+    type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, Vertex>>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        MappedCsr::num_vertices(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        let offsets = self.offsets();
+        (offsets[v as usize + 1] - offsets[v as usize]) as usize
+    }
+
+    #[inline]
+    fn total_degree(&self) -> u64 {
+        2 * self.header.m
+    }
+
+    #[inline]
+    fn neighbors_iter(&self, v: Vertex) -> Self::Neighbors<'_> {
+        self.neighbors(v).iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::view::GraphView;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mpx-snap-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_owned_and_mapped() {
+        for (name, g) in [
+            ("grid", gen::grid2d(17, 9)),
+            ("rmat", gen::rmat(8, 1500, 0.57, 0.19, 0.19, 5)),
+            ("empty", CsrGraph::empty(12)),
+            ("null", CsrGraph::empty(0)),
+        ] {
+            let p = tmp(&format!("rt-{name}.mpx"));
+            write_snapshot(&g, &p).unwrap();
+            let owned = read_snapshot(&p).unwrap();
+            assert_eq!(owned, g, "{name}: owned load");
+            let mapped = MappedCsr::open(&p).unwrap();
+            assert_eq!(mapped.num_vertices(), g.num_vertices());
+            assert_eq!(mapped.num_edges(), g.num_edges());
+            assert_eq!(mapped.to_graph(), g, "{name}: mapped load");
+            assert!(mapped.validate().is_ok());
+            for v in 0..g.num_vertices() as Vertex {
+                assert_eq!(mapped.neighbors(v), g.neighbors(v));
+                assert_eq!(GraphView::degree(&mapped, v), g.degree(v));
+            }
+            assert_eq!(mapped.total_degree(), g.num_arcs() as u64);
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn mapped_is_actually_mmap_on_unix() {
+        let g = gen::cycle(100);
+        let p = tmp("is-mmap.mpx");
+        write_snapshot(&g, &p).unwrap();
+        let mapped = MappedCsr::open(&p).unwrap();
+        if cfg!(all(unix, target_pointer_width = "64")) {
+            assert!(mapped.is_mapped());
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let p = tmp("trunc.mpx");
+        std::fs::write(&p, &MAGIC[..6]).unwrap();
+        for result in [
+            read_snapshot(&p).map(|_| ()),
+            MappedCsr::open(&p).map(|_| ()),
+        ] {
+            let e = result.unwrap_err();
+            assert!(e.to_string().contains("truncated"), "{e}");
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_flags_reserved() {
+        let g = gen::path(6);
+        let p = tmp("garble.mpx");
+        write_snapshot(&g, &p).unwrap();
+        let good = std::fs::read(&p).unwrap();
+
+        let mut cases: Vec<(Vec<u8>, &str)> = Vec::new();
+        let mut b = good.clone();
+        b[0] = b'X';
+        cases.push((b, "magic"));
+        let mut b = good.clone();
+        b[8] = 99;
+        cases.push((b, "version"));
+        let mut b = good.clone();
+        b[12] = 1;
+        cases.push((b, "flags"));
+        let mut b = good.clone();
+        b[50] = 7;
+        cases.push((b, "reserved"));
+        // Garbled n implying an absurd length.
+        let mut b = good.clone();
+        b[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        cases.push((b, "n overflow"));
+
+        for (bytes, what) in cases {
+            std::fs::write(&p, &bytes).unwrap();
+            assert!(read_snapshot(&p).is_err(), "owned accepted bad {what}");
+            assert!(MappedCsr::open(&p).is_err(), "mapped accepted bad {what}");
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_payload_corruption_and_truncation() {
+        let g = gen::grid2d(12, 12);
+        let p = tmp("corrupt.mpx");
+        write_snapshot(&g, &p).unwrap();
+        let good = std::fs::read(&p).unwrap();
+
+        // Flip one payload byte: checksum must catch it.
+        let mut b = good.clone();
+        let i = HEADER_LEN + b.len() / 2;
+        b[i] ^= 0x40;
+        std::fs::write(&p, &b).unwrap();
+        let e = read_snapshot(&p).unwrap_err();
+        assert!(e.to_string().contains("checksum"), "{e}");
+        assert!(MappedCsr::open(&p).is_err());
+
+        // Truncate the payload: length check must catch it.
+        std::fs::write(&p, &good[..good.len() - 3]).unwrap();
+        let e = read_snapshot(&p).unwrap_err();
+        assert!(e.to_string().contains("length mismatch"), "{e}");
+        assert!(MappedCsr::open(&p).is_err());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_checksummed_but_unsorted_adjacency() {
+        // A dishonest writer: valid header and checksum, but vertex 1's
+        // neighbor list is descending. Both loaders must refuse cleanly
+        // (a checksum only authenticates the bytes, not the structure).
+        let g = gen::path(3); // offsets [0,1,3,4], targets [1, 0, 2, 1]
+        let p = tmp("evil.mpx");
+        write_snapshot(&g, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let targets_start = HEADER_LEN + 8 * 4;
+        for i in 0..4 {
+            // Swap arcs 1 and 2: neighbors(1) becomes [2, 0].
+            bytes.swap(targets_start + 4 + i, targets_start + 8 + i);
+        }
+        let sum = payload_checksum(&bytes[HEADER_LEN..]);
+        bytes[32..40].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        for result in [
+            read_snapshot(&p).map(|_| ()),
+            MappedCsr::open(&p).map(|_| ()),
+        ] {
+            let e = result.unwrap_err();
+            assert!(e.to_string().contains("adjacency invalid"), "{e}");
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn checksum_streaming_matches_chunked() {
+        // Cross 1 MiB chunk boundaries to exercise the fold.
+        let sizes = [
+            0,
+            1,
+            1000,
+            CHECKSUM_CHUNK,
+            CHECKSUM_CHUNK + 1,
+            3 * CHECKSUM_CHUNK + 17,
+        ];
+        for len in sizes {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
+            let mut h = ChunkedFnv::new();
+            // Feed in awkward pieces.
+            for piece in payload.chunks(4099) {
+                h.update(piece);
+            }
+            assert_eq!(h.finish(), payload_checksum(&payload), "len {len}");
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = SnapshotHeader {
+            version: VERSION,
+            flags: 0,
+            n: 123,
+            m: 456,
+            checksum: 0xdead_beef,
+        };
+        assert_eq!(SnapshotHeader::parse(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn partition_on_mapped_matches_owned() {
+        // The engine sees the file's pages; labels must be bit-identical
+        // to the in-memory graph. (The full strategy × format sweep lives
+        // in the workspace integration tests.)
+        let g = gen::gnm(500, 1500, 9);
+        let p = tmp("engine.mpx");
+        write_snapshot(&g, &p).unwrap();
+        let mapped = MappedCsr::open(&p).unwrap();
+        for v in 0..g.num_vertices() as Vertex {
+            let a: Vec<Vertex> = mapped.neighbors_iter(v).collect();
+            assert_eq!(a.as_slice(), g.neighbors(v));
+        }
+        std::fs::remove_file(p).ok();
+    }
+}

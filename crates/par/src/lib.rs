@@ -19,7 +19,7 @@
 //! * [`telemetry`] — cache-padded work/depth counters used as PRAM proxies.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bfs;
 pub mod bitset;

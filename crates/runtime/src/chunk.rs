@@ -1,0 +1,160 @@
+//! Line-aligned byte-range chunking for parallel text ingestion.
+//!
+//! Splitting a text file into byte ranges that can be parsed concurrently
+//! requires every cut to fall *between* records, never inside one. For
+//! line-oriented formats (edge lists, DIMACS `.gr`, METIS) the record
+//! separator is `\n`, so this module computes ranges whose interior
+//! boundaries always sit immediately after a newline byte.
+//!
+//! The chunk layout is a pure function of the byte slice and the requested
+//! chunk count — never of thread scheduling — which keeps every downstream
+//! consumer (the parallel readers in `mpx-graph::io`) deterministic across
+//! pool sizes by construction.
+
+use std::ops::Range;
+
+/// Floor on the bytes a single parse chunk should cover. Below this the
+/// per-chunk fixed costs (task dispatch, cache warm-up, the atomic
+/// histogram traffic) dominate the parsing itself.
+pub const MIN_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Picks a chunk count for parsing `len` bytes on `threads` workers:
+/// enough chunks to keep every worker busy with some slack for skew
+/// (4 × threads), but never chunks smaller than [`MIN_CHUNK_BYTES`], and
+/// always at least one.
+pub fn suggested_chunk_count(len: usize, threads: usize) -> usize {
+    let by_size = len / MIN_CHUNK_BYTES;
+    by_size.clamp(1, threads.max(1) * 4)
+}
+
+/// Splits `bytes` into at most `chunks` contiguous, non-overlapping ranges
+/// that cover the slice exactly, with every interior boundary placed
+/// immediately after a `\n`.
+///
+/// Nominal cut points are spaced evenly; each is then advanced to the next
+/// newline. A final record without a trailing newline stays intact in the
+/// last range. Returns an empty vector for an empty slice, and may return
+/// fewer than `chunks` ranges when newlines are sparse (a range is never
+/// empty).
+///
+/// ```
+/// let text = b"0 1\n1 2\n2 3\n3 4\n";
+/// let ranges = mpx_runtime::chunk::line_aligned_ranges(text, 3);
+/// // Full coverage, in order, each interior boundary right after a '\n'.
+/// assert_eq!(ranges.first().unwrap().start, 0);
+/// assert_eq!(ranges.last().unwrap().end, text.len());
+/// for w in ranges.windows(2) {
+///     assert_eq!(w[0].end, w[1].start);
+///     assert_eq!(text[w[0].end - 1], b'\n');
+/// }
+/// ```
+pub fn line_aligned_ranges(bytes: &[u8], chunks: usize) -> Vec<Range<usize>> {
+    let len = bytes.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.max(1);
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 1..chunks {
+        if start >= len {
+            break;
+        }
+        // Nominal cut, then advance past the record containing it.
+        // u64 arithmetic: `len * i` can overflow usize on 32-bit targets.
+        let nominal = ((len as u64 * i as u64 / chunks as u64) as usize).max(start);
+        let end = match bytes[nominal..].iter().position(|&b| b == b'\n') {
+            Some(off) => nominal + off + 1,
+            None => len,
+        };
+        if end > start {
+            ranges.push(start..end);
+            start = end;
+        }
+    }
+    if start < len {
+        ranges.push(start..len);
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariants(bytes: &[u8], ranges: &[Range<usize>]) {
+        if bytes.is_empty() {
+            assert!(ranges.is_empty());
+            return;
+        }
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, bytes.len());
+        for r in ranges {
+            assert!(r.start < r.end, "empty range {r:?}");
+        }
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "gap or overlap");
+            assert_eq!(bytes[w[0].end - 1], b'\n', "cut not after newline");
+        }
+    }
+
+    #[test]
+    fn covers_and_aligns() {
+        let text: Vec<u8> = (0..100)
+            .flat_map(|i| format!("{i} {}\n", i + 1).into_bytes())
+            .collect();
+        for chunks in [1, 2, 3, 7, 50, 1000] {
+            let ranges = line_aligned_ranges(&text, chunks);
+            check_invariants(&text, &ranges);
+            assert!(ranges.len() <= chunks);
+        }
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let text = b"1 2\n3 4\n5 6";
+        let ranges = line_aligned_ranges(text, 4);
+        check_invariants(text, &ranges);
+    }
+
+    #[test]
+    fn single_long_line_yields_one_chunk() {
+        let text = vec![b'x'; 10_000];
+        let ranges = line_aligned_ranges(&text, 8);
+        check_invariants(&text, &ranges);
+        assert_eq!(ranges.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        assert!(line_aligned_ranges(b"", 4).is_empty());
+    }
+
+    #[test]
+    fn newline_only_input() {
+        let text = b"\n\n\n\n\n\n\n\n";
+        for chunks in [1, 3, 8, 20] {
+            let ranges = line_aligned_ranges(text, chunks);
+            check_invariants(text, &ranges);
+        }
+    }
+
+    #[test]
+    fn layout_is_pure_function_of_input() {
+        let text: Vec<u8> = (0..500)
+            .flat_map(|i| format!("{i} {}\n", i * 7 % 500).into_bytes())
+            .collect();
+        let a = line_aligned_ranges(&text, 16);
+        let b = line_aligned_ranges(&text, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn suggested_count_bounds() {
+        assert_eq!(suggested_chunk_count(0, 8), 1);
+        assert_eq!(suggested_chunk_count(MIN_CHUNK_BYTES - 1, 8), 1);
+        assert_eq!(suggested_chunk_count(MIN_CHUNK_BYTES * 100, 8), 32);
+        assert_eq!(suggested_chunk_count(usize::MAX, 4), 16);
+        assert_eq!(suggested_chunk_count(1 << 30, 0), 4);
+    }
+}

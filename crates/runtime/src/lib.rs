@@ -38,8 +38,9 @@
 //! of any size come from [`Pool::new`]; [`Pool::install`] runs a closure
 //! *on* the pool so that nested parallelism inherits it.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod chunk;
 mod latch;
 mod registry;
 pub mod sort;

@@ -20,7 +20,7 @@
 //! tree-PCG (with BFS trees and with AKPW/MPX low-stretch trees).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cg;
 pub mod laplacian;

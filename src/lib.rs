@@ -43,6 +43,8 @@
 //! );
 //! ```
 
+#![deny(missing_docs)]
+
 pub use mpx_apps as apps;
 pub use mpx_baselines as baselines;
 pub use mpx_decomp as decomp;
@@ -59,6 +61,7 @@ pub mod prelude {
         Traversal,
     };
     pub use mpx_graph::{
-        CsrGraph, EdgeFilteredView, GraphBuilder, GraphView, InducedView, Vertex, WeightedCsrGraph,
+        CsrGraph, EdgeFilteredView, GraphBuilder, GraphFormat, GraphView, InducedView, LoadedGraph,
+        MappedCsr, TextParser, Vertex, WeightedCsrGraph,
     };
 }

@@ -161,3 +161,243 @@ fn missing_file_reports_error() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+/// Runs `mpx` with args, asserting success and returning stdout.
+fn run_ok(args: &[&str]) -> String {
+    let out = mpx().args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "mpx {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn convert_inspect_and_mmap_partition_pipeline() {
+    let txt = tmp("conv.txt");
+    let gr = tmp("conv.gr");
+    let metis = tmp("conv.metis");
+    let snap = tmp("conv.mpx");
+    run_ok(&["gen", "gnm:500:2000", txt.to_str().unwrap(), "3"]);
+
+    // Chain conversions across all four formats.
+    run_ok(&["convert", txt.to_str().unwrap(), gr.to_str().unwrap()]);
+    run_ok(&["convert", gr.to_str().unwrap(), metis.to_str().unwrap()]);
+    run_ok(&["convert", metis.to_str().unwrap(), snap.to_str().unwrap()]);
+
+    // Inspect the snapshot: header + structure.
+    let text = run_ok(&["inspect", snap.to_str().unwrap()]);
+    assert!(text.contains("format: snapshot"), "{text}");
+    assert!(text.contains("version=1"), "{text}");
+    assert!(text.contains("n: 500"), "{text}");
+    assert!(text.contains("m: 2000"), "{text}");
+
+    // Partition every representation with the same seed: labels must be
+    // byte-identical, and the .mpx path must report the mmap source.
+    let mut labels: Vec<String> = Vec::new();
+    for path in [&txt, &gr, &metis, &snap] {
+        let labels_path = tmp(&format!(
+            "conv-labels-{}",
+            path.extension().unwrap().to_str().unwrap()
+        ));
+        let text = run_ok(&[
+            "partition",
+            path.to_str().unwrap(),
+            "0.2",
+            "11",
+            labels_path.to_str().unwrap(),
+        ]);
+        if path == &snap {
+            assert!(text.contains("source=mmap"), "{text}");
+        }
+        labels.push(std::fs::read_to_string(&labels_path).unwrap());
+        std::fs::remove_file(labels_path).ok();
+    }
+    assert!(
+        labels.windows(2).all(|w| w[0] == w[1]),
+        "labels differ across formats"
+    );
+
+    // `bench` accepts the file as a workload.
+    let json = run_ok(&[
+        "bench",
+        &format!("file:{}", txt.to_str().unwrap()),
+        "0.2",
+        "11",
+    ]);
+    assert!(json.contains("\"n\": 500"), "{json}");
+
+    for p in [txt, gr, metis, snap] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn mmap_partition_matches_across_all_strategies() {
+    let txt = tmp("strat-all.txt");
+    let snap = tmp("strat-all.mpx");
+    run_ok(&["gen", "rmat:9:8", txt.to_str().unwrap(), "5"]);
+    run_ok(&["convert", txt.to_str().unwrap(), snap.to_str().unwrap()]);
+
+    let reference = {
+        let labels_path = tmp("strat-all-ref");
+        run_ok(&[
+            "partition",
+            txt.to_str().unwrap(),
+            "0.3",
+            "7",
+            labels_path.to_str().unwrap(),
+        ]);
+        let s = std::fs::read_to_string(&labels_path).unwrap();
+        std::fs::remove_file(labels_path).ok();
+        s
+    };
+    for strategy in ["auto", "parallel", "sequential", "bottomup", "hybrid"] {
+        let labels_path = tmp(&format!("strat-all-{strategy}"));
+        run_ok(&[
+            "partition",
+            snap.to_str().unwrap(),
+            "0.3",
+            "7",
+            labels_path.to_str().unwrap(),
+            "--strategy",
+            strategy,
+        ]);
+        let got = std::fs::read_to_string(&labels_path).unwrap();
+        assert_eq!(
+            got, reference,
+            "{strategy}: mmap labels differ from text labels"
+        );
+        std::fs::remove_file(labels_path).ok();
+    }
+    std::fs::remove_file(txt).ok();
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn convert_parser_flag_produces_identical_snapshots() {
+    let txt = tmp("parsers.txt");
+    let a = tmp("parsers-seq.mpx");
+    let b = tmp("parsers-par.mpx");
+    run_ok(&["gen", "ba:800:3", txt.to_str().unwrap(), "2"]);
+    run_ok(&[
+        "convert",
+        txt.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--parser",
+        "sequential",
+    ]);
+    run_ok(&[
+        "convert",
+        txt.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--parser",
+        "parallel",
+    ]);
+    let (ba, bb) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    assert_eq!(
+        ba, bb,
+        "snapshots from the two parsers must be byte-identical"
+    );
+    for p in [txt, a, b] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn bench_ingest_emits_json_and_asserts_parity() {
+    let txt = tmp("ingest.txt");
+    run_ok(&["gen", "gnm:2000:8000", txt.to_str().unwrap(), "1"]);
+    let json = run_ok(&["bench-ingest", txt.to_str().unwrap(), "--threads", "2"]);
+    for key in [
+        "\"parse_ms\"",
+        "\"sequential\"",
+        "\"parallel\"",
+        "\"parse_speedup\"",
+        "\"snapshot_ms\"",
+        "\"mmap_open\"",
+        "\"outputs_identical\": true",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    std::fs::remove_file(txt).ok();
+}
+
+#[test]
+fn flags_are_rejected_by_commands_that_do_not_consume_them() {
+    let txt = tmp("flaggate.txt");
+    run_ok(&["gen", "path:30", txt.to_str().unwrap()]);
+    // --parser is honored by partition (labels must not change)...
+    let a = tmp("flaggate-a");
+    let b = tmp("flaggate-b");
+    run_ok(&[
+        "partition",
+        txt.to_str().unwrap(),
+        "0.3",
+        "5",
+        a.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "partition",
+        txt.to_str().unwrap(),
+        "0.3",
+        "5",
+        b.to_str().unwrap(),
+        "--parser",
+        "sequential",
+    ]);
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "--parser must not change labels"
+    );
+    // ...but rejected where it means nothing, instead of silently ignored.
+    let out = mpx()
+        .args(["bench", "grid:20", "0.2", "7", "--parser", "sequential"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not supported by this command"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for p in [txt, a, b] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn convert_rejects_unknown_output_extension() {
+    let txt = tmp("ext.txt");
+    run_ok(&["gen", "path:20", txt.to_str().unwrap()]);
+    let out = mpx()
+        .args(["convert", txt.to_str().unwrap(), "/tmp/typo.pmx"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unrecognized output extension"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(txt).ok();
+}
+
+#[test]
+fn inspect_rejects_corrupt_snapshot() {
+    let snap = tmp("corrupt-cli.mpx");
+    std::fs::write(&snap, b"MPXCSR1\ngarbage").unwrap();
+    let out = mpx()
+        .args(["inspect", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("truncated"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(snap).ok();
+}

@@ -1,0 +1,203 @@
+//! The on-disk ingestion contract, end to end: every format round-trips
+//! losslessly, every parser generation agrees bit-for-bit, mmap-loaded
+//! snapshots drive the engine to byte-identical labels under every
+//! traversal strategy, and malformed inputs die with clean errors.
+
+use mpx::decomp::{partition_view, DecompOptions, Traversal};
+use mpx::graph::{gen, io, snapshot, CsrGraph, GraphFormat, TextParser, Vertex};
+use proptest::prelude::*;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mpx-file-formats-{}-{name}", std::process::id()));
+    p
+}
+
+const ALL_FORMATS: [(GraphFormat, &str); 4] = [
+    (GraphFormat::Snapshot, "mpx"),
+    (GraphFormat::EdgeList, "txt"),
+    (GraphFormat::Dimacs, "gr"),
+    (GraphFormat::Metis, "metis"),
+];
+
+/// Partition labels of a graph (fixed β/seed for comparisons).
+fn labels(g: &CsrGraph) -> Vec<Vertex> {
+    let opts = DecompOptions::new(0.2).with_seed(13);
+    partition_view(g, &opts).0.assignment().to_vec()
+}
+
+#[test]
+fn convert_round_trips_all_format_pairs_with_identical_labels() {
+    // The acceptance matrix: write in every format, read back, labels
+    // must match the generated graph's labels exactly.
+    let g = gen::gnm(600, 2400, 21);
+    let reference = labels(&g);
+    for (format, ext) in ALL_FORMATS {
+        let p = tmp(&format!("pair.{ext}"));
+        io::write_graph(&g, &p, format).unwrap();
+        assert_eq!(io::detect_format(&p).unwrap(), format);
+        let h = io::read_graph(&p).unwrap();
+        assert_eq!(h, g, "{format} round-trip must be lossless");
+        assert_eq!(labels(&h), reference, "{format} labels must be identical");
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn mapped_snapshot_partitions_identically_under_every_strategy() {
+    let g = gen::rmat(10, 8 << 10, 0.57, 0.19, 0.19, 4);
+    let p = tmp("strategies.mpx");
+    snapshot::write_snapshot(&g, &p).unwrap();
+    let mapped = snapshot::MappedCsr::open(&p).unwrap();
+    for strategy in [
+        Traversal::Auto,
+        Traversal::TopDownPar,
+        Traversal::TopDownSeq,
+        Traversal::BottomUp,
+    ] {
+        let opts = DecompOptions::new(0.15)
+            .with_seed(5)
+            .with_traversal(strategy);
+        let (from_file, _) = partition_view(&mapped, &opts);
+        let (from_memory, _) = partition_view(&g, &opts);
+        assert_eq!(
+            from_file.assignment(),
+            from_memory.assignment(),
+            "{strategy:?}: mapped labels must equal in-memory labels"
+        );
+    }
+    std::fs::remove_file(p).ok();
+}
+
+#[test]
+fn parallel_and_sequential_parsers_agree_on_every_workload_family() {
+    for (name, g) in [
+        ("grid", gen::grid2d(40, 25)),
+        ("gnm", gen::gnm(5000, 20_000, 2)),
+        ("ba", gen::barabasi_albert(2000, 4, 3)),
+        ("path", gen::path(3000)),
+        ("star-heavy", {
+            // Skewed degrees stress the scatter cursors.
+            let edges: Vec<(Vertex, Vertex)> = (1..2000).map(|v| (0, v)).collect();
+            CsrGraph::from_edges(2000, &edges)
+        }),
+    ] {
+        for (format, ext) in [(GraphFormat::EdgeList, "txt"), (GraphFormat::Dimacs, "gr")] {
+            let p = tmp(&format!("agree-{name}.{ext}"));
+            io::write_graph(&g, &p, format).unwrap();
+            let seq = io::read_graph_as(&p, format, TextParser::Sequential).unwrap();
+            let par = io::read_graph_as(&p, format, TextParser::Parallel).unwrap();
+            assert_eq!(seq, par, "{name}/{format}: parser generations disagree");
+            assert_eq!(par, g, "{name}/{format}: lossy round-trip");
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+#[test]
+fn mixed_line_endings_and_comments_parse_identically() {
+    // CRLF + LF mixed in one file, comments, blanks, duplicate records.
+    let text = "6 5\r\n0 1\n1 2\r\n# dup below\n1 2\n\r\n2 3\r\n3 4\n4 5\r\n";
+    let p = tmp("mixed.txt");
+    std::fs::write(&p, text).unwrap();
+    let seq = io::read_graph_as(&p, GraphFormat::EdgeList, TextParser::Sequential).unwrap();
+    let par = io::read_graph_as(&p, GraphFormat::EdgeList, TextParser::Parallel).unwrap();
+    assert_eq!(seq, par);
+    assert_eq!(seq.num_edges(), 5);
+    std::fs::remove_file(p).ok();
+}
+
+#[test]
+fn dimacs_out_of_range_arcs_error_cleanly() {
+    let p = tmp("oor.gr");
+    std::fs::write(&p, "c tiny\np sp 4 4\na 1 2 1\na 2 1 1\na 3 9 1\n").unwrap();
+    for parser in [TextParser::Sequential, TextParser::Parallel] {
+        let err = io::read_graph_as(&p, GraphFormat::Dimacs, parser).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{parser:?}");
+        assert!(
+            err.to_string().contains("out of range"),
+            "{parser:?}: {err}"
+        );
+    }
+    std::fs::remove_file(p).ok();
+}
+
+#[test]
+fn truncated_and_garbled_snapshots_error_cleanly() {
+    let g = gen::grid2d(10, 10);
+    let p = tmp("garble.mpx");
+    snapshot::write_snapshot(&g, &p).unwrap();
+    let good = std::fs::read(&p).unwrap();
+
+    // Truncations at every interesting boundary.
+    for cut in [
+        0,
+        4,
+        snapshot::HEADER_LEN - 1,
+        snapshot::HEADER_LEN + 5,
+        good.len() - 1,
+    ] {
+        std::fs::write(&p, &good[..cut]).unwrap();
+        assert!(
+            io::read_graph(&p).is_err(),
+            "owned load accepted a {cut}-byte truncation"
+        );
+        assert!(
+            snapshot::MappedCsr::open(&p).is_err(),
+            "mmap load accepted a {cut}-byte truncation"
+        );
+    }
+
+    // Garbled header fields and flipped payload bits.
+    for (at, what) in [
+        (0usize, "magic"),
+        (9, "version"),
+        (13, "flags"),
+        (45, "reserved"),
+        (20, "n"),
+        (70, "payload"),
+    ] {
+        let mut bytes = good.clone();
+        bytes[at] ^= 0xa5;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(
+            io::read_graph(&p).is_err(),
+            "owned load accepted bad {what}"
+        );
+        assert!(
+            snapshot::MappedCsr::open(&p).is_err(),
+            "mmap load accepted bad {what}"
+        );
+    }
+    std::fs::remove_file(p).ok();
+}
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as Vertex, 0..n as Vertex), 0..max_m)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any graph survives generate → write(each format) → read →
+    /// partition with bit-identical labels, for both parser generations.
+    #[test]
+    fn roundtrip_preserves_partition_labels(g in arb_graph(120, 400), seed in 0u64..1000) {
+        let opts = DecompOptions::new(0.25).with_seed(seed);
+        let reference = partition_view(&g, &opts).0.assignment().to_vec();
+        for (format, ext) in ALL_FORMATS {
+            let p = tmp(&format!("prop-{seed}.{ext}"));
+            io::write_graph(&g, &p, format).unwrap();
+            for parser in [TextParser::Sequential, TextParser::Parallel] {
+                let h = io::read_graph_as(&p, format, parser).unwrap();
+                prop_assert_eq!(&h, &g, "{:?}/{:?} lossy", format, parser);
+                let got = partition_view(&h, &opts).0.assignment().to_vec();
+                prop_assert_eq!(&got, &reference, "{:?}/{:?} labels differ", format, parser);
+            }
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

@@ -3,7 +3,8 @@
 //! Pipelines are built lazily from *sources* (ranges, slices, vectors)
 //! through *adapters* (`map`, `filter`, `zip`, …) and executed by
 //! *terminals* (`for_each`, `collect`, `sum`, …). Execution is genuinely
-//! multi-threaded via [`crate::plumbing`] over the `mpx-runtime` pool,
+//! multi-threaded via the crate-private `plumbing` module over the
+//! `mpx-runtime` pool,
 //! with a chunk layout and combine order that are pure functions of the
 //! input — see the plumbing module for the determinism argument.
 //!
