@@ -18,8 +18,9 @@
 //! trade-off the paper's framework provides (a full Cohen hopset pipeline
 //! would sharpen the constant; this is the LDD core of it).
 
-use mpx_decomp::{partition, DecompOptions, Decomposition};
-use mpx_graph::{algo, CsrGraph, Dist, Vertex, INFINITY};
+use crate::coarsen::coarsen_view;
+use mpx_decomp::{DecompOptions, Decomposition, Traversal, Workspace};
+use mpx_graph::{algo, CsrGraph, Dist, GraphView, Vertex, INFINITY};
 
 /// Distance-bracket oracle built on one decomposition.
 #[derive(Clone, Debug)]
@@ -31,10 +32,19 @@ pub struct DistanceOracle {
 }
 
 impl DistanceOracle {
-    /// Builds the oracle: one partition + one contraction.
-    pub fn new(g: &CsrGraph, beta: f64, seed: u64) -> Self {
-        let d = partition(g, &DecompOptions::new(beta).with_seed(seed));
-        let (quotient, _) = g.contract(d.cluster_indices(), d.num_clusters());
+    /// Builds the oracle: one partition + one contraction. `g` is any
+    /// [`GraphView`] — an in-memory CSR or a mmap'd snapshot.
+    pub fn new<V: GraphView>(g: &V, beta: f64, seed: u64) -> Self {
+        Self::with_options(g, &DecompOptions::new(beta).with_seed(seed))
+    }
+
+    /// [`DistanceOracle::new`] under full [`DecompOptions`] (top-down
+    /// pinned, matching the historical construction).
+    pub fn with_options<V: GraphView>(g: &V, opts: &DecompOptions) -> Self {
+        let d = Workspace::new()
+            .partition_view(g, &opts.clone().with_traversal(Traversal::TopDownPar))
+            .0;
+        let quotient = coarsen_view(g, &d).quotient;
         let radius = d.max_radius();
         DistanceOracle {
             decomposition: d,

@@ -25,7 +25,7 @@
 //! set under the same vertex ids either way, which
 //! `matches_materialized_residual_rounds` pins.
 
-use mpx_decomp::{engine, DecompOptions, Traversal};
+use mpx_decomp::{DecompOptions, Traversal, Workspace};
 use mpx_graph::{algo, CsrGraph, Dist, EdgeFilteredView, GraphView, Vertex};
 use rayon::prelude::*;
 
@@ -65,10 +65,22 @@ impl BlockDecomposition {
 /// assert_eq!(bd.total_edges(), g.num_edges()); // every edge in exactly one block
 /// ```
 pub fn block_decomposition(g: &CsrGraph, seed: u64) -> BlockDecomposition {
+    block_decomposition_with_options(g, &DecompOptions::new(0.5).with_seed(seed))
+}
+
+/// [`block_decomposition`] under full [`DecompOptions`]: the tie-break,
+/// shift-strategy and alpha knobs of `opts` are honored per round, the
+/// per-round seeds are `opts.seed + round`. `opts.beta` is **ignored** —
+/// the Linial–Saks recipe fixes β = 1/2 (that is what makes the residual
+/// halve per round) — and the traversal is pinned top-down per the module
+/// docs.
+pub fn block_decomposition_with_options(g: &CsrGraph, base: &DecompOptions) -> BlockDecomposition {
     let n = g.num_vertices();
     let offsets = g.offsets();
     let targets = g.targets();
     let mut blocks = Vec::new();
+    // One workspace serves every round's decomposition.
+    let mut ws = Workspace::new();
     // Arc liveness: an edge still awaiting its block. Symmetric by
     // construction (both directions are updated from the same labels).
     let mut live = vec![true; g.num_arcs()];
@@ -81,8 +93,9 @@ pub fn block_decomposition(g: &CsrGraph, seed: u64) -> BlockDecomposition {
     // singleton-heavy, where the auto heuristic's bottom-up scans pay
     // `O(unsettled)` per round for nothing.
     let opts = |round: u64| {
-        DecompOptions::new(0.5)
-            .with_seed(seed.wrapping_add(round))
+        base.clone()
+            .with_beta(0.5)
+            .with_seed(base.seed.wrapping_add(round))
             .with_traversal(Traversal::TopDownPar)
     };
 
@@ -90,7 +103,7 @@ pub fn block_decomposition(g: &CsrGraph, seed: u64) -> BlockDecomposition {
     // fraction of the original edge set.
     while remaining * 2 >= g.num_edges() && remaining > 0 && round < cap {
         let view = EdgeFilteredView::new(g, &live);
-        let (d, _) = engine::partition_view(&view, &opts(round));
+        let (d, _) = ws.partition_view(&view, &opts(round));
         // Intra-cluster residual edges form this round's block… (parallel
         // scan; the deterministic collect order keeps the edge list
         // ascending, same as iterating a materialized residual).
@@ -144,7 +157,7 @@ pub fn block_decomposition(g: &CsrGraph, seed: u64) -> BlockDecomposition {
         CsrGraph::empty(n)
     };
     while current.num_edges() > 0 && round < cap {
-        let (d, _) = engine::partition_view(&current, &opts(round));
+        let (d, _) = ws.partition_view(&current, &opts(round));
         let mut intra = Vec::new();
         let mut cut = Vec::new();
         for (u, v) in current.edges() {

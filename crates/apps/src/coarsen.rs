@@ -7,7 +7,7 @@
 //! what [`Coarsened`] carries.
 
 use mpx_decomp::Decomposition;
-use mpx_graph::{CsrGraph, Vertex};
+use mpx_graph::{view_edges, CsrGraph, GraphView, Vertex};
 use std::collections::HashMap;
 
 /// Result of contracting a graph along a decomposition.
@@ -26,10 +26,18 @@ pub struct Coarsened {
 /// Contracts `g` along `d`. Deterministic: representatives are the
 /// lexicographically smallest crossing edges.
 pub fn coarsen(g: &CsrGraph, d: &Decomposition) -> Coarsened {
+    coarsen_view(g, d)
+}
+
+/// [`coarsen`] over any [`GraphView`] — the entry the pipelines use to
+/// contract a memory-mapped snapshot or a zero-copy view directly.
+/// Identical output: edges are visited in the same `(u, v)`, `u < v`
+/// ascending order a `CsrGraph` enumerates them in.
+pub fn coarsen_view<V: GraphView>(g: &V, d: &Decomposition) -> Coarsened {
     assert_eq!(g.num_vertices(), d.num_vertices());
     let map: Vec<Vertex> = d.cluster_indices().to_vec();
     let mut rep: HashMap<(Vertex, Vertex), (Vertex, Vertex)> = HashMap::new();
-    for (u, v) in g.edges() {
+    for (u, v) in view_edges(g) {
         let (mut a, mut b) = (map[u as usize], map[v as usize]);
         if a == b {
             continue;

@@ -19,18 +19,18 @@
 //! `crates/bench/benches/apps.rs`). This is the one pipeline where a view
 //! measurably loses to materialization.
 
-use crate::coarsen::coarsen;
-use mpx_decomp::{engine, DecompOptions, Traversal};
-use mpx_graph::{CsrGraph, Vertex};
+use crate::coarsen::{coarsen, coarsen_view};
+use mpx_decomp::{DecompOptions, Traversal, Workspace};
+use mpx_graph::{CsrGraph, GraphView, Vertex};
 use rayon::prelude::*;
 
 /// Decomposition options for one connectivity round. Top-down is pinned:
 /// the quotient rounds are small and the auto heuristic's bottom-up scans
 /// pay `O(unsettled)` per round on graphs dominated by already-flattened
 /// singleton supernodes.
-fn round_opts(beta: f64, seed: u64, round: u64) -> DecompOptions {
-    DecompOptions::new(beta)
-        .with_seed(seed.wrapping_add(round))
+fn round_opts(base: &DecompOptions, round: u64) -> DecompOptions {
+    base.clone()
+        .with_seed(base.seed.wrapping_add(round))
         .with_traversal(Traversal::TopDownPar)
 }
 
@@ -39,7 +39,8 @@ fn round_opts(beta: f64, seed: u64, round: u64) -> DecompOptions {
 /// Returns `(labels, count)`: `labels[v]` is a dense component id in
 /// `0..count`. Equivalent to [`mpx_graph::algo::connected_components`]
 /// (which is the oracle it is tested against) but built from `O(log n)`
-/// parallel decomposition rounds instead of one sequential BFS.
+/// parallel decomposition rounds instead of one sequential BFS. Accepts
+/// any [`GraphView`] — an in-memory CSR or a memory-mapped snapshot.
 ///
 /// ```
 /// let g = mpx_graph::CsrGraph::from_edges(5, &[(0, 1), (2, 3)]);
@@ -48,29 +49,42 @@ fn round_opts(beta: f64, seed: u64, round: u64) -> DecompOptions {
 /// assert_eq!(labels[0], labels[1]);
 /// assert_ne!(labels[0], labels[2]);
 /// ```
-pub fn parallel_components(g: &CsrGraph, beta: f64, seed: u64) -> (Vec<Vertex>, usize) {
+pub fn parallel_components<V: GraphView>(g: &V, beta: f64, seed: u64) -> (Vec<Vertex>, usize) {
+    parallel_components_with_options(g, &DecompOptions::new(beta).with_seed(seed))
+}
+
+/// [`parallel_components`] under full [`DecompOptions`] (tie-break, shift
+/// strategy, and alpha are honored; the traversal is pinned top-down per
+/// the module docs). The per-round seeds are `opts.seed + round`.
+pub fn parallel_components_with_options<V: GraphView>(
+    g: &V,
+    opts: &DecompOptions,
+) -> (Vec<Vertex>, usize) {
     let n = g.num_vertices();
     if n == 0 {
         return (Vec::new(), 0);
     }
-    // Round 0 on the borrowed graph itself — the only full-size round, so
+    // One workspace serves every round: the full-size round 0 sizes it,
+    // the shrinking quotient rounds reuse it without allocating.
+    let mut ws = Workspace::new();
+    // Round 0 on the borrowed view itself — the only full-size round, so
     // the only one where avoiding a materialized copy matters.
     let mut maps: Vec<Vec<Vertex>> = Vec::new();
     let mut current: CsrGraph;
     let mut rounds = 0u64;
     {
-        if g.num_edges() == 0 {
+        if g.total_degree() == 0 {
             return ((0..n as Vertex).collect(), n);
         }
-        let d = engine::partition_view(g, &round_opts(beta, seed, 0)).0;
-        let c = coarsen(g, &d);
+        let d = ws.partition_view(g, &round_opts(opts, 0)).0;
+        let c = coarsen_view(g, &d);
         maps.push(c.map);
         current = c.quotient;
         rounds += 1;
     }
     // Later rounds on geometrically shrinking quotients.
     while current.num_edges() > 0 {
-        let d = engine::partition_view(&current, &round_opts(beta, seed, rounds)).0;
+        let d = ws.partition_view(&current, &round_opts(opts, rounds)).0;
         let c = coarsen(&current, &d);
         maps.push(c.map);
         current = c.quotient;

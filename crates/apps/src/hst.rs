@@ -18,7 +18,7 @@
 //! a rank scratch buffer shared across all levels (the pieces alive at any
 //! moment are pairwise disjoint, so one buffer serves them all, and the
 //! sparse-set membership check makes stale entries harmless). No
-//! [`CsrGraph::induced_subgraph`] materialization happens at any level —
+//! [`mpx_graph::CsrGraph::induced_subgraph`] materialization happens at any level —
 //! the root test suite pins this with the
 //! process-wide [`mpx_graph::induced_materializations`] counter. Splitting a piece
 //! costs `O(Σ_{v ∈ piece} deg_G(v))` for the view's filtered scans, so the
@@ -35,8 +35,8 @@
 //! `O(log n)` per level in expectation — Bartal's `O(log² n)` expected
 //! stretch for this simple variant. The experiment table T13 measures it.
 
-use mpx_decomp::{engine, DecompOptions, Traversal};
-use mpx_graph::{algo, CsrGraph, InducedView, Vertex};
+use mpx_decomp::{DecompOptions, Traversal, Workspace};
+use mpx_graph::{algo, view_edges, GraphView, InducedView, Vertex};
 
 /// One node of the hierarchical decomposition tree.
 #[derive(Clone, Debug)]
@@ -60,7 +60,9 @@ pub struct Hst {
 const NO_NODE: u32 = u32::MAX;
 
 impl Hst {
-    /// Builds the tree for `g` with the given seed.
+    /// Builds the tree for `g` with the given seed. `g` is any
+    /// [`GraphView`] — an in-memory [`mpx_graph::CsrGraph`] or a zero-copy
+    /// [`mpx_graph::MappedCsr`] snapshot.
     ///
     /// ```
     /// use mpx_apps::Hst;
@@ -70,8 +72,20 @@ impl Hst {
     /// let d = t.distance(0, 16).unwrap();
     /// assert!(d >= 16.0);
     /// ```
-    pub fn build(g: &CsrGraph, seed: u64) -> Self {
+    pub fn build<V: GraphView>(g: &V, seed: u64) -> Self {
+        Self::build_with_options(g, seed, &DecompOptions::new(0.5))
+    }
+
+    /// [`Hst::build`] with the per-piece decompositions inheriting the
+    /// tie-break, shift-strategy and alpha knobs of `base`. The beta, seed
+    /// and traversal fields of `base` are ignored: the construction
+    /// chooses them per piece (β = Θ(log n / Δ), fresh salts, and a
+    /// size-dependent traversal).
+    pub fn build_with_options<V: GraphView>(g: &V, seed: u64, base: &DecompOptions) -> Self {
         let n = g.num_vertices();
+        // Every per-piece partition reuses one workspace, sized once by
+        // the largest piece (a component) and shrinking-piece-proof.
+        let mut ws = Workspace::new();
         let mut nodes: Vec<Node> = Vec::new();
         let mut leaf = vec![NO_NODE; n];
         // Work list: (node id, ascending member list in ORIGINAL ids,
@@ -137,10 +151,12 @@ impl Hst {
             };
             let d = loop {
                 salt = salt.wrapping_add(0x9E37_79B9);
-                let opts = DecompOptions::new(beta)
+                let opts = base
+                    .clone()
+                    .with_beta(beta)
                     .with_seed(salt)
                     .with_traversal(traversal);
-                let (d, _) = engine::partition_view(&view, &opts);
+                let (d, _) = ws.partition_view(&view, &opts);
                 // Radius ≤ target/2 ⇒ strong diameter ≤ target. Lemma 4.2:
                 // exceeding 2·ln(n)/β = target/4 already has probability
                 // ~1/n, so this accepts almost immediately.
@@ -212,11 +228,11 @@ impl Hst {
     }
 
     /// Average and maximum tree-over-graph stretch over the edges of `g`.
-    pub fn edge_stretch(&self, g: &CsrGraph) -> (f64, f64) {
+    pub fn edge_stretch<V: GraphView>(&self, g: &V) -> (f64, f64) {
         let mut sum = 0.0;
         let mut max = 0.0f64;
         let mut m = 0usize;
-        for (u, v) in g.edges() {
+        for (u, v) in view_edges(g) {
             let s = self
                 .distance(u, v)
                 .expect("edge endpoints share a component");

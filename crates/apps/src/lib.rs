@@ -39,13 +39,16 @@ pub mod separator;
 pub mod spanner;
 
 pub use approx_sssp::DistanceOracle;
-pub use blocks::{block_decomposition, BlockDecomposition};
-pub use coarsen::{coarsen, Coarsened};
-pub use connectivity::parallel_components;
+pub use blocks::{block_decomposition, block_decomposition_with_options, BlockDecomposition};
+pub use coarsen::{coarsen, coarsen_view, Coarsened};
+pub use connectivity::{parallel_components, parallel_components_with_options};
 pub use hst::Hst;
 pub use lca::TreePathOracle;
 pub use lsst::{
-    bfs_spanning_tree, low_stretch_tree, low_stretch_tree_weighted, stretch_stats, StretchStats,
+    bfs_spanning_tree, low_stretch_tree, low_stretch_tree_weighted, low_stretch_tree_with_options,
+    stretch_stats, StretchStats,
 };
-pub use separator::{decomposition_separator, verify_separator, Separator};
-pub use spanner::{spanner, Spanner};
+pub use separator::{
+    decomposition_separator, decomposition_separator_with_options, verify_separator, Separator,
+};
+pub use spanner::{spanner, spanner_with_options, Spanner};

@@ -18,16 +18,18 @@
 //! `O(log n)` rounds suffice; the union of the per-round forests is a
 //! spanning forest of `G` (per component, a spanning tree).
 
-use crate::coarsen::coarsen;
+use crate::coarsen::{coarsen, coarsen_view, Coarsened};
 use crate::lca::TreePathOracle;
 use mpx_decomp::weighted::partition_weighted;
-use mpx_decomp::{partition, DecompOptions};
-use mpx_graph::{algo, CsrGraph, Vertex, WeightedCsrGraph, NO_VERTEX};
+use mpx_decomp::{DecompOptions, Decomposition, Traversal, Workspace};
+use mpx_graph::{algo, view_edges, CsrGraph, GraphView, Vertex, WeightedCsrGraph, NO_VERTEX};
 use std::collections::HashMap;
 
 /// Builds a spanning forest of `g` with the AKPW-via-MPX construction.
 /// Returns the forest's edge list (original-graph edges; one spanning tree
-/// per connected component).
+/// per connected component). `g` is any [`GraphView`]: round 0 runs
+/// zero-copy on the borrowed view (including a memory-mapped snapshot);
+/// the geometrically shrinking contraction rounds are materialized.
 ///
 /// ```
 /// let g = mpx_graph::gen::grid2d(15, 15);
@@ -36,34 +38,45 @@ use std::collections::HashMap;
 /// let stats = mpx_apps::stretch_stats(&g, &forest);
 /// assert!(stats.avg >= 1.0);
 /// ```
-pub fn low_stretch_tree(g: &CsrGraph, beta: f64, seed: u64) -> Vec<(Vertex, Vertex)> {
+pub fn low_stretch_tree<V: GraphView>(g: &V, beta: f64, seed: u64) -> Vec<(Vertex, Vertex)> {
+    low_stretch_tree_with_options(g, &DecompOptions::new(beta).with_seed(seed))
+}
+
+/// [`low_stretch_tree`] under full [`DecompOptions`] (tie-break, shift
+/// strategy and alpha honored; the traversal is pinned top-down, matching
+/// the historical construction). Round `r` decomposes with seed
+/// `opts.seed + r`.
+pub fn low_stretch_tree_with_options<V: GraphView>(
+    g: &V,
+    opts: &DecompOptions,
+) -> Vec<(Vertex, Vertex)> {
     let mut forest: Vec<(Vertex, Vertex)> = Vec::new();
-    // Current coarse graph + map coarse-vertex -> original representative
-    // edge bookkeeping. `orig_of_pair` maps a current-graph edge to an
-    // original edge realizing it.
-    let mut current = g.clone();
-    // For the first level the mapping is the identity.
-    let mut rep_of: std::collections::HashMap<(Vertex, Vertex), (Vertex, Vertex)> =
-        current.edges().map(|(u, v)| ((u, v), (u, v))).collect();
-    let mut round = 0u64;
-    while current.num_edges() > 0 {
-        let d = partition(
-            &current,
-            &DecompOptions::new(beta).with_seed(seed.wrapping_add(round)),
-        );
-        // Intra-cluster BFS tree edges, mapped back to original edges.
+    // One workspace serves the full-size round 0 and every quotient round.
+    let mut ws = Workspace::new();
+    let round_opts = |round: u64| {
+        opts.clone()
+            .with_seed(opts.seed.wrapping_add(round))
+            .with_traversal(Traversal::TopDownPar)
+    };
+    // Harvests one round: pushes the decomposition's intra-cluster tree
+    // edges (mapped back to original edges) and rewires `rep_of` onto the
+    // quotient. `rep_of` maps a current-graph edge to an original edge
+    // realizing it.
+    fn harvest(
+        d: &Decomposition,
+        c: &Coarsened,
+        rep_of: &HashMap<(Vertex, Vertex), (Vertex, Vertex)>,
+        forest: &mut Vec<(Vertex, Vertex)>,
+    ) -> HashMap<(Vertex, Vertex), (Vertex, Vertex)> {
         for (child, parent) in d.tree_edges() {
             let key = if child < parent {
                 (child, parent)
             } else {
                 (parent, child)
             };
-            let orig = rep_of[&key];
-            forest.push(orig);
+            forest.push(rep_of[&key]);
         }
-        // Contract and remap representatives.
-        let c = coarsen(&current, &d);
-        let mut next_rep = std::collections::HashMap::with_capacity(c.rep.len());
+        let mut next_rep = HashMap::with_capacity(c.rep.len());
         for (&q_edge, &cur_edge) in &c.rep {
             let cur_key = if cur_edge.0 < cur_edge.1 {
                 cur_edge
@@ -72,8 +85,26 @@ pub fn low_stretch_tree(g: &CsrGraph, beta: f64, seed: u64) -> Vec<(Vertex, Vert
             };
             next_rep.insert(q_edge, rep_of[&cur_key]);
         }
+        next_rep
+    }
+
+    if g.total_degree() == 0 {
+        return forest;
+    }
+    // Round 0, zero-copy on the borrowed view; the identity mapping.
+    let rep_of: HashMap<(Vertex, Vertex), (Vertex, Vertex)> =
+        view_edges(g).map(|e| (e, e)).collect();
+    let d = ws.partition_view(g, &round_opts(0)).0;
+    let c = coarsen_view(g, &d);
+    let mut rep_of = harvest(&d, &c, &rep_of, &mut forest);
+    let mut current = c.quotient;
+    let mut round = 1u64;
+    // Contraction rounds on geometrically shrinking quotients.
+    while current.num_edges() > 0 {
+        let d = ws.partition_view(&current, &round_opts(round)).0;
+        let c = coarsen(&current, &d);
+        rep_of = harvest(&d, &c, &rep_of, &mut forest);
         current = c.quotient;
-        rep_of = next_rep;
         round += 1;
     }
     forest

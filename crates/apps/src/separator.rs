@@ -9,8 +9,8 @@
 //! strong diameter `O(log n / β)` — the primitive those separator
 //! algorithms recurse on.
 
-use mpx_decomp::{partition, DecompOptions, Decomposition};
-use mpx_graph::{CsrGraph, Vertex};
+use mpx_decomp::{DecompOptions, Decomposition, Traversal, Workspace};
+use mpx_graph::{view_edges, CsrGraph, GraphView, Vertex};
 
 /// A vertex separator with its provenance.
 #[derive(Clone, Debug)]
@@ -23,10 +23,21 @@ pub struct Separator {
 
 /// Builds a separator by removing, for every cut edge, the endpoint lying
 /// in the cluster with the larger center id (a fixed, deterministic rule).
-pub fn decomposition_separator(g: &CsrGraph, beta: f64, seed: u64) -> Separator {
-    let d = partition(g, &DecompOptions::new(beta).with_seed(seed));
-    let mut vertices: Vec<Vertex> = g
-        .edges()
+/// `g` is any [`GraphView`].
+pub fn decomposition_separator<V: GraphView>(g: &V, beta: f64, seed: u64) -> Separator {
+    decomposition_separator_with_options(g, &DecompOptions::new(beta).with_seed(seed))
+}
+
+/// [`decomposition_separator`] under full [`DecompOptions`] (top-down
+/// pinned like the historical construction).
+pub fn decomposition_separator_with_options<V: GraphView>(
+    g: &V,
+    opts: &DecompOptions,
+) -> Separator {
+    let d = Workspace::new()
+        .partition_view(g, &opts.clone().with_traversal(Traversal::TopDownPar))
+        .0;
+    let mut vertices: Vec<Vertex> = view_edges(g)
         .filter_map(|(u, v)| {
             let (cu, cv) = (d.center_of(u), d.center_of(v));
             if cu == cv {

@@ -14,9 +14,9 @@
 //! w.h.p. Smaller `β` ⇒ sparser but longer-stretch — the trade-off the
 //! experiment table T9 sweeps.
 
-use crate::coarsen::coarsen;
-use mpx_decomp::{partition, DecompOptions, Decomposition};
-use mpx_graph::{CsrGraph, Vertex};
+use crate::coarsen::coarsen_view;
+use mpx_decomp::{DecompOptions, Decomposition, Traversal, Workspace};
+use mpx_graph::{CsrGraph, GraphView, Vertex};
 
 /// A spanner subgraph together with its provenance and guarantee.
 #[derive(Clone, Debug)]
@@ -42,6 +42,7 @@ impl Spanner {
 }
 
 /// Builds an LDD-based spanner of `g` with decomposition parameter `beta`.
+/// `g` is any [`GraphView`] — an in-memory CSR or a mmap'd snapshot.
 ///
 /// ```
 /// let g = mpx_graph::gen::gnm(300, 3000, 2);
@@ -49,14 +50,23 @@ impl Spanner {
 /// assert!(s.size() < g.num_edges());          // sparser
 /// assert!(s.stretch_bound >= 1);              // certified stretch
 /// ```
-pub fn spanner(g: &CsrGraph, beta: f64, seed: u64) -> Spanner {
-    let d = partition(g, &DecompOptions::new(beta).with_seed(seed));
+pub fn spanner<V: GraphView>(g: &V, beta: f64, seed: u64) -> Spanner {
+    spanner_with_options(g, &DecompOptions::new(beta).with_seed(seed))
+}
+
+/// [`spanner`] under full [`DecompOptions`] (the decomposition runs
+/// top-down like the historical construction; labels are
+/// strategy-invariant anyway).
+pub fn spanner_with_options<V: GraphView>(g: &V, opts: &DecompOptions) -> Spanner {
+    let d = Workspace::new()
+        .partition_view(g, &opts.clone().with_traversal(Traversal::TopDownPar))
+        .0;
     let mut edges: Vec<(Vertex, Vertex)> = d
         .tree_edges()
         .into_iter()
         .map(|(c, p)| if c < p { (c, p) } else { (p, c) })
         .collect();
-    let coarse = coarsen(g, &d);
+    let coarse = coarsen_view(g, &d);
     edges.extend(coarse.rep.values().copied());
     edges.sort_unstable();
     edges.dedup();

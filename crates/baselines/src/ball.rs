@@ -12,9 +12,9 @@
 //! *sequential dependency chain*: balls must be carved out one after
 //! another (think of a path graph: `Ω(n)` balls).
 
-use mpx_decomp::parallel::compute_parents;
-use mpx_decomp::Decomposition;
-use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
+use mpx_decomp::engine::compute_parents_view;
+use mpx_decomp::{DecompOptions, Decomposition};
+use mpx_graph::{Dist, GraphView, Vertex, NO_VERTEX};
 
 /// Sequential ball-growing `(β, O(log n/β))` decomposition. Balls are grown
 /// from unassigned vertices in increasing id order (deterministic). Total
@@ -27,7 +27,7 @@ use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
 /// // The stopping rule guarantees cut <= beta * m deterministically.
 /// assert!(d.cut_edges(&g) as f64 <= 0.1 * g.num_edges() as f64 + 1.0);
 /// ```
-pub fn ball_growing(g: &CsrGraph, beta: f64) -> Decomposition {
+pub fn ball_growing<V: GraphView>(g: &V, beta: f64) -> Decomposition {
     assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
     let n = g.num_vertices();
     let mut assignment: Vec<Vertex> = vec![NO_VERTEX; n];
@@ -52,7 +52,7 @@ pub fn ball_growing(g: &CsrGraph, beta: f64) -> Decomposition {
             let mut next: Vec<Vertex> = Vec::new();
             let mut boundary = 0usize;
             for &u in &frontier {
-                for &v in g.neighbors(u) {
+                for v in g.neighbors_iter(u) {
                     let vi = v as usize;
                     if assignment[vi] == NO_VERTEX && !in_ball[vi] {
                         boundary += 1;
@@ -78,7 +78,7 @@ pub fn ball_growing(g: &CsrGraph, beta: f64) -> Decomposition {
             // Interior gains: every edge from a new vertex into the ball
             // (edges between two new vertices counted once via id order).
             for &v in &next {
-                for &w in g.neighbors(v) {
+                for w in g.neighbors_iter(v) {
                     if in_ball[w as usize] && (dist[w as usize] < level || w < v) {
                         internal_edges += 1;
                     }
@@ -93,8 +93,16 @@ pub fn ball_growing(g: &CsrGraph, beta: f64) -> Decomposition {
         }
     }
 
-    let parent = compute_parents(g, &assignment, &dist);
+    let parent = compute_parents_view(g, &assignment, &dist);
     Decomposition::from_raw(assignment, dist, parent)
+}
+
+/// [`ball_growing`] driven by validated [`DecompOptions`] (only `beta` is
+/// meaningful to this sequential baseline; the options are validated with
+/// the same typed checks the `DecomposerBuilder` applies).
+pub fn ball_growing_with_options<V: GraphView>(g: &V, opts: &DecompOptions) -> Decomposition {
+    opts.assert_valid();
+    ball_growing(g, opts.beta)
 }
 
 #[cfg(test)]

@@ -15,9 +15,9 @@
 //! of MPX's single pass, and comparable piece diameters.
 
 use crate::voronoi::voronoi_bfs;
-use mpx_decomp::parallel::compute_parents;
-use mpx_decomp::Decomposition;
-use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
+use mpx_decomp::engine::compute_parents_view;
+use mpx_decomp::{DecompOptions, Decomposition};
+use mpx_graph::{Dist, GraphView, Vertex, NO_VERTEX};
 use mpx_par::rng::hash_index;
 
 /// Telemetry from [`iterative_ldd`]: how many dependent phases ran.
@@ -30,13 +30,20 @@ pub struct IterativeTelemetry {
 }
 
 /// Iterative batched decomposition. See module docs.
-pub fn iterative_ldd(g: &CsrGraph, beta: f64, seed: u64) -> Decomposition {
+pub fn iterative_ldd<V: GraphView>(g: &V, beta: f64, seed: u64) -> Decomposition {
     iterative_ldd_instrumented(g, beta, seed).0
 }
 
+/// [`iterative_ldd`] driven by validated [`DecompOptions`] (`beta` and
+/// `seed` are meaningful to this baseline).
+pub fn iterative_ldd_with_options<V: GraphView>(g: &V, opts: &DecompOptions) -> Decomposition {
+    opts.assert_valid();
+    iterative_ldd(g, opts.beta, opts.seed)
+}
+
 /// [`iterative_ldd`] plus phase telemetry.
-pub fn iterative_ldd_instrumented(
-    g: &CsrGraph,
+pub fn iterative_ldd_instrumented<V: GraphView>(
+    g: &V,
     beta: f64,
     seed: u64,
 ) -> (Decomposition, IterativeTelemetry) {
@@ -95,7 +102,7 @@ pub fn iterative_ldd_instrumented(
     }
     debug_assert!(remaining.is_empty(), "all vertices assigned by final sweep");
 
-    let parent = compute_parents(g, &assignment, &dist);
+    let parent = compute_parents_view(g, &assignment, &dist);
     (Decomposition::from_raw(assignment, dist, parent), telemetry)
 }
 

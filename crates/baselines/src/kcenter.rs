@@ -9,13 +9,13 @@
 //! from Voronoi clustering per se.
 
 use crate::voronoi::voronoi_bfs;
-use mpx_decomp::parallel::compute_parents;
-use mpx_decomp::Decomposition;
-use mpx_graph::{CsrGraph, Vertex, NO_VERTEX};
+use mpx_decomp::engine::compute_parents_view;
+use mpx_decomp::{DecompOptions, Decomposition};
+use mpx_graph::{GraphView, Vertex, NO_VERTEX};
 use mpx_par::rng::hash_index;
 
 /// Random `k`-center Voronoi partition (`k ≥ 1`; clamped to `n`).
-pub fn kcenter_partition(g: &CsrGraph, k: usize, seed: u64) -> Decomposition {
+pub fn kcenter_partition<V: GraphView>(g: &V, k: usize, seed: u64) -> Decomposition {
     let n = g.num_vertices();
     if n == 0 {
         return Decomposition::from_raw(Vec::new(), Vec::new(), Vec::new());
@@ -36,8 +36,19 @@ pub fn kcenter_partition(g: &CsrGraph, k: usize, seed: u64) -> Decomposition {
             dist[v] = 0;
         }
     }
-    let parent = compute_parents(g, &assignment, &dist);
+    let parent = compute_parents_view(g, &assignment, &dist);
     Decomposition::from_raw(assignment, dist, parent)
+}
+
+/// [`kcenter_partition`] driven by validated [`DecompOptions`] (`seed` is
+/// meaningful; `k` stays an explicit argument — it has no options field).
+pub fn kcenter_partition_with_options<V: GraphView>(
+    g: &V,
+    k: usize,
+    opts: &DecompOptions,
+) -> Decomposition {
+    opts.assert_valid();
+    kcenter_partition(g, k, opts.seed)
 }
 
 #[cfg(test)]

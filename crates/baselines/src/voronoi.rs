@@ -5,14 +5,14 @@
 //! connected and carry their own BFS distances (the Lemma 4.1 argument with
 //! a constant shift).
 
-use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
+use mpx_graph::{Dist, GraphView, Vertex, NO_VERTEX};
 
 /// Multi-source BFS over the subgraph induced by `active`, claiming with
 /// `(distance, center id)` priority, up to `max_rounds` levels
 /// (`u32::MAX` = unbounded). Returns `(assignment, dist)` where untouched
 /// vertices keep `NO_VERTEX` / 0.
-pub(crate) fn voronoi_bfs(
-    g: &CsrGraph,
+pub(crate) fn voronoi_bfs<V: GraphView>(
+    g: &V,
     centers: &[Vertex],
     active: &[bool],
     max_rounds: u32,
@@ -39,7 +39,7 @@ pub(crate) fn voronoi_bfs(
         let mut best: Vec<(Vertex, Vertex)> = Vec::new(); // (vertex, center)
         for &u in &frontier {
             let cu = assignment[u as usize];
-            for &v in g.neighbors(u) {
+            for v in g.neighbors_iter(u) {
                 if active[v as usize] && assignment[v as usize] == NO_VERTEX {
                     best.push((v, cu));
                 }

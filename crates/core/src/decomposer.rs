@@ -1,0 +1,502 @@
+//! The session front door: build a [`Decomposer`] once, run it many times.
+//!
+//! The pipelines the paper motivates — spanners, hopsets, low-stretch
+//! trees, solver preconditioners — do not call the decomposition once:
+//! they call it **many times over the same graph with fresh shifts**
+//! (Miller–Peng–Vladu–Xu run it per level of a spanner/hopset recursion;
+//! the Theorem 1.2 retry loop reruns it until the guarantee holds). For
+//! that hot path, per-call allocation and a `CsrGraph`-only surface are
+//! the wrong API. This module provides the session shape:
+//!
+//! ```text
+//! DecomposerBuilder::new(beta)      configure: seed / traversal / tie-break
+//!     .seed(7)                        / shift-strategy / alpha / retry policy
+//!     .build(&view)?                validate (typed ConfigError), bind a view,
+//!                                     allocate the reusable Workspace
+//! decomposer.run()                  decompose; repeated runs reuse the
+//! decomposer.run_with_seed(s)         Workspace arenas and allocate only
+//! decomposer.run_many(&seeds)         the returned Decompositions
+//! ```
+//!
+//! The view is anything implementing [`GraphView`]: an in-memory
+//! [`mpx_graph::CsrGraph`], a zero-copy [`mpx_graph::MappedCsr`] snapshot
+//! (serve decompositions straight off a file's pages), or an
+//! [`mpx_graph::InducedView`] / [`mpx_graph::EdgeFilteredView`] of either.
+//! Outputs are **bit-identical** to the classic free functions
+//! ([`crate::partition`] & co.), which survive as a thin convenience layer
+//! over this type.
+//!
+//! # Amortization
+//!
+//! A [`Workspace`] owns every scratch arena one run needs: the shift
+//! buffers ([`ExpShifts`]) and the engine's claim/assignment/distance/
+//! wake-schedule arenas ([`EngineScratch`]). Buffers are reset in place
+//! per run and grow only when a larger view arrives, so a session's steady
+//! state allocates nothing but the returned [`Decomposition`]s — pinned by
+//! the workspace-reuse test suite with a counting allocator.
+
+use crate::decomposition::Decomposition;
+use crate::engine::{self, EngineScratch, PartitionTelemetry};
+use crate::exact::partition_exact;
+use crate::options::{ConfigError, DecompOptions, RetryPolicy, ShiftStrategy, TieBreak, Traversal};
+use crate::retry::RetryOutcome;
+use crate::shift::ExpShifts;
+use crate::weighted::{partition_weighted, partition_weighted_parallel, WeightedDecomposition};
+use mpx_graph::{CsrGraph, GraphView, WeightedCsrGraph};
+
+/// Reusable scratch arenas for repeated decomposition runs.
+///
+/// A workspace is view-agnostic: one instance can serve runs over
+/// different views (a recursion over thousands of induced pieces shares
+/// one workspace and its buffers simply stay sized for the largest piece
+/// seen). [`Decomposer`] owns one internally; pipelines that partition a
+/// *sequence* of views hold a `Workspace` directly and call
+/// [`Workspace::partition_view`].
+#[must_use = "a Workspace only pays off when reused across runs"]
+#[derive(Default)]
+pub struct Workspace {
+    shifts: ExpShifts,
+    scratch: EngineScratch,
+    runs: u64,
+}
+
+impl Workspace {
+    /// An empty workspace; arenas are sized lazily by the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of decomposition runs this workspace has served.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Bytes of scratch capacity currently reserved (shift buffers plus
+    /// engine arenas). After the first run over a view, repeated runs over
+    /// the same view leave this value unchanged — the capacity-reuse
+    /// assertion of the session test suite.
+    pub fn scratch_bytes(&self) -> usize {
+        self.shifts.capacity_bytes() + self.scratch.capacity_bytes()
+    }
+
+    /// Partitions `view` under `opts`, reusing this workspace's arenas.
+    ///
+    /// This is the reusable form of [`engine::partition_view`]: identical
+    /// output, no per-call arena allocation once the workspace is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts` fails [`DecompOptions::validate`] — construct
+    /// options through [`DecomposerBuilder`] or `DecompOptions`'s checked
+    /// constructors to get a typed error instead.
+    pub fn partition_view<V: GraphView>(
+        &mut self,
+        view: &V,
+        opts: &DecompOptions,
+    ) -> (Decomposition, PartitionTelemetry) {
+        opts.assert_valid();
+        self.runs += 1;
+        self.shifts.regenerate(view.num_vertices(), opts);
+        engine::partition_view_reusing(
+            view,
+            &self.shifts,
+            opts.traversal,
+            opts.alpha,
+            &mut self.scratch,
+        )
+    }
+}
+
+/// Configuration builder for a [`Decomposer`] session (and the validated
+/// entry into every other decomposition flavor: retry, weighted, exact).
+///
+/// All knobs of [`DecompOptions`] plus a [`RetryPolicy`]; nothing is
+/// validated until [`build`](DecomposerBuilder::build) (or
+/// [`options`](DecomposerBuilder::options)) runs
+/// [`DecompOptions::validate`] and reports a typed [`ConfigError`].
+///
+/// ```
+/// use mpx_decomp::{DecomposerBuilder, Traversal};
+/// let g = mpx_graph::gen::grid2d(40, 40);
+/// let mut dec = DecomposerBuilder::new(0.2)
+///     .seed(7)
+///     .traversal(Traversal::TopDownPar)
+///     .build(&g)
+///     .unwrap();
+/// let d = dec.run();
+/// assert_eq!(d, mpx_decomp::partition(&g, &mpx_decomp::DecompOptions::new(0.2).with_seed(7)));
+/// ```
+#[must_use = "a DecomposerBuilder does nothing until built into a Decomposer"]
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecomposerBuilder {
+    opts: DecompOptions,
+    retry: RetryPolicy,
+}
+
+impl DecomposerBuilder {
+    /// Starts a configuration with the given `β` and every other knob at
+    /// its default. `β` is *not* checked here — validation happens at
+    /// [`build`](DecomposerBuilder::build) time with a typed error.
+    pub fn new(beta: f64) -> Self {
+        DecomposerBuilder {
+            opts: DecompOptions {
+                beta,
+                seed: 0,
+                tie_break: TieBreak::default(),
+                shift_strategy: ShiftStrategy::default(),
+                traversal: Traversal::default(),
+                alpha: crate::options::DEFAULT_ALPHA,
+            },
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Starts from existing options (e.g. options parsed by the CLI).
+    pub fn from_options(opts: DecompOptions) -> Self {
+        DecomposerBuilder {
+            opts,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Sets the RNG seed of [`Decomposer::run`] (and the base seed of the
+    /// retry loop).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Sets the engine traversal strategy (wall-clock only; every strategy
+    /// returns identical labels).
+    pub fn traversal(mut self, t: Traversal) -> Self {
+        self.opts.traversal = t;
+        self
+    }
+
+    /// Sets the tie-break rule between clusters arriving in the same round.
+    pub fn tie_break(mut self, tb: TieBreak) -> Self {
+        self.opts.tie_break = tb;
+        self
+    }
+
+    /// Sets the shift-generation strategy (paper Sections 3 and 5).
+    pub fn shift_strategy(mut self, s: ShiftStrategy) -> Self {
+        self.opts.shift_strategy = s;
+        self
+    }
+
+    /// Sets the Beamer switch constant for [`Traversal::Auto`]. Zero is
+    /// rejected at [`build`](DecomposerBuilder::build) time.
+    pub fn alpha(mut self, alpha: u64) -> Self {
+        self.opts.alpha = alpha;
+        self
+    }
+
+    /// Sets the acceptance policy of [`Decomposer::run_with_retry`].
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Validates the configuration and returns the resulting options.
+    pub fn options(&self) -> Result<DecompOptions, ConfigError> {
+        self.opts.validate()?;
+        Ok(self.opts.clone())
+    }
+
+    /// Validates the configuration and binds it to `view`, allocating a
+    /// fresh [`Workspace`].
+    pub fn build<'g, V: GraphView>(&self, view: &'g V) -> Result<Decomposer<'g, V>, ConfigError> {
+        self.build_in(view, Workspace::new())
+    }
+
+    /// Like [`build`](DecomposerBuilder::build), but adopts an existing
+    /// [`Workspace`] — e.g. one recovered from a finished session via
+    /// [`Decomposer::into_workspace`] — so even the first run over the new
+    /// view reuses warm arenas.
+    pub fn build_in<'g, V: GraphView>(
+        &self,
+        view: &'g V,
+        workspace: Workspace,
+    ) -> Result<Decomposer<'g, V>, ConfigError> {
+        let opts = self.opts.clone();
+        opts.validate_for(view.num_vertices(), (view.total_degree() / 2) as usize)?;
+        Ok(Decomposer {
+            view,
+            opts,
+            retry: self.retry.clone(),
+            workspace,
+        })
+    }
+
+    /// Validated run of the `O(nm)` Algorithm 2 reference oracle
+    /// ([`crate::partition_exact`]); testing/small graphs only.
+    pub fn run_exact(&self, g: &CsrGraph) -> Result<Decomposition, ConfigError> {
+        let opts = self.options()?;
+        Ok(partition_exact(g, &opts))
+    }
+
+    /// Validated run of the Section 6 weighted partition
+    /// ([`crate::weighted::partition_weighted`]).
+    pub fn run_weighted(&self, g: &WeightedCsrGraph) -> Result<WeightedDecomposition, ConfigError> {
+        let opts = self.options()?;
+        Ok(partition_weighted(g, &opts))
+    }
+
+    /// Validated run of the Δ-stepping weighted partition
+    /// ([`crate::weighted::partition_weighted_parallel`]); `delta` is the
+    /// bucket width (`None` = mean edge weight).
+    pub fn run_weighted_parallel(
+        &self,
+        g: &WeightedCsrGraph,
+        delta: Option<f64>,
+    ) -> Result<WeightedDecomposition, ConfigError> {
+        let opts = self.options()?;
+        Ok(partition_weighted_parallel(g, &opts, delta))
+    }
+}
+
+/// A decomposition session over one graph view: validated options plus a
+/// reusable [`Workspace`], so [`run`](Decomposer::run) /
+/// [`run_with_seed`](Decomposer::run_with_seed) /
+/// [`run_many`](Decomposer::run_many) over the same view allocate
+/// (almost) nothing after the first run.
+///
+/// Built by [`DecomposerBuilder::build`]. Outputs are bit-identical to the
+/// classic free functions for the pinned traversal, across strategies,
+/// thread counts, and `CsrGraph`-vs-`MappedCsr` sources.
+///
+/// ```
+/// use mpx_decomp::DecomposerBuilder;
+/// let g = mpx_graph::gen::gnm(500, 2000, 3);
+/// let mut dec = DecomposerBuilder::new(0.3).build(&g).unwrap();
+/// // Serve three requests with fresh shifts; the workspace is reused.
+/// let runs = dec.run_many(&[1, 2, 3]);
+/// assert_eq!(runs.len(), 3);
+/// assert_ne!(runs[0], runs[1]);
+/// ```
+#[must_use = "a Decomposer does nothing until one of its run methods is called"]
+pub struct Decomposer<'g, V: GraphView> {
+    view: &'g V,
+    opts: DecompOptions,
+    retry: RetryPolicy,
+    workspace: Workspace,
+}
+
+impl<'g, V: GraphView> Decomposer<'g, V> {
+    /// The validated options this session runs under.
+    pub fn options(&self) -> &DecompOptions {
+        &self.opts
+    }
+
+    /// The bound graph view.
+    pub fn view(&self) -> &'g V {
+        self.view
+    }
+
+    /// The session's workspace (inspect reuse counters/capacity).
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// Releases the workspace for adoption by another session
+    /// ([`DecomposerBuilder::build_in`]).
+    pub fn into_workspace(self) -> Workspace {
+        self.workspace
+    }
+
+    /// Decomposes under the configured seed.
+    pub fn run(&mut self) -> Decomposition {
+        self.run_with_seed(self.opts.seed)
+    }
+
+    /// [`run`](Decomposer::run) plus engine telemetry.
+    pub fn run_instrumented(&mut self) -> (Decomposition, PartitionTelemetry) {
+        self.run_with_seed_instrumented(self.opts.seed)
+    }
+
+    /// Decomposes with fresh shifts drawn from `seed` (the configured seed
+    /// is unchanged — this is the "many runs, fresh shifts" hot path).
+    pub fn run_with_seed(&mut self, seed: u64) -> Decomposition {
+        self.run_with_seed_instrumented(seed).0
+    }
+
+    /// [`run_with_seed`](Decomposer::run_with_seed) plus engine telemetry.
+    pub fn run_with_seed_instrumented(&mut self, seed: u64) -> (Decomposition, PartitionTelemetry) {
+        let opts = self.opts.clone().with_seed(seed);
+        self.workspace.partition_view(self.view, &opts)
+    }
+
+    /// Batched multi-seed run: one decomposition per seed, in order, each
+    /// identical to an independent fresh run with that seed — but sharing
+    /// this session's workspace, so only the outputs allocate.
+    pub fn run_many(&mut self, seeds: &[u64]) -> Vec<Decomposition> {
+        seeds.iter().map(|&s| self.run_with_seed(s)).collect()
+    }
+
+    /// The Theorem 1.2 driver over this session: retries with seeds
+    /// `seed, seed+1, …` until the configured [`RetryPolicy`] accepts,
+    /// reusing the workspace across attempts. Matches
+    /// [`crate::partition_with_retry`] exactly on a full-graph view.
+    pub fn run_with_retry(&mut self) -> RetryOutcome {
+        let n = self.view.num_vertices().max(2);
+        let m = (self.view.total_degree() / 2) as usize;
+        let cut_threshold = self.retry.cut_slack * self.opts.beta * m as f64;
+        let radius_threshold = self.retry.radius_slack * (n as f64).ln() / self.opts.beta;
+
+        let mut best: Option<(usize, Decomposition)> = None;
+        let max_attempts = self.retry.max_attempts;
+        for attempt in 0..max_attempts {
+            let d = self.run_with_seed(self.opts.seed.wrapping_add(attempt as u64));
+            let cut = d.cut_edges_view(self.view);
+            let radius = d.max_radius();
+            if cut as f64 <= cut_threshold && (radius as f64) <= radius_threshold {
+                return RetryOutcome {
+                    decomposition: d,
+                    attempts: attempt + 1,
+                    accepted: true,
+                    cut_threshold,
+                    radius_threshold,
+                };
+            }
+            if best.as_ref().is_none_or(|(c, _)| cut < *c) {
+                best = Some((cut, d));
+            }
+        }
+        RetryOutcome {
+            decomposition: best.expect("max_attempts >= 1").1,
+            attempts: max_attempts,
+            accepted: false,
+            cut_threshold,
+            radius_threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partition, partition_hybrid, partition_sequential};
+    use mpx_graph::gen;
+
+    #[test]
+    fn builder_rejects_bad_config_with_typed_errors() {
+        let g = gen::path(10);
+        assert_eq!(
+            DecomposerBuilder::new(0.0).build(&g).err(),
+            Some(ConfigError::InvalidBeta(0.0))
+        );
+        assert_eq!(
+            DecomposerBuilder::new(f64::INFINITY).options().err(),
+            Some(ConfigError::InvalidBeta(f64::INFINITY))
+        );
+        assert_eq!(
+            DecomposerBuilder::new(0.2).alpha(0).build(&g).err(),
+            Some(ConfigError::InvalidAlpha)
+        );
+        assert!(DecomposerBuilder::new(0.2).alpha(3).build(&g).is_ok());
+    }
+
+    #[test]
+    fn run_matches_legacy_wrappers() {
+        let g = gen::gnm(400, 1600, 5);
+        for (traversal, legacy) in [
+            (
+                Traversal::TopDownPar,
+                partition(&g, &DecompOptions::new(0.2).with_seed(9)) as Decomposition,
+            ),
+            (
+                Traversal::TopDownSeq,
+                partition_sequential(&g, &DecompOptions::new(0.2).with_seed(9)),
+            ),
+            (
+                Traversal::Auto,
+                partition_hybrid(&g, &DecompOptions::new(0.2).with_seed(9)),
+            ),
+        ] {
+            let mut dec = DecomposerBuilder::new(0.2)
+                .seed(9)
+                .traversal(traversal)
+                .build(&g)
+                .unwrap();
+            assert_eq!(dec.run(), legacy, "{traversal:?}");
+        }
+    }
+
+    #[test]
+    fn run_many_matches_independent_runs_and_reuses_arenas() {
+        let g = gen::grid2d(30, 30);
+        let mut dec = DecomposerBuilder::new(0.15).build(&g).unwrap();
+        let seeds: Vec<u64> = (0..10).collect();
+        let batch = dec.run_many(&seeds);
+        let bytes_after_batch = dec.workspace().scratch_bytes();
+        assert_eq!(dec.workspace().runs(), 10);
+        for (i, &s) in seeds.iter().enumerate() {
+            let fresh = partition(
+                &g,
+                &DecompOptions::new(0.15)
+                    .with_seed(s)
+                    .with_traversal(Traversal::Auto),
+            );
+            assert_eq!(batch[i], fresh, "seed {s}");
+        }
+        // Re-running the same seeds grows nothing.
+        let again = dec.run_many(&seeds);
+        assert_eq!(batch, again);
+        assert_eq!(dec.workspace().scratch_bytes(), bytes_after_batch);
+    }
+
+    #[test]
+    fn workspace_survives_rebinding_to_another_view() {
+        let g1 = gen::grid2d(25, 25);
+        let g2 = gen::gnm(300, 900, 2);
+        let builder = DecomposerBuilder::new(0.25).seed(4);
+        let mut dec = builder.build(&g1).unwrap();
+        let d1 = dec.run();
+        let ws = dec.into_workspace();
+        assert_eq!(ws.runs(), 1);
+        let mut dec2 = builder.build_in(&g2, ws).unwrap();
+        let d2 = dec2.run();
+        assert_eq!(
+            d1,
+            partition_hybrid(&g1, &DecompOptions::new(0.25).with_seed(4))
+        );
+        assert_eq!(
+            d2,
+            partition_hybrid(&g2, &DecompOptions::new(0.25).with_seed(4))
+        );
+        assert_eq!(dec2.workspace().runs(), 2);
+    }
+
+    #[test]
+    fn retry_through_session_matches_free_function() {
+        let g = gen::grid2d(40, 40);
+        let opts = DecompOptions::new(0.1).with_seed(3);
+        let legacy = crate::partition_with_retry(&g, &opts, &RetryPolicy::default());
+        let mut dec = DecomposerBuilder::from_options(opts.with_traversal(Traversal::TopDownPar))
+            .build(&g)
+            .unwrap();
+        let session = dec.run_with_retry();
+        assert_eq!(session.decomposition, legacy.decomposition);
+        assert_eq!(session.attempts, legacy.attempts);
+        assert_eq!(session.accepted, legacy.accepted);
+        assert_eq!(session.cut_threshold, legacy.cut_threshold);
+        assert_eq!(session.radius_threshold, legacy.radius_threshold);
+    }
+
+    #[test]
+    fn exact_and_weighted_route_through_the_builder() {
+        let g = gen::gnm(60, 150, 1);
+        let builder = DecomposerBuilder::new(0.2).seed(11);
+        let exact = builder.run_exact(&g).unwrap();
+        let mut dec = builder.build(&g).unwrap();
+        assert_eq!(exact, dec.run());
+
+        let wg = WeightedCsrGraph::unit_weights(&g);
+        let wd = builder.run_weighted(&wg).unwrap();
+        let wdp = builder.run_weighted_parallel(&wg, None).unwrap();
+        assert_eq!(wd.assignment, wdp.assignment);
+        assert!(DecomposerBuilder::new(-1.0).run_weighted(&wg).is_err());
+        assert!(DecomposerBuilder::new(f64::NAN).run_exact(&g).is_err());
+    }
+}

@@ -1,6 +1,6 @@
 //! The output type of all partition routines.
 
-use mpx_graph::{CsrGraph, Dist, Vertex, NO_VERTEX};
+use mpx_graph::{CsrGraph, Dist, GraphView, Vertex, NO_VERTEX};
 use rayon::prelude::*;
 
 /// A low-diameter decomposition: a partition of `V` into clusters, each
@@ -12,6 +12,7 @@ use rayon::prelude::*;
 /// * its BFS distance to that center (which, by Lemma 4.1, is realized by a
 ///   path inside the cluster — the strong-diameter property),
 /// * its parent on that intra-cluster BFS path (`NO_VERTEX` at centers).
+#[must_use = "a Decomposition carries the labels the partition computed"]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Decomposition {
     assignment: Vec<Vertex>,
@@ -167,14 +168,19 @@ impl Decomposition {
 
     /// Number of edges of `g` whose endpoints lie in different clusters.
     pub fn cut_edges(&self, g: &CsrGraph) -> usize {
-        assert_eq!(g.num_vertices(), self.num_vertices());
+        self.cut_edges_view(g)
+    }
+
+    /// [`cut_edges`](Decomposition::cut_edges) over any [`GraphView`] —
+    /// e.g. a memory-mapped snapshot or an induced view.
+    pub fn cut_edges_view<V: GraphView>(&self, view: &V) -> usize {
+        assert_eq!(view.num_vertices(), self.num_vertices());
         (0..self.num_vertices() as Vertex)
             .into_par_iter()
             .map(|u| {
                 let cu = self.assignment[u as usize];
-                g.neighbors(u)
-                    .iter()
-                    .filter(|&&v| u < v && self.assignment[v as usize] != cu)
+                view.neighbors_iter(u)
+                    .filter(|&v| u < v && self.assignment[v as usize] != cu)
                     .count()
             })
             .sum()

@@ -54,6 +54,7 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Work/depth proxies recorded by one partition run.
+#[must_use = "telemetry is recorded to be read"]
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PartitionTelemetry {
     /// Level-synchronous rounds executed (depth proxy; paper predicts
@@ -78,20 +79,179 @@ pub fn partition_view<V: GraphView>(
     view: &V,
     opts: &DecompOptions,
 ) -> (Decomposition, PartitionTelemetry) {
-    let shifts = ExpShifts::generate(view.num_vertices(), opts);
-    partition_view_with_shifts(view, &shifts, opts.traversal, opts.alpha)
+    crate::decomposer::Workspace::new().partition_view(view, opts)
 }
 
 /// The engine proper: runs the wake/expand/finalize round loop over `view`
 /// under externally supplied shifts.
 ///
 /// The output is invariant under `strategy`, `alpha`, and thread count —
-/// only the telemetry's work/direction profile changes.
+/// only the telemetry's work/direction profile changes. Allocates fresh
+/// scratch per call; sessions that partition repeatedly should hold a
+/// [`crate::Workspace`] (or an [`EngineScratch`]) and call
+/// [`partition_view_reusing`] instead.
 pub fn partition_view_with_shifts<V: GraphView>(
     view: &V,
     shifts: &ExpShifts,
     strategy: Traversal,
     alpha: u64,
+) -> (Decomposition, PartitionTelemetry) {
+    partition_view_reusing(view, shifts, strategy, alpha, &mut EngineScratch::new())
+}
+
+/// Below this many vertices the scratch resets run inline; recursive
+/// pipelines reuse one scratch across thousands of tiny pieces and the
+/// parallel fan-out would dominate.
+const RESET_PAR_CUTOFF: usize = 4096;
+
+/// Reusable scratch arenas of the round loop: claim/assignment/distance/
+/// settled-round arrays plus the wake-schedule buffers. One run touches
+/// `O(n)` of it; holding the scratch across runs (what
+/// [`crate::Workspace`] does) makes every run after the first allocate
+/// nothing here — buffers are reset in place and grow only when a larger
+/// view arrives.
+#[derive(Default)]
+pub struct EngineScratch {
+    /// Best (tie_key, center) bid per vertex; `u64::MAX` = untouched.
+    claim: Vec<AtomicU64>,
+    /// Winning center once a vertex's settling round finishes.
+    assignment: Vec<AtomicU32>,
+    /// Hop distance to the winning center.
+    dist: Vec<AtomicU32>,
+    /// Round in which a vertex settled (`u32::MAX` = unsettled); only
+    /// maintained for bottom-up-capable strategies.
+    settled_round: Vec<AtomicU32>,
+    /// Vertices grouped by wake round (counting-sorted, ascending ids
+    /// within a round — the same order the historical per-round bucket
+    /// vectors listed them in).
+    wake_order: Vec<Vertex>,
+    /// `wake_order` slice boundaries: round `r` wakes
+    /// `wake_order[bucket_starts[r]..bucket_starts[r + 1]]`.
+    bucket_starts: Vec<usize>,
+    /// Scatter cursors for the counting sort.
+    bucket_cursor: Vec<usize>,
+}
+
+impl EngineScratch {
+    /// Empty scratch; buffers are sized lazily by the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes of buffer capacity currently reserved (what a session
+    /// amortizes; used by the capacity-reuse tests).
+    pub fn capacity_bytes(&self) -> usize {
+        self.claim.capacity() * std::mem::size_of::<AtomicU64>()
+            + self.assignment.capacity() * std::mem::size_of::<AtomicU32>()
+            + self.dist.capacity() * std::mem::size_of::<AtomicU32>()
+            + self.settled_round.capacity() * std::mem::size_of::<AtomicU32>()
+            + self.wake_order.capacity() * std::mem::size_of::<Vertex>()
+            + self.bucket_starts.capacity() * std::mem::size_of::<usize>()
+            + self.bucket_cursor.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// Resets (and if needed grows) every buffer a run over `n` vertices
+    /// will touch, and rebuilds the wake schedule from `shifts`.
+    fn prepare(&mut self, n: usize, shifts: &ExpShifts, strategy: Traversal) {
+        let bottom_up_capable = matches!(strategy, Traversal::Auto | Traversal::BottomUp);
+        // Pure bottom-up never bids through `claim`; pure top-down never
+        // reads `settled_round` — skip the resets the strategy can't see.
+        if strategy != Traversal::BottomUp {
+            reset_atomic_u64(&mut self.claim, n, u64::MAX);
+        }
+        reset_atomic_u32(&mut self.assignment, n, NO_VERTEX);
+        reset_atomic_u32(&mut self.dist, n, 0);
+        if bottom_up_capable {
+            reset_atomic_u32(&mut self.settled_round, n, u32::MAX);
+        }
+
+        // Counting sort of the vertices by wake round. Ascending vertex
+        // ids within each round, matching `ExpShifts::wake_buckets`.
+        let max_round = shifts.start_round.iter().copied().max().unwrap_or(0) as usize;
+        self.wake_order.clear();
+        self.wake_order.resize(n, 0);
+        // δ_max fluctuates by O(1) rounds across seeds (Gumbel tails), so
+        // 2× headroom on first sizing keeps later seeds of a session from
+        // ever regrowing these — the zero-growth-after-first-run property
+        // the allocation tests pin.
+        let needed = max_round + 2;
+        self.bucket_starts.clear();
+        self.bucket_cursor.clear();
+        if self.bucket_starts.capacity() < needed {
+            self.bucket_starts.reserve((needed * 2).max(64));
+            self.bucket_cursor.reserve((needed * 2).max(64));
+        }
+        self.bucket_starts.resize(needed, 0);
+        for &r in &shifts.start_round {
+            self.bucket_starts[r as usize + 1] += 1;
+        }
+        for i in 1..self.bucket_starts.len() {
+            self.bucket_starts[i] += self.bucket_starts[i - 1];
+        }
+        self.bucket_cursor.extend_from_slice(&self.bucket_starts);
+        for (v, &r) in shifts.start_round.iter().enumerate() {
+            let c = &mut self.bucket_cursor[r as usize];
+            self.wake_order[*c] = v as Vertex;
+            *c += 1;
+        }
+    }
+
+    /// Wake bucket of one round (empty past the last wake round).
+    #[inline]
+    fn bucket(&self, round: usize) -> &[Vertex] {
+        if round + 1 < self.bucket_starts.len() {
+            &self.wake_order[self.bucket_starts[round]..self.bucket_starts[round + 1]]
+        } else {
+            &[]
+        }
+    }
+}
+
+/// Grows `v` to length `n` and stores `init` into the first `n` slots.
+fn reset_atomic_u64(v: &mut Vec<AtomicU64>, n: usize, init: u64) {
+    if v.len() < n {
+        v.resize_with(n, || AtomicU64::new(0));
+    }
+    let s = &v[..n];
+    if n >= RESET_PAR_CUTOFF {
+        s.par_iter()
+            .with_min_len(4096)
+            .for_each(|a| a.store(init, Ordering::Relaxed));
+    } else {
+        for a in s {
+            a.store(init, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Grows `v` to length `n` and stores `init` into the first `n` slots.
+fn reset_atomic_u32(v: &mut Vec<AtomicU32>, n: usize, init: u32) {
+    if v.len() < n {
+        v.resize_with(n, || AtomicU32::new(0));
+    }
+    let s = &v[..n];
+    if n >= RESET_PAR_CUTOFF {
+        s.par_iter()
+            .with_min_len(4096)
+            .for_each(|a| a.store(init, Ordering::Relaxed));
+    } else {
+        for a in s {
+            a.store(init, Ordering::Relaxed);
+        }
+    }
+}
+
+/// [`partition_view_with_shifts`] over caller-held scratch: the round loop
+/// reuses `scratch`'s arenas instead of allocating its own, so repeated
+/// calls over same-sized views allocate (almost) nothing beyond the
+/// returned [`Decomposition`]. Output is bit-identical to the fresh-scratch
+/// path — resets restore exactly the state a fresh allocation starts from.
+pub fn partition_view_reusing<V: GraphView>(
+    view: &V,
+    shifts: &ExpShifts,
+    strategy: Traversal,
+    alpha: u64,
+    scratch: &mut EngineScratch,
 ) -> (Decomposition, PartitionTelemetry) {
     let n = view.num_vertices();
     assert_eq!(shifts.len(), n, "shifts must cover every vertex");
@@ -102,27 +262,14 @@ pub fn partition_view_with_shifts<V: GraphView>(
         );
     }
 
-    // claim[v]: best (tie_key, center) bid seen so far; u64::MAX =
-    // untouched. Only the top-down paths bid through it — bottom-up rounds
-    // have each vertex fold its own minimum locally.
-    let claim: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-    // assignment[v]: winning center once v's settling round finishes.
-    let assignment: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
-    // dist[v]: hop distance to the winning center.
-    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    // settled_round[v] (u32::MAX = unsettled): bottom-up rounds key off
-    // "settled exactly last round"; only maintained when a bottom-up round
-    // can occur.
     let bottom_up_capable = matches!(strategy, Traversal::Auto | Traversal::BottomUp);
-    let settled_round: Vec<AtomicU32> = if bottom_up_capable {
-        (0..n).map(|_| AtomicU32::new(u32::MAX)).collect()
-    } else {
-        Vec::new()
-    };
-
-    let buckets = shifts.wake_buckets();
-    let (claim_ref, assignment_ref, dist_ref, settled_ref) =
-        (&claim, &assignment, &dist, &settled_round);
+    scratch.prepare(n, shifts, strategy);
+    let (claim_ref, assignment_ref, dist_ref, settled_ref) = (
+        &scratch.claim[..n.min(scratch.claim.len())],
+        &scratch.assignment[..n],
+        &scratch.dist[..n],
+        &scratch.settled_round[..if bottom_up_capable { n } else { 0 }],
+    );
 
     let mut telemetry = PartitionTelemetry::default();
     let mut frontier: Vec<Vertex> = Vec::new();
@@ -141,7 +288,7 @@ pub fn partition_view_with_shifts<V: GraphView>(
         telemetry.rounds += 1;
         let r32 = round as u32;
         let frontier_degree: u64 = frontier.iter().map(|&u| view.degree(u) as u64).sum();
-        let bucket = buckets.get(round).map_or(&[] as &[Vertex], Vec::as_slice);
+        let bucket = scratch.bucket(round);
 
         let bottom_up = match strategy {
             Traversal::TopDownPar | Traversal::TopDownSeq => false,
@@ -299,8 +446,19 @@ pub fn partition_view_with_shifts<V: GraphView>(
         round += 1;
     }
 
-    let assignment: Vec<Vertex> = assignment.into_iter().map(|a| a.into_inner()).collect();
-    let dist: Vec<Dist> = dist.into_iter().map(|d| d.into_inner()).collect();
+    // Copy the winning labels out of the (reusable) scratch arenas.
+    let copy_out = |arr: &[AtomicU32]| -> Vec<u32> {
+        if n >= RESET_PAR_CUTOFF {
+            arr.par_iter()
+                .with_min_len(4096)
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect()
+        } else {
+            arr.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        }
+    };
+    let assignment: Vec<Vertex> = copy_out(assignment_ref);
+    let dist: Vec<Dist> = copy_out(dist_ref);
     let parent = compute_parents_view(view, &assignment, &dist);
     let d = Decomposition::from_raw(assignment, dist, parent);
     telemetry.clusters = d.num_clusters() as u64;

@@ -43,8 +43,9 @@ use mpx_graph::CsrGraph;
 /// assert_eq!(partition(&g, &opts), partition_hybrid(&g, &opts));
 /// ```
 pub fn partition_hybrid(g: &CsrGraph, opts: &DecompOptions) -> Decomposition {
-    let shifts = ExpShifts::generate(g.num_vertices(), opts);
-    engine::partition_view_with_shifts(g, &shifts, Traversal::Auto, opts.alpha).0
+    crate::decomposer::Workspace::new()
+        .partition_view(g, &opts.clone().with_traversal(Traversal::Auto))
+        .0
 }
 
 /// Hybrid partition under externally supplied shifts, with telemetry (the

@@ -48,40 +48,69 @@
 //! original graph instead of materializing induced subgraphs at every
 //! level — see [`engine::partition_view`].
 //!
-//! ## Entry points
+//! ## One front door: the `Decomposer` session
 //!
-//! | function | paper reference | notes |
-//! |----------|-----------------|-------|
-//! | [`engine::partition_view`] | Algorithm 1 | the engine itself: any [`Traversal`] × any [`mpx_graph::GraphView`] |
-//! | [`partition`] | Algorithm 1 (Thm 1.2) | engine @ top-down parallel |
-//! | [`partition_sequential`] | Algorithm 1 | engine @ sequential; bit-identical output |
-//! | [`partition_hybrid`] | Section 5 + \[8\] | engine @ direction-optimizing; bit-identical output |
-//! | [`partition_exact`] | Algorithm 2 | `O(nm)` literal reference, for testing |
-//! | [`partition_with_retry`] | Theorem 1.2 proof | retries until the `(β, O(log n/β))` guarantee holds |
-//! | [`weighted::partition_weighted`] | Section 6 | shifted Dijkstra on weighted graphs |
-//! | [`weighted::partition_weighted_parallel`] | Section 6 (open problem) | Δ-stepping engineering extension |
+//! The public surface is organized around **sessions**: configure a
+//! [`DecomposerBuilder`] (β / seed / traversal / tie-break /
+//! shift-strategy / alpha / retry policy — validated once, with a typed
+//! [`ConfigError`]), bind it to any [`mpx_graph::GraphView`], and run as
+//! many decompositions as you need. The session's [`Workspace`] holds
+//! every scratch arena (shift buffers, claim/assignment/distance arrays,
+//! wake schedule), so repeated [`Decomposer::run`] /
+//! [`Decomposer::run_with_seed`] / [`Decomposer::run_many`] calls over
+//! one view allocate (almost) nothing after the first — the hot path of
+//! the spanner/hopset/solver pipelines that invoke the decomposition many
+//! times with fresh shifts.
+//!
+//! | entry | paper reference | notes |
+//! |-------|-----------------|-------|
+//! | [`DecomposerBuilder`] → [`Decomposer`] | Algorithm 1 | the session front door: any [`Traversal`] × any [`mpx_graph::GraphView`], amortized scratch |
+//! | [`Decomposer::run_with_retry`] | Theorem 1.2 proof | retries until the `(β, O(log n/β))` guarantee holds |
+//! | [`Workspace::partition_view`] | Algorithm 1 | session machinery for pipelines that partition a *sequence* of views |
+//! | [`DecomposerBuilder::run_exact`] | Algorithm 2 | `O(nm)` literal reference, for testing |
+//! | [`DecomposerBuilder::run_weighted`] | Section 6 | shifted Dijkstra on weighted graphs |
+//! | [`DecomposerBuilder::run_weighted_parallel`] | Section 6 (open problem) | Δ-stepping engineering extension |
+//!
+//! The classic free functions survive as a documented **convenience
+//! layer** — thin wrappers over the same machinery, one fresh workspace
+//! per call, outputs bit-identical to the session path:
+//!
+//! | function | wraps |
+//! |----------|-------|
+//! | [`partition`] | session @ [`Traversal::TopDownPar`] |
+//! | [`partition_sequential`] | session @ [`Traversal::TopDownSeq`] |
+//! | [`partition_hybrid`] | session @ [`Traversal::Auto`] |
+//! | [`engine::partition_view`] | session @ `opts.traversal` |
+//! | [`partition_with_retry`] | [`Decomposer::run_with_retry`] |
+//! | [`partition_exact`] | Algorithm 2 oracle (no session needed) |
 //!
 //! All variants are deterministic given `DecompOptions::seed` — every
-//! strategy, every view, every thread count returns **identical**
-//! assignments, which the test suite exploits heavily.
+//! strategy, every view, every thread count, and every entry point
+//! (session or free function) returns **identical** assignments, which
+//! the test suite exploits heavily.
 //!
 //! ## Example
 //!
 //! ```
-//! use mpx_decomp::{partition, verify_decomposition, DecompOptions};
+//! use mpx_decomp::{verify_decomposition, DecomposerBuilder};
 //! use mpx_graph::gen;
 //!
 //! let g = gen::grid2d(60, 60);
-//! let d = partition(&g, &DecompOptions::new(0.1).with_seed(7));
+//! let mut session = DecomposerBuilder::new(0.1).seed(7).build(&g).unwrap();
+//! let d = session.run();
 //! let report = verify_decomposition(&g, &d);
 //! assert!(report.is_valid());
 //! // Strong diameter bounded, few edges cut:
 //! assert!(report.max_radius <= (2.0 * (g.num_vertices() as f64).ln() / 0.1) as u32);
+//! // Serve more requests from the same session (workspace reused):
+//! let more = session.run_many(&[1, 2, 3]);
+//! assert_eq!(more.len(), 3);
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod decomposer;
 pub mod decomposition;
 pub mod engine;
 pub mod exact;
@@ -95,13 +124,20 @@ pub mod stats;
 pub mod verify;
 pub mod weighted;
 
+pub use decomposer::{Decomposer, DecomposerBuilder, Workspace};
 pub use decomposition::Decomposition;
-pub use engine::{partition_view, partition_view_with_shifts, PartitionTelemetry};
+pub use engine::{
+    partition_view, partition_view_reusing, partition_view_with_shifts, EngineScratch,
+    PartitionTelemetry,
+};
 pub use exact::partition_exact;
 pub use hybrid::partition_hybrid;
-pub use options::{DecompOptions, RetryPolicy, ShiftStrategy, TieBreak, Traversal, DEFAULT_ALPHA};
+pub use options::{
+    ConfigError, DecompOptions, RetryPolicy, ShiftStrategy, TieBreak, Traversal, DEFAULT_ALPHA,
+    MAX_GRAPH_SIZE,
+};
 pub use parallel::partition;
-pub use retry::partition_with_retry;
+pub use retry::{partition_with_retry, partition_with_retry_view, RetryOutcome};
 pub use sequential::partition_sequential;
 pub use shift::ExpShifts;
 pub use stats::DecompositionStats;

@@ -100,6 +100,54 @@ impl std::str::FromStr for Traversal {
 /// the direction-optimizing BFS literature and our own sweeps land on.
 pub const DEFAULT_ALPHA: u64 = 12;
 
+/// Hard cap on the vertex/edge count a decomposition request may touch:
+/// oversized generator workloads (CLI) and oversized session bindings
+/// ([`DecompOptions::validate_for`], called by `DecomposerBuilder::build`)
+/// get a clean [`ConfigError::TooLarge`] instead of a capacity-overflow
+/// panic or a doomed multi-gigabyte allocation.
+pub const MAX_GRAPH_SIZE: usize = 1 << 31;
+
+/// Typed validation error for decomposition configuration.
+///
+/// This is the single source of truth for parameter sanity: the
+/// [`crate::DecomposerBuilder`], [`DecompOptions::validate`], and the CLI
+/// all reject bad configurations through it instead of scattering ad-hoc
+/// checks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `beta` was not a positive finite number.
+    InvalidBeta(f64),
+    /// `alpha` was zero (the Beamer switch predicate would never trigger
+    /// meaningfully; `0` almost always indicates a mis-parsed flag).
+    InvalidAlpha,
+    /// A requested graph or workload implies more than
+    /// [`MAX_GRAPH_SIZE`] vertices or edges (`implied == None` means the
+    /// size computation already overflowed `usize`).
+    TooLarge {
+        /// What quantity was too large (e.g. `"edge count n*m"`).
+        what: String,
+        /// The implied size, when it did not overflow.
+        implied: Option<usize>,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidBeta(b) => {
+                write!(f, "beta must be positive and finite, got {b}")
+            }
+            ConfigError::InvalidAlpha => write!(f, "alpha must be positive"),
+            ConfigError::TooLarge { what, implied } => match implied {
+                Some(s) => write!(f, "{what} too large: {s} exceeds 2^31"),
+                None => write!(f, "{what} too large: overflows usize"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Options for one partition invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DecompOptions {
@@ -135,18 +183,72 @@ impl DecompOptions {
     /// still produce valid decompositions, but the `O(β)` cut constant
     /// degrades toward `1 − e^{−β}`.
     pub fn new(beta: f64) -> Self {
-        assert!(
-            beta > 0.0 && beta.is_finite(),
-            "beta must be positive and finite, got {beta}"
-        );
-        DecompOptions {
+        Self::try_new(beta).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking counterpart of [`DecompOptions::new`]: rejects a bad
+    /// `β` with a typed [`ConfigError`] instead of panicking.
+    pub fn try_new(beta: f64) -> Result<Self, ConfigError> {
+        let opts = DecompOptions {
             beta,
             seed: 0,
             tie_break: TieBreak::default(),
             shift_strategy: ShiftStrategy::default(),
             traversal: Traversal::default(),
             alpha: DEFAULT_ALPHA,
+        };
+        opts.validate()?;
+        Ok(opts)
+    }
+
+    /// Centralized parameter validation: `β` positive and finite, `alpha`
+    /// nonzero. The [`crate::DecomposerBuilder`], every session run, and
+    /// the CLI all route through this single check.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.beta > 0.0 && self.beta.is_finite()) {
+            return Err(ConfigError::InvalidBeta(self.beta));
         }
+        if self.alpha == 0 {
+            return Err(ConfigError::InvalidAlpha);
+        }
+        Ok(())
+    }
+
+    /// [`validate`](DecompOptions::validate) plus the n/m sanity check
+    /// against the graph the options are about to run on: vertex and edge
+    /// counts above [`MAX_GRAPH_SIZE`] are rejected as
+    /// [`ConfigError::TooLarge`]. `DecomposerBuilder::build` applies this
+    /// to the bound view; the CLI applies the same cap to generator
+    /// workload specs before building the graph at all.
+    pub fn validate_for(&self, n: usize, m: usize) -> Result<(), ConfigError> {
+        self.validate()?;
+        for (what, size) in [("vertex count", n), ("edge count", m)] {
+            if size > MAX_GRAPH_SIZE {
+                return Err(ConfigError::TooLarge {
+                    what: what.to_string(),
+                    implied: Some(size),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`validate`](DecompOptions::validate), panicking on violation — the
+    /// single panic point for infallible entry layers (the classic free
+    /// functions and `(beta, seed)` convenience signatures) whose
+    /// signatures predate the typed [`ConfigError`]. Fallible callers
+    /// should prefer `DecomposerBuilder` and get the error as a value.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid decomposition options: {e}");
+        }
+    }
+
+    /// Sets `β` without immediate checking (validated at the next
+    /// [`DecompOptions::validate`] boundary — every engine entry point).
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
     }
 
     /// Sets the RNG seed.
@@ -293,6 +395,52 @@ mod tests {
     #[should_panic]
     fn rejects_zero_alpha() {
         let _ = DecompOptions::new(0.1).with_alpha(0);
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        assert_eq!(
+            DecompOptions::try_new(0.0).unwrap_err(),
+            ConfigError::InvalidBeta(0.0)
+        );
+        assert!(matches!(
+            DecompOptions::try_new(f64::NAN).unwrap_err(),
+            ConfigError::InvalidBeta(_)
+        ));
+        let mut o = DecompOptions::new(0.2);
+        o.alpha = 0;
+        assert_eq!(o.validate().unwrap_err(), ConfigError::InvalidAlpha);
+        o.alpha = 1;
+        assert!(o.validate().is_ok());
+        // Errors render as human-readable messages for the CLI.
+        let msg = ConfigError::InvalidBeta(-1.0).to_string();
+        assert!(msg.contains("beta"), "{msg}");
+        let msg = ConfigError::TooLarge {
+            what: "edge count".into(),
+            implied: Some(1 << 40),
+        }
+        .to_string();
+        assert!(msg.contains("too large"), "{msg}");
+    }
+
+    #[test]
+    fn validate_for_rejects_oversized_graphs() {
+        let o = DecompOptions::new(0.2);
+        assert!(o.validate_for(1000, 5000).is_ok());
+        assert!(matches!(
+            o.validate_for(MAX_GRAPH_SIZE + 1, 0).unwrap_err(),
+            ConfigError::TooLarge { .. }
+        ));
+        assert!(matches!(
+            o.validate_for(10, MAX_GRAPH_SIZE + 1).unwrap_err(),
+            ConfigError::TooLarge { .. }
+        ));
+        // Parameter errors still win over size errors.
+        let bad = DecompOptions::new(0.2).with_beta(-1.0);
+        assert!(matches!(
+            bad.validate_for(10, 10).unwrap_err(),
+            ConfigError::InvalidBeta(_)
+        ));
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub use crate::engine::PartitionTelemetry;
 
 /// Computes a `(β, O(log n / β))` decomposition with the parallel shifted
 /// BFS (paper Algorithm 1, Theorem 1.2).
+///
+/// Convenience wrapper over the session API: one fresh
+/// [`crate::Workspace`], traversal pinned to [`Traversal::TopDownPar`].
+/// Sessions serving repeated requests should hold a [`crate::Decomposer`]
+/// instead and amortize the scratch.
 pub fn partition(g: &CsrGraph, opts: &DecompOptions) -> Decomposition {
     partition_instrumented(g, opts).0
 }
@@ -47,8 +52,8 @@ pub fn partition_instrumented(
     g: &CsrGraph,
     opts: &DecompOptions,
 ) -> (Decomposition, PartitionTelemetry) {
-    let shifts = ExpShifts::generate(g.num_vertices(), opts);
-    partition_with_shifts(g, &shifts)
+    crate::decomposer::Workspace::new()
+        .partition_view(g, &opts.clone().with_traversal(Traversal::TopDownPar))
 }
 
 /// Runs the top-down parallel shifted BFS under externally supplied shifts.

@@ -7,12 +7,13 @@
 //! how the paper's proof of Theorem 1.2 turns the per-run expectations into
 //! the stated guarantees.
 
+use crate::decomposer::DecomposerBuilder;
 use crate::decomposition::Decomposition;
-use crate::options::{DecompOptions, RetryPolicy};
-use crate::parallel::partition;
-use mpx_graph::CsrGraph;
+use crate::options::{DecompOptions, RetryPolicy, Traversal};
+use mpx_graph::{CsrGraph, GraphView};
 
 /// Outcome of [`partition_with_retry`].
+#[must_use = "check accepted/attempts — an ignored outcome defeats the retry loop"]
 #[derive(Clone, Debug)]
 pub struct RetryOutcome {
     /// The accepted (or best-seen) decomposition.
@@ -27,48 +28,38 @@ pub struct RetryOutcome {
     pub radius_threshold: f64,
 }
 
-/// Repeats [`partition`] with seeds `seed, seed+1, …` until both the cut
-/// and radius thresholds of `policy` hold; returns the first accepted
-/// decomposition, or the attempt with the smallest cut after
+/// Repeats [`crate::partition`] with seeds `seed, seed+1, …` until both
+/// the cut and radius thresholds of `policy` hold; returns the first
+/// accepted decomposition, or the attempt with the smallest cut after
 /// `policy.max_attempts` tries.
+///
+/// A thin wrapper over a [`crate::Decomposer`] session
+/// ([`crate::Decomposer::run_with_retry`]), which reuses its workspace
+/// across attempts; use the session directly to retry over non-`CsrGraph`
+/// views or to keep the workspace afterwards.
 pub fn partition_with_retry(
     g: &CsrGraph,
     opts: &DecompOptions,
     policy: &RetryPolicy,
 ) -> RetryOutcome {
-    let n = g.num_vertices().max(2);
-    let m = g.num_edges();
-    let cut_threshold = policy.cut_slack * opts.beta * m as f64;
-    let radius_threshold = policy.radius_slack * (n as f64).ln() / opts.beta;
+    partition_with_retry_view(g, opts, policy)
+}
 
-    let mut best: Option<(usize, Decomposition)> = None;
-    for attempt in 0..policy.max_attempts {
-        let run_opts = opts
-            .clone()
-            .with_seed(opts.seed.wrapping_add(attempt as u64));
-        let d = partition(g, &run_opts);
-        let cut = d.cut_edges(g);
-        let radius = d.max_radius();
-        if cut as f64 <= cut_threshold && (radius as f64) <= radius_threshold {
-            return RetryOutcome {
-                decomposition: d,
-                attempts: attempt + 1,
-                accepted: true,
-                cut_threshold,
-                radius_threshold,
-            };
-        }
-        if best.as_ref().is_none_or(|(c, _)| cut < *c) {
-            best = Some((cut, d));
-        }
-    }
-    RetryOutcome {
-        decomposition: best.expect("max_attempts >= 1").1,
-        attempts: policy.max_attempts,
-        accepted: false,
-        cut_threshold,
-        radius_threshold,
-    }
+/// [`partition_with_retry`] over any [`GraphView`] (e.g. a memory-mapped
+/// snapshot).
+pub fn partition_with_retry_view<V: GraphView>(
+    view: &V,
+    opts: &DecompOptions,
+    policy: &RetryPolicy,
+) -> RetryOutcome {
+    // The historical free function ran every attempt through `partition`,
+    // which pins the top-down strategy; preserved here (labels are
+    // strategy-invariant, telemetry/scheduling are not).
+    DecomposerBuilder::from_options(opts.clone().with_traversal(Traversal::TopDownPar))
+        .retry_policy(policy.clone())
+        .build(view)
+        .unwrap_or_else(|e| panic!("invalid decomposition request: {e}"))
+        .run_with_retry()
 }
 
 #[cfg(test)]

@@ -17,10 +17,12 @@ use crate::shift::ExpShifts;
 use mpx_graph::CsrGraph;
 
 /// Sequential shifted-BFS partition (same semantics and output as
-/// [`crate::partition`]).
+/// [`crate::partition`]). Convenience wrapper over the session API with
+/// the traversal pinned to [`Traversal::TopDownSeq`].
 pub fn partition_sequential(g: &CsrGraph, opts: &DecompOptions) -> Decomposition {
-    let shifts = ExpShifts::generate(g.num_vertices(), opts);
-    partition_sequential_with_shifts(g, &shifts)
+    crate::decomposer::Workspace::new()
+        .partition_view(g, &opts.clone().with_traversal(Traversal::TopDownSeq))
+        .0
 }
 
 /// Sequential partition under externally supplied shifts.

@@ -36,23 +36,56 @@ pub struct ExpShifts {
     pub frac_key: Vec<u32>,
 }
 
+impl Default for ExpShifts {
+    /// Shifts covering zero vertices — the state a reusable
+    /// [`crate::Workspace`] starts from before its first
+    /// [`regenerate`](ExpShifts::regenerate).
+    fn default() -> Self {
+        ExpShifts {
+            delta: Vec::new(),
+            delta_max: 0.0,
+            start_round: Vec::new(),
+            frac_key: Vec::new(),
+        }
+    }
+}
+
 impl ExpShifts {
     /// Samples shifts for `n` vertices under the given options.
     pub fn generate(n: usize, opts: &DecompOptions) -> Self {
+        let mut shifts = ExpShifts::default();
+        shifts.regenerate(n, opts);
+        shifts
+    }
+
+    /// Resamples shifts for `n` vertices in place, reusing the existing
+    /// buffers (no allocation once the buffers have reached capacity `n`).
+    ///
+    /// Bit-identical to [`ExpShifts::generate`] with the same `n` and
+    /// options: every value is a pure function of `(seed, vertex id)`, so
+    /// in-place filling and collecting produce the same arrays.
+    pub fn regenerate(&mut self, n: usize, opts: &DecompOptions) {
         let beta = opts.beta;
         let seed = opts.seed;
         // Below this size the parallel-iterator overhead dominates; the
         // HST pipeline calls this on thousands of tiny pieces.
         const PAR_CUTOFF: usize = 4096;
-        let delta: Vec<f64> = match opts.shift_strategy {
+        self.delta.resize(n, 0.0);
+        self.start_round.resize(n, 0);
+        self.frac_key.resize(n, 0);
+        match opts.shift_strategy {
             // δ_u = −ln(U)/β with U uniform on (0, 1]: the inverse-CDF method.
-            ShiftStrategy::SampledExponential if n >= PAR_CUTOFF => (0..n as u64)
-                .into_par_iter()
-                .map(|u| -uniform_open01(seed, u).ln() / beta)
-                .collect(),
-            ShiftStrategy::SampledExponential => (0..n as u64)
-                .map(|u| -uniform_open01(seed, u).ln() / beta)
-                .collect(),
+            ShiftStrategy::SampledExponential if n >= PAR_CUTOFF => {
+                self.delta
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(u, d)| *d = -uniform_open01(seed, u as u64).ln() / beta);
+            }
+            ShiftStrategy::SampledExponential => {
+                for (u, d) in self.delta.iter_mut().enumerate() {
+                    *d = -uniform_open01(seed, u as u64).ln() / beta;
+                }
+            }
             // Section 5 variant: rank the vertices by a random permutation
             // and hand rank k the expected (k+1)-st order statistic
             // (H_n − H_{n−k−1})/β, per Fact 3.1.
@@ -67,40 +100,52 @@ impl ExpShifts {
                     acc += 1.0 / ((n - k) as f64 * beta);
                     expected.push(acc);
                 }
-                let mut delta = vec![0.0f64; n];
                 for (rank, &v) in perm.iter().enumerate() {
-                    delta[v as usize] = expected[rank];
+                    self.delta[v as usize] = expected[rank];
                 }
-                delta
             }
-        };
-        let delta_max = if n >= PAR_CUTOFF {
-            delta.par_iter().cloned().reduce(|| 0.0, f64::max)
+        }
+        self.delta_max = if n >= PAR_CUTOFF {
+            self.delta.par_iter().cloned().reduce(|| 0.0, f64::max)
         } else {
-            delta.iter().cloned().fold(0.0, f64::max)
+            self.delta.iter().cloned().fold(0.0, f64::max)
         };
+        let delta_max = self.delta_max;
         let quantize = |s: f64| -> u32 {
             // Quantize the fractional part of [0,1) to the full u32 range.
             (s.fract() * 4_294_967_296.0).min(u32::MAX as f64) as u32
         };
-        let start: Vec<f64> = delta.iter().map(|d| delta_max - d).collect();
-        let start_round: Vec<u32> = start.iter().map(|s| s.floor() as u32).collect();
-        let frac_key: Vec<u32> = match opts.tie_break {
-            TieBreak::FractionalShift if n >= PAR_CUTOFF => {
-                start.par_iter().map(|&s| quantize(s)).collect()
-            }
-            TieBreak::FractionalShift => start.iter().map(|&s| quantize(s)).collect(),
-            TieBreak::Permutation => (0..n as u64)
-                .map(|u| (hash_index(seed ^ TIEBREAK_SALT, u) >> 32) as u32)
-                .collect(),
-            TieBreak::Lexicographic => vec![0; n],
-        };
-        ExpShifts {
-            delta,
-            delta_max,
-            start_round,
-            frac_key,
+        let delta = &self.delta;
+        for (u, r) in self.start_round.iter_mut().enumerate() {
+            *r = (delta_max - delta[u]).floor() as u32;
         }
+        match opts.tie_break {
+            TieBreak::FractionalShift if n >= PAR_CUTOFF => {
+                self.frac_key
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(u, k)| *k = quantize(delta_max - delta[u]));
+            }
+            TieBreak::FractionalShift => {
+                for (u, k) in self.frac_key.iter_mut().enumerate() {
+                    *k = quantize(delta_max - delta[u]);
+                }
+            }
+            TieBreak::Permutation => {
+                for (u, k) in self.frac_key.iter_mut().enumerate() {
+                    *k = (hash_index(seed ^ TIEBREAK_SALT, u as u64) >> 32) as u32;
+                }
+            }
+            TieBreak::Lexicographic => self.frac_key.fill(0),
+        }
+    }
+
+    /// Bytes of buffer capacity currently reserved (the quantity a
+    /// reusable workspace amortizes across runs).
+    pub fn capacity_bytes(&self) -> usize {
+        self.delta.capacity() * std::mem::size_of::<f64>()
+            + self.start_round.capacity() * std::mem::size_of::<u32>()
+            + self.frac_key.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Number of vertices covered.
@@ -339,6 +384,29 @@ mod tests {
         let mean = s.delta.iter().sum::<f64>() / n as f64;
         // Mean of the expected order statistics = the distribution mean 1/β.
         assert!((mean - 1.0 / beta).abs() < 0.02 / beta, "mean {mean}");
+    }
+
+    #[test]
+    fn regenerate_reuses_buffers_bit_identically() {
+        use crate::options::ShiftStrategy;
+        let mut s = ExpShifts::default();
+        // Shrinks, grows, crosses the parallel cutoff, and switches
+        // strategies/tie-breaks — always identical to a fresh generate.
+        for (n, seed) in [(500usize, 1u64), (200, 9), (5000, 3), (500, 1)] {
+            for o in [
+                opts(0.2, seed),
+                opts(0.2, seed).with_tie_break(TieBreak::Permutation),
+                opts(0.2, seed).with_shift_strategy(ShiftStrategy::OrderStatisticPermutation),
+            ] {
+                s.regenerate(n, &o);
+                let fresh = ExpShifts::generate(n, &o);
+                assert_eq!(s.delta, fresh.delta, "n {n} seed {seed}");
+                assert_eq!(s.delta_max, fresh.delta_max);
+                assert_eq!(s.start_round, fresh.start_round);
+                assert_eq!(s.frac_key, fresh.frac_key);
+            }
+        }
+        assert!(s.capacity_bytes() >= 5000 * 16);
     }
 
     #[test]

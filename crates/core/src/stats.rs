@@ -7,6 +7,7 @@ use mpx_graph::{CsrGraph, Dist};
 /// Quantitative summary of one decomposition, aligned with Definition 1.1:
 /// the pair to watch is (`cut_fraction` vs `β`, `max_radius` vs
 /// `O(log n / β)`).
+#[must_use = "statistics are computed to be read"]
 #[derive(Clone, Debug, PartialEq)]
 pub struct DecompositionStats {
     /// Number of clusters.

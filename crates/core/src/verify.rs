@@ -22,6 +22,7 @@ use mpx_graph::{CsrGraph, Dist, Vertex, INFINITY};
 use std::collections::VecDeque;
 
 /// Result of verifying a [`Decomposition`] against its graph.
+#[must_use = "inspect is_valid()/errors — an unchecked report verifies nothing"]
 #[derive(Clone, Debug, PartialEq)]
 pub struct VerifyReport {
     /// Number of clusters.

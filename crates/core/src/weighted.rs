@@ -24,6 +24,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// A low-diameter decomposition of a weighted graph.
+#[must_use = "a WeightedDecomposition carries the labels the partition computed"]
 #[derive(Clone, Debug, PartialEq)]
 pub struct WeightedDecomposition {
     /// Center assigned to each vertex.

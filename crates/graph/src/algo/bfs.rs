@@ -1,16 +1,18 @@
 //! Sequential breadth-first search oracles.
 
-use crate::csr::{CsrGraph, Vertex, NO_VERTEX};
+use crate::csr::{Vertex, NO_VERTEX};
+use crate::view::GraphView;
 use crate::{Dist, INFINITY};
 use std::collections::VecDeque;
 
 /// Single-source BFS distances; unreachable vertices get [`INFINITY`].
-pub fn bfs(g: &CsrGraph, source: Vertex) -> Vec<Dist> {
+/// Generic over any [`GraphView`] (CSR graph, mmap snapshot, view).
+pub fn bfs<V: GraphView>(g: &V, source: Vertex) -> Vec<Dist> {
     multi_source_bfs(g, &[source])
 }
 
 /// Multi-source BFS: distance to the nearest source.
-pub fn multi_source_bfs(g: &CsrGraph, sources: &[Vertex]) -> Vec<Dist> {
+pub fn multi_source_bfs<V: GraphView>(g: &V, sources: &[Vertex]) -> Vec<Dist> {
     let n = g.num_vertices();
     let mut dist = vec![INFINITY; n];
     let mut queue = VecDeque::with_capacity(sources.len());
@@ -22,7 +24,7 @@ pub fn multi_source_bfs(g: &CsrGraph, sources: &[Vertex]) -> Vec<Dist> {
     }
     while let Some(u) = queue.pop_front() {
         let du = dist[u as usize];
-        for &v in g.neighbors(u) {
+        for v in g.neighbors_iter(u) {
             if dist[v as usize] == INFINITY {
                 dist[v as usize] = du + 1;
                 queue.push_back(v);
@@ -34,7 +36,7 @@ pub fn multi_source_bfs(g: &CsrGraph, sources: &[Vertex]) -> Vec<Dist> {
 
 /// BFS that also records the parent of each vertex in the BFS tree
 /// (`NO_VERTEX` for the source and unreachable vertices).
-pub fn bfs_parents(g: &CsrGraph, source: Vertex) -> (Vec<Dist>, Vec<Vertex>) {
+pub fn bfs_parents<V: GraphView>(g: &V, source: Vertex) -> (Vec<Dist>, Vec<Vertex>) {
     let n = g.num_vertices();
     let mut dist = vec![INFINITY; n];
     let mut parent = vec![NO_VERTEX; n];
@@ -43,7 +45,7 @@ pub fn bfs_parents(g: &CsrGraph, source: Vertex) -> (Vec<Dist>, Vec<Vertex>) {
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         let du = dist[u as usize];
-        for &v in g.neighbors(u) {
+        for v in g.neighbors_iter(u) {
             if dist[v as usize] == INFINITY {
                 dist[v as usize] = du + 1;
                 parent[v as usize] = u;
@@ -57,7 +59,7 @@ pub fn bfs_parents(g: &CsrGraph, source: Vertex) -> (Vec<Dist>, Vec<Vertex>) {
 /// BFS restricted to vertices where `allowed` is true. The source must be
 /// allowed. Used to measure **strong** diameters: paths may not shortcut
 /// through vertices outside the piece.
-pub fn bfs_restricted(g: &CsrGraph, source: Vertex, allowed: &[bool]) -> Vec<Dist> {
+pub fn bfs_restricted<V: GraphView>(g: &V, source: Vertex, allowed: &[bool]) -> Vec<Dist> {
     assert!(allowed[source as usize], "source must be allowed");
     let n = g.num_vertices();
     let mut dist = vec![INFINITY; n];
@@ -66,7 +68,7 @@ pub fn bfs_restricted(g: &CsrGraph, source: Vertex, allowed: &[bool]) -> Vec<Dis
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         let du = dist[u as usize];
-        for &v in g.neighbors(u) {
+        for v in g.neighbors_iter(u) {
             if allowed[v as usize] && dist[v as usize] == INFINITY {
                 dist[v as usize] = du + 1;
                 queue.push_back(v);

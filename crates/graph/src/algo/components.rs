@@ -1,11 +1,12 @@
 //! Connected components.
 
-use crate::csr::{CsrGraph, Vertex, NO_VERTEX};
+use crate::csr::{Vertex, NO_VERTEX};
+use crate::view::GraphView;
 use std::collections::VecDeque;
 
 /// Labels each vertex with a component id in `0..k` (ids assigned in order
 /// of discovery by vertex id) and returns `(labels, k)`.
-pub fn connected_components(g: &CsrGraph) -> (Vec<Vertex>, usize) {
+pub fn connected_components<V: GraphView>(g: &V) -> (Vec<Vertex>, usize) {
     let n = g.num_vertices();
     let mut label = vec![NO_VERTEX; n];
     let mut next = 0 as Vertex;
@@ -17,7 +18,7 @@ pub fn connected_components(g: &CsrGraph) -> (Vec<Vertex>, usize) {
         label[s as usize] = next;
         queue.push_back(s);
         while let Some(u) = queue.pop_front() {
-            for &v in g.neighbors(u) {
+            for v in g.neighbors_iter(u) {
                 if label[v as usize] == NO_VERTEX {
                     label[v as usize] = next;
                     queue.push_back(v);
@@ -30,18 +31,18 @@ pub fn connected_components(g: &CsrGraph) -> (Vec<Vertex>, usize) {
 }
 
 /// Number of connected components.
-pub fn num_components(g: &CsrGraph) -> usize {
+pub fn num_components<V: GraphView>(g: &V) -> usize {
     connected_components(g).1
 }
 
 /// Whether the graph is connected (the empty graph counts as connected).
-pub fn is_connected(g: &CsrGraph) -> bool {
+pub fn is_connected<V: GraphView>(g: &V) -> bool {
     g.num_vertices() == 0 || num_components(g) == 1
 }
 
 /// Boolean mask selecting the largest connected component (ties broken by
 /// smallest component id).
-pub fn largest_component_mask(g: &CsrGraph) -> Vec<bool> {
+pub fn largest_component_mask<V: GraphView>(g: &V) -> Vec<bool> {
     let (label, k) = connected_components(g);
     let mut sizes = vec![0usize; k];
     for &l in &label {

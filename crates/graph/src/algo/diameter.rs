@@ -1,12 +1,13 @@
 //! Diameter and eccentricity helpers.
 
 use crate::algo::bfs;
-use crate::csr::{CsrGraph, Vertex};
+use crate::csr::Vertex;
+use crate::view::GraphView;
 use crate::{Dist, INFINITY};
 
 /// Eccentricity of `v`: max finite BFS distance from `v` (ignores
 /// unreachable vertices; returns 0 for isolated vertices).
-pub fn eccentricity(g: &CsrGraph, v: Vertex) -> Dist {
+pub fn eccentricity<V: GraphView>(g: &V, v: Vertex) -> Dist {
     bfs(g, v)
         .into_iter()
         .filter(|&d| d != INFINITY)
@@ -16,7 +17,7 @@ pub fn eccentricity(g: &CsrGraph, v: Vertex) -> Dist {
 
 /// Exact diameter by running BFS from every vertex — `O(nm)`; use only on
 /// small graphs (tests and verification).
-pub fn exact_diameter(g: &CsrGraph) -> Dist {
+pub fn exact_diameter<V: GraphView>(g: &V) -> Dist {
     (0..g.num_vertices() as Vertex)
         .map(|v| eccentricity(g, v))
         .max()
@@ -25,7 +26,7 @@ pub fn exact_diameter(g: &CsrGraph) -> Dist {
 
 /// Double-sweep lower bound on the diameter: BFS from `start`, then BFS from
 /// the farthest vertex found. Exact on trees; a good estimate on meshes.
-pub fn estimate_diameter(g: &CsrGraph, start: Vertex) -> Dist {
+pub fn estimate_diameter<V: GraphView>(g: &V, start: Vertex) -> Dist {
     let d1 = bfs(g, start);
     let far = d1
         .iter()

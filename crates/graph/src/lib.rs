@@ -51,7 +51,7 @@ pub use builder::GraphBuilder;
 pub use csr::{induced_materializations, CsrGraph, Vertex, NO_VERTEX};
 pub use io::{GraphFormat, LoadedGraph, TextParser};
 pub use snapshot::MappedCsr;
-pub use view::{EdgeFilteredView, GraphView, InducedView};
+pub use view::{view_edges, EdgeFilteredView, GraphView, InducedView};
 pub use weighted::{WeightedCsrGraph, WeightedGraphBuilder};
 
 /// Distance value used by unweighted BFS; `u32::MAX` means unreachable.

@@ -63,6 +63,19 @@ pub trait GraphView: Sync {
     fn neighbors_iter(&self, v: Vertex) -> Self::Neighbors<'_>;
 }
 
+/// Ascending undirected edges `(u, v)` with `u < v` of any view — the
+/// same order [`CsrGraph::edges`] enumerates them in. The shared edge
+/// enumeration of the contraction/spanner/separator pipelines, which
+/// must visit edges identically whether the graph is an in-memory CSR, a
+/// mapped snapshot, or a filtered view.
+pub fn view_edges<V: GraphView>(view: &V) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+    (0..view.num_vertices() as Vertex).flat_map(move |u| {
+        view.neighbors_iter(u)
+            .filter(move |&v| u < v)
+            .map(move |v| (u, v))
+    })
+}
+
 impl GraphView for CsrGraph {
     type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, Vertex>>;
 
@@ -87,9 +100,10 @@ impl GraphView for CsrGraph {
     }
 }
 
-/// A vertex-induced subgraph **view**: a borrowed [`CsrGraph`] plus an
-/// active-vertex subset, presented under dense ids without copying any CSR
-/// arrays.
+/// A vertex-induced subgraph **view**: a borrowed graph (any
+/// [`GraphView`] — a [`CsrGraph`], a memory-mapped snapshot, even another
+/// view) plus an active-vertex subset, presented under dense ids without
+/// copying any CSR arrays.
 ///
 /// Internally the subset is a *sparse set*: `active` lists the original ids
 /// ascending (dense id = position), and `rank` maps original id → dense id.
@@ -115,8 +129,8 @@ impl GraphView for CsrGraph {
 ///     assert_eq!(via_view.as_slice(), sub.neighbors(v));
 /// }
 /// ```
-pub struct InducedView<'a> {
-    graph: &'a CsrGraph,
+pub struct InducedView<'a, G: GraphView = CsrGraph> {
+    graph: &'a G,
     /// Original ids of the active vertices, ascending; dense id = index.
     active: Cow<'a, [Vertex]>,
     /// Sparse-set rank array: `rank[active[i]] == i`; arbitrary elsewhere.
@@ -126,9 +140,9 @@ pub struct InducedView<'a> {
     deg_prefix: Vec<u64>,
 }
 
-impl<'a> InducedView<'a> {
+impl<'a, G: GraphView> InducedView<'a, G> {
     /// View of the vertices with `keep[v] == true` (mask length `n`).
-    pub fn from_mask(graph: &'a CsrGraph, keep: &[bool]) -> Self {
+    pub fn from_mask(graph: &'a G, keep: &[bool]) -> Self {
         assert_eq!(keep.len(), graph.num_vertices());
         let active: Vec<Vertex> = (0..graph.num_vertices() as Vertex)
             .filter(|&v| keep[v as usize])
@@ -153,15 +167,11 @@ impl<'a> InducedView<'a> {
     /// Entries of `rank` outside the active set may hold anything — a
     /// recursion over disjoint pieces can share one scratch buffer and
     /// overwrite only the slots of the piece it is about to split.
-    pub fn from_parts(graph: &'a CsrGraph, active: &'a [Vertex], rank: &'a [Vertex]) -> Self {
+    pub fn from_parts(graph: &'a G, active: &'a [Vertex], rank: &'a [Vertex]) -> Self {
         Self::from_parts_impl(graph, Cow::Borrowed(active), Cow::Borrowed(rank))
     }
 
-    fn from_parts_impl(
-        graph: &'a CsrGraph,
-        active: Cow<'a, [Vertex]>,
-        rank: Cow<'a, [Vertex]>,
-    ) -> Self {
+    fn from_parts_impl(graph: &'a G, active: Cow<'a, [Vertex]>, rank: Cow<'a, [Vertex]>) -> Self {
         assert_eq!(rank.len(), graph.num_vertices());
         debug_assert!(
             active.windows(2).all(|w| w[0] < w[1]),
@@ -178,7 +188,7 @@ impl<'a> InducedView<'a> {
     }
 
     /// The underlying graph.
-    pub fn graph(&self) -> &'a CsrGraph {
+    pub fn graph(&self) -> &'a G {
         self.graph
     }
 
@@ -219,13 +229,13 @@ impl<'a> InducedView<'a> {
 
 /// Active-degree prefix sums for an induced view (parallel above the tiny
 /// cutoff; recursive pipelines build thousands of small views).
-fn build_deg_prefix(graph: &CsrGraph, active: &[Vertex], rank: &[Vertex]) -> Vec<u64> {
+fn build_deg_prefix<G: GraphView>(graph: &G, active: &[Vertex], rank: &[Vertex]) -> Vec<u64> {
     let is_member = |w: Vertex| -> bool {
         let r = rank[w as usize];
         (r as usize) < active.len() && active[r as usize] == w
     };
     let count =
-        |v: Vertex| -> u64 { graph.neighbors(v).iter().filter(|&&w| is_member(w)).count() as u64 };
+        |v: Vertex| -> u64 { graph.neighbors_iter(v).filter(|&w| is_member(w)).count() as u64 };
     let deg: Vec<u64> = if active.len() >= PAR_CUTOFF {
         active.par_iter().map(|&v| count(v)).collect()
     } else {
@@ -243,17 +253,17 @@ fn build_deg_prefix(graph: &CsrGraph, active: &[Vertex], rank: &[Vertex]) -> Vec
 
 /// Ascending active neighbors of one vertex of an [`InducedView`], already
 /// translated to dense ids.
-pub struct InducedNeighbors<'v, 'g> {
-    inner: std::slice::Iter<'g, Vertex>,
-    view: &'v InducedView<'g>,
+pub struct InducedNeighbors<'v, 'g, G: GraphView = CsrGraph> {
+    inner: G::Neighbors<'g>,
+    view: &'v InducedView<'g, G>,
 }
 
-impl Iterator for InducedNeighbors<'_, '_> {
+impl<G: GraphView> Iterator for InducedNeighbors<'_, '_, G> {
     type Item = Vertex;
 
     #[inline]
     fn next(&mut self) -> Option<Vertex> {
-        for &w in self.inner.by_ref() {
+        for w in self.inner.by_ref() {
             if let Some(d) = self.view.dense_of(w) {
                 return Some(d);
             }
@@ -262,9 +272,9 @@ impl Iterator for InducedNeighbors<'_, '_> {
     }
 }
 
-impl<'g> GraphView for InducedView<'g> {
+impl<'g, G: GraphView> GraphView for InducedView<'g, G> {
     type Neighbors<'v>
-        = InducedNeighbors<'v, 'g>
+        = InducedNeighbors<'v, 'g, G>
     where
         Self: 'v;
 
@@ -286,7 +296,7 @@ impl<'g> GraphView for InducedView<'g> {
     #[inline]
     fn neighbors_iter(&self, v: Vertex) -> Self::Neighbors<'_> {
         InducedNeighbors {
-            inner: self.graph.neighbors(self.active[v as usize]).iter(),
+            inner: self.graph.neighbors_iter(self.active[v as usize]),
             view: self,
         }
     }

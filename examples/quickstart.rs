@@ -1,4 +1,5 @@
-//! Quickstart: decompose a graph, inspect the guarantees.
+//! Quickstart: one front door — build a `Decomposer` session, run it,
+//! inspect the guarantees, then serve repeated requests from it.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -16,12 +17,15 @@ fn main() {
         g.num_edges()
     );
 
-    // One call: (β, O(log n/β)) decomposition by exponentially shifted BFS.
+    // Configure once (typed validation), bind the graph, run.
     let beta = 0.05;
-    let opts = DecompOptions::new(beta).with_seed(42);
-    let d = partition(&g, &opts);
+    let mut session = DecomposerBuilder::new(beta)
+        .seed(42)
+        .build(&g)
+        .expect("valid configuration");
+    let d = session.run();
 
-    // Inspect it.
+    // Inspect the (β, O(log n/β)) guarantees.
     println!("clusters: {}", d.num_clusters());
     println!(
         "max radius: {} (ln(n)/β = {:.0})",
@@ -43,8 +47,30 @@ fn main() {
     assert!(report.is_valid(), "{:?}", report.errors);
     println!("verified: partition ok, strong diameter ok, Lemma 4.1 ok");
 
-    // Deterministic: the sequential twin returns bit-identical output.
-    let d2 = partition_sequential(&g, &opts);
-    assert_eq!(d, d2);
-    println!("sequential twin: identical output (same seed)");
+    // The hot path of spanner/hopset pipelines: many runs over one graph
+    // with fresh shifts. The session reuses its workspace — no per-run
+    // arena allocation — and each run is bit-identical to an independent
+    // fresh run with that seed.
+    let seeds: Vec<u64> = (0..8).collect();
+    let runs = session.run_many(&seeds);
+    let best = runs
+        .iter()
+        .min_by_key(|d| d.cut_edges(&g))
+        .expect("non-empty batch");
+    println!(
+        "best of {} runs: {} cut edges ({} clusters); workspace reused {} times",
+        runs.len(),
+        best.cut_edges(&g),
+        best.num_clusters(),
+        session.workspace().runs(),
+    );
+
+    // Determinism across the whole engine: the classic free functions are
+    // wrappers over the same machinery, every traversal strategy returns
+    // identical labels.
+    let opts = DecompOptions::new(beta).with_seed(42);
+    assert_eq!(d, partition_hybrid(&g, &opts));
+    assert_eq!(d, partition(&g, &opts));
+    assert_eq!(d, partition_sequential(&g, &opts));
+    println!("free-function wrappers: identical output (same seed)");
 }

@@ -23,13 +23,18 @@
 //!
 //! ## Quickstart
 //!
+//! The front door is the [`decomp::Decomposer`] session: configure once,
+//! bind a graph view, then run as many decompositions as you need — the
+//! session's scratch arenas are reused across runs, so serving repeated
+//! requests over one graph allocates (almost) nothing after the first.
+//!
 //! ```
 //! use mpx::prelude::*;
 //!
 //! // The paper's Figure 1 workload, scaled down.
 //! let g = mpx::graph::gen::grid2d(100, 100);
-//! let opts = DecompOptions::new(0.1).with_seed(42);
-//! let d = partition(&g, &opts);
+//! let mut session = DecomposerBuilder::new(0.1).seed(42).build(&g).unwrap();
+//! let d = session.run();
 //!
 //! // Every vertex is assigned, pieces are connected with bounded strong
 //! // diameter, and few edges are cut.
@@ -41,7 +46,16 @@
 //!     report.cut_fraction,
 //!     report.max_radius
 //! );
+//!
+//! // Serve three more requests with fresh shifts, reusing the workspace;
+//! // each is bit-identical to an independent run with that seed.
+//! let runs = session.run_many(&[1, 2, 3]);
+//! assert_eq!(runs[1], partition_hybrid(&g, &DecompOptions::new(0.1).with_seed(2)));
 //! ```
+//!
+//! One-shot calls can keep using the classic free functions
+//! ([`decomp::partition`] & co.) — they are thin wrappers over the same
+//! session machinery.
 
 #![deny(missing_docs)]
 
@@ -57,8 +71,9 @@ pub use mpx_viz as viz;
 pub mod prelude {
     pub use mpx_decomp::{
         partition, partition_exact, partition_hybrid, partition_sequential, partition_view,
-        verify_decomposition, DecompOptions, Decomposition, DecompositionStats, TieBreak,
-        Traversal,
+        partition_with_retry, verify_decomposition, ConfigError, DecompOptions, Decomposer,
+        DecomposerBuilder, Decomposition, DecompositionStats, RetryPolicy, ShiftStrategy, TieBreak,
+        Traversal, VerifyReport, Workspace,
     };
     pub use mpx_graph::{
         CsrGraph, EdgeFilteredView, GraphBuilder, GraphFormat, GraphView, InducedView, LoadedGraph,

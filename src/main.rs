@@ -9,6 +9,8 @@
 //!                                            decompose + verify + stats
 //! mpx bench <workload> <beta> [seed] [--threads N] [--strategy S]
 //!                                            machine-readable JSON benchmark
+//! mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]
+//!                                            amortized-vs-fresh session JSON
 //! mpx bench-ingest <graph> [--threads N]     ingestion JSON benchmark
 //! mpx render-grid <side> <beta> <out.ppm> [seed]
 //!                                            Figure-1-style mosaic
@@ -37,7 +39,8 @@
 //! relaxations, bottom-up round count) to compare them.
 
 use mpx::decomp::{
-    partition_view_with_shifts, verify_decomposition, DecompOptions, DecompositionStats, Traversal,
+    verify_decomposition, ConfigError, DecompOptions, DecomposerBuilder, DecompositionStats,
+    Traversal, MAX_GRAPH_SIZE,
 };
 use mpx::graph::{gen, io, snapshot, CsrGraph, GraphFormat, GraphView, TextParser};
 use std::io::Write;
@@ -58,7 +61,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mpx gen <workload> <out> [seed]\n  mpx stats <graph>\n  mpx convert <in> <out> [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph>\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--threads N] [--strategy S] [--parser P]\n  mpx bench <workload> <beta> [seed] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)"
+    "usage:\n  mpx gen <workload> <out> [seed]\n  mpx stats <graph>\n  mpx convert <in> <out> [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph>\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--threads N] [--strategy S] [--parser P]\n  mpx bench <workload> <beta> [seed] [--threads N] [--strategy S]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -69,6 +72,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("partition") => cmd_partition(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("bench-session") => cmd_bench_session(&args[1..]),
         Some("bench-ingest") => cmd_bench_ingest(&args[1..]),
         Some("render-grid") => cmd_render(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
@@ -76,11 +80,13 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Flags shared by `partition`, `bench`, `convert` and `bench-ingest`.
+/// Flags shared by `partition`, `bench`, `bench-session`, `convert` and
+/// `bench-ingest`.
 struct RunFlags {
     threads: Option<usize>,
     strategy: Traversal,
     parser: TextParser,
+    runs: Option<usize>,
 }
 
 /// Extracts the `--threads N` / `--threads=N`, `--strategy S` /
@@ -105,11 +111,21 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
     let parse_parser = |value: &str| -> Result<TextParser, String> {
         value.parse().map_err(|e| format!("--parser: {e}"))
     };
+    let parse_runs = |value: &str| -> Result<usize, String> {
+        let k: usize = value
+            .parse()
+            .map_err(|_| format!("--runs: bad value '{value}'"))?;
+        if k == 0 {
+            return Err("--runs: need at least one run".into());
+        }
+        Ok(k)
+    };
     let mut rest = Vec::with_capacity(args.len());
     let mut flags = RunFlags {
         threads: None,
         strategy: Traversal::Auto,
         parser: TextParser::Auto,
+        runs: None,
     };
     let permit = |flag: &str| -> Result<(), String> {
         if allowed.contains(&flag) {
@@ -141,6 +157,13 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         } else if let Some(value) = arg.strip_prefix("--parser=") {
             permit("parser")?;
             flags.parser = parse_parser(value)?;
+        } else if arg == "--runs" {
+            permit("runs")?;
+            let value = it.next().ok_or("--runs: missing value")?;
+            flags.runs = Some(parse_runs(value)?);
+        } else if let Some(value) = arg.strip_prefix("--runs=") {
+            permit("runs")?;
+            flags.runs = Some(parse_runs(value)?);
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag '{arg}'"));
         } else {
@@ -175,20 +198,14 @@ fn with_thread_choice<R: Send>(threads: Option<usize>, f: impl FnOnce() -> R + S
     }
 }
 
-/// Parses a beta argument, rejecting non-positive or non-finite values
-/// before they reach the `DecompOptions` assertion.
+/// Parses a beta argument. Sanity (finite, positive) is the library's
+/// centralized check: `DecompOptions::validate` via `try_new`, reported as
+/// a typed `ConfigError`.
 fn parse_beta(s: &str) -> Result<f64, String> {
     let beta: f64 = s.parse().map_err(|_| "bad beta".to_string())?;
-    if !beta.is_finite() || beta <= 0.0 {
-        return Err(format!("beta must be positive and finite, got {beta}"));
-    }
+    DecompOptions::try_new(beta).map_err(|e| e.to_string())?;
     Ok(beta)
 }
-
-/// Hard cap on the vertex/edge count a CLI-generated graph may imply;
-/// larger requests get a clean error instead of a capacity-overflow panic
-/// or a doomed multi-gigabyte allocation inside a generator.
-const MAX_GEN_SIZE: usize = 1 << 31;
 
 /// Parses a workload spec like `grid:100` or `rmat:12:8`; `file:<path>`
 /// loads an on-disk graph of any supported format instead of generating
@@ -208,12 +225,17 @@ fn parse_workload(spec: &str, seed: u64) -> Result<CsrGraph, String> {
             .map_err(|_| format!("workload '{spec}': bad number in field {i}"))
     };
     // Rejects a workload whose implied size (vertices, or a product like
-    // side², n·d, n·m) exceeds the cap; `None` means it already
-    // overflowed `usize`.
+    // side², n·d, n·m) exceeds the library's graph-size cap; `None` means
+    // it already overflowed `usize`. The typed `ConfigError::TooLarge` is
+    // the same n/m sanity check the library applies.
     let bounded = |what: &str, implied: Option<usize>| -> Result<usize, String> {
-        implied
-            .filter(|&s| s <= MAX_GEN_SIZE)
-            .ok_or_else(|| format!("workload '{spec}': {what} too large (max 2^31)"))
+        implied.filter(|&s| s <= MAX_GRAPH_SIZE).ok_or_else(|| {
+            let e = ConfigError::TooLarge {
+                what: what.to_string(),
+                implied,
+            };
+            format!("workload '{spec}': {e}")
+        })
     };
     match parts[0] {
         "grid" => {
@@ -385,12 +407,14 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     // pages directly and only the verifier materializes an owned copy.
     // Loading happens inside the thread choice so `--threads` bounds the
     // parallel parsers too, not just the decomposition.
-    let opts = DecompOptions::new(beta)
-        .with_seed(seed)
-        .with_traversal(flags.strategy);
+    let builder = DecomposerBuilder::new(beta)
+        .seed(seed)
+        .traversal(flags.strategy);
     let (loaded, d, telemetry) = with_thread_choice(flags.threads, || {
         let loaded = io::load_graph_with(path, flags.parser).map_err(|e| e.to_string())?;
-        let (d, telemetry) = mpx::decomp::partition_view(&loaded, &opts);
+        let mut session = builder.build(&loaded).map_err(|e| e.to_string())?;
+        let (d, telemetry) = session.run_instrumented();
+        drop(session);
         Ok::<_, String>((loaded, d, telemetry))
     })?;
     let g = loaded.as_csr();
@@ -443,26 +467,28 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         (r, start.elapsed().as_secs_f64() * 1e3)
     }
 
-    let opts = DecompOptions::new(beta)
-        .with_seed(seed)
-        .with_traversal(flags.strategy);
+    let builder = DecomposerBuilder::new(beta)
+        .seed(seed)
+        .traversal(flags.strategy);
     let rt_before = mpx_runtime::stats::snapshot();
     // The whole pipeline — including graph generation and verification,
     // which have parallel inner loops — runs under the requested thread
-    // count so every phase's wall-clock is attributable to it.
-    let (g, gen_ms, shifts_ms, d, telemetry, partition_ms, report, verify_ms) =
+    // count so every phase's wall-clock is attributable to it. The
+    // partition phase runs through a `Decomposer` session (shift
+    // generation included, as in a real serving loop).
+    let (g, gen_ms, build_ms, d, telemetry, partition_ms, report, verify_ms) =
         with_thread_choice(threads, || {
             let (g, gen_ms) = time_ms(|| parse_workload(spec, seed));
             let g = g?;
-            let (shifts, shifts_ms) =
-                time_ms(|| mpx::decomp::ExpShifts::generate(g.num_vertices(), &opts));
-            let ((d, telemetry), partition_ms) =
-                time_ms(|| partition_view_with_shifts(&g, &shifts, opts.traversal, opts.alpha));
+            let (session, build_ms) = time_ms(|| builder.build(&g));
+            let mut session = session.map_err(|e| e.to_string())?;
+            let ((d, telemetry), partition_ms) = time_ms(|| session.run_instrumented());
             let (report, verify_ms) = time_ms(|| verify_decomposition(&g, &d));
+            drop(session);
             Ok::<_, String>((
                 g,
                 gen_ms,
-                shifts_ms,
+                build_ms,
                 d,
                 telemetry,
                 partition_ms,
@@ -487,7 +513,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     println!("  \"n\": {},", g.num_vertices());
     println!("  \"m\": {},", g.num_edges());
     println!(
-        "  \"phases_ms\": {{ \"gen\": {gen_ms:.3}, \"shifts\": {shifts_ms:.3}, \"partition\": {partition_ms:.3}, \"verify\": {verify_ms:.3} }},"
+        "  \"phases_ms\": {{ \"gen\": {gen_ms:.3}, \"build\": {build_ms:.3}, \"partition\": {partition_ms:.3}, \"verify\": {verify_ms:.3} }},"
     );
     println!(
         "  \"partition\": {{ \"clusters\": {}, \"max_radius\": {}, \"cut_edges\": {}, \"rounds\": {}, \"relaxations\": {}, \"bottom_up_rounds\": {} }},",
@@ -502,6 +528,93 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         "  \"runtime\": {{ \"par_regions\": {}, \"worker_participations\": {}, \"chunks_claimed\": {} }}",
         rt_delta.regions, rt_delta.participations, rt_delta.chunks
     );
+    println!("}}");
+    Ok(())
+}
+
+/// `mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N]
+/// [--strategy S]` — measures the amortization the `Decomposer` session
+/// API buys: K decompositions with fresh per-run seeds, once as K
+/// independent fresh runs (a new workspace per call — the free-function
+/// cost model) and once through one session reusing its workspace
+/// (`run_many`). Asserts the two label sequences are identical and emits
+/// one JSON object with both timings. CI archives this as the
+/// `BENCH_session_*.json` perf-trajectory evidence.
+fn cmd_bench_session(args: &[String]) -> Result<(), String> {
+    let (args, flags) = extract_flags(args, &["threads", "strategy", "runs"])?;
+    let spec = args.first().ok_or("bench-session: missing workload")?;
+    let beta = parse_beta(args.get(1).ok_or("bench-session: missing beta")?)?;
+    let seed: u64 = args
+        .get(2)
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let runs = flags.runs.unwrap_or(16);
+    let threads = flags.threads;
+    let effective_threads = threads.unwrap_or_else(mpx::par::default_threads);
+    let seeds: Vec<u64> = (0..runs as u64).map(|i| seed.wrapping_add(i)).collect();
+
+    fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+        let start = Instant::now();
+        let r = f();
+        (r, start.elapsed().as_secs_f64() * 1e3)
+    }
+
+    let builder = DecomposerBuilder::new(beta)
+        .seed(seed)
+        .traversal(flags.strategy);
+    let (g, fresh, fresh_ms, amortized, amortized_ms, workspace_bytes) =
+        with_thread_choice(threads, || {
+            let g = parse_workload(spec, seed)?;
+            // Warm the pool and the page cache once, outside both timings.
+            let mut warm = builder.build(&g).map_err(|e| e.to_string())?;
+            let _ = warm.run();
+            drop(warm);
+            // Fresh: a new session (new workspace) per request.
+            let (fresh, fresh_ms) = time_ms(|| {
+                seeds
+                    .iter()
+                    .map(|&s| {
+                        builder
+                            .build(&g)
+                            .map(|mut session| session.run_with_seed(s))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            });
+            let fresh = fresh.map_err(|e| e.to_string())?;
+            // Amortized: one session serves every request.
+            let mut session = builder.build(&g).map_err(|e| e.to_string())?;
+            let (amortized, amortized_ms) = time_ms(|| session.run_many(&seeds));
+            let workspace_bytes = session.workspace().scratch_bytes();
+            drop(session);
+            Ok::<_, String>((g, fresh, fresh_ms, amortized, amortized_ms, workspace_bytes))
+        })?;
+    if fresh != amortized {
+        return Err("bench-session: amortized labels differ from fresh labels".to_string());
+    }
+
+    // Hand-rolled JSON: flat, stable key order, no external deps.
+    println!("{{");
+    println!("  \"workload\": \"{}\",", json_escape(spec));
+    println!("  \"beta\": {beta},");
+    println!("  \"seed\": {seed},");
+    println!("  \"runs\": {runs},");
+    println!("  \"threads\": {effective_threads},");
+    println!("  \"strategy\": \"{}\",", flags.strategy.as_str());
+    println!("  \"n\": {},", g.num_vertices());
+    println!("  \"m\": {},", g.num_edges());
+    println!("  \"workspace_bytes\": {workspace_bytes},");
+    println!(
+        "  \"fresh_ms\": {{ \"total\": {fresh_ms:.3}, \"per_run\": {:.3} }},",
+        fresh_ms / runs as f64
+    );
+    println!(
+        "  \"amortized_ms\": {{ \"total\": {amortized_ms:.3}, \"per_run\": {:.3} }},",
+        amortized_ms / runs as f64
+    );
+    println!(
+        "  \"amortized_speedup\": {:.3},",
+        fresh_ms / amortized_ms.max(1e-9)
+    );
+    println!("  \"outputs_identical\": true");
     println!("}}");
     Ok(())
 }

@@ -1,0 +1,108 @@
+//! The amortization acceptance test: a `Decomposer` session running many
+//! seeds over one view performs **zero heap growth after the first run**.
+//!
+//! Two independent assertions:
+//!
+//! 1. **Allocation counting** — a wrapping global allocator tracks the
+//!    live bytes of every sizable (≥ 4 KiB) allocation: the class every
+//!    workspace arena falls into, while pool-internal bookkeeping (whose
+//!    capacity can depend on scheduling) stays below it. After a warmup,
+//!    each additional `run_with_seed` leaves live bytes exactly unchanged
+//!    once its output is dropped — the scratch arenas are reused, and
+//!    every transient buffer is freed within the run.
+//! 2. **Capacity reuse** — `Workspace::scratch_bytes()` (reserved arena
+//!    capacity) stays constant across runs 2..N.
+//!
+//! This file is its own test binary so the `#[global_allocator]` cannot
+//! perturb, or be perturbed by, any other test.
+
+use mpx::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+/// Live bytes currently held by allocations of at least `TRACK_MIN` bytes.
+static LIVE_BIG: AtomicIsize = AtomicIsize::new(0);
+const TRACK_MIN: usize = 4096;
+
+struct CountingAlloc;
+
+// Contained `unsafe`: pure delegation to `System` plus an atomic counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= TRACK_MIN {
+            LIVE_BIG.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if layout.size() >= TRACK_MIN {
+            LIVE_BIG.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+        }
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if layout.size() >= TRACK_MIN {
+            LIVE_BIG.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+        }
+        if new_size >= TRACK_MIN {
+            LIVE_BIG.fetch_add(new_size as isize, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn live_big_bytes() -> isize {
+    LIVE_BIG.load(Ordering::Relaxed)
+}
+
+#[test]
+fn run_many_grows_the_heap_zero_bytes_after_the_first_run() {
+    // Large enough that every arena (claim 8n, assignment/dist 4n, shifts
+    // 16n, wake order 4n) is far above the tracking threshold.
+    let g = mpx::graph::gen::grid2d(64, 64);
+    let seeds: Vec<u64> = (0..12).collect();
+
+    let mut session = DecomposerBuilder::new(0.15).build(&g).unwrap();
+    // Warmup: the first run sizes the arenas (and spins up the worker
+    // pool); a second run confirms the steady state before measuring.
+    let first = session.run_with_seed(seeds[0]);
+    drop(session.run_with_seed(seeds[1]));
+    let baseline_live = live_big_bytes();
+    let baseline_capacity = session.workspace().scratch_bytes();
+    assert!(baseline_capacity > 0);
+
+    for &seed in &seeds[2..] {
+        let d = session.run_with_seed(seed);
+        assert!(d.num_clusters() > 0);
+        drop(d);
+        assert_eq!(
+            live_big_bytes(),
+            baseline_live,
+            "live (≥4KiB) heap bytes changed after run with seed {seed}"
+        );
+        assert_eq!(
+            session.workspace().scratch_bytes(),
+            baseline_capacity,
+            "workspace arenas grew after run with seed {seed}"
+        );
+    }
+    assert_eq!(session.workspace().runs(), seeds.len() as u64);
+
+    // A warm workspace reproduces the very first run bit-for-bit.
+    assert_eq!(session.run_with_seed(seeds[0]), first);
+    assert_eq!(live_big_bytes(), baseline_live);
+
+    // The batched entry point shares the same arenas: run_many over the
+    // full seed set leaves capacity untouched, and dropping its outputs
+    // returns the heap to the baseline.
+    let batch = session.run_many(&seeds);
+    assert_eq!(batch[0], first);
+    assert_eq!(session.workspace().scratch_bytes(), baseline_capacity);
+    drop(batch);
+    assert_eq!(live_big_bytes(), baseline_live);
+}
