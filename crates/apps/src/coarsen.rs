@@ -6,8 +6,11 @@
 //! concrete *representative* edge of the fine graph realizing it — that is
 //! what [`Coarsened`] carries.
 
-use mpx_decomp::Decomposition;
-use mpx_graph::{view_edges, CsrGraph, GraphView, Vertex};
+use mpx_decomp::{Decomposition, WeightedDecomposition};
+use mpx_graph::{
+    view_edges, weighted_view_edges, CsrGraph, GraphView, Vertex, WeightedCsrGraph,
+    WeightedGraphView,
+};
 use std::collections::HashMap;
 
 /// Result of contracting a graph along a decomposition.
@@ -58,6 +61,66 @@ pub fn coarsen_view<V: GraphView>(g: &V, d: &Decomposition) -> Coarsened {
     Coarsened { quotient, map, rep }
 }
 
+/// Result of contracting a **weighted** graph along a weighted
+/// decomposition: the quotient keeps, per adjacent cluster pair, the
+/// *minimum crossing weight* (ties by smallest fine edge) — the shortest
+/// inter-cluster connection, which is what the weighted AKPW rounds and
+/// the weighted distance oracle both want.
+#[derive(Clone, Debug)]
+pub struct WeightedCoarsened {
+    /// Quotient graph: one vertex per cluster (dense ids — the rank of the
+    /// center in the sorted center list), each edge weighted by the
+    /// lightest fine edge crossing between the two clusters.
+    pub quotient: WeightedCsrGraph,
+    /// Map fine vertex → coarse vertex (dense cluster index).
+    pub map: Vec<Vertex>,
+    /// For each quotient edge `(a, b)` with `a < b`, the fine edge
+    /// realizing its weight: minimum `(weight, (u, v))` crossing the pair.
+    pub rep: HashMap<(Vertex, Vertex), (Vertex, Vertex)>,
+}
+
+/// Contracts a weighted view along `d`, keeping the lightest
+/// representative per quotient edge. Deterministic: ties on weight break
+/// by the lexicographically smallest fine edge.
+pub fn coarsen_weighted<W: WeightedGraphView>(
+    g: &W,
+    d: &WeightedDecomposition,
+) -> WeightedCoarsened {
+    assert_eq!(g.num_vertices(), d.assignment.len());
+    // Dense cluster ids: rank of the center in the sorted center list.
+    let map: Vec<Vertex> = d
+        .assignment
+        .iter()
+        .map(|c| d.centers.binary_search(c).expect("center present") as Vertex)
+        .collect();
+    let mut best: HashMap<(Vertex, Vertex), (f64, (Vertex, Vertex))> = HashMap::new();
+    for (u, v, w) in weighted_view_edges(g) {
+        let (mut a, mut b) = (map[u as usize], map[v as usize]);
+        if a == b {
+            continue;
+        }
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let cand = (w, (u, v));
+        best.entry((a, b))
+            .and_modify(|e| {
+                if cand.0 < e.0 || (cand.0 == e.0 && cand.1 < e.1) {
+                    *e = cand;
+                }
+            })
+            .or_insert(cand);
+    }
+    let mut rep = HashMap::with_capacity(best.len());
+    let mut q_edges: Vec<(Vertex, Vertex, f64)> = Vec::with_capacity(best.len());
+    for (&(a, b), &(w, fine)) in &best {
+        q_edges.push((a, b, w));
+        rep.insert((a, b), fine);
+    }
+    let quotient = WeightedCsrGraph::from_edges(d.num_clusters(), &q_edges);
+    WeightedCoarsened { quotient, map, rep }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +159,37 @@ mod tests {
             assert_eq!(c.quotient.num_vertices(), 1);
             assert_eq!(c.quotient.num_edges(), 0);
             assert!(c.rep.is_empty());
+        }
+    }
+
+    #[test]
+    fn weighted_coarsening_keeps_lightest_crossing_edges() {
+        let g = gen::gnm(150, 500, 21);
+        let wg = {
+            let edges: Vec<(Vertex, Vertex, f64)> = g
+                .edges()
+                .enumerate()
+                .map(|(i, (u, v))| (u, v, 0.5 + (i % 7) as f64))
+                .collect();
+            WeightedCsrGraph::from_edges(g.num_vertices(), &edges)
+        };
+        let d = mpx_decomp::partition_weighted(&wg, &DecompOptions::new(0.25).with_seed(2));
+        let c = coarsen_weighted(&wg, &d);
+        assert_eq!(c.quotient.num_vertices(), d.num_clusters());
+        assert_eq!(c.rep.len(), c.quotient.num_edges());
+        for (&(a, b), &(u, v)) in &c.rep {
+            // Representative is a real crossing edge of that pair, and the
+            // quotient weight equals its weight — the minimum over the pair.
+            let (cu, cv) = (c.map[u as usize], c.map[v as usize]);
+            assert_eq!((cu.min(cv), cu.max(cv)), (a, b));
+            let w = wg.edge_weight(u, v).unwrap();
+            assert_eq!(c.quotient.edge_weight(a, b).unwrap().to_bits(), w.to_bits());
+            for (x, y, wxy) in wg.edges() {
+                let (cx, cy) = (c.map[x as usize], c.map[y as usize]);
+                if (cx.min(cy), cx.max(cy)) == (a, b) {
+                    assert!(wxy >= w, "({x},{y}) lighter than representative");
+                }
+            }
         }
     }
 

@@ -24,6 +24,16 @@
 //! [`mpx_graph::EdgeFilteredView`] views of the original graph through
 //! [`mpx_decomp::engine`] — no per-level induced-subgraph or residual-graph
 //! materialization.
+//!
+//! The **weighted** (paper Section 6) pipelines —
+//! [`WeightedDistanceOracle`], [`spanner_weighted()`](spanner::spanner_weighted),
+//! [`low_stretch_tree_weighted()`](lsst::low_stretch_tree_weighted), and the
+//! [`coarsen_weighted()`](coarsen::coarsen_weighted) substrate — are generic
+//! over [`mpx_graph::WeightedGraphView`] and run through the parallel
+//! weighted session ([`mpx_decomp::Workspace::partition_weighted_view`],
+//! bucketed Δ-stepping, bit-identical to the sequential Dijkstra), sharing
+//! the intra-cluster shortest-path-tree recovery of
+//! [`mpx_decomp::compute_parents_weighted`].
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -38,17 +48,21 @@ pub mod lsst;
 pub mod separator;
 pub mod spanner;
 
-pub use approx_sssp::DistanceOracle;
+pub use approx_sssp::{DistanceOracle, WeightedDistanceOracle};
 pub use blocks::{block_decomposition, block_decomposition_with_options, BlockDecomposition};
-pub use coarsen::{coarsen, coarsen_view, Coarsened};
+pub use coarsen::{coarsen, coarsen_view, coarsen_weighted, Coarsened, WeightedCoarsened};
 pub use connectivity::{parallel_components, parallel_components_with_options};
 pub use hst::Hst;
 pub use lca::TreePathOracle;
 pub use lsst::{
-    bfs_spanning_tree, low_stretch_tree, low_stretch_tree_weighted, low_stretch_tree_with_options,
-    stretch_stats, StretchStats,
+    bfs_spanning_tree, low_stretch_tree, low_stretch_tree_weighted,
+    low_stretch_tree_weighted_with_options, low_stretch_tree_with_options, stretch_stats,
+    StretchStats,
 };
 pub use separator::{
     decomposition_separator, decomposition_separator_with_options, verify_separator, Separator,
 };
-pub use spanner::{spanner, spanner_with_options, Spanner};
+pub use spanner::{
+    spanner, spanner_weighted, spanner_weighted_with_options, spanner_with_options, Spanner,
+    WeightedSpanner,
+};

@@ -18,11 +18,13 @@
 //! `O(log n)` rounds suffice; the union of the per-round forests is a
 //! spanning forest of `G` (per component, a spanning tree).
 
-use crate::coarsen::{coarsen, coarsen_view, Coarsened};
+use crate::coarsen::{coarsen, coarsen_view, coarsen_weighted, Coarsened};
 use crate::lca::TreePathOracle;
-use mpx_decomp::weighted::partition_weighted;
-use mpx_decomp::{DecompOptions, Decomposition, Traversal, Workspace};
-use mpx_graph::{algo, view_edges, CsrGraph, GraphView, Vertex, WeightedCsrGraph, NO_VERTEX};
+use mpx_decomp::{compute_parents_weighted, DecompOptions, Decomposition, Traversal, Workspace};
+use mpx_graph::{
+    algo, view_edges, weighted_view_edges, CsrGraph, GraphView, Vertex, WeightedGraphView,
+    NO_VERTEX,
+};
 use std::collections::HashMap;
 
 /// Builds a spanning forest of `g` with the AKPW-via-MPX construction.
@@ -119,79 +121,83 @@ pub fn low_stretch_tree_with_options<V: GraphView>(
 /// quotient pair, and repeats. Short (heavy-conductance) edges end up on
 /// the tree — which is what makes the resulting tree a useful
 /// preconditioner on badly conditioned systems.
-pub fn low_stretch_tree_weighted(
-    g: &WeightedCsrGraph,
+pub fn low_stretch_tree_weighted<W: WeightedGraphView>(
+    g: &W,
     beta: f64,
     seed: u64,
 ) -> Vec<(Vertex, Vertex)> {
+    low_stretch_tree_weighted_with_options(g, &DecompOptions::new(beta).with_seed(seed))
+}
+
+/// [`low_stretch_tree_weighted`] under full [`DecompOptions`]. Mirrors
+/// [`low_stretch_tree_with_options`]: every round runs the **parallel
+/// weighted session** ([`mpx_decomp::Workspace::partition_weighted_view`],
+/// Δ-stepping pinned — bit-identical to the sequential Dijkstra anyway)
+/// sharing one workspace across rounds; round 0 runs zero-copy on the
+/// borrowed view (an in-memory graph, an induced view, or a mmap'd
+/// weighted snapshot), round `r` decomposes with seed `opts.seed + r`.
+///
+/// Per round, shortest-path-tree parents come from the weighted Lemma 4.1
+/// recovery ([`mpx_decomp::compute_parents_weighted`] — lightest valid
+/// predecessor first, which keeps the tree light), and clusters contract
+/// keeping the lightest representative edge per quotient pair
+/// ([`coarsen_weighted`]).
+pub fn low_stretch_tree_weighted_with_options<W: WeightedGraphView>(
+    g: &W,
+    opts: &DecompOptions,
+) -> Vec<(Vertex, Vertex)> {
     let mut forest: Vec<(Vertex, Vertex)> = Vec::new();
-    let mut current = g.clone();
-    let mut rep_of: HashMap<(Vertex, Vertex), (Vertex, Vertex)> =
-        current.edges().map(|(u, v, _)| ((u, v), (u, v))).collect();
-    let mut round = 0u64;
-    while current.num_edges() > 0 {
-        let d = partition_weighted(
-            &current,
-            &DecompOptions::new(beta).with_seed(seed.wrapping_add(round)),
-        );
-        // Recover shortest-path-tree parents: the weighted analogue of
-        // Lemma 4.1 guarantees every non-center has a same-cluster
-        // predecessor with dist[u] + len(u,v) = dist[v].
-        let n_cur = current.num_vertices();
-        for v in 0..n_cur as Vertex {
-            if d.assignment[v as usize] == v && d.dist_to_center[v as usize] == 0.0 {
-                continue; // center
-            }
-            let dv = d.dist_to_center[v as usize];
-            let cv = d.assignment[v as usize];
-            // Among valid shortest-path predecessors prefer the *shortest*
-            // edge (then smallest id): it keeps the tree light, which is
-            // what the preconditioning application wants.
-            let parent = current
-                .neighbors_weighted(v)
-                .filter(|&(u, w)| {
-                    d.assignment[u as usize] == cv
-                        && (d.dist_to_center[u as usize] + w - dv).abs() <= 1e-9 * (1.0 + dv.abs())
-                })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
-                .map(|(u, _)| u)
-                .unwrap_or_else(|| panic!("weighted Lemma 4.1 violated at vertex {v}"));
-            let key = if v < parent { (v, parent) } else { (parent, v) };
-            forest.push(rep_of[&key]);
-        }
-        // Contract: dense cluster ids, shortest representative per pair.
-        let mut dense: HashMap<Vertex, Vertex> = HashMap::new();
-        for &c in &d.centers {
-            let id = dense.len() as Vertex;
-            dense.insert(c, id);
-        }
-        let mut best: HashMap<(Vertex, Vertex), (f64, (Vertex, Vertex))> = HashMap::new();
-        for (u, v, w) in current.edges() {
-            let (a, b) = (
-                dense[&d.assignment[u as usize]],
-                dense[&d.assignment[v as usize]],
-            );
-            if a == b {
+    let mut ws = Workspace::new();
+    let round_opts = |round: u64| {
+        opts.clone()
+            .with_seed(opts.seed.wrapping_add(round))
+            .with_traversal(Traversal::TopDownPar)
+    };
+    // Harvests one round: SPT edges (mapped back to original edges) into
+    // the forest, then rewires `rep_of` onto the quotient.
+    fn harvest<W: WeightedGraphView>(
+        view: &W,
+        d: &mpx_decomp::WeightedDecomposition,
+        c: &crate::coarsen::WeightedCoarsened,
+        rep_of: &HashMap<(Vertex, Vertex), (Vertex, Vertex)>,
+        forest: &mut Vec<(Vertex, Vertex)>,
+    ) -> HashMap<(Vertex, Vertex), (Vertex, Vertex)> {
+        let parents = compute_parents_weighted(view, d);
+        for (v, &p) in parents.iter().enumerate() {
+            if p == NO_VERTEX {
                 continue;
             }
-            let key = (a.min(b), a.max(b));
-            let cand = (w, (u, v));
-            best.entry(key)
-                .and_modify(|e| {
-                    if cand.0 < e.0 || (cand.0 == e.0 && cand.1 < e.1) {
-                        *e = cand;
-                    }
-                })
-                .or_insert(cand);
+            let v = v as Vertex;
+            let key = if v < p { (v, p) } else { (p, v) };
+            forest.push(rep_of[&key]);
         }
-        let mut next_rep = HashMap::with_capacity(best.len());
-        let mut q_edges: Vec<(Vertex, Vertex, f64)> = Vec::with_capacity(best.len());
-        for (&(a, b), &(w, cur_edge)) in &best {
-            q_edges.push((a, b, w));
-            next_rep.insert((a, b), rep_of[&cur_edge]);
+        let mut next_rep = HashMap::with_capacity(c.rep.len());
+        for (&q_edge, &cur_edge) in &c.rep {
+            next_rep.insert(q_edge, rep_of[&cur_edge]);
         }
-        current = WeightedCsrGraph::from_edges(d.centers.len(), &q_edges);
-        rep_of = next_rep;
+        next_rep
+    }
+
+    if g.total_degree() == 0 {
+        return forest;
+    }
+    // Round 0, zero-copy on the borrowed view; the identity mapping.
+    let rep_of: HashMap<(Vertex, Vertex), (Vertex, Vertex)> = weighted_view_edges(g)
+        .map(|(u, v, _)| ((u, v), (u, v)))
+        .collect();
+    let d = ws.partition_weighted_view(g, &round_opts(0), None).0;
+    let c = coarsen_weighted(g, &d);
+    let mut rep_of = harvest(g, &d, &c, &rep_of, &mut forest);
+    let mut current = c.quotient;
+    let mut round = 1u64;
+    // Contraction rounds on geometrically shrinking weighted quotients.
+    while current.num_edges() > 0 {
+        let d = ws
+            .partition_weighted_view(&current, &round_opts(round), None)
+            .0;
+        let c = coarsen_weighted(&current, &d);
+        rep_of = harvest(&current, &d, &c, &rep_of, &mut forest);
+        current = c.quotient;
         round += 1;
     }
     forest
@@ -260,7 +266,7 @@ pub fn stretch_stats(g: &CsrGraph, forest: &[(Vertex, Vertex)]) -> StretchStats 
 mod tests {
     use super::*;
     use mpx_graph::algo::UnionFind;
-    use mpx_graph::gen;
+    use mpx_graph::{gen, WeightedCsrGraph};
 
     fn assert_spanning_forest(g: &CsrGraph, forest: &[(Vertex, Vertex)]) {
         // Forest edges are original edges, acyclic, and connect exactly the

@@ -29,11 +29,20 @@
 //! # Amortization
 //!
 //! A [`Workspace`] owns every scratch arena one run needs: the shift
-//! buffers ([`ExpShifts`]) and the engine's claim/assignment/distance/
-//! wake-schedule arenas ([`EngineScratch`]). Buffers are reset in place
+//! buffers ([`ExpShifts`]), the engine's claim/assignment/distance/
+//! wake-schedule arenas ([`EngineScratch`]), and the weighted engine's
+//! bucket/label arenas ([`WeightedScratch`]). Buffers are reset in place
 //! per run and grow only when a larger view arrives, so a session's steady
 //! state allocates nothing but the returned [`Decomposition`]s — pinned by
 //! the workspace-reuse test suite with a counting allocator.
+//!
+//! The weighted path (paper Section 6) runs through the same shapes:
+//! [`DecomposerBuilder::build_weighted`] binds any
+//! [`WeightedGraphView`] — an in-memory
+//! [`mpx_graph::WeightedCsrGraph`], a zero-copy
+//! [`mpx_graph::MappedWeightedCsr`] snapshot, or an
+//! [`mpx_graph::WeightedInducedView`] — into a [`WeightedDecomposer`]
+//! session whose runs share the same [`Workspace`].
 
 use crate::decomposition::Decomposition;
 use crate::engine::{self, EngineScratch, PartitionTelemetry};
@@ -41,8 +50,9 @@ use crate::exact::partition_exact;
 use crate::options::{ConfigError, DecompOptions, RetryPolicy, ShiftStrategy, TieBreak, Traversal};
 use crate::retry::RetryOutcome;
 use crate::shift::ExpShifts;
-use crate::weighted::{partition_weighted, partition_weighted_parallel, WeightedDecomposition};
-use mpx_graph::{CsrGraph, GraphView, WeightedCsrGraph};
+use crate::weighted::WeightedDecomposition;
+use crate::wengine::{self, WeightedScratch, WeightedTelemetry};
+use mpx_graph::{CsrGraph, GraphView, WeightedGraphView};
 
 /// Reusable scratch arenas for repeated decomposition runs.
 ///
@@ -57,6 +67,7 @@ use mpx_graph::{CsrGraph, GraphView, WeightedCsrGraph};
 pub struct Workspace {
     shifts: ExpShifts,
     scratch: EngineScratch,
+    wscratch: WeightedScratch,
     runs: u64,
 }
 
@@ -76,7 +87,9 @@ impl Workspace {
     /// the same view leave this value unchanged — the capacity-reuse
     /// assertion of the session test suite.
     pub fn scratch_bytes(&self) -> usize {
-        self.shifts.capacity_bytes() + self.scratch.capacity_bytes()
+        self.shifts.capacity_bytes()
+            + self.scratch.capacity_bytes()
+            + self.wscratch.capacity_bytes()
     }
 
     /// Partitions `view` under `opts`, reusing this workspace's arenas.
@@ -103,6 +116,38 @@ impl Workspace {
             opts.traversal,
             opts.alpha,
             &mut self.scratch,
+        )
+    }
+
+    /// Weighted twin of [`Workspace::partition_view`]: partitions a
+    /// [`WeightedGraphView`] under `opts` (Section 6 shifted multi-source
+    /// Dijkstra, strategy-routed — [`Traversal::TopDownSeq`] runs the
+    /// sequential heap reference, everything else bucketed Δ-stepping with
+    /// bucket width `delta`, `None` = mean edge weight), reusing this
+    /// workspace's arenas. Every strategy and width is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts` fails [`DecompOptions::validate`]. Weights are
+    /// **not** re-validated here (that is the entry layers' job —
+    /// [`DecomposerBuilder::build_weighted`] and the free functions check
+    /// once via [`crate::wengine::validate_weights`]); non-finite weights
+    /// would propagate NaN distances.
+    pub fn partition_weighted_view<W: WeightedGraphView>(
+        &mut self,
+        view: &W,
+        opts: &DecompOptions,
+        delta: Option<f64>,
+    ) -> (WeightedDecomposition, WeightedTelemetry) {
+        opts.assert_valid();
+        self.runs += 1;
+        self.shifts.regenerate(view.num_vertices(), opts);
+        wengine::partition_weighted_view_reusing(
+            view,
+            &self.shifts,
+            opts.traversal,
+            delta,
+            &mut self.wscratch,
         )
     }
 }
@@ -236,23 +281,60 @@ impl DecomposerBuilder {
         Ok(partition_exact(g, &opts))
     }
 
-    /// Validated run of the Section 6 weighted partition
-    /// ([`crate::weighted::partition_weighted`]).
-    pub fn run_weighted(&self, g: &WeightedCsrGraph) -> Result<WeightedDecomposition, ConfigError> {
-        let opts = self.options()?;
-        Ok(partition_weighted(g, &opts))
+    /// Validated one-shot run of the Section 6 weighted partition on the
+    /// sequential multi-source-Dijkstra path, over any
+    /// [`WeightedGraphView`]. Rejects invalid weights with
+    /// [`ConfigError::InvalidWeight`]. For repeated runs, build a session
+    /// with [`build_weighted`](DecomposerBuilder::build_weighted).
+    pub fn run_weighted<W: WeightedGraphView>(
+        &self,
+        g: &W,
+    ) -> Result<WeightedDecomposition, ConfigError> {
+        let opts = self.options()?.with_traversal(Traversal::TopDownSeq);
+        wengine::validate_weights(g)?;
+        Ok(wengine::partition_weighted_view(g, &opts, None).0)
     }
 
-    /// Validated run of the Δ-stepping weighted partition
-    /// ([`crate::weighted::partition_weighted_parallel`]); `delta` is the
-    /// bucket width (`None` = mean edge weight).
-    pub fn run_weighted_parallel(
+    /// Validated one-shot run of the Δ-stepping weighted partition
+    /// (bit-identical to [`run_weighted`](DecomposerBuilder::run_weighted));
+    /// `delta` is the bucket width (`None` = mean edge weight).
+    pub fn run_weighted_parallel<W: WeightedGraphView>(
         &self,
-        g: &WeightedCsrGraph,
+        g: &W,
         delta: Option<f64>,
     ) -> Result<WeightedDecomposition, ConfigError> {
-        let opts = self.options()?;
-        Ok(partition_weighted_parallel(g, &opts, delta))
+        let opts = self.options()?.with_traversal(Traversal::TopDownPar);
+        wengine::validate_weights(g)?;
+        Ok(wengine::partition_weighted_view(g, &opts, delta).0)
+    }
+
+    /// Validates the configuration **and the view's weights** and binds
+    /// them into a reusable [`WeightedDecomposer`] session — the weighted
+    /// twin of [`build`](DecomposerBuilder::build).
+    pub fn build_weighted<'g, W: WeightedGraphView>(
+        &self,
+        view: &'g W,
+    ) -> Result<WeightedDecomposer<'g, W>, ConfigError> {
+        self.build_weighted_in(view, Workspace::new())
+    }
+
+    /// Like [`build_weighted`](DecomposerBuilder::build_weighted), but
+    /// adopts an existing [`Workspace`] so even the first run reuses warm
+    /// arenas.
+    pub fn build_weighted_in<'g, W: WeightedGraphView>(
+        &self,
+        view: &'g W,
+        workspace: Workspace,
+    ) -> Result<WeightedDecomposer<'g, W>, ConfigError> {
+        let opts = self.opts.clone();
+        opts.validate_for(view.num_vertices(), (view.total_degree() / 2) as usize)?;
+        wengine::validate_weights(view)?;
+        Ok(WeightedDecomposer {
+            view,
+            opts,
+            delta: None,
+            workspace,
+        })
     }
 }
 
@@ -373,11 +455,109 @@ impl<'g, V: GraphView> Decomposer<'g, V> {
     }
 }
 
+/// A **weighted** decomposition session over one [`WeightedGraphView`]:
+/// validated options, validated weights, and a reusable [`Workspace`] —
+/// the Section 6 path through the same session machinery as
+/// [`Decomposer`].
+///
+/// Built by [`DecomposerBuilder::build_weighted`]. The configured
+/// [`Traversal`] routes the run: `TopDownSeq` is the sequential
+/// multi-source Dijkstra reference, every other strategy the bucketed
+/// Δ-stepping engine — all bit-identical, so the choice (like
+/// [`with_delta`](WeightedDecomposer::with_delta)) affects wall-clock
+/// only.
+///
+/// ```
+/// use mpx_decomp::{DecomposerBuilder, Traversal};
+/// let g = mpx_graph::gen::gnm(300, 900, 1);
+/// let wg = mpx_graph::WeightedCsrGraph::unit_weights(&g);
+/// let mut dec = DecomposerBuilder::new(0.2).seed(5).build_weighted(&wg).unwrap();
+/// let d = dec.run();
+/// let mut seq = DecomposerBuilder::new(0.2)
+///     .seed(5)
+///     .traversal(Traversal::TopDownSeq)
+///     .build_weighted(&wg)
+///     .unwrap();
+/// assert_eq!(d, seq.run());
+/// ```
+#[must_use = "a WeightedDecomposer does nothing until one of its run methods is called"]
+pub struct WeightedDecomposer<'g, W: WeightedGraphView> {
+    view: &'g W,
+    opts: DecompOptions,
+    delta: Option<f64>,
+    workspace: Workspace,
+}
+
+impl<'g, W: WeightedGraphView> WeightedDecomposer<'g, W> {
+    /// The validated options this session runs under.
+    pub fn options(&self) -> &DecompOptions {
+        &self.opts
+    }
+
+    /// The bound weighted view.
+    pub fn view(&self) -> &'g W {
+        self.view
+    }
+
+    /// The session's workspace (inspect reuse counters/capacity).
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// Releases the workspace for adoption by another session (weighted or
+    /// unweighted — the arenas are shared).
+    pub fn into_workspace(self) -> Workspace {
+        self.workspace
+    }
+
+    /// Pins the Δ-stepping bucket width (`None` = mean edge weight, the
+    /// default). Wall-clock only; output is identical for every width.
+    pub fn with_delta(mut self, delta: Option<f64>) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Decomposes under the configured seed.
+    pub fn run(&mut self) -> WeightedDecomposition {
+        self.run_with_seed(self.opts.seed)
+    }
+
+    /// [`run`](WeightedDecomposer::run) plus engine telemetry.
+    pub fn run_instrumented(&mut self) -> (WeightedDecomposition, WeightedTelemetry) {
+        self.run_with_seed_instrumented(self.opts.seed)
+    }
+
+    /// Decomposes with fresh shifts drawn from `seed` (the configured seed
+    /// is unchanged — the "many runs, fresh shifts" hot path).
+    pub fn run_with_seed(&mut self, seed: u64) -> WeightedDecomposition {
+        self.run_with_seed_instrumented(seed).0
+    }
+
+    /// [`run_with_seed`](WeightedDecomposer::run_with_seed) plus telemetry.
+    pub fn run_with_seed_instrumented(
+        &mut self,
+        seed: u64,
+    ) -> (WeightedDecomposition, WeightedTelemetry) {
+        let opts = self.opts.clone().with_seed(seed);
+        self.workspace
+            .partition_weighted_view(self.view, &opts, self.delta)
+    }
+
+    /// Batched multi-seed run: one decomposition per seed, in order, each
+    /// identical to an independent fresh run with that seed — but sharing
+    /// this session's workspace, so only the outputs allocate.
+    pub fn run_many(&mut self, seeds: &[u64]) -> Vec<WeightedDecomposition> {
+        seeds.iter().map(|&s| self.run_with_seed(s)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::weighted::{partition_weighted, partition_weighted_parallel};
     use crate::{partition, partition_hybrid, partition_sequential};
     use mpx_graph::gen;
+    use mpx_graph::WeightedCsrGraph;
 
     #[test]
     fn builder_rejects_bad_config_with_typed_errors() {
@@ -498,5 +678,48 @@ mod tests {
         assert_eq!(wd.assignment, wdp.assignment);
         assert!(DecomposerBuilder::new(-1.0).run_weighted(&wg).is_err());
         assert!(DecomposerBuilder::new(f64::NAN).run_exact(&g).is_err());
+    }
+
+    #[test]
+    fn weighted_session_matches_free_functions_and_reuses_arenas() {
+        let g = gen::gnm(250, 800, 4);
+        let wg = WeightedCsrGraph::unit_weights(&g);
+        let builder = DecomposerBuilder::new(0.2).seed(6);
+        let mut dec = builder.build_weighted(&wg).unwrap();
+        let seeds: Vec<u64> = (0..6).collect();
+        let batch = dec.run_many(&seeds);
+        let bytes = dec.workspace().scratch_bytes();
+        assert_eq!(dec.workspace().runs(), 6);
+        for (i, &s) in seeds.iter().enumerate() {
+            let opts = DecompOptions::new(0.2).with_seed(s);
+            assert_eq!(
+                batch[i],
+                partition_weighted_parallel(&wg, &opts, None),
+                "seed {s}"
+            );
+            assert_eq!(batch[i], partition_weighted(&wg, &opts), "seed {s}");
+        }
+        // Repeats reuse arenas and stay bit-identical; the sequential
+        // traversal and an explicit bucket width change nothing.
+        let again = dec.run_many(&seeds);
+        assert_eq!(batch, again);
+        assert_eq!(dec.workspace().scratch_bytes(), bytes);
+        let ws = dec.into_workspace();
+        let mut seq = builder
+            .traversal(Traversal::TopDownSeq)
+            .build_weighted_in(&wg, ws)
+            .unwrap()
+            .with_delta(Some(0.3));
+        assert_eq!(seq.run_many(&seeds), batch);
+        // The workspace moves freely between weighted and unweighted runs.
+        let ws = seq.into_workspace();
+        let mut udec = DecomposerBuilder::new(0.2)
+            .seed(6)
+            .build_in(&g, ws)
+            .unwrap();
+        assert_eq!(
+            udec.run(),
+            partition_hybrid(&g, &DecompOptions::new(0.2).with_seed(6))
+        );
     }
 }

@@ -174,16 +174,7 @@ impl Decomposition {
     /// [`cut_edges`](Decomposition::cut_edges) over any [`GraphView`] —
     /// e.g. a memory-mapped snapshot or an induced view.
     pub fn cut_edges_view<V: GraphView>(&self, view: &V) -> usize {
-        assert_eq!(view.num_vertices(), self.num_vertices());
-        (0..self.num_vertices() as Vertex)
-            .into_par_iter()
-            .map(|u| {
-                let cu = self.assignment[u as usize];
-                view.neighbors_iter(u)
-                    .filter(|&v| u < v && self.assignment[v as usize] != cu)
-                    .count()
-            })
-            .sum()
+        cut_edges_of_view(&self.assignment, view)
     }
 
     /// Fraction of edges cut, `cut_edges / m` (0 for edgeless graphs).
@@ -207,6 +198,23 @@ impl Decomposition {
             .filter_map(|(v, &p)| (p != NO_VERTEX).then_some((v as Vertex, p)))
             .collect()
     }
+}
+
+/// Counts the edges of `view` crossing between clusters of `assignment` —
+/// the one view-edge enumeration shared by [`Decomposition`] and
+/// [`crate::WeightedDecomposition`] (each arc is seen from both endpoints;
+/// the `u < v` filter counts each undirected edge once).
+pub(crate) fn cut_edges_of_view<V: GraphView>(assignment: &[Vertex], view: &V) -> usize {
+    assert_eq!(view.num_vertices(), assignment.len());
+    (0..assignment.len() as Vertex)
+        .into_par_iter()
+        .map(|u| {
+            let cu = assignment[u as usize];
+            view.neighbors_iter(u)
+                .filter(|&v| u < v && assignment[v as usize] != cu)
+                .count()
+        })
+        .sum()
 }
 
 #[cfg(test)]

@@ -68,8 +68,11 @@
 //! | [`Decomposer::run_with_retry`] | Theorem 1.2 proof | retries until the `(β, O(log n/β))` guarantee holds |
 //! | [`Workspace::partition_view`] | Algorithm 1 | session machinery for pipelines that partition a *sequence* of views |
 //! | [`DecomposerBuilder::run_exact`] | Algorithm 2 | `O(nm)` literal reference, for testing |
-//! | [`DecomposerBuilder::run_weighted`] | Section 6 | shifted Dijkstra on weighted graphs |
-//! | [`DecomposerBuilder::run_weighted_parallel`] | Section 6 (open problem) | Δ-stepping engineering extension |
+//! | [`DecomposerBuilder::build_weighted`] → [`WeightedDecomposer`] | Section 6 | weighted session: any [`Traversal`] × any [`mpx_graph::WeightedGraphView`], amortized scratch |
+//! | [`DecomposerBuilder::run_weighted`] | Section 6 | one-shot shifted multi-source Dijkstra |
+//! | [`DecomposerBuilder::run_weighted_parallel`] | Section 6 (open problem) | one-shot bucketed Δ-stepping, bit-identical to the Dijkstra path |
+//! | [`Workspace::partition_weighted_view`] | Section 6 | weighted session machinery for view sequences |
+//! | [`wengine::partition_weighted_exact`] | Section 6 | per-center Dijkstra reference oracle, for testing |
 //!
 //! The classic free functions survive as a documented **convenience
 //! layer** — thin wrappers over the same machinery, one fresh workspace
@@ -123,8 +126,9 @@ pub mod shift;
 pub mod stats;
 pub mod verify;
 pub mod weighted;
+pub mod wengine;
 
-pub use decomposer::{Decomposer, DecomposerBuilder, Workspace};
+pub use decomposer::{Decomposer, DecomposerBuilder, WeightedDecomposer, Workspace};
 pub use decomposition::Decomposition;
 pub use engine::{
     partition_view, partition_view_reusing, partition_view_with_shifts, EngineScratch,
@@ -142,3 +146,10 @@ pub use sequential::partition_sequential;
 pub use shift::ExpShifts;
 pub use stats::DecompositionStats;
 pub use verify::{verify_decomposition, VerifyReport};
+pub use weighted::{
+    partition_weighted, partition_weighted_parallel, verify_weighted, WeightedDecomposition,
+};
+pub use wengine::{
+    compute_parents_weighted, partition_weighted_exact, validate_weights, WeightedScratch,
+    WeightedTelemetry,
+};

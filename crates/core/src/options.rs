@@ -129,6 +129,18 @@ pub enum ConfigError {
         /// The implied size, when it did not overflow.
         implied: Option<usize>,
     },
+    /// A weighted view carried a non-finite or non-positive edge weight
+    /// (reported by [`crate::wengine::validate_weights`], through which
+    /// every weighted partition entry point routes, so bad weights are
+    /// rejected up front instead of silently producing NaN distances).
+    InvalidWeight {
+        /// One endpoint of the first offending edge.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+        /// The offending weight.
+        weight: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -142,6 +154,10 @@ impl std::fmt::Display for ConfigError {
                 Some(s) => write!(f, "{what} too large: {s} exceeds 2^31"),
                 None => write!(f, "{what} too large: overflows usize"),
             },
+            ConfigError::InvalidWeight { u, v, weight } => write!(
+                f,
+                "edge ({u},{v}) has invalid weight {weight} (edge weights must be finite and positive)"
+            ),
         }
     }
 }
@@ -421,6 +437,13 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains("too large"), "{msg}");
+        let msg = ConfigError::InvalidWeight {
+            u: 3,
+            v: 7,
+            weight: f64::NAN,
+        }
+        .to_string();
+        assert!(msg.contains("invalid weight"), "{msg}");
     }
 
     #[test]

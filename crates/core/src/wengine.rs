@@ -1,0 +1,746 @@
+//! The **weighted** decomposition engine: one generic implementation over
+//! any [`WeightedGraphView`], strategy-routed like [`crate::engine`].
+//!
+//! The unweighted engine schedules work by *integer* BFS rounds — vertex
+//! `u` wakes in round `⌊δ_max − δ_u⌋`. Weights make arrival times
+//! fractional, so the wake schedule generalizes to **bucketed
+//! Δ-stepping**: tentative labels live in buckets of width `Δ`, each
+//! bucket is drained with repeated light-edge (`w < Δ`) relaxations, then
+//! heavy edges (`w ≥ Δ`) are relaxed once. Requests are aggregated
+//! deterministically (parallel sort by `(target, dist, root)`, first
+//! entry per target wins), so the result is a pure function of
+//! `(view, shifts)` — independent of thread count and bucket width, and
+//! **bit-identical** to the sequential multi-source Dijkstra reference
+//! ([`Traversal::TopDownSeq`]): both compute, per vertex, the lexicographic
+//! minimum `(dist, root)` over the same finite set of left-to-right path
+//! sums `start_root + w_1 + … + w_k`, and identical `f64` additions give
+//! identical bits.
+//!
+//! Strategy mapping: [`Traversal::TopDownSeq`] runs the sequential heap
+//! Dijkstra (no pool dispatch); every other strategy — `Auto`,
+//! `TopDownPar`, `BottomUp` — runs Δ-stepping (there is no bottom-up dual
+//! for fractional arrivals; the tokens stay accepted so options are
+//! portable between the weighted and unweighted paths).
+//!
+//! Like [`crate::engine`], all arenas live in a reusable scratch
+//! ([`WeightedScratch`], owned by [`crate::Workspace`]) so repeated runs
+//! amortize allocation; and like the unweighted engine, this module does
+//! not validate inputs — the session/builder/free-function entry layers
+//! enforce weight validity via [`validate_weights`] first.
+
+use crate::options::{ConfigError, DecompOptions, Traversal};
+use crate::shift::ExpShifts;
+use crate::weighted::WeightedDecomposition;
+use mpx_graph::{Vertex, WeightedGraphView, NO_VERTEX};
+use rayon::prelude::*;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Below this size, arena resets run inline (pool dispatch costs more
+/// than the scan on tiny pieces). Matches the unweighted engine's cutoff.
+const RESET_PAR_CUTOFF: usize = 4096;
+
+/// Heap entry for the shifted multi-source Dijkstra: pops in ascending
+/// `(dist, root, vertex)` order (the reversed comparison makes Rust's
+/// max-heap a min-heap) — the deterministic tie-break shared with the
+/// Δ-stepping request aggregation.
+#[derive(PartialEq)]
+pub(crate) struct HeapEntry {
+    pub(crate) dist: f64,
+    pub(crate) root: Vertex,
+    pub(crate) vertex: Vertex,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(CmpOrdering::Equal)
+            .then_with(|| other.root.cmp(&self.root))
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Counters describing one weighted engine run (wall-clock diagnostics
+/// only; the decomposition itself is strategy-independent).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WeightedTelemetry {
+    /// Outer buckets processed (0 on the sequential Dijkstra path).
+    pub buckets: u64,
+    /// Light-relaxation phases across all buckets (0 on the sequential
+    /// path).
+    pub phases: u64,
+    /// Edge relaxations: requests generated (Δ-stepping) or heap pushes
+    /// beyond the seeds (sequential).
+    pub relaxations: u64,
+    /// Clusters in the resulting decomposition.
+    pub clusters: usize,
+    /// Bucket width used (0.0 on the sequential path).
+    pub delta: f64,
+}
+
+/// Reusable arenas of the weighted engine, owned by
+/// [`crate::Workspace`]. Grow-only: one scratch serves runs over views of
+/// different sizes, staying sized for the largest seen.
+#[derive(Default)]
+pub struct WeightedScratch {
+    /// Per-vertex start times `δ_max − δ_u` (shared by both paths).
+    start: Vec<f64>,
+    // Δ-stepping arenas. Non-negative f64s order the same as their bit
+    // patterns, so distance bits in an AtomicU64 compare correctly.
+    tent: Vec<AtomicU64>,
+    root_atomic: Vec<AtomicU32>,
+    buckets: Vec<Vec<Vertex>>,
+    // Sequential Dijkstra arenas.
+    dist: Vec<f64>,
+    root: Vec<Vertex>,
+    settled: Vec<bool>,
+    heap: Vec<HeapEntry>,
+}
+
+impl WeightedScratch {
+    /// A fresh scratch; arenas are sized lazily by the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes of arena capacity currently reserved.
+    pub fn capacity_bytes(&self) -> usize {
+        self.start.capacity() * std::mem::size_of::<f64>()
+            + self.tent.capacity() * std::mem::size_of::<AtomicU64>()
+            + self.root_atomic.capacity() * std::mem::size_of::<AtomicU32>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<Vertex>())
+                .sum::<usize>()
+            + self.buckets.capacity() * std::mem::size_of::<Vec<Vertex>>()
+            + self.dist.capacity() * std::mem::size_of::<f64>()
+            + self.root.capacity() * std::mem::size_of::<Vertex>()
+            + self.settled.capacity()
+            + self.heap.capacity() * std::mem::size_of::<HeapEntry>()
+    }
+}
+
+/// Rejects a weighted view carrying a non-finite or non-positive edge
+/// weight with a typed [`ConfigError::InvalidWeight`] naming the first
+/// offending edge (lowest `(u, v)`). Every weighted partition entry point
+/// — the free functions, the builder runs, and session builds — routes
+/// through this check, so bad weights can never silently propagate NaN
+/// distances into a decomposition.
+pub fn validate_weights<W: WeightedGraphView>(view: &W) -> Result<(), ConfigError> {
+    let bad = (0..view.num_vertices() as Vertex)
+        .into_par_iter()
+        .filter_map(|u| {
+            view.neighbors_weighted_iter(u)
+                .find(|&(_, w)| !(w.is_finite() && w > 0.0))
+                .map(|(v, w)| (u, v, w))
+        })
+        .min_by_key(|&(u, v, _)| (u, v));
+    match bad {
+        Some((u, v, w)) => Err(ConfigError::InvalidWeight { u, v, weight: w }),
+        None => Ok(()),
+    }
+}
+
+/// Partitions a weighted view under pre-generated shifts, reusing the
+/// caller's arenas — the weighted twin of
+/// [`crate::engine::partition_view_reusing`] and the engine behind
+/// [`crate::Workspace::partition_weighted_view`].
+///
+/// `delta` is the Δ-stepping bucket width; `None` uses the mean edge
+/// weight. The width (like the strategy and the thread count) affects
+/// wall-clock only — output is bit-identical for every choice.
+pub fn partition_weighted_view_reusing<W: WeightedGraphView>(
+    view: &W,
+    shifts: &ExpShifts,
+    traversal: Traversal,
+    delta: Option<f64>,
+    scratch: &mut WeightedScratch,
+) -> (WeightedDecomposition, WeightedTelemetry) {
+    let n = view.num_vertices();
+    if n == 0 {
+        return (
+            WeightedDecomposition::from_raw(Vec::new(), Vec::new()),
+            WeightedTelemetry::default(),
+        );
+    }
+    debug_assert_eq!(shifts.delta.len(), n, "shifts must match the view");
+
+    // Start times into the shared arena (taken out to sidestep the
+    // scratch borrow while the algorithm arenas are also borrowed).
+    let mut start = std::mem::take(&mut scratch.start);
+    if start.len() < n {
+        start.resize(n, 0.0);
+    }
+    if n >= RESET_PAR_CUTOFF {
+        start[..n]
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(u, s)| *s = shifts.delta_max - shifts.delta[u]);
+    } else {
+        for (u, s) in start[..n].iter_mut().enumerate() {
+            *s = shifts.delta_max - shifts.delta[u];
+        }
+    }
+
+    let (assignment, dist_to_center, mut telemetry) = match traversal {
+        Traversal::TopDownSeq => dijkstra_multi_source(view, &start[..n], scratch),
+        _ => {
+            let delta = delta.unwrap_or_else(|| {
+                let m = (view.total_degree() / 2) as usize;
+                if m == 0 {
+                    1.0
+                } else {
+                    (2.0 * view.total_weight() / (2.0 * m as f64)).max(f64::MIN_POSITIVE)
+                }
+            });
+            assert!(
+                delta > 0.0 && delta.is_finite(),
+                "delta must be positive and finite, got {delta}"
+            );
+            delta_stepping(view, &start[..n], delta, scratch)
+        }
+    };
+    scratch.start = start;
+
+    let d = WeightedDecomposition::from_raw(assignment, dist_to_center);
+    telemetry.clusters = d.num_clusters();
+    (d, telemetry)
+}
+
+/// One-shot form of [`partition_weighted_view_reusing`]: fresh shifts from
+/// `opts`, fresh scratch. The engine behind the classic free functions
+/// ([`crate::partition_weighted`] & co.).
+///
+/// # Panics
+///
+/// Panics if `opts` fails [`DecompOptions::validate`]. Does **not**
+/// validate weights — callers do ([`validate_weights`]).
+pub fn partition_weighted_view<W: WeightedGraphView>(
+    view: &W,
+    opts: &DecompOptions,
+    delta: Option<f64>,
+) -> (WeightedDecomposition, WeightedTelemetry) {
+    opts.assert_valid();
+    let shifts = ExpShifts::generate(view.num_vertices(), opts);
+    let mut scratch = WeightedScratch::new();
+    partition_weighted_view_reusing(view, &shifts, opts.traversal, delta, &mut scratch)
+}
+
+/// Sequential exponentially shifted multi-source Dijkstra (paper
+/// Section 6 via the super-source reduction of Section 5): every vertex
+/// enters the heap at `start_u = δ_max − δ_u` carrying itself as root;
+/// root labels propagate along settled shortest paths.
+fn dijkstra_multi_source<W: WeightedGraphView>(
+    view: &W,
+    start: &[f64],
+    scratch: &mut WeightedScratch,
+) -> (Vec<Vertex>, Vec<f64>, WeightedTelemetry) {
+    let n = start.len();
+    if scratch.dist.len() < n {
+        scratch.dist.resize(n, 0.0);
+        scratch.root.resize(n, 0);
+        scratch.settled.resize(n, false);
+    }
+    let dist = &mut scratch.dist[..n];
+    let root = &mut scratch.root[..n];
+    let settled = &mut scratch.settled[..n];
+    let mut heap_vec = std::mem::take(&mut scratch.heap);
+    heap_vec.clear();
+    heap_vec.reserve(n);
+    for u in 0..n as Vertex {
+        dist[u as usize] = start[u as usize];
+        root[u as usize] = u;
+        settled[u as usize] = false;
+        heap_vec.push(HeapEntry {
+            dist: start[u as usize],
+            root: u,
+            vertex: u,
+        });
+    }
+    let mut heap = BinaryHeap::from(heap_vec);
+    let mut relaxations = 0u64;
+    while let Some(HeapEntry {
+        dist: du,
+        root: ru,
+        vertex: u,
+    }) = heap.pop()
+    {
+        if settled[u as usize]
+            || du > dist[u as usize]
+            || (du == dist[u as usize] && ru != root[u as usize])
+        {
+            continue;
+        }
+        settled[u as usize] = true;
+        for (v, w) in view.neighbors_weighted_iter(u) {
+            let cand = du + w;
+            let better =
+                cand < dist[v as usize] || (cand == dist[v as usize] && ru < root[v as usize]);
+            if !settled[v as usize] && better {
+                dist[v as usize] = cand;
+                root[v as usize] = ru;
+                relaxations += 1;
+                heap.push(HeapEntry {
+                    dist: cand,
+                    root: ru,
+                    vertex: v,
+                });
+            }
+        }
+    }
+    let mut spent = heap.into_vec();
+    spent.clear();
+    scratch.heap = spent;
+
+    let assignment = root.to_vec();
+    let dist_to_center = (0..n)
+        .map(|v| dist[v] - start[assignment[v] as usize])
+        .collect();
+    let telemetry = WeightedTelemetry {
+        relaxations,
+        ..WeightedTelemetry::default()
+    };
+    (assignment, dist_to_center, telemetry)
+}
+
+/// Bucketed Δ-stepping with deterministic request aggregation: the
+/// fractional generalization of the unweighted engine's integer wake
+/// schedule. Produces the same labels as [`dijkstra_multi_source`],
+/// bit-for-bit, for every bucket width and thread count.
+fn delta_stepping<W: WeightedGraphView>(
+    view: &W,
+    start: &[f64],
+    delta: f64,
+    scratch: &mut WeightedScratch,
+) -> (Vec<Vertex>, Vec<f64>, WeightedTelemetry) {
+    let n = start.len();
+    if scratch.tent.len() < n {
+        scratch.tent.resize_with(n, || AtomicU64::new(0));
+        scratch.root_atomic.resize_with(n, || AtomicU32::new(0));
+    }
+    let tent = &scratch.tent[..n];
+    let root = &scratch.root_atomic[..n];
+    if n >= RESET_PAR_CUTOFF {
+        tent.par_iter()
+            .enumerate()
+            .for_each(|(v, t)| t.store(start[v].to_bits(), Ordering::Relaxed));
+        root.par_iter()
+            .enumerate()
+            .for_each(|(v, r)| r.store(v as Vertex, Ordering::Relaxed));
+    } else {
+        for (v, t) in tent.iter().enumerate() {
+            t.store(start[v].to_bits(), Ordering::Relaxed);
+        }
+        for (v, r) in root.iter().enumerate() {
+            r.store(v as Vertex, Ordering::Relaxed);
+        }
+    }
+
+    let buckets = &mut scratch.buckets;
+    for b in buckets.iter_mut() {
+        b.clear();
+    }
+    let bucket_of = |d: f64| (d / delta) as usize;
+    let push_bucket = |buckets: &mut Vec<Vec<Vertex>>, b: usize, v: Vertex| {
+        if buckets.len() <= b {
+            buckets.resize_with(b + 1, Vec::new);
+        }
+        buckets[b].push(v);
+    };
+    for v in 0..n as Vertex {
+        push_bucket(buckets, bucket_of(start[v as usize]), v);
+    }
+
+    let mut telemetry = WeightedTelemetry {
+        delta,
+        ..WeightedTelemetry::default()
+    };
+
+    // Applies the best (dist, root) request per target; returns targets
+    // whose tentative label improved, with their new bucket index.
+    let apply_requests = |requests: &mut Vec<(Vertex, f64, Vertex)>| -> Vec<(usize, Vertex)> {
+        requests.par_sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.partial_cmp(&b.1).unwrap_or(CmpOrdering::Equal))
+                .then(a.2.cmp(&b.2))
+        });
+        // Winners: first entry per target after the sort.
+        let winners: Vec<(Vertex, f64, Vertex)> = requests
+            .par_iter()
+            .enumerate()
+            .filter(|&(i, r)| i == 0 || requests[i - 1].0 != r.0)
+            .map(|(_, &r)| r)
+            .collect();
+        winners
+            .par_iter()
+            .filter_map(|&(v, d, r)| {
+                let cur = f64::from_bits(tent[v as usize].load(Ordering::Relaxed));
+                let cur_root = root[v as usize].load(Ordering::Relaxed);
+                // Lexicographic (dist, root) improvement: a root-only
+                // improvement at equal distance must also be propagated so
+                // that tie-broken assignments match the Dijkstra reference.
+                let better = d < cur || (d == cur && r < cur_root);
+                if better {
+                    tent[v as usize].store(d.to_bits(), Ordering::Relaxed);
+                    root[v as usize].store(r, Ordering::Relaxed);
+                    Some((bucket_of(d), v))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+
+    let mut i = 0usize;
+    while i < buckets.len() {
+        let mut deleted: Vec<Vertex> = Vec::new();
+        // Inner loop: drain the bucket, relaxing light edges repeatedly.
+        // A drained vertex can re-enter this same bucket with an improved
+        // label (the classic Δ-stepping re-insertion); only when the bucket
+        // stays empty are its members' labels final.
+        loop {
+            let mut batch: Vec<Vertex> = std::mem::take(&mut buckets[i])
+                .into_iter()
+                .filter(|&v| {
+                    bucket_of(f64::from_bits(tent[v as usize].load(Ordering::Relaxed))) == i
+                })
+                .collect();
+            batch.sort_unstable();
+            batch.dedup();
+            if batch.is_empty() {
+                break;
+            }
+            telemetry.phases += 1;
+            deleted.extend_from_slice(&batch);
+            // Light-edge requests.
+            let mut requests: Vec<(Vertex, f64, Vertex)> = batch
+                .par_iter()
+                .flat_map_iter(|&u| {
+                    let du = f64::from_bits(tent[u as usize].load(Ordering::Relaxed));
+                    let ru = root[u as usize].load(Ordering::Relaxed);
+                    view.neighbors_weighted_iter(u)
+                        .filter(move |&(_, w)| w < delta)
+                        .map(move |(v, w)| (v, du + w, ru))
+                })
+                .collect();
+            telemetry.relaxations += requests.len() as u64;
+            for (b, v) in apply_requests(&mut requests) {
+                push_bucket(buckets, b, v);
+            }
+        }
+        // Heavy-edge requests once per bucket (deleted may hold re-inserted
+        // duplicates; only the final labels matter).
+        deleted.sort_unstable();
+        deleted.dedup();
+        if !deleted.is_empty() {
+            telemetry.buckets += 1;
+        }
+        let mut requests: Vec<(Vertex, f64, Vertex)> = deleted
+            .par_iter()
+            .flat_map_iter(|&u| {
+                let du = f64::from_bits(tent[u as usize].load(Ordering::Relaxed));
+                let ru = root[u as usize].load(Ordering::Relaxed);
+                view.neighbors_weighted_iter(u)
+                    .filter(move |&(_, w)| w >= delta)
+                    .map(move |(v, w)| (v, du + w, ru))
+            })
+            .collect();
+        telemetry.relaxations += requests.len() as u64;
+        for (b, v) in apply_requests(&mut requests) {
+            push_bucket(buckets, b, v);
+        }
+        i += 1;
+    }
+
+    let assignment: Vec<Vertex> = root.iter().map(|r| r.load(Ordering::Relaxed)).collect();
+    let dist_to_center: Vec<f64> = (0..n)
+        .into_par_iter()
+        .map(|v| f64::from_bits(tent[v].load(Ordering::Relaxed)) - start[assignment[v] as usize])
+        .collect();
+    (assignment, dist_to_center, telemetry)
+}
+
+/// The `O(n·(m + n log n))` weighted reference oracle: one independent
+/// Dijkstra per candidate center `r` (initialized at `start_r`), then the
+/// per-vertex lexicographic minimum `(dist, root)` — the literal
+/// "assign each vertex to the center minimizing the shifted weighted
+/// distance" rule of Section 6, with no super-source reduction. Per-root
+/// path sums accumulate left-to-right exactly like the multi-source
+/// versions, so equal paths give bit-equal `f64`s and the result is
+/// **bit-identical** to the engine. Testing/small graphs only.
+pub fn partition_weighted_exact<W: WeightedGraphView>(
+    view: &W,
+    opts: &DecompOptions,
+) -> WeightedDecomposition {
+    opts.assert_valid();
+    let n = view.num_vertices();
+    let shifts = ExpShifts::generate(n, opts);
+    let start: Vec<f64> = shifts.delta.iter().map(|d| shifts.delta_max - d).collect();
+
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_root = vec![NO_VERTEX; n];
+    let mut dist = vec![f64::INFINITY; n];
+    for r in 0..n as Vertex {
+        dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+        dist[r as usize] = start[r as usize];
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: start[r as usize],
+            root: r,
+            vertex: r,
+        });
+        while let Some(HeapEntry {
+            dist: du,
+            vertex: u,
+            ..
+        }) = heap.pop()
+        {
+            if du > dist[u as usize] {
+                continue;
+            }
+            for (v, w) in view.neighbors_weighted_iter(u) {
+                let cand = du + w;
+                if cand < dist[v as usize] {
+                    dist[v as usize] = cand;
+                    heap.push(HeapEntry {
+                        dist: cand,
+                        root: r,
+                        vertex: v,
+                    });
+                }
+            }
+        }
+        for v in 0..n {
+            // Roots ascend, so on an exact tie the earlier (smaller) root
+            // stays — the same lexicographic (dist, root) rule as the
+            // engine.
+            if dist[v] < best_dist[v] {
+                best_dist[v] = dist[v];
+                best_root[v] = r;
+            }
+        }
+    }
+
+    let dist_to_center: Vec<f64> = (0..n)
+        .map(|v| best_dist[v] - start[best_root[v] as usize])
+        .collect();
+    WeightedDecomposition::from_raw(best_root, dist_to_center)
+}
+
+/// Recovers the intra-cluster shortest-path-tree parent of every
+/// non-center vertex: a same-cluster neighbor `u` with
+/// `dist(u) + w(u,v) = dist(v)` (to relative tolerance `1e-9`), smallest
+/// `(weight, id)` among candidates. The weighted analogue of Lemma 4.1
+/// guarantees such a neighbor exists; its absence means the decomposition
+/// is corrupt, which panics. Shared by the low-stretch-tree and spanner
+/// pipelines.
+pub fn compute_parents_weighted<W: WeightedGraphView>(
+    view: &W,
+    d: &WeightedDecomposition,
+) -> Vec<Vertex> {
+    let n = view.num_vertices();
+    assert_eq!(d.assignment.len(), n);
+    (0..n as Vertex)
+        .into_par_iter()
+        .map(|v| {
+            let c = d.assignment[v as usize];
+            if c == v {
+                return NO_VERTEX;
+            }
+            let dv = d.dist_to_center[v as usize];
+            let tol = 1e-9 * (1.0 + dv.abs());
+            let mut best: Option<(f64, Vertex)> = None;
+            for (u, w) in view.neighbors_weighted_iter(v) {
+                if d.assignment[u as usize] != c {
+                    continue;
+                }
+                if (d.dist_to_center[u as usize] + w - dv).abs() <= tol {
+                    let key = (w, u);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+            best.unwrap_or_else(|| panic!("weighted Lemma 4.1 violated at vertex {v}"))
+                .1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_graph::{gen, WeightedCsrGraph, WeightedInducedView};
+
+    fn random_weighted(g: &mpx_graph::CsrGraph, seed: u64) -> WeightedCsrGraph {
+        let edges: Vec<(Vertex, Vertex, f64)> = g
+            .edges()
+            .enumerate()
+            .map(|(i, (u, v))| {
+                let r = mpx_par_free_uniform(seed, i as u64);
+                (u, v, 0.25 + 3.75 * r)
+            })
+            .collect();
+        WeightedCsrGraph::from_edges(g.num_vertices(), &edges)
+    }
+
+    /// splitmix64-based uniform in [0,1): deterministic test weights
+    /// without a dev-dependency.
+    fn mpx_par_free_uniform(seed: u64, i: u64) -> f64 {
+        let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn opts(beta: f64, seed: u64) -> DecompOptions {
+        DecompOptions::new(beta).with_seed(seed)
+    }
+
+    #[test]
+    fn all_strategies_bit_identical_to_exact() {
+        for seed in 0..3u64 {
+            let g = random_weighted(&gen::gnm(150, 450, seed), seed + 7);
+            let o = opts(0.2, seed);
+            let exact = partition_weighted_exact(&g, &o);
+            for traversal in [
+                Traversal::Auto,
+                Traversal::TopDownPar,
+                Traversal::TopDownSeq,
+                Traversal::BottomUp,
+            ] {
+                let (d, t) =
+                    partition_weighted_view(&g, &o.clone().with_traversal(traversal), None);
+                assert_eq!(d.assignment, exact.assignment, "{traversal:?} seed {seed}");
+                for v in 0..g.num_vertices() {
+                    assert_eq!(
+                        d.dist_to_center[v].to_bits(),
+                        exact.dist_to_center[v].to_bits(),
+                        "{traversal:?} seed {seed} vertex {v}"
+                    );
+                }
+                assert_eq!(t.clusters, d.num_clusters());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let g = random_weighted(&gen::grid2d(14, 14), 4);
+        let o = opts(0.15, 2);
+        let shifts = ExpShifts::generate(g.num_vertices(), &o);
+        let mut scratch = WeightedScratch::new();
+        let (first, _) =
+            partition_weighted_view_reusing(&g, &shifts, Traversal::Auto, None, &mut scratch);
+        let bytes = scratch.capacity_bytes();
+        for _ in 0..3 {
+            let (again, _) =
+                partition_weighted_view_reusing(&g, &shifts, Traversal::Auto, None, &mut scratch);
+            assert_eq!(first, again);
+        }
+        assert_eq!(scratch.capacity_bytes(), bytes, "arenas regrew");
+        // The same scratch serves the sequential path and a smaller view.
+        let (seq, _) =
+            partition_weighted_view_reusing(&g, &shifts, Traversal::TopDownSeq, None, &mut scratch);
+        assert_eq!(first, seq);
+        let small = random_weighted(&gen::path(9), 0);
+        let small_shifts = ExpShifts::generate(9, &o);
+        let (d, _) = partition_weighted_view_reusing(
+            &small,
+            &small_shifts,
+            Traversal::Auto,
+            None,
+            &mut scratch,
+        );
+        assert_eq!(d.assignment.len(), 9);
+    }
+
+    #[test]
+    fn runs_over_induced_views() {
+        // Partitioning an induced half of a graph equals partitioning the
+        // materialized subgraph (same dense ids, same shifts).
+        let g = random_weighted(&gen::grid2d(10, 10), 6);
+        let keep: Vec<bool> = (0..g.num_vertices()).map(|v| v % 3 != 0).collect();
+        let view = WeightedInducedView::from_mask(&g, &keep);
+        let edges: Vec<(Vertex, Vertex, f64)> = mpx_graph::weighted_view_edges(&view).collect();
+        let sub = WeightedCsrGraph::from_edges(view.active().len(), &edges);
+        let o = opts(0.25, 3);
+        let (via_view, _) = partition_weighted_view(&view, &o, None);
+        let (via_sub, _) = partition_weighted_view(&sub, &o, None);
+        assert_eq!(via_view, via_sub);
+    }
+
+    #[test]
+    fn validate_weights_reports_first_bad_edge() {
+        struct Evil;
+        impl mpx_graph::GraphView for Evil {
+            type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, Vertex>>;
+            fn num_vertices(&self) -> usize {
+                2
+            }
+            fn degree(&self, _v: Vertex) -> usize {
+                1
+            }
+            fn total_degree(&self) -> u64 {
+                2
+            }
+            fn neighbors_iter(&self, v: Vertex) -> Self::Neighbors<'_> {
+                if v == 0 {
+                    [1].iter().copied()
+                } else {
+                    [0].iter().copied()
+                }
+            }
+        }
+        impl WeightedGraphView for Evil {
+            type WeightedNeighbors<'a> = std::vec::IntoIter<(Vertex, f64)>;
+            fn neighbors_weighted_iter(&self, v: Vertex) -> Self::WeightedNeighbors<'_> {
+                if v == 0 {
+                    vec![(1, f64::NAN)].into_iter()
+                } else {
+                    vec![(0, f64::NAN)].into_iter()
+                }
+            }
+        }
+        let err = validate_weights(&Evil).unwrap_err();
+        match err {
+            ConfigError::InvalidWeight { u, v, weight } => {
+                assert_eq!((u, v), (0, 1));
+                assert!(weight.is_nan());
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        let good = WeightedCsrGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+        assert!(validate_weights(&good).is_ok());
+    }
+
+    #[test]
+    fn parents_form_shortest_path_trees() {
+        let g = random_weighted(&gen::grid2d(9, 9), 8);
+        let (d, _) = partition_weighted_view(&g, &opts(0.3, 5), None);
+        let parents = compute_parents_weighted(&g, &d);
+        for (v, &parent) in parents.iter().enumerate() {
+            if d.assignment[v] == v as Vertex {
+                assert_eq!(parent, NO_VERTEX);
+            } else {
+                let p = parent;
+                assert_eq!(d.assignment[p as usize], d.assignment[v]);
+                let w = g.edge_weight(v as Vertex, p).unwrap();
+                let err = (d.dist_to_center[p as usize] + w - d.dist_to_center[v]).abs();
+                assert!(err <= 1e-9 * (1.0 + d.dist_to_center[v].abs()));
+            }
+        }
+    }
+}

@@ -44,9 +44,10 @@
 //! ```
 
 use crate::csr::{CsrGraph, Vertex};
-use crate::snapshot::{self, MappedCsr};
+use crate::snapshot::{self, MappedCsr, MappedWeightedCsr};
 use crate::view::GraphView;
 use crate::weighted::WeightedCsrGraph;
+use crate::wview::WeightedGraphView;
 use rayon::prelude::*;
 use std::borrow::Cow;
 use std::fs::File;
@@ -326,6 +327,140 @@ pub fn load_graph<P: AsRef<Path>>(path: P) -> io::Result<LoadedGraph> {
     load_graph_with(path, TextParser::Auto)
 }
 
+/// A **weighted** graph loaded from disk: either a memory-mapped weighted
+/// snapshot or an owned [`WeightedCsrGraph`]. Implements both
+/// [`GraphView`] and [`WeightedGraphView`], so it feeds the weighted
+/// decomposition engine either way.
+#[derive(Debug)]
+pub enum WeightedLoadedGraph {
+    /// A zero-copy mapped weighted snapshot.
+    Mapped(MappedWeightedCsr),
+    /// An owned in-memory weighted graph.
+    Owned(WeightedCsrGraph),
+}
+
+impl WeightedLoadedGraph {
+    /// Vertex count.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            WeightedLoadedGraph::Mapped(m) => m.num_vertices(),
+            WeightedLoadedGraph::Owned(g) => g.num_vertices(),
+        }
+    }
+
+    /// Undirected edge count.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            WeightedLoadedGraph::Mapped(m) => m.num_edges(),
+            WeightedLoadedGraph::Owned(g) => g.num_edges(),
+        }
+    }
+
+    /// Whether this is a zero-copy mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, WeightedLoadedGraph::Mapped(m) if m.is_mapped())
+    }
+
+    /// An owned view: borrows when already owned, materializes a
+    /// [`WeightedCsrGraph`] from a mapping.
+    pub fn as_weighted_csr(&self) -> Cow<'_, WeightedCsrGraph> {
+        match self {
+            WeightedLoadedGraph::Mapped(m) => Cow::Owned(m.to_graph()),
+            WeightedLoadedGraph::Owned(g) => Cow::Borrowed(g),
+        }
+    }
+}
+
+impl GraphView for WeightedLoadedGraph {
+    type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, Vertex>>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        WeightedLoadedGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        match self {
+            WeightedLoadedGraph::Mapped(m) => GraphView::degree(m, v),
+            WeightedLoadedGraph::Owned(g) => g.degree(v),
+        }
+    }
+
+    #[inline]
+    fn total_degree(&self) -> u64 {
+        2 * self.num_edges() as u64
+    }
+
+    #[inline]
+    fn neighbors_iter(&self, v: Vertex) -> Self::Neighbors<'_> {
+        match self {
+            WeightedLoadedGraph::Mapped(m) => m.neighbors(v).iter().copied(),
+            WeightedLoadedGraph::Owned(g) => g.neighbors(v).iter().copied(),
+        }
+    }
+}
+
+impl WeightedGraphView for WeightedLoadedGraph {
+    type WeightedNeighbors<'a> = std::iter::Zip<
+        std::iter::Copied<std::slice::Iter<'a, Vertex>>,
+        std::iter::Copied<std::slice::Iter<'a, f64>>,
+    >;
+
+    #[inline]
+    fn neighbors_weighted_iter(&self, v: Vertex) -> Self::WeightedNeighbors<'_> {
+        match self {
+            WeightedLoadedGraph::Mapped(m) => m
+                .neighbors(v)
+                .iter()
+                .copied()
+                .zip(m.weights_of(v).iter().copied()),
+            WeightedLoadedGraph::Owned(g) => g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .zip(g.weights_of(v).iter().copied()),
+        }
+    }
+
+    #[inline]
+    fn total_weight(&self) -> f64 {
+        match self {
+            WeightedLoadedGraph::Mapped(m) => WeightedGraphView::total_weight(m),
+            WeightedLoadedGraph::Owned(g) => g.total_weight(),
+        }
+    }
+}
+
+/// Loads a weighted graph for traversal: weighted `.mpx` snapshots stay
+/// memory-mapped (owned decode where mapping is unsupported); anything
+/// else is parsed as a weighted edge list (`u v w` records). The weighted
+/// twin of [`load_graph_with`].
+pub fn load_weighted_graph_with<P: AsRef<Path>>(
+    path: P,
+    _parser: TextParser,
+) -> io::Result<WeightedLoadedGraph> {
+    let path = path.as_ref();
+    match detect_format(path)? {
+        GraphFormat::Snapshot => match MappedWeightedCsr::open(path) {
+            Ok(m) => Ok(WeightedLoadedGraph::Mapped(m)),
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => Ok(WeightedLoadedGraph::Owned(
+                snapshot::read_weighted_snapshot(path)?,
+            )),
+            Err(e) => Err(e),
+        },
+        GraphFormat::EdgeList => Ok(WeightedLoadedGraph::Owned(read_weighted_edge_list(path)?)),
+        other => Err(bad(format!(
+            "no weighted reader for {other} files (use a weighted edge list or .mpx snapshot)"
+        ))),
+    }
+}
+
+/// [`load_weighted_graph_with`] with the default parser choice.
+pub fn load_weighted_graph<P: AsRef<Path>>(path: P) -> io::Result<WeightedLoadedGraph> {
+    load_weighted_graph_with(path, TextParser::Auto)
+}
+
 // ---------------------------------------------------------------------------
 // Writers
 // ---------------------------------------------------------------------------
@@ -521,6 +656,11 @@ pub fn read_weighted_edge_list<P: AsRef<Path>>(path: P) -> io::Result<WeightedCs
         let w: f64 = parse(it.next(), "w")?;
         check_endpoint(u, n)?;
         check_endpoint(v, n)?;
+        if !(w.is_finite() && w > 0.0) {
+            return Err(bad(format!(
+                "edge ({u},{v}) has invalid weight {w} (must be finite and positive)"
+            )));
+        }
         edges.push((u, v, w));
     }
     Ok(WeightedCsrGraph::from_edges(n, &edges))

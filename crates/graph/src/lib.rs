@@ -21,8 +21,14 @@
 //! * [`io`] — plain edge-list, DIMACS `.gr` and METIS readers/writers,
 //!   format auto-detection, and chunked **parallel text parsers** that
 //!   assemble CSR directly (no intermediate edge list).
+//! * [`wview`] — the weighted twin of [`view`]: the [`WeightedGraphView`]
+//!   traversal trait with GAT `(neighbor, weight)` iterators, implemented
+//!   by [`WeightedCsrGraph`], [`WeightedInducedView`] (zero-copy vertex
+//!   subsets) and [`MappedWeightedCsr`] (mmap'd weighted snapshots).
 //! * [`snapshot`] — the `.mpx` binary CSR snapshot format: versioned,
-//!   checksummed, and loadable zero-copy via [`MappedCsr`] (`mmap`).
+//!   checksummed, and loadable zero-copy via [`MappedCsr`] (`mmap`); a
+//!   flags bit adds an `f64` weight payload, loadable via
+//!   [`MappedWeightedCsr`].
 //! * [`algo`] — sequential oracles (BFS, Dijkstra, connected components,
 //!   union-find, diameter estimation) used to verify the parallel code.
 //!
@@ -46,13 +52,15 @@ pub mod properties;
 pub mod snapshot;
 pub mod view;
 pub mod weighted;
+pub mod wview;
 
 pub use builder::GraphBuilder;
 pub use csr::{induced_materializations, CsrGraph, Vertex, NO_VERTEX};
-pub use io::{GraphFormat, LoadedGraph, TextParser};
-pub use snapshot::MappedCsr;
+pub use io::{GraphFormat, LoadedGraph, TextParser, WeightedLoadedGraph};
+pub use snapshot::{MappedCsr, MappedWeightedCsr};
 pub use view::{view_edges, EdgeFilteredView, GraphView, InducedView};
 pub use weighted::{WeightedCsrGraph, WeightedGraphBuilder};
+pub use wview::{weighted_view_edges, WeightedGraphView, WeightedInducedView};
 
 /// Distance value used by unweighted BFS; `u32::MAX` means unreachable.
 pub type Dist = u32;

@@ -16,16 +16,25 @@
 //! |-------|-------|
 //! | 0..8  | magic `"MPXCSR1\n"` |
 //! | 8..12 | version (`u32` LE, = 1) |
-//! | 12..16 | flags (`u32` LE, must be 0) |
+//! | 12..16 | flags (`u32` LE, 0 or [`FLAG_WEIGHTED`]) |
 //! | 16..24 | `n` — vertex count (`u64` LE) |
 //! | 24..32 | `m` — undirected edge count (`u64` LE) |
 //! | 32..40 | payload checksum (`u64` LE, chunked FNV-1a) |
 //! | 40..64 | reserved, must be zero |
 //! | 64..64+8(n+1) | CSR offsets, `n+1` × `u64` LE |
-//! | …end  | CSR targets, `2m` × `u32` LE |
+//! | …     | CSR targets, `2m` × `u32` LE |
+//! | …end  | per-arc weights, `2m` × `f64` LE — only when [`FLAG_WEIGHTED`] |
 //!
-//! The header is 64 bytes so both arrays start naturally aligned in any
-//! page-aligned mapping, which is what makes the zero-copy casts sound.
+//! The header is 64 bytes so every array starts naturally aligned in any
+//! page-aligned mapping (the weights start at `64 + 8(n+1) + 8m`, a
+//! multiple of 8), which is what makes the zero-copy casts sound.
+//!
+//! Weighted snapshots set the [`FLAG_WEIGHTED`] flags bit and append one
+//! `f64` per arc, parallel to the targets array. They are written by
+//! [`write_weighted_snapshot`] and loaded by [`read_weighted_snapshot`]
+//! (owned) or [`MappedWeightedCsr::open`] (zero-copy); the unweighted
+//! loaders refuse them with a clear error rather than silently dropping
+//! the weights.
 //!
 //! ```
 //! use mpx_graph::{gen, snapshot, GraphView};
@@ -45,6 +54,7 @@
 //! ```
 
 use crate::csr::{CsrGraph, Vertex};
+use crate::weighted::WeightedCsrGraph;
 use rayon::prelude::*;
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -56,6 +66,16 @@ pub const MAGIC: [u8; 8] = *b"MPXCSR1\n";
 
 /// Current (and only) format version.
 pub const VERSION: u32 = 1;
+
+/// Flags bit: the payload carries one `f64` weight per arc after the
+/// targets array. Set by [`write_weighted_snapshot`]; files with this bit
+/// must be loaded through the weighted loaders.
+pub const FLAG_WEIGHTED: u32 = 1;
+
+/// All flag bits a version-1 reader understands; anything else is
+/// rejected (an unknown optional feature cannot be proven safe to
+/// ignore).
+const KNOWN_FLAGS: u32 = FLAG_WEIGHTED;
 
 /// Header size in bytes; also the byte offset of the offsets array.
 pub const HEADER_LEN: usize = 64;
@@ -146,7 +166,7 @@ impl ChunkedFnv {
 pub struct SnapshotHeader {
     /// Format version (currently always [`VERSION`]).
     pub version: u32,
-    /// Feature flags; must be zero in version 1.
+    /// Feature flags; zero or [`FLAG_WEIGHTED`] in version 1.
     pub flags: u32,
     /// Vertex count.
     pub n: u64,
@@ -158,7 +178,7 @@ pub struct SnapshotHeader {
 
 impl SnapshotHeader {
     /// Parses and validates the fixed-size header, rejecting wrong magic,
-    /// unknown versions, nonzero flags and nonzero reserved bytes. Does
+    /// unknown versions, unknown flags and nonzero reserved bytes. Does
     /// *not* check the payload — see [`SnapshotHeader::expected_file_len`]
     /// and [`payload_checksum`] for that.
     pub fn parse(bytes: &[u8]) -> io::Result<SnapshotHeader> {
@@ -186,7 +206,7 @@ impl SnapshotHeader {
                 header.version
             )));
         }
-        if header.flags != 0 {
+        if header.flags & !KNOWN_FLAGS != 0 {
             return Err(bad(format!(
                 "snapshot uses unknown feature flags {:#x}",
                 header.flags
@@ -229,15 +249,33 @@ impl SnapshotHeader {
         let targets = m
             .checked_mul(8) // 2m arcs × 4 bytes
             .ok_or_else(|| bad("snapshot targets array overflows usize"))?;
+        let weights = if self.is_weighted() {
+            m.checked_mul(16) // 2m arcs × 8 bytes
+                .ok_or_else(|| bad("snapshot weights array overflows usize"))?
+        } else {
+            0
+        };
         HEADER_LEN
             .checked_add(offsets)
             .and_then(|t| t.checked_add(targets))
+            .and_then(|t| t.checked_add(weights))
             .ok_or_else(|| bad("snapshot file length overflows usize"))
+    }
+
+    /// Whether the payload carries the per-arc weight array.
+    pub fn is_weighted(&self) -> bool {
+        self.flags & FLAG_WEIGHTED != 0
     }
 
     /// Byte offset where the targets array starts.
     fn targets_start(&self) -> usize {
         HEADER_LEN + 8 * (self.n as usize + 1)
+    }
+
+    /// Byte offset where the weights array starts (weighted files only).
+    /// A multiple of 8: `64 + 8(n+1) + 4·2m`.
+    fn weights_start(&self) -> usize {
+        self.targets_start() + 8 * self.m as usize
     }
 }
 
@@ -296,6 +334,64 @@ pub fn write_snapshot<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
     file.flush()
 }
 
+/// Writes `g` as a **weighted** version-1 `.mpx` snapshot: the
+/// [`FLAG_WEIGHTED`] flags bit plus one `f64` LE weight per arc appended
+/// after the targets array. Same single-pass streaming checksum as
+/// [`write_snapshot`].
+///
+/// ```
+/// use mpx_graph::{snapshot, WeightedCsrGraph};
+/// let g = WeightedCsrGraph::from_edges(3, &[(0, 1, 0.5), (1, 2, 2.5)]);
+/// let mut path = std::env::temp_dir();
+/// path.push(format!("doc-wsnap-{}.mpx", std::process::id()));
+/// snapshot::write_weighted_snapshot(&g, &path).unwrap();
+/// assert_eq!(snapshot::read_weighted_snapshot(&path).unwrap(), g);
+/// # std::fs::remove_file(&path).ok();
+/// ```
+pub fn write_weighted_snapshot<P: AsRef<Path>>(g: &WeightedCsrGraph, path: P) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    let mut header = SnapshotHeader {
+        version: VERSION,
+        flags: FLAG_WEIGHTED,
+        n: g.num_vertices() as u64,
+        m: g.num_edges() as u64,
+        checksum: 0,
+    };
+    file.write_all(&header.encode())?;
+
+    const BLOCK_VALUES: usize = 64 * 1024;
+    let mut hasher = ChunkedFnv::new();
+    let mut buf = Vec::with_capacity(BLOCK_VALUES * 8);
+    let flush = |buf: &mut Vec<u8>, hasher: &mut ChunkedFnv, file: &mut File| -> io::Result<()> {
+        hasher.update(buf);
+        file.write_all(buf)?;
+        buf.clear();
+        Ok(())
+    };
+    for chunk in g.offsets().chunks(BLOCK_VALUES) {
+        for &o in chunk {
+            buf.extend_from_slice(&(o as u64).to_le_bytes());
+        }
+        flush(&mut buf, &mut hasher, &mut file)?;
+    }
+    for chunk in g.targets().chunks(BLOCK_VALUES) {
+        for &t in chunk {
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+        flush(&mut buf, &mut hasher, &mut file)?;
+    }
+    for chunk in g.weights().chunks(BLOCK_VALUES) {
+        for &w in chunk {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        flush(&mut buf, &mut hasher, &mut file)?;
+    }
+    header.checksum = hasher.finish();
+    file.seek(SeekFrom::Start(0))?;
+    file.write_all(&header.encode())?;
+    file.flush()
+}
+
 /// Reads just the header of a snapshot (cheap: 64 bytes).
 pub fn read_header<P: AsRef<Path>>(path: P) -> io::Result<SnapshotHeader> {
     let mut file = File::open(path)?;
@@ -327,7 +423,43 @@ pub fn read_header<P: AsRef<Path>>(path: P) -> io::Result<SnapshotHeader> {
 pub fn read_snapshot<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
     let bytes = std::fs::read(path)?;
     let header = SnapshotHeader::parse(&bytes)?;
+    if header.is_weighted() {
+        return Err(bad(
+            "snapshot is weighted; use read_weighted_snapshot or MappedWeightedCsr",
+        ));
+    }
     check_payload(&header, &bytes)?;
+    let (offsets, targets) = decode_arrays(&header, &bytes)?;
+    structural_check(&offsets, &targets, header.n as usize)?;
+    Ok(CsrGraph::from_parts(offsets, targets))
+}
+
+/// Reads a **weighted** snapshot into an owned [`WeightedCsrGraph`]
+/// (endianness-independent twin of [`read_snapshot`]). Verifies length,
+/// checksum, the full adjacency structure, and the weight invariants
+/// (finite, strictly positive, symmetric).
+pub fn read_weighted_snapshot<P: AsRef<Path>>(path: P) -> io::Result<WeightedCsrGraph> {
+    let bytes = std::fs::read(path)?;
+    let header = SnapshotHeader::parse(&bytes)?;
+    if !header.is_weighted() {
+        return Err(bad(
+            "snapshot is unweighted; use read_snapshot or MappedCsr (or \
+             WeightedCsrGraph::unit_weights after loading)",
+        ));
+    }
+    check_payload(&header, &bytes)?;
+    let (offsets, targets) = decode_arrays(&header, &bytes)?;
+    let mut weights = Vec::with_capacity(2 * header.m as usize);
+    for chunk in bytes[header.weights_start()..].chunks_exact(8) {
+        weights.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    structural_check(&offsets, &targets, header.n as usize)?;
+    weight_check(header.n as usize, &targets, &weights, |i| offsets[i])?;
+    Ok(WeightedCsrGraph::from_parts(offsets, targets, weights))
+}
+
+/// Decodes the offsets and targets arrays shared by both snapshot kinds.
+fn decode_arrays(header: &SnapshotHeader, bytes: &[u8]) -> io::Result<(Vec<usize>, Vec<Vertex>)> {
     let n = header.n as usize;
     let arcs = 2 * header.m as usize;
     let mut offsets = Vec::with_capacity(n + 1);
@@ -339,11 +471,11 @@ pub fn read_snapshot<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
         offsets.push(v);
     }
     let mut targets = Vec::with_capacity(arcs);
-    for chunk in bytes[header.targets_start()..].chunks_exact(4) {
+    let targets_end = header.targets_start() + 4 * arcs;
+    for chunk in bytes[header.targets_start()..targets_end].chunks_exact(4) {
         targets.push(Vertex::from_le_bytes(chunk.try_into().unwrap()));
     }
-    structural_check(&offsets, &targets, n)?;
-    Ok(CsrGraph::from_parts(offsets, targets))
+    Ok((offsets, targets))
 }
 
 /// Validates file length and payload checksum against the header.
@@ -409,6 +541,45 @@ fn adjacency_check(
         return Err(bad(
             "snapshot adjacency invalid (unsorted, duplicate, self-loop, \
              out-of-range, or asymmetric neighbor)",
+        ));
+    }
+    Ok(())
+}
+
+/// The weight half of the structural audit for weighted snapshots, shared
+/// by the owned and mapped loaders. Precondition: `adjacency_check`
+/// passed, so every binary search below succeeds and every slice is in
+/// bounds. Verifies each weight is finite and strictly positive and the
+/// reverse arc stores the bit-identical value.
+fn weight_check(
+    n: usize,
+    targets: &[Vertex],
+    weights: &[f64],
+    off: impl Fn(usize) -> usize + Sync,
+) -> io::Result<()> {
+    if weights.len() != targets.len() {
+        return Err(bad("snapshot weights array length mismatch"));
+    }
+    let ok = (0..n).into_par_iter().all(|v| {
+        let lo = off(v);
+        let hi = off(v + 1);
+        targets[lo..hi]
+            .iter()
+            .zip(&weights[lo..hi])
+            .all(|(&t, &w)| {
+                if !(w.is_finite() && w > 0.0) {
+                    return false;
+                }
+                let tlo = off(t as usize);
+                let back = targets[tlo..off(t as usize + 1)]
+                    .binary_search(&(v as Vertex))
+                    .expect("adjacency_check guarantees symmetry");
+                weights[tlo + back].to_bits() == w.to_bits()
+            })
+    });
+    if !ok {
+        return Err(bad(
+            "snapshot weights invalid (non-finite, non-positive, or asymmetric)",
         ));
     }
     Ok(())
@@ -601,6 +772,24 @@ mod filebuf {
             // contract above; u32 tolerates any bit pattern.
             unsafe { std::slice::from_raw_parts(ptr as *const u32, count) }
         }
+
+        /// Reinterprets `bytes()[start..start + 8 * count]` as `f64`s
+        /// (same validated-header contract as [`FileBytes::as_u64s`]).
+        pub fn as_f64s(&self, start: usize, count: usize) -> &[f64] {
+            let b = self.bytes();
+            debug_assert!(
+                start
+                    .checked_add(count * 8)
+                    .is_some_and(|end| end <= b.len()),
+                "f64 range out of bounds"
+            );
+            let ptr = b[start..].as_ptr();
+            debug_assert_eq!(ptr.align_offset(8), 0, "f64 range misaligned");
+            // SAFETY: in-bounds and aligned per the validated-header
+            // contract above; f64 tolerates any bit pattern (NaN payloads
+            // included — the loader's weight audit rejects them anyway).
+            unsafe { std::slice::from_raw_parts(ptr as *const f64, count) }
+        }
     }
 }
 
@@ -640,6 +829,11 @@ impl MappedCsr {
         }
         let (buf, mapped) = filebuf::FileBytes::map_or_read(path.as_ref())?;
         let header = SnapshotHeader::parse(buf.bytes())?;
+        if header.is_weighted() {
+            return Err(bad(
+                "snapshot is weighted; use MappedWeightedCsr or read_weighted_snapshot",
+            ));
+        }
         check_payload(&header, buf.bytes())?;
         let g = MappedCsr {
             buf,
@@ -760,11 +954,200 @@ impl crate::view::GraphView for MappedCsr {
     }
 }
 
+/// A zero-copy, memory-mapped **weighted** `.mpx` snapshot.
+///
+/// The weighted twin of [`MappedCsr`]: implements both
+/// [`crate::GraphView`] and [`crate::WeightedGraphView`], so the weighted
+/// decomposition engine traverses the file's pages directly. Opening
+/// validates everything [`MappedCsr::open`] does plus the weight
+/// invariants (finite, strictly positive, bit-identical on both arc
+/// directions) — an open `MappedWeightedCsr` satisfies every
+/// [`WeightedCsrGraph`] invariant.
+pub struct MappedWeightedCsr {
+    buf: filebuf::FileBytes,
+    header: SnapshotHeader,
+    mapped: bool,
+}
+
+impl MappedWeightedCsr {
+    /// Opens and fully checks a weighted snapshot (see type docs).
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<MappedWeightedCsr> {
+        if cfg!(target_endian = "big") {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "zero-copy snapshots require a little-endian target; use read_weighted_snapshot",
+            ));
+        }
+        let (buf, mapped) = filebuf::FileBytes::map_or_read(path.as_ref())?;
+        let header = SnapshotHeader::parse(buf.bytes())?;
+        if !header.is_weighted() {
+            return Err(bad(
+                "snapshot is unweighted; use MappedCsr or read_snapshot",
+            ));
+        }
+        check_payload(&header, buf.bytes())?;
+        let g = MappedWeightedCsr {
+            buf,
+            header,
+            mapped,
+        };
+        let offsets = g.offsets();
+        if offsets.first() != Some(&0) {
+            return Err(bad("snapshot offsets[0] != 0"));
+        }
+        if offsets.last() != Some(&(2 * header.m)) {
+            return Err(bad("snapshot offsets[n] != 2m"));
+        }
+        if !offsets.par_windows(2).all(|w| w[0] <= w[1]) {
+            return Err(bad("snapshot offsets not non-decreasing"));
+        }
+        let off = |i: usize| offsets[i] as usize;
+        adjacency_check(header.n as usize, g.targets(), off)?;
+        weight_check(header.n as usize, g.targets(), g.weights(), off)?;
+        Ok(g)
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &SnapshotHeader {
+        &self.header
+    }
+
+    /// Whether the bytes are an actual `mmap` (vs the owned fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.mapped
+    }
+
+    /// Vertex count `n`.
+    pub fn num_vertices(&self) -> usize {
+        self.header.n as usize
+    }
+
+    /// Undirected edge count `m`.
+    pub fn num_edges(&self) -> usize {
+        self.header.m as usize
+    }
+
+    /// Directed arc count `2m`.
+    pub fn num_arcs(&self) -> usize {
+        2 * self.num_edges()
+    }
+
+    /// The raw offsets array (`n + 1` values).
+    pub fn offsets(&self) -> &[u64] {
+        self.buf.as_u64s(HEADER_LEN, self.num_vertices() + 1)
+    }
+
+    /// The raw targets array (`2m` values).
+    pub fn targets(&self) -> &[Vertex] {
+        self.buf
+            .as_u32s(self.header.targets_start(), self.num_arcs())
+    }
+
+    /// The raw per-arc weights array (`2m` values), parallel to
+    /// [`Self::targets`].
+    pub fn weights(&self) -> &[f64] {
+        self.buf
+            .as_f64s(self.header.weights_start(), self.num_arcs())
+    }
+
+    /// Sorted neighbor slice of `v` — a view straight into the file.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        let offsets = self.offsets();
+        let lo = offsets[v as usize] as usize;
+        let hi = offsets[v as usize + 1] as usize;
+        &self.targets()[lo..hi]
+    }
+
+    /// Weights parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn weights_of(&self, v: Vertex) -> &[f64] {
+        let offsets = self.offsets();
+        let lo = offsets[v as usize] as usize;
+        let hi = offsets[v as usize + 1] as usize;
+        &self.weights()[lo..hi]
+    }
+
+    /// Weight of edge `{u, v}` if present.
+    pub fn edge_weight(&self, u: Vertex, v: Vertex) -> Option<f64> {
+        let idx = self.neighbors(u).binary_search(&v).ok()?;
+        Some(self.weights_of(u)[idx])
+    }
+
+    /// Materializes an owned [`WeightedCsrGraph`].
+    pub fn to_graph(&self) -> WeightedCsrGraph {
+        let offsets: Vec<usize> = self.offsets().iter().map(|&o| o as usize).collect();
+        WeightedCsrGraph::from_parts(offsets, self.targets().to_vec(), self.weights().to_vec())
+    }
+
+    /// Re-audits structure and weights via [`WeightedCsrGraph::validate`]
+    /// (guard against the backing file changing after open).
+    pub fn validate(&self) -> Result<(), String> {
+        self.to_graph().validate()
+    }
+}
+
+impl std::fmt::Debug for MappedWeightedCsr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedWeightedCsr")
+            .field("n", &self.header.n)
+            .field("m", &self.header.m)
+            .field("mapped", &self.mapped)
+            .finish()
+    }
+}
+
+impl crate::view::GraphView for MappedWeightedCsr {
+    type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, Vertex>>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        MappedWeightedCsr::num_vertices(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        let offsets = self.offsets();
+        (offsets[v as usize + 1] - offsets[v as usize]) as usize
+    }
+
+    #[inline]
+    fn total_degree(&self) -> u64 {
+        2 * self.header.m
+    }
+
+    #[inline]
+    fn neighbors_iter(&self, v: Vertex) -> Self::Neighbors<'_> {
+        self.neighbors(v).iter().copied()
+    }
+}
+
+impl crate::wview::WeightedGraphView for MappedWeightedCsr {
+    type WeightedNeighbors<'a> = std::iter::Zip<
+        std::iter::Copied<std::slice::Iter<'a, Vertex>>,
+        std::iter::Copied<std::slice::Iter<'a, f64>>,
+    >;
+
+    #[inline]
+    fn neighbors_weighted_iter(&self, v: Vertex) -> Self::WeightedNeighbors<'_> {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights_of(v).iter().copied())
+    }
+
+    #[inline]
+    fn total_weight(&self) -> f64 {
+        self.weights().iter().sum::<f64>() / 2.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen;
     use crate::view::GraphView;
+    use crate::wview::WeightedGraphView;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -940,6 +1323,137 @@ mod tests {
             checksum: 0xdead_beef,
         };
         assert_eq!(SnapshotHeader::parse(&h.encode()).unwrap(), h);
+    }
+
+    fn random_weighted(g: &CsrGraph, seed: u64) -> WeightedCsrGraph {
+        let edges: Vec<(Vertex, Vertex, f64)> = (0..g.num_vertices() as Vertex)
+            .flat_map(|u| g.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u < v)
+            .enumerate()
+            .map(|(i, (u, v))| {
+                // splitmix64 on (seed, index): deterministic test weights.
+                let mut z = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                let r = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+                (u, v, 0.25 + 3.75 * r)
+            })
+            .collect();
+        WeightedCsrGraph::from_edges(g.num_vertices(), &edges)
+    }
+
+    #[test]
+    fn weighted_roundtrip_owned_and_mapped() {
+        for (name, g) in [
+            ("grid", random_weighted(&gen::grid2d(11, 7), 3)),
+            ("gnm", random_weighted(&gen::gnm(120, 400, 5), 9)),
+            ("empty", WeightedCsrGraph::from_edges(8, &[])),
+            ("null", WeightedCsrGraph::from_edges(0, &[])),
+        ] {
+            let p = tmp(&format!("wrt-{name}.mpx"));
+            write_weighted_snapshot(&g, &p).unwrap();
+            let header = read_header(&p).unwrap();
+            assert!(header.is_weighted(), "{name}: flags bit");
+            let owned = read_weighted_snapshot(&p).unwrap();
+            assert_eq!(owned, g, "{name}: owned load");
+            let mapped = MappedWeightedCsr::open(&p).unwrap();
+            assert_eq!(mapped.num_vertices(), g.num_vertices());
+            assert_eq!(mapped.num_edges(), g.num_edges());
+            assert_eq!(mapped.to_graph(), g, "{name}: mapped load");
+            assert!(mapped.validate().is_ok());
+            for v in 0..g.num_vertices() as Vertex {
+                assert_eq!(mapped.neighbors(v), g.neighbors(v));
+                assert_eq!(mapped.weights_of(v), g.weights_of(v));
+                let it: Vec<(Vertex, f64)> = mapped.neighbors_weighted_iter(v).collect();
+                let want: Vec<(Vertex, f64)> = g.neighbors_weighted(v).collect();
+                assert_eq!(it, want);
+            }
+            assert_eq!(mapped.total_weight().to_bits(), {
+                let s: f64 = g.weights().iter().sum::<f64>() / 2.0;
+                s.to_bits()
+            });
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn weighted_and_unweighted_loaders_reject_each_other() {
+        let wg = random_weighted(&gen::grid2d(5, 5), 1);
+        let p = tmp("cross.mpx");
+        write_weighted_snapshot(&wg, &p).unwrap();
+        for msg in [
+            read_snapshot(&p).unwrap_err().to_string(),
+            MappedCsr::open(&p).unwrap_err().to_string(),
+        ] {
+            assert!(msg.contains("weighted"), "{msg}");
+        }
+        write_snapshot(&wg.to_unweighted(), &p).unwrap();
+        for msg in [
+            read_weighted_snapshot(&p).unwrap_err().to_string(),
+            MappedWeightedCsr::open(&p).unwrap_err().to_string(),
+        ] {
+            assert!(msg.contains("unweighted"), "{msg}");
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn weighted_rejects_dishonest_weights() {
+        // Valid header + checksum but a NaN weight / an asymmetric weight:
+        // the weight audit must refuse both.
+        let wg = WeightedCsrGraph::from_edges(3, &[(0, 1, 1.5), (1, 2, 2.5)]);
+        let p = tmp("evil-w.mpx");
+        write_weighted_snapshot(&wg, &p).unwrap();
+        let good = std::fs::read(&p).unwrap();
+        let weights_start = HEADER_LEN + 8 * 4 + 4 * 4;
+
+        let mut cases: Vec<(Vec<u8>, &str)> = Vec::new();
+        let mut b = good.clone();
+        b[weights_start..weights_start + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        cases.push((b, "nan"));
+        let mut b = good.clone();
+        b[weights_start..weights_start + 8].copy_from_slice(&(-1.0f64).to_le_bytes());
+        cases.push((b, "negative"));
+        let mut b = good.clone();
+        // Arc (0→1) gets a different weight than (1→0): asymmetric.
+        b[weights_start..weights_start + 8].copy_from_slice(&9.0f64.to_le_bytes());
+        cases.push((b, "asymmetric"));
+
+        for (mut bytes, what) in cases {
+            let sum = payload_checksum(&bytes[HEADER_LEN..]);
+            bytes[32..40].copy_from_slice(&sum.to_le_bytes());
+            std::fs::write(&p, &bytes).unwrap();
+            for result in [
+                read_weighted_snapshot(&p).map(|_| ()),
+                MappedWeightedCsr::open(&p).map(|_| ()),
+            ] {
+                let e = result.unwrap_err();
+                assert!(e.to_string().contains("weights invalid"), "{what}: {e}");
+            }
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn weighted_length_and_checksum_checks_cover_weights() {
+        let wg = random_weighted(&gen::grid2d(6, 6), 2);
+        let p = tmp("wtrunc.mpx");
+        write_weighted_snapshot(&wg, &p).unwrap();
+        let good = std::fs::read(&p).unwrap();
+
+        // Flip a byte inside the weights payload: checksum catches it.
+        let mut b = good.clone();
+        let i = b.len() - 5;
+        b[i] ^= 0x10;
+        std::fs::write(&p, &b).unwrap();
+        let e = read_weighted_snapshot(&p).unwrap_err();
+        assert!(e.to_string().contains("checksum"), "{e}");
+
+        // Truncate the weights array: length check catches it.
+        std::fs::write(&p, &good[..good.len() - 8]).unwrap();
+        let e = MappedWeightedCsr::open(&p).unwrap_err();
+        assert!(e.to_string().contains("length mismatch"), "{e}");
+        std::fs::remove_file(p).ok();
     }
 
     #[test]

@@ -113,6 +113,37 @@ impl WeightedCsrGraph {
         self.weights.iter().sum::<f64>() / 2.0
     }
 
+    /// The raw CSR offset array (`n + 1` entries, ascending).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw arc target array (`2m` entries).
+    #[inline]
+    pub fn targets(&self) -> &[Vertex] {
+        &self.targets
+    }
+
+    /// The raw per-arc weight array, parallel to [`Self::targets`].
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Assembles a graph from already-validated CSR arrays (snapshot
+    /// loaders). The caller must guarantee every invariant `validate`
+    /// checks.
+    pub(crate) fn from_parts(offsets: Vec<usize>, targets: Vec<Vertex>, weights: Vec<f64>) -> Self {
+        let g = WeightedCsrGraph {
+            offsets,
+            targets,
+            weights,
+        };
+        debug_assert!(g.validate().is_ok());
+        g
+    }
+
     /// Checks invariants (symmetry, sortedness, positive finite weights).
     pub fn validate(&self) -> Result<(), String> {
         let n = self.num_vertices();

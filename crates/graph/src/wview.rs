@@ -1,0 +1,414 @@
+//! Zero-copy **weighted** graph views.
+//!
+//! [`WeightedGraphView`] is the weighted twin of [`GraphView`]: exactly the
+//! surface a shifted multi-source Dijkstra / Δ-stepping traversal needs —
+//! vertex count, degree, and ascending `(neighbor, weight)` iteration. One
+//! weighted engine (in `mpx-decomp`) runs over
+//!
+//! * a [`WeightedCsrGraph`] — the whole in-memory graph,
+//! * a [`WeightedInducedView`] — a **vertex subset** of a borrowed weighted
+//!   graph under dense ids, neighbors filtered on the fly, no CSR copy, and
+//! * a memory-mapped weighted `.mpx` snapshot
+//!   ([`crate::snapshot::MappedWeightedCsr`]) — the engine traverses the
+//!   file's pages.
+//!
+//! [`GraphView`] is a supertrait: every weighted view also presents the
+//! unweighted traversal surface (weights dropped), so the unweighted
+//! helpers — cut-edge counting, the shared [`crate::view_edges`]
+//! enumeration, BFS oracles — apply to weighted graphs unchanged. That is
+//! what lets the weighted and unweighted decompositions share one
+//! cut-statistics implementation.
+//!
+//! # Id spaces
+//!
+//! As with the unweighted views, every view presents a dense id space
+//! `0..num_vertices()`; for [`WeightedInducedView`] the dense id of an
+//! active vertex is its rank in the ascending active list.
+
+use crate::csr::Vertex;
+use crate::view::GraphView;
+use crate::weighted::WeightedCsrGraph;
+use rayon::prelude::*;
+use std::borrow::Cow;
+
+/// Below this many active vertices the view constructors run their degree
+/// scans inline (recursive pipelines build many tiny views).
+const PAR_CUTOFF: usize = 4096;
+
+/// The read-only traversal surface of a **weighted** graph: the weighted
+/// engine contract.
+///
+/// Same invariants as [`GraphView`] (symmetric, ascending, loop-free,
+/// duplicate-free neighbor lists) plus: the weight iterated with arc
+/// `(u → v)` equals the weight iterated with `(v → u)`, and all weights
+/// are finite and strictly positive. The engine's session entry points
+/// enforce the weight invariant with a typed error; implementations built
+/// from [`WeightedCsrGraph`] or a validated snapshot satisfy it by
+/// construction.
+pub trait WeightedGraphView: GraphView {
+    /// `(neighbor, weight)` iterator of one vertex, neighbors ascending.
+    type WeightedNeighbors<'a>: Iterator<Item = (Vertex, f64)> + 'a
+    where
+        Self: 'a;
+
+    /// Ascending `(neighbor, weight)` pairs of `v` within the view.
+    fn neighbors_weighted_iter(&self, v: Vertex) -> Self::WeightedNeighbors<'_>;
+
+    /// Sum of all edge weights within the view (each undirected edge
+    /// counted once). The default implementation sweeps every arc; CSR
+    /// implementations override it with a cheaper direct sum.
+    fn total_weight(&self) -> f64 {
+        (0..self.num_vertices() as Vertex)
+            .map(|v| self.neighbors_weighted_iter(v).map(|(_, w)| w).sum::<f64>())
+            .sum::<f64>()
+            / 2.0
+    }
+}
+
+/// Ascending undirected weighted edges `(u, v, w)` with `u < v` of any
+/// weighted view — the weighted twin of [`crate::view_edges`], and the
+/// shared enumeration the weighted coarsening/spanner/cut pipelines use so
+/// they visit edges identically whether the graph is in memory, a mapped
+/// snapshot, or an induced view.
+pub fn weighted_view_edges<W: WeightedGraphView>(
+    view: &W,
+) -> impl Iterator<Item = (Vertex, Vertex, f64)> + '_ {
+    (0..view.num_vertices() as Vertex).flat_map(move |u| {
+        view.neighbors_weighted_iter(u)
+            .filter(move |&(v, _)| u < v)
+            .map(move |(v, w)| (u, v, w))
+    })
+}
+
+impl GraphView for WeightedCsrGraph {
+    type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, Vertex>>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        WeightedCsrGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        WeightedCsrGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn total_degree(&self) -> u64 {
+        self.targets().len() as u64
+    }
+
+    #[inline]
+    fn neighbors_iter(&self, v: Vertex) -> Self::Neighbors<'_> {
+        self.neighbors(v).iter().copied()
+    }
+}
+
+impl WeightedGraphView for WeightedCsrGraph {
+    type WeightedNeighbors<'a> = std::iter::Zip<
+        std::iter::Copied<std::slice::Iter<'a, Vertex>>,
+        std::iter::Copied<std::slice::Iter<'a, f64>>,
+    >;
+
+    #[inline]
+    fn neighbors_weighted_iter(&self, v: Vertex) -> Self::WeightedNeighbors<'_> {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights_of(v).iter().copied())
+    }
+
+    #[inline]
+    fn total_weight(&self) -> f64 {
+        WeightedCsrGraph::total_weight(self)
+    }
+}
+
+/// A vertex-induced subgraph **view** of a weighted graph: a borrowed
+/// [`WeightedGraphView`] plus an active-vertex subset, presented under
+/// dense ids without copying any CSR arrays — the weighted twin of
+/// [`crate::InducedView`], with the same sparse-set membership rule
+/// (`rank` may hold garbage outside the active set, so recursions over
+/// disjoint pieces can share one rank scratch).
+///
+/// ```
+/// use mpx_graph::{GraphView, WeightedCsrGraph, WeightedGraphView, WeightedInducedView};
+/// let g = WeightedCsrGraph::from_edges(4, &[(0, 1, 0.5), (1, 2, 2.0), (2, 3, 1.0)]);
+/// let view = WeightedInducedView::from_mask(&g, &[true, true, true, false]);
+/// assert_eq!(view.num_vertices(), 3);
+/// let nbrs: Vec<(u32, f64)> = view.neighbors_weighted_iter(1).collect();
+/// assert_eq!(nbrs, vec![(0, 0.5), (2, 2.0)]);
+/// ```
+pub struct WeightedInducedView<'a, W: WeightedGraphView = WeightedCsrGraph> {
+    graph: &'a W,
+    /// Original ids of the active vertices, ascending; dense id = index.
+    active: Cow<'a, [Vertex]>,
+    /// Sparse-set rank array: `rank[active[i]] == i`; arbitrary elsewhere.
+    rank: Cow<'a, [Vertex]>,
+    /// Active-degree prefix sums; the last entry is `2m_active`.
+    deg_prefix: Vec<u64>,
+}
+
+impl<'a, W: WeightedGraphView> WeightedInducedView<'a, W> {
+    /// View of the vertices with `keep[v] == true` (mask length `n`).
+    pub fn from_mask(graph: &'a W, keep: &[bool]) -> Self {
+        assert_eq!(keep.len(), graph.num_vertices());
+        let active: Vec<Vertex> = (0..graph.num_vertices() as Vertex)
+            .filter(|&v| keep[v as usize])
+            .collect();
+        let mut rank = vec![0 as Vertex; graph.num_vertices()];
+        for (i, &v) in active.iter().enumerate() {
+            rank[v as usize] = i as Vertex;
+        }
+        let deg_prefix = build_deg_prefix(graph, &active, &rank);
+        WeightedInducedView {
+            graph,
+            active: Cow::Owned(active),
+            rank: Cow::Owned(rank),
+            deg_prefix,
+        }
+    }
+
+    /// Zero-allocation view over caller-maintained sparse-set arrays (same
+    /// contract as [`crate::InducedView::from_parts`]: `active` strictly
+    /// ascending, `rank[active[i]] == i`, garbage tolerated elsewhere).
+    pub fn from_parts(graph: &'a W, active: &'a [Vertex], rank: &'a [Vertex]) -> Self {
+        assert_eq!(rank.len(), graph.num_vertices());
+        debug_assert!(
+            active.windows(2).all(|w| w[0] < w[1]),
+            "active list must be strictly ascending"
+        );
+        debug_assert!((0..active.len()).all(|i| rank[active[i] as usize] == i as Vertex));
+        let deg_prefix = build_deg_prefix(graph, active, rank);
+        WeightedInducedView {
+            graph,
+            active: Cow::Borrowed(active),
+            rank: Cow::Borrowed(rank),
+            deg_prefix,
+        }
+    }
+
+    /// The underlying weighted graph.
+    pub fn graph(&self) -> &'a W {
+        self.graph
+    }
+
+    /// Original ids of the active vertices, ascending (dense id = index).
+    pub fn active(&self) -> &[Vertex] {
+        &self.active
+    }
+
+    /// Original id of dense vertex `v`.
+    #[inline]
+    pub fn old_of(&self, v: Vertex) -> Vertex {
+        self.active[v as usize]
+    }
+
+    /// Dense id of original vertex `w`, or `None` if `w` is not active.
+    #[inline]
+    pub fn dense_of(&self, w: Vertex) -> Option<Vertex> {
+        let r = self.rank[w as usize];
+        ((r as usize) < self.active.len() && self.active[r as usize] == w).then_some(r)
+    }
+
+    /// Number of undirected edges inside the view.
+    pub fn num_edges(&self) -> usize {
+        (self.total_degree() / 2) as usize
+    }
+}
+
+/// Active-degree prefix sums (parallel above the tiny-view cutoff).
+fn build_deg_prefix<W: WeightedGraphView>(
+    graph: &W,
+    active: &[Vertex],
+    rank: &[Vertex],
+) -> Vec<u64> {
+    let is_member = |w: Vertex| -> bool {
+        let r = rank[w as usize];
+        (r as usize) < active.len() && active[r as usize] == w
+    };
+    let count =
+        |v: Vertex| -> u64 { graph.neighbors_iter(v).filter(|&w| is_member(w)).count() as u64 };
+    let deg: Vec<u64> = if active.len() >= PAR_CUTOFF {
+        active.par_iter().map(|&v| count(v)).collect()
+    } else {
+        active.iter().map(|&v| count(v)).collect()
+    };
+    let mut prefix = Vec::with_capacity(deg.len() + 1);
+    let mut acc = 0u64;
+    prefix.push(0);
+    for d in deg {
+        acc += d;
+        prefix.push(acc);
+    }
+    prefix
+}
+
+/// Ascending active `(neighbor, weight)` pairs of one vertex of a
+/// [`WeightedInducedView`], already translated to dense ids.
+pub struct WeightedInducedNeighbors<'v, 'g, W: WeightedGraphView = WeightedCsrGraph> {
+    inner: W::WeightedNeighbors<'g>,
+    view: &'v WeightedInducedView<'g, W>,
+}
+
+impl<W: WeightedGraphView> Iterator for WeightedInducedNeighbors<'_, '_, W> {
+    type Item = (Vertex, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(Vertex, f64)> {
+        for (w, wt) in self.inner.by_ref() {
+            if let Some(d) = self.view.dense_of(w) {
+                return Some((d, wt));
+            }
+        }
+        None
+    }
+}
+
+/// The unweighted projection of [`WeightedInducedNeighbors`] (the
+/// [`GraphView`] supertrait surface).
+pub struct WeightedInducedUnweighted<'v, 'g, W: WeightedGraphView = WeightedCsrGraph> {
+    inner: WeightedInducedNeighbors<'v, 'g, W>,
+}
+
+impl<W: WeightedGraphView> Iterator for WeightedInducedUnweighted<'_, '_, W> {
+    type Item = Vertex;
+
+    #[inline]
+    fn next(&mut self) -> Option<Vertex> {
+        self.inner.next().map(|(v, _)| v)
+    }
+}
+
+impl<'g, W: WeightedGraphView> GraphView for WeightedInducedView<'g, W> {
+    type Neighbors<'v>
+        = WeightedInducedUnweighted<'v, 'g, W>
+    where
+        Self: 'v;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.active.len()
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        (self.deg_prefix[v as usize + 1] - self.deg_prefix[v as usize]) as usize
+    }
+
+    #[inline]
+    fn total_degree(&self) -> u64 {
+        *self.deg_prefix.last().unwrap_or(&0)
+    }
+
+    #[inline]
+    fn neighbors_iter(&self, v: Vertex) -> Self::Neighbors<'_> {
+        WeightedInducedUnweighted {
+            inner: self.neighbors_weighted_iter(v),
+        }
+    }
+}
+
+impl<'g, W: WeightedGraphView> WeightedGraphView for WeightedInducedView<'g, W> {
+    type WeightedNeighbors<'v>
+        = WeightedInducedNeighbors<'v, 'g, W>
+    where
+        Self: 'v;
+
+    #[inline]
+    fn neighbors_weighted_iter(&self, v: Vertex) -> Self::WeightedNeighbors<'_> {
+        WeightedInducedNeighbors {
+            inner: self.graph.neighbors_weighted_iter(self.active[v as usize]),
+            view: self,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> WeightedCsrGraph {
+        WeightedCsrGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 0.5),
+                (2, 3, 4.0),
+                (1, 2, 8.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn csr_implements_both_views() {
+        let g = diamond();
+        assert_eq!(GraphView::num_vertices(&g), 4);
+        assert_eq!(GraphView::total_degree(&g), 10);
+        for v in 0..4u32 {
+            assert_eq!(GraphView::degree(&g, v), g.degree(v));
+            let unweighted: Vec<Vertex> = g.neighbors_iter(v).collect();
+            assert_eq!(unweighted.as_slice(), g.neighbors(v));
+            let weighted: Vec<(Vertex, f64)> = g.neighbors_weighted_iter(v).collect();
+            let expect: Vec<(Vertex, f64)> = g.neighbors_weighted(v).collect();
+            assert_eq!(weighted, expect);
+        }
+        assert_eq!(WeightedGraphView::total_weight(&g), g.total_weight());
+    }
+
+    #[test]
+    fn weighted_view_edges_matches_csr_edges() {
+        let g = diamond();
+        let via_view: Vec<(Vertex, Vertex, f64)> = weighted_view_edges(&g).collect();
+        let direct: Vec<(Vertex, Vertex, f64)> = g.edges().collect();
+        assert_eq!(via_view, direct);
+    }
+
+    #[test]
+    fn induced_view_filters_and_densifies() {
+        let g = diamond();
+        // Keep {0, 1, 3}: edges (0,1,1.0) and (1,3,0.5) survive.
+        let view = WeightedInducedView::from_mask(&g, &[true, true, false, true]);
+        assert_eq!(view.num_vertices(), 3);
+        assert_eq!(view.active(), &[0, 1, 3]);
+        assert_eq!(view.num_edges(), 2);
+        assert_eq!(view.old_of(2), 3);
+        assert_eq!(view.dense_of(3), Some(2));
+        assert_eq!(view.dense_of(2), None);
+        let nbrs: Vec<(Vertex, f64)> = view.neighbors_weighted_iter(1).collect();
+        assert_eq!(nbrs, vec![(0, 1.0), (2, 0.5)]);
+        let edges: Vec<(Vertex, Vertex, f64)> = weighted_view_edges(&view).collect();
+        assert_eq!(edges, vec![(0, 1, 1.0), (1, 2, 0.5)]);
+        // Unweighted projection agrees.
+        let unweighted: Vec<Vertex> = view.neighbors_iter(1).collect();
+        assert_eq!(unweighted, vec![0, 2]);
+        assert_eq!(GraphView::degree(&view, 1), 2);
+        assert_eq!(view.total_degree(), 4);
+        // Default total_weight sums the surviving edges.
+        assert!((view.total_weight() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_view_tolerates_stale_rank() {
+        let g = diamond();
+        let active: Vec<Vertex> = vec![1, 2];
+        let mut rank = vec![9 as Vertex; 4];
+        for (i, &v) in active.iter().enumerate() {
+            rank[v as usize] = i as Vertex;
+        }
+        let view = WeightedInducedView::from_parts(&g, &active, &rank);
+        let edges: Vec<(Vertex, Vertex, f64)> = weighted_view_edges(&view).collect();
+        assert_eq!(edges, vec![(0, 1, 8.0)]);
+        assert_eq!(view.graph().num_vertices(), 4);
+    }
+
+    #[test]
+    fn induced_view_empty() {
+        let g = diamond();
+        let view = WeightedInducedView::from_mask(&g, &[false; 4]);
+        assert_eq!(view.num_vertices(), 0);
+        assert_eq!(view.total_degree(), 0);
+        assert_eq!(weighted_view_edges(&view).count(), 0);
+    }
+}

@@ -37,12 +37,23 @@
 //! strategy produces byte-identical labels — it is a wall-clock knob, and
 //! `mpx bench` reports the per-strategy engine telemetry (rounds,
 //! relaxations, bottom-up round count) to compare them.
+//!
+//! `--weighted` switches `convert`/`inspect`/`partition`/`bench` to the
+//! Section 6 weighted pipeline: inputs are weighted edge lists (`u v w`
+//! records) or weighted `.mpx` snapshots (mmap'd zero-copy), the engine is
+//! the bucketed Δ-stepping multi-source shifted Dijkstra, and `mpx bench
+//! --weighted` times the sequential-Dijkstra and Δ-stepping strategies
+//! against each other (asserting bit-identical labels). Generated bench
+//! workloads get deterministic `U[0.25, 4]` edge lengths hashed from the
+//! seed and endpoints.
 
 use mpx::decomp::{
-    verify_decomposition, ConfigError, DecompOptions, DecomposerBuilder, DecompositionStats,
-    Traversal, MAX_GRAPH_SIZE,
+    verify_decomposition, verify_weighted, ConfigError, DecompOptions, DecomposerBuilder,
+    DecompositionStats, Traversal, MAX_GRAPH_SIZE,
 };
-use mpx::graph::{gen, io, snapshot, CsrGraph, GraphFormat, GraphView, TextParser};
+use mpx::graph::{
+    gen, io, snapshot, CsrGraph, GraphFormat, GraphView, TextParser, Vertex, WeightedCsrGraph,
+};
 use std::io::Write;
 use std::time::Instant;
 
@@ -61,7 +72,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mpx gen <workload> <out> [seed]\n  mpx stats <graph>\n  mpx convert <in> <out> [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph>\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--threads N] [--strategy S] [--parser P]\n  mpx bench <workload> <beta> [seed] [--threads N] [--strategy S]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)"
+    "usage:\n  mpx gen <workload> <out> [seed] [--weighted]\n  mpx stats <graph>\n  mpx convert <in> <out> [--weighted] [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph> [--weighted]\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--weighted] [--threads N] [--strategy S] [--parser P]\n  mpx bench <workload> <beta> [seed] [--weighted] [--threads N] [--strategy S]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nweighted (--weighted): weighted edge list (u v w) | weighted .mpx snapshot (mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -87,14 +98,15 @@ struct RunFlags {
     strategy: Traversal,
     parser: TextParser,
     runs: Option<usize>,
+    weighted: bool,
 }
 
 /// Extracts the `--threads N` / `--threads=N`, `--strategy S` /
-/// `--strategy=S` and `--parser P` / `--parser=P` flags (anywhere in the
-/// argument list), returning the remaining positional arguments and the
-/// parsed flags. `allowed` names the flags the calling subcommand
-/// actually consumes — anything else, recognized or not, is rejected
-/// rather than being silently absorbed or ignored.
+/// `--strategy=S`, `--parser P` / `--parser=P` and boolean `--weighted`
+/// flags (anywhere in the argument list), returning the remaining
+/// positional arguments and the parsed flags. `allowed` names the flags
+/// the calling subcommand actually consumes — anything else, recognized
+/// or not, is rejected rather than being silently absorbed or ignored.
 fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunFlags), String> {
     let parse_threads = |value: &str| -> Result<usize, String> {
         let n: usize = value
@@ -126,6 +138,7 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         strategy: Traversal::Auto,
         parser: TextParser::Auto,
         runs: None,
+        weighted: false,
     };
     let permit = |flag: &str| -> Result<(), String> {
         if allowed.contains(&flag) {
@@ -164,6 +177,9 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         } else if let Some(value) = arg.strip_prefix("--runs=") {
             permit("runs")?;
             flags.runs = Some(parse_runs(value)?);
+        } else if arg == "--weighted" {
+            permit("weighted")?;
+            flags.weighted = true;
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag '{arg}'"));
         } else {
@@ -288,6 +304,43 @@ fn parse_workload(spec: &str, seed: u64) -> Result<CsrGraph, String> {
     }
 }
 
+/// Weighted twin of [`parse_workload`]: `file:<path>` (or a bare path)
+/// loads a weighted edge list or weighted snapshot as-is; a generator
+/// spec builds the unweighted topology and attaches deterministic
+/// `U[0.25, 4]` edge lengths hashed from the seed and the endpoints — the
+/// same length model the T12 experiment table uses, reproducible across
+/// runs and thread counts.
+fn parse_weighted_workload(spec: &str, seed: u64) -> Result<WeightedCsrGraph, String> {
+    let from_file = |path: &str| -> Result<WeightedCsrGraph, String> {
+        io::load_weighted_graph(path)
+            .map(|l| l.as_weighted_csr().into_owned())
+            .map_err(|e| format!("workload '{spec}': {e}"))
+    };
+    if let Some(path) = spec.strip_prefix("file:") {
+        return from_file(path);
+    }
+    if !spec.contains(':') && std::path::Path::new(spec).is_file() {
+        return from_file(spec);
+    }
+    let g = parse_workload(spec, seed)?;
+    Ok(attach_hashed_lengths(&g, seed))
+}
+
+/// Deterministic `U[0.25, 4]` edge lengths: one hash per undirected edge,
+/// keyed by `(seed, u, v)` with `u < v`, so the weighted graph is a pure
+/// function of the spec and seed.
+fn attach_hashed_lengths(g: &CsrGraph, seed: u64) -> WeightedCsrGraph {
+    let edges: Vec<(Vertex, Vertex, f64)> = g
+        .edges()
+        .map(|(u, v)| {
+            let r = (mpx::par::rng::hash_index(seed, ((u as u64) << 32) | v as u64) >> 11) as f64
+                / (1u64 << 53) as f64;
+            (u, v, 0.25 + 3.75 * r)
+        })
+        .collect();
+    WeightedCsrGraph::from_edges(g.num_vertices(), &edges)
+}
+
 /// Output format implied by a path: by extension, defaulting to edge list
 /// (matching the historical behaviour of `mpx gen <spec> <out.txt>`).
 fn format_for_output(path: &str) -> GraphFormat {
@@ -295,13 +348,39 @@ fn format_for_output(path: &str) -> GraphFormat {
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (args, flags) = extract_flags(args, &["weighted"])?;
     let spec = args.first().ok_or("gen: missing workload")?;
     let out = args.get(1).ok_or("gen: missing output path")?;
     let seed: u64 = args
         .get(2)
         .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
-    let g = parse_workload(spec, seed)?;
     let format = format_for_output(out);
+    if flags.weighted {
+        // Same deterministic length model as `bench --weighted`, so
+        // `gen --weighted` + `partition --weighted` reproduce the bench's
+        // exact graph. Weighted writers: edge list or snapshot only.
+        let g = parse_weighted_workload(spec, seed)?;
+        match format {
+            GraphFormat::Snapshot => {
+                snapshot::write_weighted_snapshot(&g, out).map_err(|e| e.to_string())?
+            }
+            GraphFormat::EdgeList => {
+                io::write_weighted_edge_list(&g, out).map_err(|e| e.to_string())?
+            }
+            other => {
+                return Err(format!(
+                    "gen: no weighted writer for {other} (use .mpx or an edge-list extension)"
+                ))
+            }
+        }
+        println!(
+            "wrote {out} ({format}, weighted): n={} m={}",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        return Ok(());
+    }
+    let g = parse_workload(spec, seed)?;
     io::write_graph(&g, out, format).map_err(|e| e.to_string())?;
     println!(
         "wrote {out} ({format}): n={} m={}",
@@ -324,10 +403,15 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 /// formats. Input format is auto-detected; output format follows the
 /// output extension. `--parser sequential` forces the reference text
 /// readers (bit-identical output; the CI ingestion job diffs the two).
+/// `--weighted` transcodes weights too: weighted edge list ⇄ weighted
+/// `.mpx` snapshot, weights preserved bit-for-bit.
 fn cmd_convert(args: &[String]) -> Result<(), String> {
-    let (args, flags) = extract_flags(args, &["parser", "threads"])?;
+    let (args, flags) = extract_flags(args, &["parser", "threads", "weighted"])?;
     let input = args.first().ok_or("convert: missing input path")?;
     let out = args.get(1).ok_or("convert: missing output path")?;
+    if flags.weighted {
+        return convert_weighted(input, out, flags.threads);
+    }
     let in_format = io::detect_format(input).map_err(|e| e.to_string())?;
     // Unlike `gen` (where a bare output path defaulting to edge list is
     // historical behavior), convert's whole job is format selection — an
@@ -350,19 +434,60 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--weighted` arm of `convert`: weighted edge list or weighted
+/// snapshot in, weighted edge list (`u v w`) or weighted snapshot out.
+/// Weights survive the round trip bit-for-bit (the text writer prints
+/// f64s at full precision; the snapshot stores raw little-endian bits).
+fn convert_weighted(input: &str, out: &str, threads: Option<usize>) -> Result<(), String> {
+    let in_format = io::detect_format(input).map_err(|e| e.to_string())?;
+    let out_format = GraphFormat::from_extension(std::path::Path::new(out)).ok_or_else(|| {
+        format!("convert: unrecognized output extension in '{out}' (use .mpx | .txt/.el/.edges)")
+    })?;
+    let (n, m) = with_thread_choice(threads, || {
+        let loaded = io::load_weighted_graph(input).map_err(|e| e.to_string())?;
+        let g = loaded.as_weighted_csr();
+        match out_format {
+            GraphFormat::Snapshot => {
+                snapshot::write_weighted_snapshot(&g, out).map_err(|e| e.to_string())?
+            }
+            GraphFormat::EdgeList => {
+                io::write_weighted_edge_list(&g, out).map_err(|e| e.to_string())?
+            }
+            other => {
+                return Err(format!(
+                    "convert: no weighted writer for {other} (use .mpx or a weighted edge list)"
+                ))
+            }
+        }
+        Ok::<_, String>((g.num_vertices(), g.num_edges()))
+    })?;
+    println!("converted {input} ({in_format}, weighted) -> {out} ({out_format}): n={n} m={m}");
+    Ok(())
+}
+
 /// `mpx inspect <graph>` — prints the detected format, header fields for
 /// snapshots, and cheap structure statistics (n, m, degree spread).
+/// `--weighted` (implied for weighted snapshots) loads the weighted view
+/// and adds edge-length statistics (min/total/max weight).
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let (args, flags) = extract_flags(args, &["weighted"])?;
     let path = args.first().ok_or("inspect: missing graph path")?;
     let format = io::detect_format(path).map_err(|e| e.to_string())?;
     println!("path: {path}");
     println!("format: {format}");
+    let mut weighted = flags.weighted;
     if format == GraphFormat::Snapshot {
         let header = snapshot::read_header(path).map_err(|e| e.to_string())?;
         println!(
             "header: version={} flags={:#x} n={} m={} checksum={:#018x}",
             header.version, header.flags, header.n, header.m, header.checksum
         );
+        // A weighted snapshot can only be opened through the weighted
+        // reader; auto-switch rather than failing the unweighted load.
+        weighted |= header.is_weighted();
+    }
+    if weighted {
+        return inspect_weighted(path);
     }
     let loaded = io::load_graph(path).map_err(|e| e.to_string())?;
     let n = loaded.num_vertices();
@@ -396,13 +521,51 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The weighted arm of `inspect`: structure statistics plus edge-length
+/// spread, via the weighted loader (mmap'd for weighted snapshots).
+fn inspect_weighted(path: &str) -> Result<(), String> {
+    use mpx::graph::WeightedGraphView;
+    let loaded = io::load_weighted_graph(path).map_err(|e| e.to_string())?;
+    let n = loaded.num_vertices();
+    let m = loaded.num_edges();
+    println!(
+        "load: {} (weighted)",
+        if loaded.is_mapped() {
+            "zero-copy mmap"
+        } else {
+            "owned (parsed/decoded)"
+        }
+    );
+    println!("n: {n}");
+    println!("m: {m}");
+    let (mut min_w, mut max_w) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in 0..n as u32 {
+        for (_, w) in loaded.neighbors_weighted_iter(v) {
+            min_w = min_w.min(w);
+            max_w = max_w.max(w);
+        }
+    }
+    if m == 0 {
+        min_w = 0.0;
+        max_w = 0.0;
+    }
+    println!(
+        "weights: min={min_w} total={} max={max_w}",
+        loaded.total_weight()
+    );
+    Ok(())
+}
+
 fn cmd_partition(args: &[String]) -> Result<(), String> {
-    let (args, flags) = extract_flags(args, &["threads", "strategy", "parser"])?;
+    let (args, flags) = extract_flags(args, &["threads", "strategy", "parser", "weighted"])?;
     let path = args.first().ok_or("partition: missing graph path")?;
     let beta = parse_beta(args.get(1).ok_or("partition: missing beta")?)?;
     let seed: u64 = args
         .get(2)
         .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    if flags.weighted {
+        return partition_weighted_cmd(path, beta, seed, args.get(3), &flags);
+    }
     // `.mpx` snapshots stay memory-mapped: the engine traverses the file's
     // pages directly and only the verifier materializes an owned copy.
     // Loading happens inside the thread choice so `--threads` bounds the
@@ -444,6 +607,56 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--weighted` arm of `partition`: loads a weighted edge list or
+/// weighted snapshot (mmap'd, traversed zero-copy), decomposes through a
+/// weighted session (`--strategy sequential` = multi-source Dijkstra,
+/// anything else = bucketed Δ-stepping; labels are bit-identical either
+/// way), verifies the Section 6 guarantees, and optionally writes labels.
+fn partition_weighted_cmd(
+    path: &str,
+    beta: f64,
+    seed: u64,
+    labels_out: Option<&String>,
+    flags: &RunFlags,
+) -> Result<(), String> {
+    let builder = DecomposerBuilder::new(beta)
+        .seed(seed)
+        .traversal(flags.strategy);
+    let (loaded, d, telemetry) = with_thread_choice(flags.threads, || {
+        let loaded = io::load_weighted_graph_with(path, flags.parser).map_err(|e| e.to_string())?;
+        let mut session = builder.build_weighted(&loaded).map_err(|e| e.to_string())?;
+        let (d, telemetry) = session.run_instrumented();
+        drop(session);
+        Ok::<_, String>((loaded, d, telemetry))
+    })?;
+    println!(
+        "clusters={} max_radius={:.4} cut_edges={} cut_fraction={:.4}",
+        d.num_clusters(),
+        d.max_radius(),
+        d.cut_edges(&loaded),
+        d.cut_fraction(&loaded)
+    );
+    println!(
+        "engine: strategy={} buckets={} phases={} relaxations={} delta={:.4} source={}",
+        flags.strategy.as_str(),
+        telemetry.buckets,
+        telemetry.phases,
+        telemetry.relaxations,
+        telemetry.delta,
+        if loaded.is_mapped() { "mmap" } else { "owned" }
+    );
+    verify_weighted(&loaded, &d).map_err(|e| format!("verification FAILED: {e}"))?;
+    println!("verified: weighted partition + radius bound + shift consistency hold");
+    if let Some(out) = labels_out {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| e.to_string())?);
+        for v in 0..loaded.num_vertices() {
+            writeln!(f, "{}", d.assignment[v]).map_err(|e| e.to_string())?;
+        }
+        println!("labels written to {out}");
+    }
+    Ok(())
+}
+
 /// `mpx bench <workload> <beta> [seed] [--threads N] [--strategy S]` —
 /// runs the full decomposition pipeline on a generated graph and emits one
 /// JSON object on stdout: per-phase wall-clock, thread count, traversal
@@ -452,12 +665,15 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
 /// files (`BENCH_*.json`) are built from; CI archives one file per
 /// strategy so the trajectory distinguishes traversal modes.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let (args, flags) = extract_flags(args, &["threads", "strategy"])?;
+    let (args, flags) = extract_flags(args, &["threads", "strategy", "weighted"])?;
     let spec = args.first().ok_or("bench: missing workload")?;
     let beta = parse_beta(args.get(1).ok_or("bench: missing beta")?)?;
     let seed: u64 = args
         .get(2)
         .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    if flags.weighted {
+        return bench_weighted(spec, beta, seed, &flags);
+    }
     let threads = flags.threads;
     let effective_threads = threads.unwrap_or_else(mpx::par::default_threads);
 
@@ -529,6 +745,103 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         rt_delta.regions, rt_delta.participations, rt_delta.chunks
     );
     println!("}}");
+    Ok(())
+}
+
+/// The `--weighted` arm of `bench`: times the *sequential* weighted
+/// engine (multi-source shifted Dijkstra) against the *parallel* one
+/// (bucketed Δ-stepping) on the same weighted workload and seed, asserts
+/// the labels are bit-identical, and emits one flat JSON object with both
+/// wall-clocks, the speedup, and the Δ-stepping telemetry. CI archives
+/// this as the `BENCH_weighted_*.json` perf-trajectory evidence and gates
+/// on `agree` plus parallel-beats-sequential at ≥4 threads.
+fn bench_weighted(spec: &str, beta: f64, seed: u64, flags: &RunFlags) -> Result<(), String> {
+    let threads = flags.threads;
+    let effective_threads = threads.unwrap_or_else(mpx::par::default_threads);
+
+    fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+        let start = Instant::now();
+        let r = f();
+        (r, start.elapsed().as_secs_f64() * 1e3)
+    }
+
+    let seq_builder = DecomposerBuilder::new(beta)
+        .seed(seed)
+        .traversal(Traversal::TopDownSeq);
+    let par_builder = DecomposerBuilder::new(beta)
+        .seed(seed)
+        .traversal(Traversal::TopDownPar);
+    let (g, gen_ms, ds, seq_telemetry, sequential_ms, dp, par_telemetry, parallel_ms, verify_ms) =
+        with_thread_choice(threads, || {
+            let (g, gen_ms) = time_ms(|| parse_weighted_workload(spec, seed));
+            let g = g?;
+            // Warm both sessions (pool spin-up, shift generation, page
+            // faults) outside the timings, then time one instrumented run
+            // per strategy through its own session — the serving-loop cost
+            // model, matching the unweighted `bench` command.
+            let mut seq_session = seq_builder.build_weighted(&g).map_err(|e| e.to_string())?;
+            let _ = seq_session.run();
+            let ((ds, seq_telemetry), sequential_ms) = time_ms(|| seq_session.run_instrumented());
+            drop(seq_session);
+            let mut par_session = par_builder.build_weighted(&g).map_err(|e| e.to_string())?;
+            let _ = par_session.run();
+            let ((dp, par_telemetry), parallel_ms) = time_ms(|| par_session.run_instrumented());
+            drop(par_session);
+            let (report, verify_ms) = time_ms(|| verify_weighted(&g, &ds));
+            report.map_err(|e| format!("bench: verification FAILED: {e}"))?;
+            Ok::<_, String>((
+                g,
+                gen_ms,
+                ds,
+                seq_telemetry,
+                sequential_ms,
+                dp,
+                par_telemetry,
+                parallel_ms,
+                verify_ms,
+            ))
+        })?;
+    let agree = ds.assignment == dp.assignment
+        && ds
+            .dist_to_center
+            .iter()
+            .zip(&dp.dist_to_center)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    // Hand-rolled JSON: flat, stable key order, no external deps.
+    println!("{{");
+    println!("  \"workload\": \"{}\",", json_escape(spec));
+    println!("  \"weighted\": true,");
+    println!("  \"beta\": {beta},");
+    println!("  \"seed\": {seed},");
+    println!("  \"threads\": {effective_threads},");
+    println!("  \"n\": {},", g.num_vertices());
+    println!("  \"m\": {},", g.num_edges());
+    println!(
+        "  \"phases_ms\": {{ \"gen\": {gen_ms:.3}, \"sequential\": {sequential_ms:.3}, \"parallel\": {parallel_ms:.3}, \"verify\": {verify_ms:.3} }},"
+    );
+    println!("  \"sequential_ms\": {sequential_ms:.3},");
+    println!("  \"parallel_ms\": {parallel_ms:.3},");
+    println!(
+        "  \"speedup\": {:.3},",
+        sequential_ms / parallel_ms.max(1e-9)
+    );
+    println!(
+        "  \"partition\": {{ \"clusters\": {}, \"max_radius\": {:.6}, \"cut_edges\": {}, \"sequential_relaxations\": {}, \"buckets\": {}, \"phases\": {}, \"parallel_relaxations\": {}, \"delta\": {:.6} }},",
+        ds.num_clusters(),
+        ds.max_radius(),
+        ds.cut_edges(&g),
+        seq_telemetry.relaxations,
+        par_telemetry.buckets,
+        par_telemetry.phases,
+        par_telemetry.relaxations,
+        par_telemetry.delta
+    );
+    println!("  \"agree\": {agree}");
+    println!("}}");
+    if !agree {
+        return Err("bench: Δ-stepping labels differ from sequential Dijkstra".to_string());
+    }
     Ok(())
 }
 

@@ -386,6 +386,95 @@ fn convert_rejects_unknown_output_extension() {
 }
 
 #[test]
+fn weighted_pipeline_round_trips_and_strategies_agree() {
+    let txt = tmp("w.txt");
+    let snap = tmp("w.mpx");
+    let back = tmp("w-back.txt");
+    run_ok(&[
+        "gen",
+        "gnm:400:1500",
+        txt.to_str().unwrap(),
+        "6",
+        "--weighted",
+    ]);
+
+    // Text -> snapshot -> text preserves every weight bit-for-bit.
+    run_ok(&[
+        "convert",
+        txt.to_str().unwrap(),
+        snap.to_str().unwrap(),
+        "--weighted",
+    ]);
+    run_ok(&[
+        "convert",
+        snap.to_str().unwrap(),
+        back.to_str().unwrap(),
+        "--weighted",
+    ]);
+    assert_eq!(
+        std::fs::read(&txt).unwrap(),
+        std::fs::read(&back).unwrap(),
+        "weighted text -> snapshot -> text round trip must be lossless"
+    );
+
+    // Inspect auto-detects the weighted snapshot (flags bit set).
+    let text = run_ok(&["inspect", snap.to_str().unwrap()]);
+    assert!(text.contains("flags=0x1"), "{text}");
+    assert!(text.contains("(weighted)"), "{text}");
+    assert!(text.contains("weights:"), "{text}");
+
+    // Δ-stepping over the mmap'd snapshot and sequential Dijkstra over
+    // the text file: identical labels.
+    let mut labels: Vec<String> = Vec::new();
+    for (path, strategy) in [(&snap, "parallel"), (&txt, "sequential"), (&snap, "auto")] {
+        let labels_path = tmp(&format!("w-labels-{strategy}"));
+        let text = run_ok(&[
+            "partition",
+            path.to_str().unwrap(),
+            "0.2",
+            "9",
+            labels_path.to_str().unwrap(),
+            "--weighted",
+            "--strategy",
+            strategy,
+        ]);
+        assert!(text.contains("verified: weighted partition"), "{text}");
+        if path == &snap {
+            assert!(text.contains("source=mmap"), "{text}");
+        }
+        labels.push(std::fs::read_to_string(&labels_path).unwrap());
+        std::fs::remove_file(labels_path).ok();
+    }
+    assert!(
+        labels.windows(2).all(|w| w[0] == w[1]),
+        "weighted labels differ across strategies/sources"
+    );
+
+    // `bench --weighted` emits the sequential-vs-parallel JSON and
+    // asserts agreement itself.
+    let json = run_ok(&[
+        "bench",
+        &format!("file:{}", txt.to_str().unwrap()),
+        "0.2",
+        "9",
+        "--weighted",
+    ]);
+    for key in [
+        "\"weighted\": true",
+        "\"sequential_ms\"",
+        "\"parallel_ms\"",
+        "\"speedup\"",
+        "\"agree\": true",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    for p in [txt, snap, back] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn inspect_rejects_corrupt_snapshot() {
     let snap = tmp("corrupt-cli.mpx");
     std::fs::write(&snap, b"MPXCSR1\ngarbage").unwrap();
