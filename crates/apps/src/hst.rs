@@ -82,6 +82,7 @@ impl Hst {
     /// chooses them per piece (β = Θ(log n / Δ), fresh salts, and a
     /// size-dependent traversal).
     pub fn build_with_options<V: GraphView>(g: &V, seed: u64, base: &DecompOptions) -> Self {
+        let _span = mpx_trace::span!("apps.hst", n = g.num_vertices());
         let n = g.num_vertices();
         // Every per-piece partition reuses one workspace, sized once by
         // the largest piece (a component) and shrinking-piece-proof.

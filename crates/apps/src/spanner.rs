@@ -61,6 +61,7 @@ pub fn spanner<V: GraphView>(g: &V, beta: f64, seed: u64) -> Spanner {
 /// top-down like the historical construction; labels are
 /// strategy-invariant anyway).
 pub fn spanner_with_options<V: GraphView>(g: &V, opts: &DecompOptions) -> Spanner {
+    let _span = mpx_trace::span!("apps.spanner", n = g.num_vertices());
     let d = Workspace::new()
         .partition_view(g, &opts.clone().with_traversal(Traversal::TopDownPar))
         .0;

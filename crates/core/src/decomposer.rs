@@ -416,6 +416,64 @@ impl<'g, V: GraphView> Decomposer<'g, V> {
         seeds.iter().map(|&s| self.run_with_seed(s)).collect()
     }
 
+    /// [`run_instrumented`](Decomposer::run_instrumented) under a trace
+    /// session: returns the labels, the telemetry, and the collected
+    /// [`mpx_trace::Trace`] with per-round engine spans plus the
+    /// telemetry and epoch-scoped runtime-stats deltas absorbed as
+    /// counters. Labels are bit-identical to the untraced run. If an
+    /// outer trace session is already active the returned trace is empty
+    /// (the spans flow to the outer collector).
+    pub fn run_traced(&mut self) -> (Decomposition, PartitionTelemetry, mpx_trace::Trace) {
+        self.run_with_seed_traced(self.opts.seed)
+    }
+
+    /// [`run_traced`](Decomposer::run_traced) with fresh shifts drawn
+    /// from `seed`.
+    pub fn run_with_seed_traced(
+        &mut self,
+        seed: u64,
+    ) -> (Decomposition, PartitionTelemetry, mpx_trace::Trace) {
+        let session = mpx_trace::start();
+        let rt_epoch = mpx_runtime::stats::begin_epoch();
+        let started = std::time::Instant::now();
+        let (d, telemetry) = self.run_with_seed_instrumented(seed);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        let rt = rt_epoch.finish();
+        let mut trace = session.finish();
+        trace.set_counter("ms", ms);
+        trace.set_counter("rounds", telemetry.rounds as f64);
+        trace.set_counter("relaxations", telemetry.relaxations as f64);
+        trace.set_counter("clusters", telemetry.clusters as f64);
+        trace.set_counter("bottom_up_rounds", telemetry.bottom_up_rounds as f64);
+        trace.set_counter("runtime.regions", rt.regions as f64);
+        trace.set_counter("runtime.participations", rt.participations as f64);
+        trace.set_counter("runtime.chunks", rt.chunks as f64);
+        (d, telemetry, trace)
+    }
+
+    /// [`run_many`](Decomposer::run_many) with per-seed timing: returns
+    /// the decompositions plus a [`crate::profile::ProfileReport`]
+    /// aggregating per-seed wall times into a p50/p99 latency
+    /// distribution alongside the round/relaxation counters.
+    pub fn run_many_profiled(
+        &mut self,
+        seeds: &[u64],
+    ) -> (Vec<Decomposition>, crate::profile::ProfileReport) {
+        let mut outputs = Vec::with_capacity(seeds.len());
+        let mut samples = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let started = std::time::Instant::now();
+            let (d, telemetry) = self.run_with_seed_instrumented(seed);
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            samples.push(crate::profile::RunSample::new(seed, ms, &telemetry));
+            outputs.push(d);
+        }
+        (
+            outputs,
+            crate::profile::ProfileReport::from_samples(samples),
+        )
+    }
+
     /// The Theorem 1.2 driver over this session: retries with seeds
     /// `seed, seed+1, …` until the configured [`RetryPolicy`] accepts,
     /// reusing the workspace across attempts. Matches
@@ -548,6 +606,66 @@ impl<'g, W: WeightedGraphView> WeightedDecomposer<'g, W> {
     /// this session's workspace, so only the outputs allocate.
     pub fn run_many(&mut self, seeds: &[u64]) -> Vec<WeightedDecomposition> {
         seeds.iter().map(|&s| self.run_with_seed(s)).collect()
+    }
+
+    /// [`run_instrumented`](WeightedDecomposer::run_instrumented) under a
+    /// trace session: labels, telemetry, and the collected
+    /// [`mpx_trace::Trace`] with per-bucket/per-phase Δ-stepping spans
+    /// plus the [`WeightedTelemetry`] fields
+    /// (buckets/phases/relaxations/delta) and epoch-scoped runtime-stats
+    /// deltas absorbed as counters. Labels are bit-identical to the
+    /// untraced run.
+    pub fn run_traced(&mut self) -> (WeightedDecomposition, WeightedTelemetry, mpx_trace::Trace) {
+        self.run_with_seed_traced(self.opts.seed)
+    }
+
+    /// [`run_traced`](WeightedDecomposer::run_traced) with fresh shifts
+    /// drawn from `seed`.
+    pub fn run_with_seed_traced(
+        &mut self,
+        seed: u64,
+    ) -> (WeightedDecomposition, WeightedTelemetry, mpx_trace::Trace) {
+        let session = mpx_trace::start();
+        let rt_epoch = mpx_runtime::stats::begin_epoch();
+        let started = std::time::Instant::now();
+        let (d, telemetry) = self.run_with_seed_instrumented(seed);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        let rt = rt_epoch.finish();
+        let mut trace = session.finish();
+        trace.set_counter("ms", ms);
+        trace.set_counter("buckets", telemetry.buckets as f64);
+        trace.set_counter("phases", telemetry.phases as f64);
+        trace.set_counter("relaxations", telemetry.relaxations as f64);
+        trace.set_counter("clusters", telemetry.clusters as f64);
+        trace.set_counter("delta", telemetry.delta);
+        trace.set_counter("runtime.regions", rt.regions as f64);
+        trace.set_counter("runtime.participations", rt.participations as f64);
+        trace.set_counter("runtime.chunks", rt.chunks as f64);
+        (d, telemetry, trace)
+    }
+
+    /// [`run_many`](WeightedDecomposer::run_many) with per-seed timing:
+    /// the weighted twin of [`Decomposer::run_many_profiled`].
+    pub fn run_many_profiled(
+        &mut self,
+        seeds: &[u64],
+    ) -> (
+        Vec<WeightedDecomposition>,
+        crate::profile::WeightedProfileReport,
+    ) {
+        let mut outputs = Vec::with_capacity(seeds.len());
+        let mut samples = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let started = std::time::Instant::now();
+            let (d, telemetry) = self.run_with_seed_instrumented(seed);
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            samples.push(crate::profile::WeightedRunSample::new(seed, ms, &telemetry));
+            outputs.push(d);
+        }
+        (
+            outputs,
+            crate::profile::WeightedProfileReport::from_samples(samples),
+        )
     }
 }
 

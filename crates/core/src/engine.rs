@@ -271,6 +271,12 @@ pub fn partition_view_reusing<V: GraphView>(
         &scratch.settled_round[..if bottom_up_capable { n } else { 0 }],
     );
 
+    let _run_span = mpx_trace::span!(
+        "engine.partition",
+        n = n,
+        edges = view.total_degree(),
+        strategy = strategy.as_str(),
+    );
     let mut telemetry = PartitionTelemetry::default();
     let mut frontier: Vec<Vertex> = Vec::new();
     // Unsettled vertices (compacted lazily) and their total view degree,
@@ -296,6 +302,17 @@ pub fn partition_view_reusing<V: GraphView>(
             Traversal::Auto => frontier_degree.saturating_mul(alpha) > unsettled_degree,
         };
 
+        // The direction-switch decision and its inputs ride on the round
+        // span so traces show *why* each round went top-down or bottom-up.
+        let _round_span = mpx_trace::span!(
+            "engine.round",
+            round = round,
+            frontier = frontier.len(),
+            frontier_degree = frontier_degree,
+            unsettled_degree = unsettled_degree,
+            bottom_up = bottom_up,
+        );
+
         let touched: Vec<Vertex> = if bottom_up {
             telemetry.bottom_up_rounds += 1;
             // The whole round's scan cost is the remaining unsettled degree;
@@ -303,23 +320,32 @@ pub fn partition_view_reusing<V: GraphView>(
             let par = unsettled_degree >= mpx_par::bfs::SEQ_ROUND_CUTOFF;
             // Compact the unsettled list first so the scan below only
             // visits live vertices.
-            unsettled = if par {
-                unsettled
-                    .par_iter()
-                    .copied()
-                    .filter(|&v| settled_ref[v as usize].load(Ordering::Relaxed) == u32::MAX)
-                    .collect()
-            } else {
-                unsettled
-                    .iter()
-                    .copied()
-                    .filter(|&v| settled_ref[v as usize].load(Ordering::Relaxed) == u32::MAX)
-                    .collect()
-            };
-            telemetry.relaxations += unsettled
+            {
+                let _compact_span = mpx_trace::span!("engine.compact", live = unsettled.len());
+                unsettled = if par {
+                    unsettled
+                        .par_iter()
+                        .copied()
+                        .filter(|&v| settled_ref[v as usize].load(Ordering::Relaxed) == u32::MAX)
+                        .collect()
+                } else {
+                    unsettled
+                        .iter()
+                        .copied()
+                        .filter(|&v| settled_ref[v as usize].load(Ordering::Relaxed) == u32::MAX)
+                        .collect()
+                };
+            }
+            let scan_relaxations = unsettled
                 .iter()
                 .map(|&v| view.degree(v) as u64)
                 .sum::<u64>();
+            telemetry.relaxations += scan_relaxations;
+            let _scan_span = mpx_trace::span!(
+                "engine.scan",
+                unsettled = unsettled.len(),
+                relaxations = scan_relaxations,
+            );
             // Round 0 has no "settled last round" side; only wake bids.
             let prev = r32.checked_sub(1);
             let scan = |v: Vertex| -> bool {
@@ -374,6 +400,7 @@ pub fn partition_view_reusing<V: GraphView>(
                     && claim_ref[u as usize].fetch_min(shifts.claim_key(u), Ordering::Relaxed)
                         == u64::MAX
             };
+            let wake_span = mpx_trace::span!("engine.wake", bucket = bucket.len());
             let mut touched: Vec<Vertex> = if par {
                 bucket
                     .par_iter()
@@ -383,12 +410,18 @@ pub fn partition_view_reusing<V: GraphView>(
             } else {
                 bucket.iter().copied().filter(|&u| wake_bid(u)).collect()
             };
+            drop(wake_span);
 
             // Expand phase: frontier vertices bid for unclaimed neighbors
             // with their cluster's key. `fetch_min` returning MAX
             // identifies the first bidder, which registers v exactly once
             // in `touched`.
             telemetry.relaxations += frontier_degree;
+            let expand_span = mpx_trace::span!(
+                "engine.expand",
+                frontier = frontier.len(),
+                relaxations = frontier_degree,
+            );
             if par {
                 let expanded: Vec<Vertex> = frontier
                     .par_iter()
@@ -417,6 +450,7 @@ pub fn partition_view_reusing<V: GraphView>(
                     }
                 }
             }
+            drop(expand_span);
 
             // Finalize phase: every vertex touched this round is settled by
             // the winning bid; its distance is `round − wake_round(center)`.
@@ -430,6 +464,7 @@ pub fn partition_view_reusing<V: GraphView>(
                     settled_ref[v as usize].store(r32, Ordering::Relaxed);
                 }
             };
+            let _settle_span = mpx_trace::span!("engine.settle", touched = touched.len());
             if par {
                 touched.par_iter().for_each(|&v| finalize(v));
             } else {

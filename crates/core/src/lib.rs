@@ -120,6 +120,7 @@ pub mod exact;
 pub mod hybrid;
 pub mod options;
 pub mod parallel;
+pub mod profile;
 pub mod retry;
 pub mod sequential;
 pub mod shift;
@@ -141,6 +142,9 @@ pub use options::{
     MAX_GRAPH_SIZE,
 };
 pub use parallel::partition;
+pub use profile::{
+    LatencySummary, ProfileReport, RunSample, WeightedProfileReport, WeightedRunSample,
+};
 pub use retry::{partition_with_retry, partition_with_retry_view, RetryOutcome};
 pub use sequential::partition_sequential;
 pub use shift::ExpShifts;

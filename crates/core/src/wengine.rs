@@ -177,6 +177,13 @@ pub fn partition_weighted_view_reusing<W: WeightedGraphView>(
     }
     debug_assert_eq!(shifts.delta.len(), n, "shifts must match the view");
 
+    let _run_span = mpx_trace::span!(
+        "wengine.partition",
+        n = n,
+        edges = view.total_degree(),
+        strategy = traversal.as_str(),
+    );
+
     // Start times into the shared arena (taken out to sidestep the
     // scratch borrow while the algorithm arenas are also borrowed).
     let mut start = std::mem::take(&mut scratch.start);
@@ -270,6 +277,7 @@ fn dijkstra_multi_source<W: WeightedGraphView>(
         });
     }
     let mut heap = BinaryHeap::from(heap_vec);
+    let _dijkstra_span = mpx_trace::span!("wengine.dijkstra", n = n);
     let mut relaxations = 0u64;
     while let Some(HeapEntry {
         dist: du,
@@ -308,6 +316,7 @@ fn dijkstra_multi_source<W: WeightedGraphView>(
     let dist_to_center = (0..n)
         .map(|v| dist[v] - start[assignment[v] as usize])
         .collect();
+    mpx_trace::event!("wengine.relax", count = relaxations, kind = "dijkstra");
     let telemetry = WeightedTelemetry {
         relaxations,
         ..WeightedTelemetry::default()
@@ -405,6 +414,14 @@ fn delta_stepping<W: WeightedGraphView>(
 
     let mut i = 0usize;
     while i < buckets.len() {
+        // Empty bucket indices are skipped silently; a span per live
+        // bucket keeps traces proportional to work, not to the index
+        // range.
+        let _bucket_span = if buckets[i].is_empty() {
+            mpx_trace::SpanGuard::disabled()
+        } else {
+            mpx_trace::span!("wengine.bucket", index = i, pending = buckets[i].len())
+        };
         let mut deleted: Vec<Vertex> = Vec::new();
         // Inner loop: drain the bucket, relaxing light edges repeatedly.
         // A drained vertex can re-enter this same bucket with an improved
@@ -423,6 +440,7 @@ fn delta_stepping<W: WeightedGraphView>(
                 break;
             }
             telemetry.phases += 1;
+            let _phase_span = mpx_trace::span!("wengine.phase", batch = batch.len());
             deleted.extend_from_slice(&batch);
             // Light-edge requests.
             let mut requests: Vec<(Vertex, f64, Vertex)> = batch
@@ -436,6 +454,9 @@ fn delta_stepping<W: WeightedGraphView>(
                 })
                 .collect();
             telemetry.relaxations += requests.len() as u64;
+            if !requests.is_empty() {
+                mpx_trace::event!("wengine.relax", count = requests.len(), kind = "light");
+            }
             for (b, v) in apply_requests(&mut requests) {
                 push_bucket(buckets, b, v);
             }
@@ -458,6 +479,9 @@ fn delta_stepping<W: WeightedGraphView>(
             })
             .collect();
         telemetry.relaxations += requests.len() as u64;
+        if !requests.is_empty() {
+            mpx_trace::event!("wengine.relax", count = requests.len(), kind = "heavy");
+        }
         for (b, v) in apply_requests(&mut requests) {
             push_bucket(buckets, b, v);
         }

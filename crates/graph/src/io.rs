@@ -830,17 +830,33 @@ fn parallel_csr_from_lines(
     n: usize,
     parse_line: impl Fn(&[u8]) -> LineResult + Sync,
 ) -> io::Result<CsrGraph> {
-    let trace = std::env::var_os("MPX_INGEST_TRACE").is_some();
-    let mut last = std::time::Instant::now();
-    let mut mark = |what: &str| {
-        if trace {
-            eprintln!(
-                "ingest: {what}: {:.1} ms",
-                last.elapsed().as_secs_f64() * 1e3
-            );
-            last = std::time::Instant::now();
+    // MPX_INGEST_TRACE is kept as a legacy alias: it opens a local trace
+    // session around the parse and prints the human phase tree to
+    // stderr. When an outer session is already collecting (e.g. `mpx
+    // partition --trace`), the ingest spans flow there instead and the
+    // alias prints nothing.
+    if std::env::var_os("MPX_INGEST_TRACE").is_some() {
+        let session = mpx_trace::start();
+        let passive = session.is_passive();
+        let result = parallel_csr_from_lines_spanned(body, n, parse_line);
+        let trace = session.finish();
+        if !passive {
+            eprint!("{}", trace.to_human());
         }
-    };
+        result
+    } else {
+        parallel_csr_from_lines_spanned(body, n, parse_line)
+    }
+}
+
+/// [`parallel_csr_from_lines`] proper, with an `mpx_trace` span per
+/// ingest phase (replacing the old one-off eprintln timings).
+fn parallel_csr_from_lines_spanned(
+    body: &[u8],
+    n: usize,
+    parse_line: impl Fn(&[u8]) -> LineResult + Sync,
+) -> io::Result<CsrGraph> {
+    let _parse_span = mpx_trace::span!("ingest.parse", bytes = body.len(), n = n);
     let chunk_count =
         mpx_runtime::chunk::suggested_chunk_count(body.len(), mpx_runtime::current_num_threads());
     let chunks = mpx_runtime::chunk::line_aligned_ranges(body, chunk_count);
@@ -852,30 +868,33 @@ fn parallel_csr_from_lines(
     let deg: Vec<AtomicU64> = std::iter::repeat_with(|| AtomicU64::new(0))
         .take(n)
         .collect();
-    let results: Vec<io::Result<()>> = chunks
-        .par_iter()
-        .map(|r| {
-            for line in lines(&body[r.clone()]) {
-                if let Some((u, v)) = parse_line(line)? {
-                    check_endpoint(u, n)?;
-                    check_endpoint(v, n)?;
-                    if u != v {
-                        deg[u as usize].fetch_add(1, Ordering::Relaxed);
-                        deg[v as usize].fetch_add(1, Ordering::Relaxed);
+    {
+        let _span = mpx_trace::span!("ingest.count", chunks = chunks.len());
+        let results: Vec<io::Result<()>> = chunks
+            .par_iter()
+            .map(|r| {
+                for line in lines(&body[r.clone()]) {
+                    if let Some((u, v)) = parse_line(line)? {
+                        check_endpoint(u, n)?;
+                        check_endpoint(v, n)?;
+                        if u != v {
+                            deg[u as usize].fetch_add(1, Ordering::Relaxed);
+                            deg[v as usize].fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
-            }
-            Ok(())
-        })
-        .collect();
-    for r in results {
-        r?;
+                Ok(())
+            })
+            .collect();
+        for r in results {
+            r?;
+        }
     }
-    mark("pass1 count");
 
     // Offsets from the record counts. The scatter cursors are *absolute*
     // slot positions (offset already folded in), so the pass-2 hot loop
     // touches exactly one cache line per arc endpoint.
+    let offsets_span = mpx_trace::span!("ingest.offsets");
     let mut offsets = Vec::with_capacity(n + 1);
     let mut cursor = Vec::with_capacity(n);
     let mut acc = 0usize;
@@ -889,7 +908,7 @@ fn parallel_csr_from_lines(
     }
     let total_arcs = acc;
     drop(deg);
-    mark("offsets");
+    drop(offsets_span);
 
     // Pass 2: re-parse and scatter both arc directions straight into the
     // CSR target array. Slot claiming via fetch_add is racy in *order*
@@ -899,6 +918,7 @@ fn parallel_csr_from_lines(
     // after the pass's barrier.
     let mut targets: Vec<Vertex> = vec![0; total_arcs];
     {
+        let _span = mpx_trace::span!("ingest.scatter", arcs = total_arcs);
         let arcs = scatter::ScatterSlice::new(&mut targets);
         let results: Vec<io::Result<()>> = chunks
             .par_iter()
@@ -925,12 +945,12 @@ fn parallel_csr_from_lines(
         }
     }
     drop(cursor);
-    mark("pass2 scatter");
 
     // Sort each neighbor list (parallel over non-overlapping per-vertex
     // chunks, like GraphBuilder::build) so the layout is independent of
     // scatter order.
     {
+        let _span = mpx_trace::span!("ingest.sort");
         let mut rest: &mut [Vertex] = &mut targets;
         let mut per_vertex: Vec<&mut [Vertex]> = Vec::with_capacity(n);
         for v in 0..n {
@@ -940,19 +960,20 @@ fn parallel_csr_from_lines(
         }
         per_vertex.par_iter_mut().for_each(|c| c.sort_unstable());
     }
-    mark("per-vertex sort");
 
     // Deduplicate: count unique neighbors per vertex; if nothing was
     // duplicated the arrays are already final, otherwise compact.
+    let dedup_span = mpx_trace::span!("ingest.dedup");
     let uniq: Vec<u32> = (0..n)
         .into_par_iter()
         .map(|v| count_unique_sorted(&targets[offsets[v]..offsets[v + 1]]))
         .collect();
     let total_uniq: usize = uniq.iter().map(|&d| d as usize).sum();
-    mark("dedup count");
+    drop(dedup_span);
     if total_uniq == total_arcs {
         return Ok(CsrGraph::from_parts(offsets, targets));
     }
+    let _compact_span = mpx_trace::span!("ingest.compact", unique = total_uniq);
     let mut final_offsets = Vec::with_capacity(n + 1);
     let mut acc = 0usize;
     final_offsets.push(0);

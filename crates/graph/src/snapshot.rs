@@ -295,6 +295,7 @@ impl SnapshotHeader {
 /// # std::fs::remove_file(&path).ok();
 /// ```
 pub fn write_snapshot<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    let _span = mpx_trace::span!("snapshot.write", n = g.num_vertices(), m = g.num_edges());
     let mut file = File::create(path)?;
     let mut header = SnapshotHeader {
         version: VERSION,
@@ -421,6 +422,7 @@ pub fn read_header<P: AsRef<Path>>(path: P) -> io::Result<SnapshotHeader> {
 /// # std::fs::remove_file(&path).ok();
 /// ```
 pub fn read_snapshot<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    let _span = mpx_trace::span!("snapshot.read");
     let bytes = std::fs::read(path)?;
     let header = SnapshotHeader::parse(&bytes)?;
     if header.is_weighted() {
@@ -439,6 +441,7 @@ pub fn read_snapshot<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
 /// checksum, the full adjacency structure, and the weight invariants
 /// (finite, strictly positive, symmetric).
 pub fn read_weighted_snapshot<P: AsRef<Path>>(path: P) -> io::Result<WeightedCsrGraph> {
+    let _span = mpx_trace::span!("snapshot.read", weighted = true);
     let bytes = std::fs::read(path)?;
     let header = SnapshotHeader::parse(&bytes)?;
     if !header.is_weighted() {
@@ -827,6 +830,7 @@ impl MappedCsr {
                 "zero-copy snapshots require a little-endian target; use read_snapshot",
             ));
         }
+        let _span = mpx_trace::span!("snapshot.mmap_open");
         let (buf, mapped) = filebuf::FileBytes::map_or_read(path.as_ref())?;
         let header = SnapshotHeader::parse(buf.bytes())?;
         if header.is_weighted() {
@@ -978,6 +982,7 @@ impl MappedWeightedCsr {
                 "zero-copy snapshots require a little-endian target; use read_weighted_snapshot",
             ));
         }
+        let _span = mpx_trace::span!("snapshot.mmap_open", weighted = true);
         let (buf, mapped) = filebuf::FileBytes::map_or_read(path.as_ref())?;
         let header = SnapshotHeader::parse(buf.bytes())?;
         if !header.is_weighted() {

@@ -76,7 +76,7 @@ pub fn par_bfs_parents(g: &CsrGraph, sources: &[Vertex]) -> BfsResult {
     let mut level: Dist = 0;
     while !frontier.is_empty() {
         telemetry.add_round();
-        let rt_before = mpx_runtime::stats::snapshot();
+        let rt_epoch = mpx_runtime::stats::begin_epoch();
         let scanned: u64 = frontier.iter().map(|&u| g.degree(u) as u64).sum();
         telemetry.add_relaxations(scanned);
         let next_level = level + 1;
@@ -109,7 +109,7 @@ pub fn par_bfs_parents(g: &CsrGraph, sources: &[Vertex]) -> BfsResult {
                 .collect()
         };
         telemetry.add_claims(next.len() as u64);
-        let rt_delta = mpx_runtime::stats::snapshot().delta_since(&rt_before);
+        let rt_delta = rt_epoch.finish();
         telemetry.add_round_utilization(rt_delta.regions, rt_delta.participations);
         frontier = next;
         level = next_level;

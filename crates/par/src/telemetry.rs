@@ -12,9 +12,10 @@
 //! With the `mpx-runtime` engine the harness can also observe how *wide*
 //! each round actually ran: every parallel region reports how many
 //! distinct worker threads claimed at least one of its chunks
-//! ([`mpx_runtime::stats`]). Callers snapshot those global counters
-//! around a round and record the delta via
-//! [`Telemetry::add_round_utilization`]:
+//! ([`mpx_runtime::stats`]). Callers open an attribution epoch
+//! ([`mpx_runtime::stats::begin_epoch`]) around a round and record the
+//! exact per-caller delta via [`Telemetry::add_round_utilization`] —
+//! regions initiated by unrelated threads never leak into the figures:
 //!
 //! * **par_regions** — parallel regions dispatched to the pool (thin
 //!   rounds that ran on the sequential fast path contribute none).
@@ -67,8 +68,8 @@ impl Telemetry {
     }
 
     /// Records one round's worker utilization: `regions` parallel regions
-    /// served by `participations` worker slots in total (a delta of
-    /// [`mpx_runtime::stats::snapshot`] taken around the round).
+    /// served by `participations` worker slots in total (the delta of an
+    /// [`mpx_runtime::stats::begin_epoch`] scope opened around the round).
     #[inline]
     pub fn add_round_utilization(&self, regions: u64, participations: u64) {
         if regions == 0 {
@@ -209,6 +210,26 @@ mod tests {
         let participations = delta.participations.max(delta.regions);
         let t = Telemetry::new();
         t.add_round_utilization(delta.regions, participations);
+        assert!(t.avg_workers_per_region() >= 1.0);
+    }
+
+    #[test]
+    fn utilization_epoch_is_exact_per_caller() {
+        // Epoch scopes attribute exactly: only regions initiated by this
+        // closure's thread land in the delta, so `participations >=
+        // regions` holds even with concurrent tests running.
+        let t = Telemetry::new();
+        crate::with_threads(2, || {
+            let epoch = mpx_runtime::stats::begin_epoch();
+            (0..4096u32).into_par_iter().for_each(|_| {
+                std::hint::black_box(());
+            });
+            let delta = epoch.finish();
+            assert!(delta.regions >= 1, "parallel region was not attributed");
+            assert!(delta.participations >= delta.regions);
+            t.add_round_utilization(delta.regions, delta.participations);
+        });
+        assert!(t.par_regions() >= 1);
         assert!(t.avg_workers_per_region() >= 1.0);
     }
 

@@ -296,7 +296,13 @@ where
     registry.inject_chunk_refs(&task, helpers);
     task.run_loop();
     task.wait();
-    stats::record_region(task.participants(), n_chunks);
+    let participants = task.participants();
+    stats::record_region(participants, n_chunks);
+    mpx_trace::event!(
+        "runtime.region",
+        chunks = n_chunks,
+        participants = participants
+    );
     task.propagate_panic();
 }
 

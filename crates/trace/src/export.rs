@@ -1,0 +1,323 @@
+//! Trace exporters: aggregated human-readable phase tree, machine
+//! JSON, and Chrome `trace_event` JSON.
+
+use crate::{Span, Trace, Value};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match *v {
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        write_value(out, v);
+    }
+    out.push('}');
+}
+
+impl Trace {
+    /// Export as machine-readable JSON.
+    ///
+    /// Shape: `{"version":1,"duration_ns":..,"unmatched":..,
+    /// "counters":{..},"spans":[{"name","id","parent","thread",
+    /// "start_ns","end_ns","args":{..}}..],"marks":[..]}`.
+    /// Round-trips through [`crate::json::parse`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 96);
+        let _ = write!(
+            out,
+            "{{\"version\":1,\"duration_ns\":{},\"unmatched\":{},\"counters\":{{",
+            self.duration_ns(),
+            self.unmatched
+        );
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            out.push_str("\":");
+            write_value(&mut out, &Value::F64(*v));
+        }
+        out.push_str("},\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"id\":{},\"parent\":{},\"thread\":{},\"start_ns\":{},\"end_ns\":{},\"args\":",
+                s.name, s.id, s.parent, s.thread, s.start_ns, s.end_ns
+            );
+            write_args(&mut out, &s.args);
+            out.push('}');
+        }
+        out.push_str("],\"marks\":[");
+        for (i, m) in self.marks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"parent\":{},\"thread\":{},\"t_ns\":{},\"args\":",
+                m.name, m.parent, m.thread, m.t_ns
+            );
+            write_args(&mut out, &m.args);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Export in the Chrome `trace_event` format (a JSON array of
+    /// complete `"ph":"X"` events plus instant `"ph":"i"` events),
+    /// loadable in `chrome://tracing` and Perfetto. Timestamps are in
+    /// microseconds as the format requires.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.spans.len() * 112);
+        out.push('[');
+        let mut first = true;
+        for s in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":",
+                s.name,
+                s.start_ns as f64 / 1000.0,
+                s.duration_ns() as f64 / 1000.0,
+                s.thread
+            );
+            write_args(&mut out, &s.args);
+            out.push('}');
+        }
+        for m in &self.marks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{:.3},\"s\":\"t\",\"pid\":1,\"tid\":{},\"args\":",
+                m.name,
+                m.t_ns as f64 / 1000.0,
+                m.thread
+            );
+            write_args(&mut out, &m.args);
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+
+    /// Export as a human-readable aggregated phase tree.
+    ///
+    /// Sibling spans with the same name collapse into one line with
+    /// occurrence count and total/mean wall time, so a thousand-round
+    /// engine run prints a handful of lines. Counters are appended at
+    /// the end.
+    pub fn to_human(&self) -> String {
+        let mut children: HashMap<u64, Vec<&Span>> = HashMap::new();
+        for s in &self.spans {
+            children.entry(s.parent).or_default().push(s);
+        }
+        let mut out = String::new();
+        let total_ms = self.duration_ns() as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "trace: {} spans, {} marks, {:.3} ms",
+            self.spans.len(),
+            self.marks.len(),
+            total_ms
+        );
+        render_level(&mut out, &children, &[0], 0);
+        if self.unmatched > 0 {
+            let _ = writeln!(out, "  !! {} unmatched span(s)", self.unmatched);
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k} = {v}");
+            }
+        }
+        out
+    }
+}
+
+fn render_level(
+    out: &mut String,
+    children: &HashMap<u64, Vec<&Span>>,
+    parents: &[u64],
+    depth: usize,
+) {
+    if depth > 16 {
+        return;
+    }
+    // Merge the children of every span in this aggregation group, then
+    // group by name in first-seen order.
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut groups: HashMap<&'static str, Vec<&Span>> = HashMap::new();
+    for p in parents {
+        if let Some(kids) = children.get(p) {
+            for s in kids {
+                if !groups.contains_key(s.name) {
+                    order.push(s.name);
+                }
+                groups.entry(s.name).or_default().push(s);
+            }
+        }
+    }
+    for name in order {
+        let group = &groups[name];
+        let count = group.len();
+        let total_ns: u64 = group.iter().map(|s| s.duration_ns()).sum();
+        let total_ms = total_ns as f64 / 1e6;
+        let indent = "  ".repeat(depth + 1);
+        if count == 1 {
+            let s = group[0];
+            let _ = write!(out, "{indent}{name} {total_ms:.3} ms");
+            if !s.args.is_empty() {
+                let mut rendered = String::new();
+                write_args(&mut rendered, &s.args);
+                let _ = write!(out, " {rendered}");
+            }
+            out.push('\n');
+        } else {
+            let mean_ms = total_ms / count as f64;
+            let _ = writeln!(
+                out,
+                "{indent}{name} x{count} total {total_ms:.3} ms mean {mean_ms:.4} ms"
+            );
+        }
+        let ids: Vec<u64> = group.iter().map(|s| s.id).collect();
+        render_level(out, children, &ids, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Span, Trace};
+
+    fn sample() -> Trace {
+        let mut t = Trace {
+            spans: vec![
+                Span {
+                    name: "run",
+                    id: 1,
+                    parent: 0,
+                    thread: 0,
+                    start_ns: 0,
+                    end_ns: 3_000_000,
+                    args: vec![("n", crate::Value::U64(100))],
+                },
+                Span {
+                    name: "round",
+                    id: 2,
+                    parent: 1,
+                    thread: 0,
+                    start_ns: 100,
+                    end_ns: 1_000_000,
+                    args: vec![("round", crate::Value::U64(0))],
+                },
+                Span {
+                    name: "round",
+                    id: 3,
+                    parent: 1,
+                    thread: 0,
+                    start_ns: 1_000_100,
+                    end_ns: 2_000_000,
+                    args: vec![("round", crate::Value::U64(1))],
+                },
+            ],
+            marks: Vec::new(),
+            counters: vec![("relaxations".to_string(), 42.0)],
+            unmatched: 0,
+        };
+        t.set_counter("rounds", 2.0);
+        t
+    }
+
+    #[test]
+    fn json_parses_back() {
+        let t = sample();
+        let parsed = crate::json::parse(&t.to_json()).expect("valid JSON");
+        assert_eq!(parsed.get("version").and_then(|v| v.as_f64()), Some(1.0));
+        let spans = parsed.get("spans").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].get("name").and_then(|v| v.as_str()), Some("run"));
+        let counters = parsed.get("counters").unwrap();
+        assert_eq!(
+            counters.get("relaxations").and_then(|v| v.as_f64()),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_array() {
+        let t = sample();
+        let parsed = crate::json::parse(&t.to_chrome_json()).expect("valid JSON");
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+            assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some());
+        }
+    }
+
+    #[test]
+    fn human_tree_aggregates_rounds() {
+        let t = sample();
+        let text = t.to_human();
+        assert!(text.contains("run"));
+        assert!(text.contains("round x2"));
+        assert!(text.contains("relaxations = 42"));
+    }
+}

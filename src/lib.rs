@@ -20,6 +20,9 @@
 //! * [`solver`] — Laplacian (SDD) solver substrate with spanning-tree
 //!   preconditioning.
 //! * [`viz`] — figure rendering (reproduces the paper's Figure 1).
+//! * [`trace`] — structured tracing and metrics: spans through every
+//!   layer, p50/p99 profiling, human/JSON/Chrome exporters (see
+//!   `mpx profile` and `mpx partition --trace`).
 //!
 //! ## Quickstart
 //!
@@ -65,6 +68,7 @@ pub use mpx_decomp as decomp;
 pub use mpx_graph as graph;
 pub use mpx_par as par;
 pub use mpx_solver as solver;
+pub use mpx_trace as trace;
 pub use mpx_viz as viz;
 
 /// Convenient glob-import surface for examples and downstream users.

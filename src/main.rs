@@ -12,6 +12,8 @@
 //! mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]
 //!                                            amortized-vs-fresh session JSON
 //! mpx bench-ingest <graph> [--threads N]     ingestion JSON benchmark
+//! mpx profile <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S] [--weighted] [--trace[=path]]
+//!                                            p50/p99 latency + round-bound JSON report
 //! mpx render-grid <side> <beta> <out.ppm> [seed]
 //!                                            Figure-1-style mosaic
 //! ```
@@ -37,6 +39,16 @@
 //! strategy produces byte-identical labels — it is a wall-clock knob, and
 //! `mpx bench` reports the per-strategy engine telemetry (rounds,
 //! relaxations, bottom-up round count) to compare them.
+//!
+//! `--trace[=path]` on `partition` (or the `MPX_TRACE=human|json|chrome`
+//! environment variable, which also selects the export format) collects a
+//! structured span trace of the whole run — ingestion, engine rounds,
+//! runtime regions — and writes it to `path` (or stderr). `mpx profile`
+//! always embeds the traced run's span tree in its JSON report and
+//! hard-asserts that tracing does not perturb the labels and that the
+//! span-derived round/relaxation counts equal the engine telemetry. A
+//! bare workload family name (`grid`, `rmat`, …) given to `profile`
+//! expands to a default spec, so `mpx profile grid 2.0` works as-is.
 //!
 //! `--weighted` switches `convert`/`inspect`/`partition`/`bench` to the
 //! Section 6 weighted pipeline: inputs are weighted edge lists (`u v w`
@@ -72,7 +84,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mpx gen <workload> <out> [seed] [--weighted]\n  mpx stats <graph>\n  mpx convert <in> <out> [--weighted] [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph> [--weighted]\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--weighted] [--threads N] [--strategy S] [--parser P]\n  mpx bench <workload> <beta> [seed] [--weighted] [--threads N] [--strategy S]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nweighted (--weighted): weighted edge list (u v w) | weighted .mpx snapshot (mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)"
+    "usage:\n  mpx gen <workload> <out> [seed] [--weighted]\n  mpx stats <graph>\n  mpx convert <in> <out> [--weighted] [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph> [--weighted]\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--weighted] [--threads N] [--strategy S] [--parser P]\n  mpx bench <workload> <beta> [seed] [--weighted] [--threads N] [--strategy S]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx profile <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S] [--weighted] [--trace[=path]]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\n  (profile also accepts a bare family name, e.g. `grid` = grid:200)\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nweighted (--weighted): weighted edge list (u v w) | weighted .mpx snapshot (mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)\ntracing: --trace[=path] on partition/profile, or MPX_TRACE=human|json|chrome (sets format, enables tracing)"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -85,6 +97,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("bench") => cmd_bench(&args[1..]),
         Some("bench-session") => cmd_bench_session(&args[1..]),
         Some("bench-ingest") => cmd_bench_ingest(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("render-grid") => cmd_render(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
@@ -99,11 +112,13 @@ struct RunFlags {
     parser: TextParser,
     runs: Option<usize>,
     weighted: bool,
+    /// `--trace` → `Some(None)` (stderr); `--trace=path` → `Some(Some(path))`.
+    trace: Option<Option<String>>,
 }
 
 /// Extracts the `--threads N` / `--threads=N`, `--strategy S` /
-/// `--strategy=S`, `--parser P` / `--parser=P` and boolean `--weighted`
-/// flags (anywhere in the argument list), returning the remaining
+/// `--strategy=S`, `--parser P` / `--parser=P`, boolean `--weighted`
+/// and `--trace[=path]` flags (anywhere in the argument list), returning the remaining
 /// positional arguments and the parsed flags. `allowed` names the flags
 /// the calling subcommand actually consumes — anything else, recognized
 /// or not, is rejected rather than being silently absorbed or ignored.
@@ -139,6 +154,7 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         parser: TextParser::Auto,
         runs: None,
         weighted: false,
+        trace: None,
     };
     let permit = |flag: &str| -> Result<(), String> {
         if allowed.contains(&flag) {
@@ -180,6 +196,15 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         } else if arg == "--weighted" {
             permit("weighted")?;
             flags.weighted = true;
+        } else if arg == "--trace" {
+            permit("trace")?;
+            flags.trace = Some(None);
+        } else if let Some(value) = arg.strip_prefix("--trace=") {
+            permit("trace")?;
+            if value.is_empty() {
+                return Err("--trace=: missing path".into());
+            }
+            flags.trace = Some(Some(value.to_string()));
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag '{arg}'"));
         } else {
@@ -202,6 +227,77 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Export format for a collected trace.
+#[derive(Clone, Copy, PartialEq)]
+enum TraceFormat {
+    Human,
+    Json,
+    Chrome,
+}
+
+/// A resolved tracing request: which exporter to use and where the
+/// rendered trace goes (`--trace=path` → file, otherwise stderr).
+struct TraceSink {
+    format: TraceFormat,
+    path: Option<String>,
+}
+
+/// Resolves the `--trace[=path]` flag and the `MPX_TRACE` environment
+/// variable into an optional [`TraceSink`]. Either one enables tracing.
+/// Format precedence: the `MPX_TRACE` value (`human` | `json` |
+/// `chrome`; `1`/`true` are aliases for `human`) if set, else a `.json`
+/// path extension implies JSON, else the human phase tree.
+/// `MPX_TRACE=0` or empty is the same as unset.
+fn resolve_trace(flag: &Option<Option<String>>) -> Result<Option<TraceSink>, String> {
+    let env = std::env::var("MPX_TRACE")
+        .ok()
+        .filter(|v| !v.is_empty() && v != "0");
+    let env_format = match env.as_deref() {
+        None => None,
+        Some("human" | "1" | "true") => Some(TraceFormat::Human),
+        Some("json") => Some(TraceFormat::Json),
+        Some("chrome") => Some(TraceFormat::Chrome),
+        Some(other) => {
+            return Err(format!(
+                "MPX_TRACE: unknown format '{other}' (use human | json | chrome)"
+            ))
+        }
+    };
+    if flag.is_none() && env_format.is_none() {
+        return Ok(None);
+    }
+    let path = flag.as_ref().and_then(|p| p.clone());
+    let format = env_format.unwrap_or_else(|| match &path {
+        Some(p) if p.ends_with(".json") => TraceFormat::Json,
+        _ => TraceFormat::Human,
+    });
+    Ok(Some(TraceSink { format, path }))
+}
+
+/// Renders a finished trace to its sink: the file named by
+/// `--trace=path`, else stderr (stdout stays reserved for the command's
+/// own report so `mpx ... --trace | jq` keeps working).
+fn emit_trace(trace: &mpx::trace::Trace, sink: &TraceSink) -> Result<(), String> {
+    let rendered = match sink.format {
+        TraceFormat::Human => trace.to_human(),
+        TraceFormat::Json => trace.to_json(),
+        TraceFormat::Chrome => trace.to_chrome_json(),
+    };
+    match &sink.path {
+        Some(path) => {
+            let mut bytes = rendered.into_bytes();
+            if bytes.last() != Some(&b'\n') {
+                bytes.push(b'\n');
+            }
+            std::fs::write(path, &bytes).map_err(|e| format!("--trace: {path}: {e}"))?;
+            eprintln!("trace written to {path}");
+        }
+        None if rendered.ends_with('\n') => eprint!("{rendered}"),
+        None => eprintln!("{rendered}"),
+    }
+    Ok(())
 }
 
 /// Runs `f` under the requested thread count: a dedicated pool for an
@@ -557,14 +653,18 @@ fn inspect_weighted(path: &str) -> Result<(), String> {
 }
 
 fn cmd_partition(args: &[String]) -> Result<(), String> {
-    let (args, flags) = extract_flags(args, &["threads", "strategy", "parser", "weighted"])?;
+    let (args, flags) = extract_flags(
+        args,
+        &["threads", "strategy", "parser", "weighted", "trace"],
+    )?;
     let path = args.first().ok_or("partition: missing graph path")?;
     let beta = parse_beta(args.get(1).ok_or("partition: missing beta")?)?;
     let seed: u64 = args
         .get(2)
         .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let sink = resolve_trace(&flags.trace)?;
     if flags.weighted {
-        return partition_weighted_cmd(path, beta, seed, args.get(3), &flags);
+        return partition_weighted_cmd(path, beta, seed, args.get(3), &flags, sink);
     }
     // `.mpx` snapshots stay memory-mapped: the engine traverses the file's
     // pages directly and only the verifier materializes an owned copy.
@@ -573,6 +673,9 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     let builder = DecomposerBuilder::new(beta)
         .seed(seed)
         .traversal(flags.strategy);
+    // The trace session brackets loading + decomposition, so ingest and
+    // snapshot spans land in the same tree as the engine rounds.
+    let session = sink.as_ref().map(|_| mpx::trace::start());
     let (loaded, d, telemetry) = with_thread_choice(flags.threads, || {
         let loaded = io::load_graph_with(path, flags.parser).map_err(|e| e.to_string())?;
         let mut session = builder.build(&loaded).map_err(|e| e.to_string())?;
@@ -580,6 +683,14 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         drop(session);
         Ok::<_, String>((loaded, d, telemetry))
     })?;
+    if let (Some(session), Some(sink)) = (session, &sink) {
+        let mut trace = session.finish();
+        trace.set_counter("rounds", telemetry.rounds as f64);
+        trace.set_counter("relaxations", telemetry.relaxations as f64);
+        trace.set_counter("bottom_up_rounds", telemetry.bottom_up_rounds as f64);
+        trace.set_counter("clusters", telemetry.clusters as f64);
+        emit_trace(&trace, sink)?;
+    }
     let g = loaded.as_csr();
     let stats = DecompositionStats::compute(&g, &d);
     println!("{stats}");
@@ -618,10 +729,12 @@ fn partition_weighted_cmd(
     seed: u64,
     labels_out: Option<&String>,
     flags: &RunFlags,
+    sink: Option<TraceSink>,
 ) -> Result<(), String> {
     let builder = DecomposerBuilder::new(beta)
         .seed(seed)
         .traversal(flags.strategy);
+    let session = sink.as_ref().map(|_| mpx::trace::start());
     let (loaded, d, telemetry) = with_thread_choice(flags.threads, || {
         let loaded = io::load_weighted_graph_with(path, flags.parser).map_err(|e| e.to_string())?;
         let mut session = builder.build_weighted(&loaded).map_err(|e| e.to_string())?;
@@ -629,6 +742,15 @@ fn partition_weighted_cmd(
         drop(session);
         Ok::<_, String>((loaded, d, telemetry))
     })?;
+    if let (Some(session), Some(sink)) = (session, &sink) {
+        let mut trace = session.finish();
+        trace.set_counter("buckets", telemetry.buckets as f64);
+        trace.set_counter("phases", telemetry.phases as f64);
+        trace.set_counter("relaxations", telemetry.relaxations as f64);
+        trace.set_counter("clusters", telemetry.clusters as f64);
+        trace.set_counter("delta", telemetry.delta);
+        emit_trace(&trace, sink)?;
+    }
     println!(
         "clusters={} max_radius={:.4} cut_edges={} cut_fraction={:.4}",
         d.num_clusters(),
@@ -686,14 +808,17 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let builder = DecomposerBuilder::new(beta)
         .seed(seed)
         .traversal(flags.strategy);
-    let rt_before = mpx_runtime::stats::snapshot();
     // The whole pipeline — including graph generation and verification,
     // which have parallel inner loops — runs under the requested thread
     // count so every phase's wall-clock is attributable to it. The
     // partition phase runs through a `Decomposer` session (shift
-    // generation included, as in a real serving loop).
-    let (g, gen_ms, build_ms, d, telemetry, partition_ms, report, verify_ms) =
+    // generation included, as in a real serving loop). The runtime-stats
+    // epoch opens inside the closure — on the thread that initiates the
+    // parallel regions — so the delta attributes exactly this pipeline's
+    // regions, never a concurrent caller's.
+    let (g, gen_ms, build_ms, d, telemetry, partition_ms, report, verify_ms, rt_delta) =
         with_thread_choice(threads, || {
+            let rt_epoch = mpx_runtime::stats::begin_epoch();
             let (g, gen_ms) = time_ms(|| parse_workload(spec, seed));
             let g = g?;
             let (session, build_ms) = time_ms(|| builder.build(&g));
@@ -710,10 +835,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 partition_ms,
                 report,
                 verify_ms,
+                rt_epoch.finish(),
             ))
         })?;
     let g = &g;
-    let rt_delta = mpx_runtime::stats::snapshot().delta_since(&rt_before);
     if !report.is_valid() {
         return Err(format!("bench: verification FAILED: {:?}", report.errors));
     }
@@ -836,6 +961,10 @@ fn bench_weighted(spec: &str, beta: f64, seed: u64, flags: &RunFlags) -> Result<
         par_telemetry.phases,
         par_telemetry.relaxations,
         par_telemetry.delta
+    );
+    println!(
+        "  \"weighted_telemetry\": {{ \"buckets\": {}, \"phases\": {}, \"relaxations\": {}, \"delta\": {:.6} }},",
+        par_telemetry.buckets, par_telemetry.phases, par_telemetry.relaxations, par_telemetry.delta
     );
     println!("  \"agree\": {agree}");
     println!("}}");
@@ -1034,6 +1163,253 @@ fn cmd_bench_ingest(args: &[String]) -> Result<(), String> {
     );
     println!("  \"outputs_identical\": true");
     println!("}}");
+    Ok(())
+}
+
+/// Expands a bare workload family name to a default spec so
+/// `mpx profile grid 2.0` works without memorizing generator syntax;
+/// full specs (and file paths) pass through untouched.
+fn default_workload(spec: &str) -> String {
+    match spec {
+        "grid" => "grid:200",
+        "rmat" => "rmat:12:8",
+        "gnm" => "gnm:50000:200000",
+        "ba" => "ba:20000:8",
+        "regular" => "regular:20000:8",
+        "path" => "path:50000",
+        "sbm" => "sbm:20000:10",
+        other => other,
+    }
+    .to_string()
+}
+
+/// `mpx profile <workload> <beta> [seed] [--runs K] [--threads N]
+/// [--strategy S] [--weighted] [--trace[=path]]` — the phase-level
+/// profiling report. Runs the decomposition K times (default 8, fresh
+/// seeds `seed..seed+K`) through one warmed session with per-seed wall
+/// clocks, then one more *traced* run, and emits a single JSON object on
+/// stdout: the p50/p99 latency distribution, throughput, observed
+/// round/relaxation maxima against the paper's `O(log n / β)` round
+/// bound, one record per run, and the traced run's span tree. Two
+/// invariants are hard-asserted (non-zero exit on violation): the traced
+/// run's labels are bit-identical to the untraced run with the same
+/// seed, and the span-derived round/relaxation counts equal the engine
+/// telemetry exactly. `--trace[=path]` additionally exports the trace on
+/// its own (file or stderr).
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let (args, flags) = extract_flags(args, &["threads", "strategy", "runs", "weighted", "trace"])?;
+    let spec = default_workload(args.first().ok_or("profile: missing workload")?);
+    let beta = parse_beta(args.get(1).ok_or("profile: missing beta")?)?;
+    let seed: u64 = args
+        .get(2)
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed".to_string()))?;
+    let runs = flags.runs.unwrap_or(8);
+    let sink = resolve_trace(&flags.trace)?;
+    let effective_threads = flags.threads.unwrap_or_else(mpx::par::default_threads);
+    let seeds: Vec<u64> = (0..runs as u64).map(|i| seed.wrapping_add(i)).collect();
+    if flags.weighted {
+        return profile_weighted(&spec, beta, seed, &seeds, effective_threads, &flags, sink);
+    }
+    let builder = DecomposerBuilder::new(beta)
+        .seed(seed)
+        .traversal(flags.strategy);
+    let (g, report, baseline, traced, telemetry, trace) =
+        with_thread_choice(flags.threads, || {
+            let g = parse_workload(&spec, seed)?;
+            let mut session = builder.build(&g).map_err(|e| e.to_string())?;
+            // Warm the pool, the workspace and the page cache outside
+            // every timing.
+            let _ = session.run();
+            let (mut outputs, report) = session.run_many_profiled(&seeds);
+            let baseline = outputs.swap_remove(0);
+            let (traced, telemetry, trace) = session.run_with_seed_traced(seeds[0]);
+            drop(session);
+            Ok::<_, String>((g, report, baseline, traced, telemetry, trace))
+        })?;
+    // Hard invariant 1: tracing must not perturb the output.
+    let labels_match = traced == baseline;
+    // Hard invariant 2: the span-derived counts must equal the engine
+    // telemetry — one engine.round span per round, and the expand/scan
+    // span args summing to the relaxation count.
+    let span_rounds = trace.span_count("engine.round") as u64;
+    let span_relax = (trace.sum_arg("engine.expand", "relaxations")
+        + trace.sum_arg("engine.scan", "relaxations")) as u64;
+    let consistent = trace.is_balanced()
+        && span_rounds == telemetry.rounds
+        && span_relax == telemetry.relaxations;
+    let (n, m) = (g.num_vertices(), g.num_edges());
+    // Theorem 1.1: radius (hence rounds) is O(log n / β) w.h.p. Reported
+    // with generous constants rather than hard-failed — it is a
+    // probabilistic guarantee, and `partition_with_retry` is the
+    // enforcement path.
+    let round_bound = (4.0 * (n.max(2) as f64).ln() / beta).ceil() as u64 + 2;
+    let max_rounds = report.max_rounds();
+    let throughput = m as f64 / (report.latency.p50_ms / 1e3).max(1e-9);
+    if let Some(sink) = &sink {
+        emit_trace(&trace, sink)?;
+    }
+
+    // Hand-rolled JSON: stable key order, no external deps; the trace
+    // exporter emits one self-contained object on the last line.
+    println!("{{");
+    println!("  \"workload\": \"{}\",", json_escape(&spec));
+    println!("  \"beta\": {beta},");
+    println!("  \"seed\": {seed},");
+    println!("  \"runs\": {runs},");
+    println!("  \"threads\": {effective_threads},");
+    println!("  \"strategy\": \"{}\",", flags.strategy.as_str());
+    println!("  \"n\": {n},");
+    println!("  \"m\": {m},");
+    println!(
+        "  \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"min\": {:.3}, \"max\": {:.3} }},",
+        report.latency.p50_ms,
+        report.latency.p99_ms,
+        report.latency.mean_ms,
+        report.latency.min_ms,
+        report.latency.max_ms
+    );
+    println!("  \"throughput_edges_per_s\": {throughput:.0},");
+    println!(
+        "  \"rounds\": {{ \"max\": {max_rounds}, \"bound\": {round_bound}, \"within_bound\": {} }},",
+        max_rounds <= round_bound
+    );
+    println!(
+        "  \"relaxations\": {{ \"max\": {}, \"per_edge\": {:.3} }},",
+        report.max_relaxations(),
+        report.max_relaxations() as f64 / (2 * m).max(1) as f64
+    );
+    print!("  \"per_run\": [");
+    for (i, s) in report.samples.iter().enumerate() {
+        if i > 0 {
+            print!(", ");
+        }
+        print!(
+            "{{ \"seed\": {}, \"ms\": {:.3}, \"rounds\": {}, \"relaxations\": {}, \"clusters\": {} }}",
+            s.seed, s.ms, s.rounds, s.relaxations, s.clusters
+        );
+    }
+    println!("],");
+    println!(
+        "  \"checks\": {{ \"labels_match_traced\": {labels_match}, \"telemetry_consistent\": {consistent}, \"trace_balanced\": {} }},",
+        trace.is_balanced()
+    );
+    println!("  \"trace\": {}", trace.to_json());
+    println!("}}");
+    if !labels_match {
+        return Err("profile: traced labels differ from untraced labels".into());
+    }
+    if !consistent {
+        return Err(format!(
+            "profile: trace/telemetry mismatch (span rounds {span_rounds} vs {}, span relaxations {span_relax} vs {}, unmatched {})",
+            telemetry.rounds, telemetry.relaxations, trace.unmatched
+        ));
+    }
+    Ok(())
+}
+
+/// The `--weighted` arm of `profile`: same report over the weighted
+/// session (Δ-stepping under any parallel strategy, multi-source
+/// Dijkstra under `--strategy sequential`). The consistency invariant
+/// checks `wengine.phase` span counts against `telemetry.phases` and the
+/// `wengine.relax` mark counts against `telemetry.relaxations`; the
+/// label check compares assignments and distance bits.
+fn profile_weighted(
+    spec: &str,
+    beta: f64,
+    seed: u64,
+    seeds: &[u64],
+    effective_threads: usize,
+    flags: &RunFlags,
+    sink: Option<TraceSink>,
+) -> Result<(), String> {
+    let builder = DecomposerBuilder::new(beta)
+        .seed(seed)
+        .traversal(flags.strategy);
+    let (g, report, baseline, traced, telemetry, trace) =
+        with_thread_choice(flags.threads, || {
+            let g = parse_weighted_workload(spec, seed)?;
+            let mut session = builder.build_weighted(&g).map_err(|e| e.to_string())?;
+            let _ = session.run();
+            let (mut outputs, report) = session.run_many_profiled(seeds);
+            let baseline = outputs.swap_remove(0);
+            let (traced, telemetry, trace) = session.run_with_seed_traced(seeds[0]);
+            drop(session);
+            Ok::<_, String>((g, report, baseline, traced, telemetry, trace))
+        })?;
+    let labels_match = traced.assignment == baseline.assignment
+        && traced
+            .dist_to_center
+            .iter()
+            .zip(&baseline.dist_to_center)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let span_phases = trace.span_count("wengine.phase") as u64;
+    let mark_relax = trace.sum_mark_arg("wengine.relax", "count") as u64;
+    let consistent = trace.is_balanced()
+        && span_phases == telemetry.phases
+        && mark_relax == telemetry.relaxations;
+    let (n, m) = (g.num_vertices(), g.num_edges());
+    let throughput = m as f64 / (report.latency.p50_ms / 1e3).max(1e-9);
+    let max_phases = report.samples.iter().map(|s| s.phases).max().unwrap_or(0);
+    let max_buckets = report.samples.iter().map(|s| s.buckets).max().unwrap_or(0);
+    let max_relaxations = report
+        .samples
+        .iter()
+        .map(|s| s.relaxations)
+        .max()
+        .unwrap_or(0);
+    if let Some(sink) = &sink {
+        emit_trace(&trace, sink)?;
+    }
+
+    println!("{{");
+    println!("  \"workload\": \"{}\",", json_escape(spec));
+    println!("  \"weighted\": true,");
+    println!("  \"beta\": {beta},");
+    println!("  \"seed\": {seed},");
+    println!("  \"runs\": {},", seeds.len());
+    println!("  \"threads\": {effective_threads},");
+    println!("  \"strategy\": \"{}\",", flags.strategy.as_str());
+    println!("  \"n\": {n},");
+    println!("  \"m\": {m},");
+    println!(
+        "  \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}, \"min\": {:.3}, \"max\": {:.3} }},",
+        report.latency.p50_ms,
+        report.latency.p99_ms,
+        report.latency.mean_ms,
+        report.latency.min_ms,
+        report.latency.max_ms
+    );
+    println!("  \"throughput_edges_per_s\": {throughput:.0},");
+    println!(
+        "  \"weighted_telemetry\": {{ \"buckets\": {max_buckets}, \"phases\": {max_phases}, \"relaxations\": {max_relaxations}, \"delta\": {:.6} }},",
+        telemetry.delta
+    );
+    print!("  \"per_run\": [");
+    for (i, s) in report.samples.iter().enumerate() {
+        if i > 0 {
+            print!(", ");
+        }
+        print!(
+            "{{ \"seed\": {}, \"ms\": {:.3}, \"buckets\": {}, \"phases\": {}, \"relaxations\": {}, \"clusters\": {} }}",
+            s.seed, s.ms, s.buckets, s.phases, s.relaxations, s.clusters
+        );
+    }
+    println!("],");
+    println!(
+        "  \"checks\": {{ \"labels_match_traced\": {labels_match}, \"telemetry_consistent\": {consistent}, \"trace_balanced\": {} }},",
+        trace.is_balanced()
+    );
+    println!("  \"trace\": {}", trace.to_json());
+    println!("}}");
+    if !labels_match {
+        return Err("profile: traced labels differ from untraced labels".into());
+    }
+    if !consistent {
+        return Err(format!(
+            "profile: trace/telemetry mismatch (span phases {span_phases} vs {}, mark relaxations {mark_relax} vs {}, unmatched {})",
+            telemetry.phases, telemetry.relaxations, trace.unmatched
+        ));
+    }
     Ok(())
 }
 

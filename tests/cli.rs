@@ -490,3 +490,132 @@ fn inspect_rejects_corrupt_snapshot() {
     );
     std::fs::remove_file(snap).ok();
 }
+
+#[test]
+fn profile_emits_consistent_json_report() {
+    let stdout = run_ok(&["profile", "grid:40", "0.5", "9", "--runs", "3"]);
+    let v = mpx::trace::json::parse(&stdout).expect("profile output is valid JSON");
+    assert_eq!(v.get("runs").and_then(|x| x.as_f64()), Some(3.0));
+    assert_eq!(v.get("workload").and_then(|x| x.as_str()), Some("grid:40"));
+    let checks = v.get("checks").expect("checks object");
+    for key in [
+        "labels_match_traced",
+        "telemetry_consistent",
+        "trace_balanced",
+    ] {
+        assert_eq!(
+            checks.get(key).and_then(|x| x.as_bool()),
+            Some(true),
+            "check '{key}' failed:\n{stdout}"
+        );
+    }
+    let latency = v.get("latency_ms").expect("latency_ms object");
+    let p50 = latency.get("p50").and_then(|x| x.as_f64()).unwrap();
+    let p99 = latency.get("p99").and_then(|x| x.as_f64()).unwrap();
+    assert!(p50 > 0.0 && p99 >= p50, "{stdout}");
+    assert_eq!(
+        v.get("per_run").and_then(|x| x.as_array()).map(|a| a.len()),
+        Some(3)
+    );
+    let rounds = v.get("rounds").expect("rounds object");
+    assert!(rounds.get("max").and_then(|x| x.as_f64()).unwrap() > 0.0);
+    assert!(rounds.get("bound").and_then(|x| x.as_f64()).unwrap() > 0.0);
+    // The embedded trace is a full span tree of the traced run.
+    let spans = v
+        .get("trace")
+        .and_then(|t| t.get("spans"))
+        .and_then(|s| s.as_array())
+        .expect("embedded trace spans");
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.get("name").and_then(|n| n.as_str()) == Some("engine.round")),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn profile_accepts_bare_family_names_and_weighted() {
+    // The acceptance-criteria invocation: a bare family name and β = 2.0.
+    // Kept cheap by overriding the run count (the workload still expands
+    // to the grid:200 default).
+    let stdout = run_ok(&["profile", "grid", "2.0", "--runs", "2"]);
+    let v = mpx::trace::json::parse(&stdout).unwrap();
+    assert_eq!(v.get("workload").and_then(|x| x.as_str()), Some("grid:200"));
+    assert_eq!(v.get("n").and_then(|x| x.as_f64()), Some(40_000.0));
+
+    let stdout = run_ok(&["profile", "grid:30", "0.4", "--runs", "2", "--weighted"]);
+    let v = mpx::trace::json::parse(&stdout).unwrap();
+    assert_eq!(v.get("weighted").and_then(|x| x.as_bool()), Some(true));
+    let wt = v.get("weighted_telemetry").expect("weighted_telemetry");
+    for key in ["buckets", "phases", "relaxations", "delta"] {
+        assert!(wt.get(key).is_some(), "missing weighted_telemetry.{key}");
+    }
+    let checks = v.get("checks").expect("checks object");
+    assert_eq!(
+        checks.get("telemetry_consistent").and_then(|x| x.as_bool()),
+        Some(true),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn bench_weighted_reports_weighted_telemetry() {
+    let stdout = run_ok(&["bench", "grid:30", "0.4", "--weighted"]);
+    let v = mpx::trace::json::parse(&stdout).unwrap();
+    assert_eq!(v.get("agree").and_then(|x| x.as_bool()), Some(true));
+    let wt = v.get("weighted_telemetry").expect("weighted_telemetry");
+    assert!(wt.get("buckets").and_then(|x| x.as_f64()).unwrap() > 0.0);
+    assert!(wt.get("phases").and_then(|x| x.as_f64()).unwrap() > 0.0);
+    assert!(wt.get("relaxations").and_then(|x| x.as_f64()).unwrap() > 0.0);
+    assert!(wt.get("delta").and_then(|x| x.as_f64()).unwrap() > 0.0);
+}
+
+#[test]
+fn partition_trace_flag_and_env_export_traces() {
+    let graph = tmp("trace-g.txt");
+    let trace_json = tmp("trace-out.json");
+    run_ok(&["gen", "grid:30", graph.to_str().unwrap()]);
+
+    // --trace=path: JSON (by extension) written to the file; labels and
+    // stdout report unchanged.
+    let stdout = run_ok(&[
+        "partition",
+        graph.to_str().unwrap(),
+        "0.2",
+        "7",
+        &format!("--trace={}", trace_json.display()),
+    ]);
+    assert!(stdout.contains("verified"), "{stdout}");
+    let raw = std::fs::read_to_string(&trace_json).unwrap();
+    let v = mpx::trace::json::parse(&raw).expect("trace file is valid JSON");
+    let spans = v.get("spans").and_then(|s| s.as_array()).unwrap();
+    assert!(spans
+        .iter()
+        .any(|s| s.get("name").and_then(|n| n.as_str()) == Some("engine.partition")));
+    let counters = v.get("counters").expect("counters");
+    assert!(counters.get("rounds").and_then(|x| x.as_f64()).unwrap() > 0.0);
+
+    // MPX_TRACE=chrome enables tracing without the flag and switches the
+    // exporter; the Chrome array goes to stderr.
+    let out = mpx()
+        .args(["partition", graph.to_str().unwrap(), "0.2", "7"])
+        .env("MPX_TRACE", "chrome")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let chrome = mpx::trace::json::parse(stderr.trim()).expect("chrome trace on stderr");
+    assert!(!chrome.as_array().unwrap().is_empty());
+
+    // An unknown MPX_TRACE value is a hard error, not silent no-tracing.
+    let out = mpx()
+        .args(["partition", graph.to_str().unwrap(), "0.2"])
+        .env("MPX_TRACE", "bogus")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(trace_json).ok();
+}

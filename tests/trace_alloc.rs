@@ -1,0 +1,81 @@
+//! The disabled-overhead acceptance test for `mpx-trace`: when no trace
+//! session is active, `span!`/`event!` sites must perform **zero heap
+//! allocations** — the whole disabled path is one relaxed atomic load,
+//! and the argument expressions are never even evaluated.
+//!
+//! A wrapping global allocator counts *every* allocation (no size
+//! threshold, unlike `decomposer_alloc.rs` — a single stray byte here is
+//! a bug). This file is its own test binary so the `#[global_allocator]`
+//! cannot perturb, or be perturbed by, any other test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Total number of alloc/realloc calls since process start.
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+// Contained `unsafe`: pure delegation to `System` plus an atomic counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Evaluating this in a disabled `span!` would both allocate and panic —
+/// proving the macro skips argument evaluation entirely.
+fn poisoned_arg() -> u64 {
+    let s = String::from("argument expressions must not be evaluated");
+    panic!("{s}");
+}
+
+#[test]
+fn disabled_spans_and_events_allocate_nothing() {
+    assert!(
+        !mpx::trace::enabled(),
+        "no session is active, tracing must be disabled"
+    );
+
+    // Sanity: the counter actually observes allocations.
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let probe = String::from("probe allocation");
+    assert!(
+        ALLOC_CALLS.load(Ordering::Relaxed) > before,
+        "counting allocator is not wired in"
+    );
+    drop(probe);
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let _span = mpx::trace::span!("alloc.test", i = i, tag = "disabled");
+        mpx::trace::event!("alloc.event", i = i);
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span!/event! sites performed {} allocations",
+        after - before
+    );
+
+    // And the arguments are lazily skipped, not just cheaply copied.
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    {
+        let _span = mpx::trace::span!("alloc.lazy", v = poisoned_arg());
+    }
+    assert_eq!(ALLOC_CALLS.load(Ordering::Relaxed) - before, 0);
+}
