@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpx_decomp::{
-    partition, partition_hybrid, partition_sequential, partition_view, DecompOptions, Traversal,
+    partition, partition_hybrid, partition_sequential, partition_view, DecompOptions,
+    DecomposerBuilder, Determinism, Traversal,
 };
 use mpx_graph::{gen, InducedView};
 use std::time::Duration;
@@ -90,6 +91,35 @@ fn bench_traversal_strategies(c: &mut Criterion) {
     }
 }
 
+/// BitExact's claim/settle protocol vs Fast's single-shot CAS claiming +
+/// work-stealing scheduler (the `Determinism` knob), measured through a
+/// reused session so the delta is pure protocol cost, not workspace
+/// allocation. Fast labels are schedule-dependent — wall-clock is the
+/// whole point of this group (invariants are pinned by
+/// `tests/fast_mode.rs`).
+fn bench_determinism_modes(c: &mut Criterion) {
+    let graphs = vec![
+        (
+            "rmat-s14-b0.1",
+            gen::rmat(14, 8 << 14, 0.57, 0.19, 0.19, 1),
+            0.1,
+        ),
+        ("gnm-100k-b0.1", gen::gnm(100_000, 400_000, 1), 0.1),
+    ];
+    for (name, g, beta) in &graphs {
+        let mut group = c.benchmark_group(format!("partition/determinism_{name}"));
+        for mode in [Determinism::BitExact, Determinism::Fast] {
+            let mut session = DecomposerBuilder::new(*beta)
+                .seed(1)
+                .determinism(mode)
+                .build(g)
+                .unwrap();
+            group.bench_function(mode.as_str(), |b| b.iter(|| session.run()));
+        }
+        group.finish();
+    }
+}
+
 /// Zero-copy views vs materialized subgraphs: partitioning ~70% of a graph
 /// through an `InducedView` against paying `induced_subgraph` + partition.
 /// The view skips the CSR rebuild but filters neighbors on the fly; this
@@ -127,6 +157,7 @@ criterion_group! {
     name = benches;
     config = configure(Criterion::default());
     targets = bench_beta_sweep, bench_graph_families, bench_vs_baselines,
-        bench_traversal_strategies, bench_view_vs_materialized
+        bench_traversal_strategies, bench_determinism_modes,
+        bench_view_vs_materialized
 }
 criterion_main!(benches);

@@ -47,7 +47,9 @@
 use crate::decomposition::Decomposition;
 use crate::engine::{self, EngineScratch, PartitionTelemetry};
 use crate::exact::partition_exact;
-use crate::options::{ConfigError, DecompOptions, RetryPolicy, ShiftStrategy, TieBreak, Traversal};
+use crate::options::{
+    ConfigError, DecompOptions, Determinism, RetryPolicy, ShiftStrategy, TieBreak, Traversal,
+};
 use crate::retry::RetryOutcome;
 use crate::shift::ExpShifts;
 use crate::weighted::WeightedDecomposition;
@@ -115,6 +117,7 @@ impl Workspace {
             &self.shifts,
             opts.traversal,
             opts.alpha,
+            opts.determinism,
             &mut self.scratch,
         )
     }
@@ -147,6 +150,7 @@ impl Workspace {
             &self.shifts,
             opts.traversal,
             delta,
+            opts.determinism,
             &mut self.wscratch,
         )
     }
@@ -190,6 +194,7 @@ impl DecomposerBuilder {
                 tie_break: TieBreak::default(),
                 shift_strategy: ShiftStrategy::default(),
                 traversal: Traversal::default(),
+                determinism: Determinism::default(),
                 alpha: crate::options::DEFAULT_ALPHA,
             },
             retry: RetryPolicy::default(),
@@ -215,6 +220,15 @@ impl DecomposerBuilder {
     /// returns identical labels).
     pub fn traversal(mut self, t: Traversal) -> Self {
         self.opts.traversal = t;
+        self
+    }
+
+    /// Sets the determinism contract: [`Determinism::BitExact`] (default,
+    /// byte-identical output) or [`Determinism::Fast`] (lock-free CAS
+    /// claiming + work-stealing scheduling; unweighted output is
+    /// invariant-preserving but schedule-dependent).
+    pub fn determinism(mut self, d: Determinism) -> Self {
+        self.opts.determinism = d;
         self
     }
 
@@ -385,6 +399,15 @@ impl<'g, V: GraphView> Decomposer<'g, V> {
     /// ([`DecomposerBuilder::build_in`]).
     pub fn into_workspace(self) -> Workspace {
         self.workspace
+    }
+
+    /// Switches the determinism contract for subsequent runs on this
+    /// session. Interleaving modes is safe: each protocol fully resets (or
+    /// provably overwrites-before-reading) every arena it consults, so a
+    /// [`Determinism::BitExact`] run after a [`Determinism::Fast`] run
+    /// stays byte-identical to a fresh session's output.
+    pub fn set_determinism(&mut self, d: Determinism) {
+        self.opts.determinism = d;
     }
 
     /// Decomposes under the configured seed.
@@ -573,6 +596,13 @@ impl<'g, W: WeightedGraphView> WeightedDecomposer<'g, W> {
     pub fn with_delta(mut self, delta: Option<f64>) -> Self {
         self.delta = delta;
         self
+    }
+
+    /// Switches the determinism contract for subsequent runs on this
+    /// session. On the weighted engine both modes are bit-identical, so
+    /// this knob trades nothing but the aggregation protocol.
+    pub fn set_determinism(&mut self, d: Determinism) {
+        self.opts.determinism = d;
     }
 
     /// Decomposes under the configured seed.

@@ -47,7 +47,7 @@
 //! on mesh-like graphs (an output-invisible scheduling choice).
 
 use crate::decomposition::Decomposition;
-use crate::options::{DecompOptions, Traversal};
+use crate::options::{DecompOptions, Determinism, Traversal};
 use crate::shift::ExpShifts;
 use mpx_graph::{Dist, GraphView, Vertex, NO_VERTEX};
 use rayon::prelude::*;
@@ -67,6 +67,12 @@ pub struct PartitionTelemetry {
     pub clusters: u64,
     /// Rounds that ran bottom-up (0 under the pure top-down strategies).
     pub bottom_up_rounds: u64,
+    /// Successful single-shot CAS claims ([`Determinism::Fast`] top-down
+    /// rounds only; 0 under [`Determinism::BitExact`]).
+    pub cas_success: u64,
+    /// CAS attempts that lost the race after observing an unclaimed slot —
+    /// a direct measure of claim contention (Fast mode only).
+    pub cas_retries: u64,
 }
 
 /// Partitions a [`GraphView`] under `opts` (shifts generated from
@@ -96,7 +102,14 @@ pub fn partition_view_with_shifts<V: GraphView>(
     strategy: Traversal,
     alpha: u64,
 ) -> (Decomposition, PartitionTelemetry) {
-    partition_view_reusing(view, shifts, strategy, alpha, &mut EngineScratch::new())
+    partition_view_reusing(
+        view,
+        shifts,
+        strategy,
+        alpha,
+        Determinism::BitExact,
+        &mut EngineScratch::new(),
+    )
 }
 
 /// Below this many vertices the scratch resets run inline; recursive
@@ -152,15 +165,31 @@ impl EngineScratch {
 
     /// Resets (and if needed grows) every buffer a run over `n` vertices
     /// will touch, and rebuilds the wake schedule from `shifts`.
-    fn prepare(&mut self, n: usize, shifts: &ExpShifts, strategy: Traversal) {
+    fn prepare(
+        &mut self,
+        n: usize,
+        shifts: &ExpShifts,
+        strategy: Traversal,
+        determinism: Determinism,
+    ) {
         let bottom_up_capable = matches!(strategy, Traversal::Auto | Traversal::BottomUp);
         // Pure bottom-up never bids through `claim`; pure top-down never
         // reads `settled_round` — skip the resets the strategy can't see.
         if strategy != Traversal::BottomUp {
             reset_atomic_u64(&mut self.claim, n, u64::MAX);
         }
-        reset_atomic_u32(&mut self.assignment, n, NO_VERTEX);
-        reset_atomic_u32(&mut self.dist, n, 0);
+        if determinism == Determinism::Fast {
+            // Fast writes `assignment` and `dist` exactly once per vertex,
+            // at claim time, and never reads an unclaimed vertex's slots —
+            // the O(n) resets are dead work, so the arrays only grow. A
+            // later BitExact run on the same scratch restores the
+            // `NO_VERTEX`/0 state these stores would have left.
+            grow_atomic_u32(&mut self.assignment, n);
+            grow_atomic_u32(&mut self.dist, n);
+        } else {
+            reset_atomic_u32(&mut self.assignment, n, NO_VERTEX);
+            reset_atomic_u32(&mut self.dist, n, 0);
+        }
         if bottom_up_capable {
             reset_atomic_u32(&mut self.settled_round, n, u32::MAX);
         }
@@ -224,6 +253,14 @@ fn reset_atomic_u64(v: &mut Vec<AtomicU64>, n: usize, init: u64) {
     }
 }
 
+/// Grows `v` to length `n` without resetting existing slots (Fast-mode
+/// arrays whose every live slot is overwritten before being read).
+fn grow_atomic_u32(v: &mut Vec<AtomicU32>, n: usize) {
+    if v.len() < n {
+        v.resize_with(n, || AtomicU32::new(0));
+    }
+}
+
 /// Grows `v` to length `n` and stores `init` into the first `n` slots.
 fn reset_atomic_u32(v: &mut Vec<AtomicU32>, n: usize, init: u32) {
     if v.len() < n {
@@ -244,13 +281,52 @@ fn reset_atomic_u32(v: &mut Vec<AtomicU32>, n: usize, init: u32) {
 /// [`partition_view_with_shifts`] over caller-held scratch: the round loop
 /// reuses `scratch`'s arenas instead of allocating its own, so repeated
 /// calls over same-sized views allocate (almost) nothing beyond the
-/// returned [`Decomposition`]. Output is bit-identical to the fresh-scratch
-/// path — resets restore exactly the state a fresh allocation starts from.
+/// returned [`Decomposition`]. Under [`Determinism::BitExact`] the output
+/// is bit-identical to the fresh-scratch path — resets restore exactly the
+/// state a fresh allocation starts from.
+///
+/// # Fast mode
+///
+/// Under [`Determinism::Fast`] the two-phase claim/settle protocol is
+/// replaced by single-shot claiming: the first
+/// `compare_exchange(u64::MAX, key)` on a vertex's claim slot wins
+/// permanently and immediately stores the assignment, distance and settled
+/// round — no finalize sweep, no per-round `fetch_min` races re-resolved at
+/// a barrier. The winner is whichever frontier bid gets there first, so
+/// output may differ across runs and thread counts; every output still
+/// satisfies the paper's invariants (each vertex is claimed in the earliest
+/// round any same-cluster neighbor — or its own wake bid — can reach it, so
+/// the recorded distance is an intra-cluster BFS distance, Lemma 4.1
+/// parents exist, and the radius stays bounded by `δ_max`). Fast runs also
+/// dispatch their parallel regions on the runtime's work-stealing
+/// scheduler ([`mpx_runtime::Scheduler::WorkStealing`]).
 pub fn partition_view_reusing<V: GraphView>(
     view: &V,
     shifts: &ExpShifts,
     strategy: Traversal,
     alpha: u64,
+    determinism: Determinism,
+    scratch: &mut EngineScratch,
+) -> (Decomposition, PartitionTelemetry) {
+    if determinism == Determinism::Fast {
+        // Scheduling is output-invisible even in Fast mode (the CAS
+        // protocol, not the chunk layout, decides winners), but stealing
+        // keeps workers busy on skewed frontiers.
+        mpx_runtime::with_scheduler(mpx_runtime::Scheduler::WorkStealing, || {
+            partition_view_protocol(view, shifts, strategy, alpha, determinism, scratch)
+        })
+    } else {
+        partition_view_protocol(view, shifts, strategy, alpha, determinism, scratch)
+    }
+}
+
+/// The round loop proper, shared by both determinism modes.
+fn partition_view_protocol<V: GraphView>(
+    view: &V,
+    shifts: &ExpShifts,
+    strategy: Traversal,
+    alpha: u64,
+    determinism: Determinism,
     scratch: &mut EngineScratch,
 ) -> (Decomposition, PartitionTelemetry) {
     let n = view.num_vertices();
@@ -262,20 +338,26 @@ pub fn partition_view_reusing<V: GraphView>(
         );
     }
 
+    let fast = determinism == Determinism::Fast;
     let bottom_up_capable = matches!(strategy, Traversal::Auto | Traversal::BottomUp);
-    scratch.prepare(n, shifts, strategy);
+    scratch.prepare(n, shifts, strategy, determinism);
     let (claim_ref, assignment_ref, dist_ref, settled_ref) = (
         &scratch.claim[..n.min(scratch.claim.len())],
         &scratch.assignment[..n],
         &scratch.dist[..n],
         &scratch.settled_round[..if bottom_up_capable { n } else { 0 }],
     );
+    // Lost CAS races (pre-check saw an unclaimed slot, the exchange found
+    // it taken). Contention-proportional, so the relaxed `fetch_add` on a
+    // shared cell is rare by construction.
+    let cas_retries = AtomicU64::new(0);
 
     let _run_span = mpx_trace::span!(
         "engine.partition",
         n = n,
         edges = view.total_degree(),
         strategy = strategy.as_str(),
+        determinism = determinism.as_str(),
     );
     let mut telemetry = PartitionTelemetry::default();
     let mut frontier: Vec<Vertex> = Vec::new();
@@ -367,6 +449,13 @@ pub fn partition_view_reusing<V: GraphView>(
                     return false;
                 }
                 let center = (best & u32::MAX as u64) as Vertex;
+                // Fast's top-down rounds test "unclaimed" via the claim
+                // slot (the assignment array is not reset in Fast), so a
+                // bottom-up round must record its single-writer wins there
+                // too or a later top-down round under Auto would re-claim.
+                if fast && !claim_ref.is_empty() {
+                    claim_ref[v as usize].store(best, Ordering::Relaxed);
+                }
                 assignment_ref[v as usize].store(center, Ordering::Relaxed);
                 dist_ref[v as usize]
                     .store(r32 - shifts.start_round[center as usize], Ordering::Relaxed);
@@ -391,14 +480,49 @@ pub fn partition_view_reusing<V: GraphView>(
             let par = strategy != Traversal::TopDownSeq
                 && frontier_degree + bucket.len() as u64 >= mpx_par::bfs::SEQ_ROUND_CUTOFF;
 
+            // Fast's single-shot claim: the first successful exchange wins
+            // the vertex permanently and settles it on the spot — there is
+            // no later sweep to re-resolve ties, so the stores here are the
+            // final ones.
+            let fast_claim = |v: Vertex, key: u64, center: Vertex, dist: u32| -> bool {
+                if claim_ref[v as usize].load(Ordering::Relaxed) != u64::MAX {
+                    return false;
+                }
+                match claim_ref[v as usize].compare_exchange(
+                    u64::MAX,
+                    key,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        assignment_ref[v as usize].store(center, Ordering::Relaxed);
+                        dist_ref[v as usize].store(dist, Ordering::Relaxed);
+                        if bottom_up_capable {
+                            settled_ref[v as usize].store(r32, Ordering::Relaxed);
+                        }
+                        true
+                    }
+                    Err(_) => {
+                        cas_retries.fetch_add(1, Ordering::Relaxed);
+                        false
+                    }
+                }
+            };
+
             // Wake phase: vertices whose start time has integer part
             // `round` bid to found their own cluster (paper: "vertex u
             // starting when the head of the queue has distance more than
-            // δ_max − δ_u").
+            // δ_max − δ_u"). In Fast mode a wake bid that lands settles
+            // immediately (the wake region completes before the expand
+            // region starts, so same-round expand bids find it claimed).
             let wake_bid = |u: Vertex| -> bool {
-                assignment_ref[u as usize].load(Ordering::Relaxed) == NO_VERTEX
-                    && claim_ref[u as usize].fetch_min(shifts.claim_key(u), Ordering::Relaxed)
-                        == u64::MAX
+                if fast {
+                    fast_claim(u, shifts.claim_key(u), u, 0)
+                } else {
+                    assignment_ref[u as usize].load(Ordering::Relaxed) == NO_VERTEX
+                        && claim_ref[u as usize].fetch_min(shifts.claim_key(u), Ordering::Relaxed)
+                            == u64::MAX
+                }
             };
             let wake_span = mpx_trace::span!("engine.wake", bucket = bucket.len());
             let mut touched: Vec<Vertex> = if par {
@@ -413,15 +537,24 @@ pub fn partition_view_reusing<V: GraphView>(
             drop(wake_span);
 
             // Expand phase: frontier vertices bid for unclaimed neighbors
-            // with their cluster's key. `fetch_min` returning MAX
+            // with their cluster's key. BitExact: `fetch_min` returning MAX
             // identifies the first bidder, which registers v exactly once
-            // in `touched`.
+            // in `touched` (the winning key is re-read at finalize). Fast:
+            // the first successful exchange *is* the winner.
             telemetry.relaxations += frontier_degree;
             let expand_span = mpx_trace::span!(
                 "engine.expand",
                 frontier = frontier.len(),
                 relaxations = frontier_degree,
             );
+            let expand_bid = |v: Vertex, key: u64, center: Vertex| -> bool {
+                if fast {
+                    fast_claim(v, key, center, r32 - shifts.start_round[center as usize])
+                } else {
+                    assignment_ref[v as usize].load(Ordering::Relaxed) == NO_VERTEX
+                        && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed) == u64::MAX
+                }
+            };
             if par {
                 let expanded: Vec<Vertex> = frontier
                     .par_iter()
@@ -429,11 +562,8 @@ pub fn partition_view_reusing<V: GraphView>(
                     .flat_map_iter(|&u| {
                         let center = assignment_ref[u as usize].load(Ordering::Relaxed);
                         let key = shifts.claim_key(center);
-                        view.neighbors_iter(u).filter(move |&v| {
-                            assignment_ref[v as usize].load(Ordering::Relaxed) == NO_VERTEX
-                                && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed)
-                                    == u64::MAX
-                        })
+                        view.neighbors_iter(u)
+                            .filter(move |&v| expand_bid(v, key, center))
                     })
                     .collect();
                 touched.extend(expanded);
@@ -442,9 +572,7 @@ pub fn partition_view_reusing<V: GraphView>(
                     let center = assignment_ref[u as usize].load(Ordering::Relaxed);
                     let key = shifts.claim_key(center);
                     for v in view.neighbors_iter(u) {
-                        if assignment_ref[v as usize].load(Ordering::Relaxed) == NO_VERTEX
-                            && claim_ref[v as usize].fetch_min(key, Ordering::Relaxed) == u64::MAX
-                        {
+                        if expand_bid(v, key, center) {
                             touched.push(v);
                         }
                     }
@@ -452,23 +580,35 @@ pub fn partition_view_reusing<V: GraphView>(
             }
             drop(expand_span);
 
-            // Finalize phase: every vertex touched this round is settled by
-            // the winning bid; its distance is `round − wake_round(center)`.
-            let finalize = |v: Vertex| {
-                let key = claim_ref[v as usize].load(Ordering::Relaxed);
-                let center = (key & u32::MAX as u64) as Vertex;
-                assignment_ref[v as usize].store(center, Ordering::Relaxed);
-                dist_ref[v as usize]
-                    .store(r32 - shifts.start_round[center as usize], Ordering::Relaxed);
-                if bottom_up_capable {
-                    settled_ref[v as usize].store(r32, Ordering::Relaxed);
-                }
-            };
-            let _settle_span = mpx_trace::span!("engine.settle", touched = touched.len());
-            if par {
-                touched.par_iter().for_each(|&v| finalize(v));
+            if fast {
+                // No settle sweep: every touched vertex was finalized by
+                // its winning CAS. Record the round's claim traffic instead.
+                telemetry.cas_success += touched.len() as u64;
+                mpx_trace::event!(
+                    "engine.relax_cas",
+                    success = touched.len(),
+                    retries = cas_retries.load(Ordering::Relaxed),
+                );
             } else {
-                touched.iter().for_each(|&v| finalize(v));
+                // Finalize phase: every vertex touched this round is
+                // settled by the winning bid; its distance is
+                // `round − wake_round(center)`.
+                let finalize = |v: Vertex| {
+                    let key = claim_ref[v as usize].load(Ordering::Relaxed);
+                    let center = (key & u32::MAX as u64) as Vertex;
+                    assignment_ref[v as usize].store(center, Ordering::Relaxed);
+                    dist_ref[v as usize]
+                        .store(r32 - shifts.start_round[center as usize], Ordering::Relaxed);
+                    if bottom_up_capable {
+                        settled_ref[v as usize].store(r32, Ordering::Relaxed);
+                    }
+                };
+                let _settle_span = mpx_trace::span!("engine.settle", touched = touched.len());
+                if par {
+                    touched.par_iter().for_each(|&v| finalize(v));
+                } else {
+                    touched.iter().for_each(|&v| finalize(v));
+                }
             }
             touched
         };
@@ -497,6 +637,7 @@ pub fn partition_view_reusing<V: GraphView>(
     let parent = compute_parents_view(view, &assignment, &dist);
     let d = Decomposition::from_raw(assignment, dist, parent);
     telemetry.clusters = d.num_clusters() as u64;
+    telemetry.cas_retries = cas_retries.load(Ordering::Relaxed);
     (d, telemetry)
 }
 

@@ -138,8 +138,8 @@ pub use engine::{
 pub use exact::partition_exact;
 pub use hybrid::partition_hybrid;
 pub use options::{
-    ConfigError, DecompOptions, RetryPolicy, ShiftStrategy, TieBreak, Traversal, DEFAULT_ALPHA,
-    MAX_GRAPH_SIZE,
+    ConfigError, DecompOptions, Determinism, RetryPolicy, ShiftStrategy, TieBreak, Traversal,
+    DEFAULT_ALPHA, MAX_GRAPH_SIZE,
 };
 pub use parallel::partition;
 pub use profile::{

@@ -96,6 +96,59 @@ impl std::str::FromStr for Traversal {
     }
 }
 
+/// Determinism contract of the engine (see [`crate::engine`]).
+///
+/// [`Determinism::BitExact`] (the default) keeps the historical guarantee:
+/// labels are byte-identical across thread counts, traversal strategies and
+/// runs, because every claim is resolved by a content-based key minimum
+/// settled at a round barrier. [`Determinism::Fast`] trades that guarantee
+/// for wall-clock: unweighted relaxation claims vertices with a single-shot
+/// compare-and-swap (first claimer wins, no settle sweep) and parallel
+/// regions run on the work-stealing scheduler, so unweighted output may
+/// differ run-to-run under contention. Every Fast run still satisfies the
+/// paper's `(β, O(log n / β))` invariants — strong diameter, Lemma 4.1
+/// parents, radius bound — as checked by [`crate::verify_decomposition`].
+/// The weighted Δ-stepping engine's Fast path replaces the per-phase
+/// request sort with lock-free CAS application but computes the same
+/// minima, so weighted output stays bit-identical in both modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Determinism {
+    /// Byte-identical labels across thread counts, strategies and runs
+    /// (the claim/settle protocol on the fixed deterministic chunk layout).
+    #[default]
+    BitExact,
+    /// Lock-free single-shot CAS claiming plus work-stealing scheduling.
+    /// Output is invariant-preserving but (for unweighted graphs)
+    /// schedule-dependent.
+    Fast,
+}
+
+impl Determinism {
+    /// Canonical CLI token (`--determinism <token>`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Determinism::BitExact => "bitexact",
+            Determinism::Fast => "fast",
+        }
+    }
+}
+
+impl std::str::FromStr for Determinism {
+    type Err = String;
+
+    /// Parses a CLI token (`bitexact` / `fast`; `bit-exact` and `exact`
+    /// are accepted as aliases of `bitexact`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "bitexact" | "bit-exact" | "exact" => Ok(Determinism::BitExact),
+            "fast" => Ok(Determinism::Fast),
+            other => Err(format!(
+                "unknown determinism '{other}' (expected bitexact|fast)"
+            )),
+        }
+    }
+}
+
 /// Default Beamer switch constant (see [`DecompOptions::alpha`]); the value
 /// the direction-optimizing BFS literature and our own sweeps land on.
 pub const DEFAULT_ALPHA: u64 = 12;
@@ -182,6 +235,9 @@ pub struct DecompOptions {
     /// Traversal strategy of the engine (see [`Traversal`]). Affects only
     /// wall-clock, never output.
     pub traversal: Traversal,
+    /// Determinism contract (see [`Determinism`]). `BitExact` (default)
+    /// keeps byte-identical output; `Fast` is the lock-free CAS path.
+    pub determinism: Determinism,
     /// Beamer switch threshold for [`Traversal::Auto`]: a round goes
     /// bottom-up when `frontier_degree * alpha > unsettled_degree`. Larger
     /// values switch earlier (more bottom-up rounds). Tunable per workload;
@@ -211,6 +267,7 @@ impl DecompOptions {
             tie_break: TieBreak::default(),
             shift_strategy: ShiftStrategy::default(),
             traversal: Traversal::default(),
+            determinism: Determinism::default(),
             alpha: DEFAULT_ALPHA,
         };
         opts.validate()?;
@@ -276,6 +333,12 @@ impl DecompOptions {
     /// Sets the engine traversal strategy.
     pub fn with_traversal(mut self, t: Traversal) -> Self {
         self.traversal = t;
+        self
+    }
+
+    /// Sets the determinism contract (see [`Determinism`]).
+    pub fn with_determinism(mut self, d: Determinism) -> Self {
+        self.determinism = d;
         self
     }
 
@@ -405,6 +468,26 @@ mod tests {
         ] {
             assert_eq!(t.as_str().parse::<Traversal>().unwrap(), t);
         }
+    }
+
+    #[test]
+    fn determinism_parses_cli_tokens() {
+        for (token, want) in [
+            ("bitexact", Determinism::BitExact),
+            ("bit-exact", Determinism::BitExact),
+            ("exact", Determinism::BitExact),
+            ("fast", Determinism::Fast),
+        ] {
+            assert_eq!(token.parse::<Determinism>().unwrap(), want, "{token}");
+        }
+        assert!("bogus".parse::<Determinism>().is_err());
+        for d in [Determinism::BitExact, Determinism::Fast] {
+            assert_eq!(d.as_str().parse::<Determinism>().unwrap(), d);
+        }
+        // The default contract is the historical byte-identical one.
+        assert_eq!(DecompOptions::new(0.1).determinism, Determinism::BitExact);
+        let o = DecompOptions::new(0.1).with_determinism(Determinism::Fast);
+        assert_eq!(o.determinism, Determinism::Fast);
     }
 
     #[test]

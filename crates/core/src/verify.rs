@@ -44,6 +44,40 @@ impl VerifyReport {
     pub fn is_valid(&self) -> bool {
         self.errors.is_empty()
     }
+
+    /// The repo's canonical engineering form of the Theorem 1.1 radius /
+    /// round bound: `⌈4·ln(max(n, 2))/β⌉ + 2`. The constant is generous
+    /// (the guarantee is probabilistic; [`crate::partition_with_retry`]
+    /// is the enforcement path) so concrete runs are expected to satisfy
+    /// it essentially always. `mpx profile`, the block-decomposition
+    /// checks, and the fast-mode invariant suite all share this one
+    /// derivation.
+    pub fn radius_bound(n: usize, beta: f64) -> u64 {
+        (4.0 * (n.max(2) as f64).ln() / beta).ceil() as u64 + 2
+    }
+
+    /// The tight Lemma 4.2 form of the radius bound: `2·ln(n)/β`, which
+    /// `max_radius ≤ δ_max` satisfies with probability `≥ 1 − 1/n`.
+    /// Statistical tests asserting the w.h.p. claim use this; engineering
+    /// gates should prefer [`VerifyReport::radius_bound`].
+    pub fn whp_radius_bound(n: usize, beta: f64) -> f64 {
+        2.0 * (n.max(2) as f64).ln() / beta
+    }
+
+    /// True iff the observed `max_radius` respects
+    /// [`VerifyReport::radius_bound`] for a graph of `n` vertices
+    /// decomposed at `beta`.
+    pub fn radius_within_bound(&self, n: usize, beta: f64) -> bool {
+        self.max_radius as u64 <= Self::radius_bound(n, beta)
+    }
+
+    /// True iff the observed cut fraction respects the `βm` side of
+    /// Definition 1.1 up to `slack` (the bound holds in expectation;
+    /// `slack` absorbs per-run variance — retry policies conventionally
+    /// use 4.0).
+    pub fn cut_within_fraction(&self, beta: f64, slack: f64) -> bool {
+        self.cut_fraction <= slack * beta
+    }
 }
 
 /// Verifies `d` against `g`; see the module docs for the checked properties.
@@ -200,6 +234,24 @@ mod tests {
         assert_eq!(r.max_radius, d.max_radius());
         assert_eq!(r.num_clusters, d.num_clusters());
         assert!(r.is_valid());
+    }
+
+    #[test]
+    fn bound_helpers_match_their_formulas() {
+        let (n, beta) = (2500usize, 0.1f64);
+        assert_eq!(
+            VerifyReport::radius_bound(n, beta),
+            (4.0 * (n as f64).ln() / beta).ceil() as u64 + 2
+        );
+        assert!((VerifyReport::whp_radius_bound(n, beta) - 2.0 * (n as f64).ln() / beta) < 1e-12);
+        // Degenerate n clamps instead of producing ln(0)/ln(1) = 0 bounds.
+        assert!(VerifyReport::radius_bound(0, 0.5) >= 2);
+        let g = gen::grid2d(30, 30);
+        let d = partition(&g, &opts(0.2, 11));
+        let r = verify_decomposition(&g, &d);
+        assert!(r.is_valid());
+        assert!(r.radius_within_bound(g.num_vertices(), 0.2));
+        assert!(r.cut_within_fraction(0.2, 4.0));
     }
 
     #[test]

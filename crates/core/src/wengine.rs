@@ -28,7 +28,7 @@
 //! not validate inputs — the session/builder/free-function entry layers
 //! enforce weight validity via [`validate_weights`] first.
 
-use crate::options::{ConfigError, DecompOptions, Traversal};
+use crate::options::{ConfigError, DecompOptions, Determinism, Traversal};
 use crate::shift::ExpShifts;
 use crate::weighted::WeightedDecomposition;
 use mpx_graph::{Vertex, WeightedGraphView, NO_VERTEX};
@@ -87,6 +87,13 @@ pub struct WeightedTelemetry {
     pub clusters: usize,
     /// Bucket width used (0.0 on the sequential path).
     pub delta: f64,
+    /// Distinct targets whose tentative distance a lock-free CAS-min
+    /// improved ([`Determinism::Fast`] Δ-stepping only; 0 under
+    /// [`Determinism::BitExact`] and on the sequential path).
+    pub cas_success: u64,
+    /// CAS attempts that lost a race and had to re-read the slot — a
+    /// direct measure of relaxation contention (Fast mode only).
+    pub cas_retries: u64,
 }
 
 /// Reusable arenas of the weighted engine, owned by
@@ -161,11 +168,25 @@ pub fn validate_weights<W: WeightedGraphView>(view: &W) -> Result<(), ConfigErro
 /// `delta` is the Δ-stepping bucket width; `None` uses the mean edge
 /// weight. The width (like the strategy and the thread count) affects
 /// wall-clock only — output is bit-identical for every choice.
+///
+/// `determinism` selects the request-aggregation protocol of the
+/// Δ-stepping path. [`Determinism::BitExact`] sorts each request batch by
+/// `(target, dist, root)` and applies the first entry per target.
+/// [`Determinism::Fast`] replaces the sort with three barrier-separated
+/// lock-free passes (CAS-min the distance bits, reset roots of improved
+/// targets, `fetch_min` the roots of requests matching the final
+/// distance) and runs the region on the work-stealing scheduler. Unlike
+/// the unweighted engine, the weighted Fast path computes exactly the
+/// per-target lexicographic minimum `(dist, root)` that the sorted path
+/// computes, so **weighted output stays bit-identical in both modes** —
+/// Fast only changes how (and how fast) each batch is reduced. The
+/// sequential Dijkstra ([`Traversal::TopDownSeq`]) ignores the knob.
 pub fn partition_weighted_view_reusing<W: WeightedGraphView>(
     view: &W,
     shifts: &ExpShifts,
     traversal: Traversal,
     delta: Option<f64>,
+    determinism: Determinism,
     scratch: &mut WeightedScratch,
 ) -> (WeightedDecomposition, WeightedTelemetry) {
     let n = view.num_vertices();
@@ -182,6 +203,7 @@ pub fn partition_weighted_view_reusing<W: WeightedGraphView>(
         n = n,
         edges = view.total_degree(),
         strategy = traversal.as_str(),
+        determinism = determinism.as_str(),
     );
 
     // Start times into the shared arena (taken out to sidestep the
@@ -216,7 +238,13 @@ pub fn partition_weighted_view_reusing<W: WeightedGraphView>(
                 delta > 0.0 && delta.is_finite(),
                 "delta must be positive and finite, got {delta}"
             );
-            delta_stepping(view, &start[..n], delta, scratch)
+            if determinism == Determinism::Fast {
+                mpx_runtime::with_scheduler(mpx_runtime::Scheduler::WorkStealing, || {
+                    delta_stepping(view, &start[..n], delta, true, scratch)
+                })
+            } else {
+                delta_stepping(view, &start[..n], delta, false, scratch)
+            }
         }
     };
     scratch.start = start;
@@ -242,7 +270,14 @@ pub fn partition_weighted_view<W: WeightedGraphView>(
     opts.assert_valid();
     let shifts = ExpShifts::generate(view.num_vertices(), opts);
     let mut scratch = WeightedScratch::new();
-    partition_weighted_view_reusing(view, &shifts, opts.traversal, delta, &mut scratch)
+    partition_weighted_view_reusing(
+        view,
+        &shifts,
+        opts.traversal,
+        delta,
+        opts.determinism,
+        &mut scratch,
+    )
 }
 
 /// Sequential exponentially shifted multi-source Dijkstra (paper
@@ -328,10 +363,16 @@ fn dijkstra_multi_source<W: WeightedGraphView>(
 /// fractional generalization of the unweighted engine's integer wake
 /// schedule. Produces the same labels as [`dijkstra_multi_source`],
 /// bit-for-bit, for every bucket width and thread count.
+///
+/// `fast` swaps the sort-based per-batch reduction for the three-pass
+/// lock-free one (see [`partition_weighted_view_reusing`]); both
+/// reductions compute the identical per-target lexicographic minimum, so
+/// the labels do not depend on the flag.
 fn delta_stepping<W: WeightedGraphView>(
     view: &W,
     start: &[f64],
     delta: f64,
+    fast: bool,
     scratch: &mut WeightedScratch,
 ) -> (Vec<Vertex>, Vec<f64>, WeightedTelemetry) {
     let n = start.len();
@@ -377,9 +418,91 @@ fn delta_stepping<W: WeightedGraphView>(
         ..WeightedTelemetry::default()
     };
 
+    let cas_success = AtomicU64::new(0);
+    let cas_retries = AtomicU64::new(0);
+
+    // Lock-free batch reduction (Determinism::Fast): three barrier-
+    // separated passes replace the `(target, dist, root)` sort.
+    //
+    //   1. CAS-min every request's distance bits into `tent` (non-negative
+    //      finite f64 bits order as u64s, so the integer min is the float
+    //      min); remember which targets strictly improved.
+    //   2. Improved targets forget their root (`NO_VERTEX`) — their old
+    //      root belonged to the beaten distance.
+    //   3. Requests whose distance equals the now-final `tent[v]` compete
+    //      on the root with `fetch_min`; the op that lowers the slot
+    //      reports `v` for re-bucketing.
+    //
+    // Per target this computes min dist, then min root at that dist,
+    // against the lexicographic (dist, root) carried over from earlier
+    // rounds — exactly the sorted path's winner — so Fast stays
+    // bit-identical on the weighted engine. Every dist-improved target is
+    // guaranteed a pass-3 report: the first `fetch_min` in the slot's
+    // modification order carrying the minimal root observes a strictly
+    // larger previous value.
+    let apply_fast = |requests: &Vec<(Vertex, f64, Vertex)>| -> Vec<(usize, Vertex)> {
+        let mut touched: Vec<Vertex> = requests
+            .par_iter()
+            .filter_map(|&(v, d, _)| {
+                let slot = &tent[v as usize];
+                let bits = d.to_bits();
+                let mut cur = slot.load(Ordering::Relaxed);
+                let mut improved = false;
+                while bits < cur {
+                    match slot.compare_exchange_weak(
+                        cur,
+                        bits,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            improved = true;
+                            break;
+                        }
+                        Err(now) => {
+                            cas_retries.fetch_add(1, Ordering::Relaxed);
+                            cur = now;
+                        }
+                    }
+                }
+                improved.then_some(v)
+            })
+            .collect();
+        touched.par_sort_unstable();
+        touched.dedup();
+        cas_success.fetch_add(touched.len() as u64, Ordering::Relaxed);
+        touched
+            .par_iter()
+            .for_each(|&v| root[v as usize].store(NO_VERTEX, Ordering::Relaxed));
+        let mut winners: Vec<Vertex> = requests
+            .par_iter()
+            .filter_map(|&(v, d, r)| {
+                if tent[v as usize].load(Ordering::Relaxed) != d.to_bits() {
+                    return None;
+                }
+                let old = root[v as usize].fetch_min(r, Ordering::Relaxed);
+                (r < old).then_some(v)
+            })
+            .collect();
+        winners.par_sort_unstable();
+        winners.dedup();
+        winners
+            .into_iter()
+            .map(|v| {
+                (
+                    bucket_of(f64::from_bits(tent[v as usize].load(Ordering::Relaxed))),
+                    v,
+                )
+            })
+            .collect()
+    };
+
     // Applies the best (dist, root) request per target; returns targets
     // whose tentative label improved, with their new bucket index.
     let apply_requests = |requests: &mut Vec<(Vertex, f64, Vertex)>| -> Vec<(usize, Vertex)> {
+        if fast {
+            return apply_fast(requests);
+        }
         requests.par_sort_unstable_by(|a, b| {
             a.0.cmp(&b.0)
                 .then(a.1.partial_cmp(&b.1).unwrap_or(CmpOrdering::Equal))
@@ -486,6 +609,16 @@ fn delta_stepping<W: WeightedGraphView>(
             push_bucket(buckets, b, v);
         }
         i += 1;
+    }
+
+    telemetry.cas_success = cas_success.load(Ordering::Relaxed);
+    telemetry.cas_retries = cas_retries.load(Ordering::Relaxed);
+    if fast {
+        mpx_trace::event!(
+            "engine.relax_cas",
+            success = telemetry.cas_success,
+            retries = telemetry.cas_retries,
+        );
     }
 
     let assignment: Vec<Vertex> = root.iter().map(|r| r.load(Ordering::Relaxed)).collect();
@@ -666,18 +799,36 @@ mod tests {
         let o = opts(0.15, 2);
         let shifts = ExpShifts::generate(g.num_vertices(), &o);
         let mut scratch = WeightedScratch::new();
-        let (first, _) =
-            partition_weighted_view_reusing(&g, &shifts, Traversal::Auto, None, &mut scratch);
+        let (first, _) = partition_weighted_view_reusing(
+            &g,
+            &shifts,
+            Traversal::Auto,
+            None,
+            Determinism::BitExact,
+            &mut scratch,
+        );
         let bytes = scratch.capacity_bytes();
         for _ in 0..3 {
-            let (again, _) =
-                partition_weighted_view_reusing(&g, &shifts, Traversal::Auto, None, &mut scratch);
+            let (again, _) = partition_weighted_view_reusing(
+                &g,
+                &shifts,
+                Traversal::Auto,
+                None,
+                Determinism::BitExact,
+                &mut scratch,
+            );
             assert_eq!(first, again);
         }
         assert_eq!(scratch.capacity_bytes(), bytes, "arenas regrew");
         // The same scratch serves the sequential path and a smaller view.
-        let (seq, _) =
-            partition_weighted_view_reusing(&g, &shifts, Traversal::TopDownSeq, None, &mut scratch);
+        let (seq, _) = partition_weighted_view_reusing(
+            &g,
+            &shifts,
+            Traversal::TopDownSeq,
+            None,
+            Determinism::BitExact,
+            &mut scratch,
+        );
         assert_eq!(first, seq);
         let small = random_weighted(&gen::path(9), 0);
         let small_shifts = ExpShifts::generate(9, &o);
@@ -686,9 +837,50 @@ mod tests {
             &small_shifts,
             Traversal::Auto,
             None,
+            Determinism::BitExact,
             &mut scratch,
         );
         assert_eq!(d.assignment.len(), 9);
+    }
+
+    #[test]
+    fn fast_mode_is_bit_identical_on_weighted_graphs() {
+        // The three-pass CAS reduction computes the same per-target
+        // lexicographic minimum as the sorted reduction, so weighted Fast
+        // output must match BitExact bit-for-bit — across widths too.
+        for seed in 0..4u64 {
+            let g = random_weighted(&gen::grid2d(18, 18), seed);
+            let o = opts(0.2, seed);
+            let shifts = ExpShifts::generate(g.num_vertices(), &o);
+            let mut scratch = WeightedScratch::new();
+            for delta in [None, Some(0.5), Some(4.0)] {
+                let (exact, _) = partition_weighted_view_reusing(
+                    &g,
+                    &shifts,
+                    Traversal::TopDownPar,
+                    delta,
+                    Determinism::BitExact,
+                    &mut scratch,
+                );
+                let (fast, t) = partition_weighted_view_reusing(
+                    &g,
+                    &shifts,
+                    Traversal::TopDownPar,
+                    delta,
+                    Determinism::Fast,
+                    &mut scratch,
+                );
+                assert_eq!(exact.assignment, fast.assignment, "seed {seed} {delta:?}");
+                for v in 0..g.num_vertices() {
+                    assert_eq!(
+                        exact.dist_to_center[v].to_bits(),
+                        fast.dist_to_center[v].to_bits(),
+                        "seed {seed} {delta:?} vertex {v}"
+                    );
+                }
+                assert!(t.cas_success > 0, "fast run should claim via CAS");
+            }
+        }
     }
 
     #[test]

@@ -45,14 +45,17 @@ mod latch;
 mod registry;
 pub mod sort;
 pub mod stats;
+mod steal;
 
 use registry::{ChunkTask, JobRef, Registry, ScopeShared, ScopedJob, StackJob, StackJobSlot};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use steal::StealTask;
 
 pub use sort::par_merge_sort_by;
+pub use steal::{current_scheduler, with_scheduler, Scheduler};
 
 /// A dedicated pool of worker threads. Dropping the pool shuts the
 /// workers down and joins them.
@@ -289,10 +292,28 @@ where
     // dereferences the pointer after the chunk counter exhausts.
     let erased: *const (dyn Fn(usize) + Sync) =
         unsafe { std::mem::transmute(wide as *const (dyn Fn(usize) + Sync)) };
-    let task = Arc::new(unsafe { ChunkTask::new(erased, n_chunks) });
     // One broadcast handle per worker that could usefully help; the
     // initiator participates directly.
     let helpers = registry.size().min(n_chunks);
+    if current_scheduler() == Scheduler::WorkStealing {
+        // SAFETY: same contract as the fixed-chunk path — this frame
+        // drains ranges itself and blocks on the latch before returning.
+        let task = Arc::new(unsafe { StealTask::new(erased, n_chunks, registry.size()) });
+        registry.inject_steal_refs(&task, helpers);
+        task.run_loop();
+        task.wait();
+        let participants = task.participants();
+        stats::record_region_stealing(participants, n_chunks, task.steals());
+        mpx_trace::event!(
+            "runtime.region",
+            chunks = n_chunks,
+            participants = participants,
+            steals = task.steals(),
+        );
+        task.propagate_panic();
+        return;
+    }
+    let task = Arc::new(unsafe { ChunkTask::new(erased, n_chunks) });
     registry.inject_chunk_refs(&task, helpers);
     task.run_loop();
     task.wait();
@@ -376,6 +397,37 @@ mod tests {
             unique >= 2,
             "expected >= 2 distinct worker threads, saw {unique}"
         );
+    }
+
+    #[test]
+    fn parallel_for_work_stealing_covers_every_chunk() {
+        let pool = Pool::new(4);
+        let counts: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            with_scheduler(Scheduler::WorkStealing, || {
+                parallel_for(1000, |i| {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_work_stealing_propagates_panics() {
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                with_scheduler(Scheduler::WorkStealing, || {
+                    parallel_for(64, |i| {
+                        if i == 7 {
+                            panic!("chunk 7 exploded");
+                        }
+                    });
+                });
+            });
+        }));
+        assert!(result.is_err());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! being run by a thread that, by induction on the fork tree, completes.
 
 use crate::latch::Latch;
+use crate::steal::StealTask;
 use crate::Pool;
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
@@ -50,6 +51,8 @@ pub(crate) enum JobRef {
     Stack(Arc<StackJobSlot>),
     /// Broadcast handle onto a chunked parallel-for.
     Chunks(Arc<ChunkTask>),
+    /// Broadcast handle onto a work-stealing parallel-for.
+    Steal(Arc<StealTask>),
     /// Owned closure spawned inside a `scope`.
     Scoped(ScopedJob),
 }
@@ -120,6 +123,16 @@ impl Registry {
         let mut st = self.state.lock().unwrap();
         for _ in 0..count {
             st.queue.push_back(JobRef::Chunks(task.clone()));
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// [`Registry::inject_chunk_refs`] for the work-stealing backend.
+    pub(crate) fn inject_steal_refs(&self, task: &Arc<StealTask>, count: usize) {
+        let mut st = self.state.lock().unwrap();
+        for _ in 0..count {
+            st.queue.push_back(JobRef::Steal(task.clone()));
         }
         drop(st);
         self.cv.notify_all();
@@ -196,6 +209,7 @@ pub(crate) fn execute(job: JobRef) {
             slot.claim_and_run();
         }
         JobRef::Chunks(task) => task.run_loop(),
+        JobRef::Steal(task) => task.run_loop(),
         JobRef::Scoped(job) => job.run(),
     }
 }

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static REGIONS: AtomicU64 = AtomicU64::new(0);
 static PARTICIPATIONS: AtomicU64 = AtomicU64::new(0);
 static CHUNKS: AtomicU64 = AtomicU64::new(0);
+static STEALS: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time copy of the utilization counters (also the unit of
 /// epoch deltas).
@@ -42,6 +43,9 @@ pub struct Snapshot {
     pub participations: u64,
     /// Total chunks claimed across all regions.
     pub chunks: u64,
+    /// Half-range steals performed by the work-stealing backend (0 for
+    /// regions run on the fixed-chunk scheduler).
+    pub steals: u64,
 }
 
 impl Snapshot {
@@ -52,6 +56,7 @@ impl Snapshot {
             regions: self.regions.saturating_sub(earlier.regions),
             participations: self.participations.saturating_sub(earlier.participations),
             chunks: self.chunks.saturating_sub(earlier.chunks),
+            steals: self.steals.saturating_sub(earlier.steals),
         }
     }
 
@@ -72,6 +77,7 @@ pub fn snapshot() -> Snapshot {
         regions: REGIONS.load(Ordering::Relaxed),
         participations: PARTICIPATIONS.load(Ordering::Relaxed),
         chunks: CHUNKS.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
     }
 }
 
@@ -148,14 +154,22 @@ impl Drop for Epoch {
 /// thread that initiated the region, which is what makes epoch
 /// attribution exact.
 pub(crate) fn record_region(participants: usize, chunks: usize) {
+    record_region_stealing(participants, chunks, 0);
+}
+
+/// [`record_region`] for the work-stealing backend, which additionally
+/// reports how many half-range steals served the region.
+pub(crate) fn record_region_stealing(participants: usize, chunks: usize, steals: usize) {
     REGIONS.fetch_add(1, Ordering::Relaxed);
     PARTICIPATIONS.fetch_add(participants as u64, Ordering::Relaxed);
     CHUNKS.fetch_add(chunks as u64, Ordering::Relaxed);
+    STEALS.fetch_add(steals as u64, Ordering::Relaxed);
     FRAMES.with(|f| {
         for frame in f.borrow_mut().iter_mut() {
             frame.regions += 1;
             frame.participations += participants as u64;
             frame.chunks += chunks as u64;
+            frame.steals += steals as u64;
         }
     });
 }
@@ -183,6 +197,7 @@ mod tests {
             regions: 4,
             participations: 10,
             chunks: 0,
+            steals: 0,
         };
         assert!((s.avg_workers_per_region() - 2.5).abs() < 1e-12);
     }

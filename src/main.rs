@@ -61,7 +61,7 @@
 
 use mpx::decomp::{
     verify_decomposition, verify_weighted, ConfigError, DecompOptions, DecomposerBuilder,
-    DecompositionStats, Traversal, MAX_GRAPH_SIZE,
+    DecompositionStats, Determinism, Traversal, VerifyReport, MAX_GRAPH_SIZE,
 };
 use mpx::graph::{
     gen, io, snapshot, CsrGraph, GraphFormat, GraphView, TextParser, Vertex, WeightedCsrGraph,
@@ -84,7 +84,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mpx gen <workload> <out> [seed] [--weighted]\n  mpx stats <graph>\n  mpx convert <in> <out> [--weighted] [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph> [--weighted]\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--weighted] [--threads N] [--strategy S] [--parser P]\n  mpx bench <workload> <beta> [seed] [--weighted] [--threads N] [--strategy S]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx profile <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S] [--weighted] [--trace[=path]]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>:<ef> gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\n  (profile also accepts a bare family name, e.g. `grid` = grid:200)\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nweighted (--weighted): weighted edge list (u v w) | weighted .mpx snapshot (mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)\ntracing: --trace[=path] on partition/profile, or MPX_TRACE=human|json|chrome (sets format, enables tracing)"
+    "usage:\n  mpx gen <workload> <out> [seed] [--weighted]\n  mpx stats <graph>\n  mpx convert <in> <out> [--weighted] [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph> [--weighted]\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--weighted] [--threads N] [--strategy S] [--determinism D] [--parser P]\n  mpx bench <workload> <beta> [seed] [--weighted] [--threads N] [--strategy S] [--determinism D]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx profile <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S] [--determinism D] [--weighted] [--trace[=path]]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>[:<ef>] gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\n  (profile also accepts a bare family name, e.g. `grid` = grid:200; rmat edge factor defaults to 8)\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nweighted (--weighted): weighted edge list (u v w) | weighted .mpx snapshot (mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)\ndeterminism: bitexact (default; byte-identical across thread counts) | fast (lock-free CAS claiming + work stealing)\ntracing: --trace[=path] on partition/profile, or MPX_TRACE=human|json|chrome (sets format, enables tracing)"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -109,6 +109,7 @@ fn run(args: &[String]) -> Result<(), String> {
 struct RunFlags {
     threads: Option<usize>,
     strategy: Traversal,
+    determinism: Determinism,
     parser: TextParser,
     runs: Option<usize>,
     weighted: bool,
@@ -138,6 +139,9 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
     let parse_parser = |value: &str| -> Result<TextParser, String> {
         value.parse().map_err(|e| format!("--parser: {e}"))
     };
+    let parse_determinism = |value: &str| -> Result<Determinism, String> {
+        value.parse().map_err(|e| format!("--determinism: {e}"))
+    };
     let parse_runs = |value: &str| -> Result<usize, String> {
         let k: usize = value
             .parse()
@@ -151,6 +155,7 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
     let mut flags = RunFlags {
         threads: None,
         strategy: Traversal::Auto,
+        determinism: Determinism::BitExact,
         parser: TextParser::Auto,
         runs: None,
         weighted: false,
@@ -186,6 +191,13 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         } else if let Some(value) = arg.strip_prefix("--parser=") {
             permit("parser")?;
             flags.parser = parse_parser(value)?;
+        } else if arg == "--determinism" {
+            permit("determinism")?;
+            let value = it.next().ok_or("--determinism: missing value")?;
+            flags.determinism = parse_determinism(value)?;
+        } else if let Some(value) = arg.strip_prefix("--determinism=") {
+            permit("determinism")?;
+            flags.determinism = parse_determinism(value)?;
         } else if arg == "--runs" {
             permit("runs")?;
             let value = it.next().ok_or("--runs: missing value")?;
@@ -362,7 +374,9 @@ fn parse_workload(spec: &str, seed: u64) -> Result<CsrGraph, String> {
                     "workload '{spec}': rmat scale {scale} too large (max 28)"
                 ));
             }
-            let m = bounded("edge count", num(2)?.checked_mul(1usize << scale))?;
+            // `rmat:<scale>` alone defaults the edge factor to 8.
+            let ef = if parts.len() > 2 { num(2)? } else { 8 };
+            let m = bounded("edge count", ef.checked_mul(1usize << scale))?;
             Ok(gen::rmat(scale as u32, m, 0.57, 0.19, 0.19, seed))
         }
         "gnm" => Ok(gen::gnm(
@@ -655,7 +669,14 @@ fn inspect_weighted(path: &str) -> Result<(), String> {
 fn cmd_partition(args: &[String]) -> Result<(), String> {
     let (args, flags) = extract_flags(
         args,
-        &["threads", "strategy", "parser", "weighted", "trace"],
+        &[
+            "threads",
+            "strategy",
+            "determinism",
+            "parser",
+            "weighted",
+            "trace",
+        ],
     )?;
     let path = args.first().ok_or("partition: missing graph path")?;
     let beta = parse_beta(args.get(1).ok_or("partition: missing beta")?)?;
@@ -672,7 +693,8 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     // parallel parsers too, not just the decomposition.
     let builder = DecomposerBuilder::new(beta)
         .seed(seed)
-        .traversal(flags.strategy);
+        .traversal(flags.strategy)
+        .determinism(flags.determinism);
     // The trace session brackets loading + decomposition, so ingest and
     // snapshot spans land in the same tree as the engine rounds.
     let session = sink.as_ref().map(|_| mpx::trace::start());
@@ -695,11 +717,14 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     let stats = DecompositionStats::compute(&g, &d);
     println!("{stats}");
     println!(
-        "engine: strategy={} rounds={} relaxations={} bottom_up_rounds={} source={}",
+        "engine: strategy={} determinism={} rounds={} relaxations={} bottom_up_rounds={} cas_success={} cas_retries={} source={}",
         flags.strategy.as_str(),
+        flags.determinism.as_str(),
         telemetry.rounds,
         telemetry.relaxations,
         telemetry.bottom_up_rounds,
+        telemetry.cas_success,
+        telemetry.cas_retries,
         if loaded.is_mapped() { "mmap" } else { "owned" }
     );
     let report = verify_decomposition(&g, &d);
@@ -733,7 +758,8 @@ fn partition_weighted_cmd(
 ) -> Result<(), String> {
     let builder = DecomposerBuilder::new(beta)
         .seed(seed)
-        .traversal(flags.strategy);
+        .traversal(flags.strategy)
+        .determinism(flags.determinism);
     let session = sink.as_ref().map(|_| mpx::trace::start());
     let (loaded, d, telemetry) = with_thread_choice(flags.threads, || {
         let loaded = io::load_weighted_graph_with(path, flags.parser).map_err(|e| e.to_string())?;
@@ -786,8 +812,17 @@ fn partition_weighted_cmd(
 /// utilization. This is the machine-readable baseline the perf-trajectory
 /// files (`BENCH_*.json`) are built from; CI archives one file per
 /// strategy so the trajectory distinguishes traversal modes.
+/// The runtime scheduler a determinism mode selects — recorded in bench
+/// and profile artifacts so BENCH JSON is self-describing.
+fn scheduler_of(d: Determinism) -> &'static str {
+    match d {
+        Determinism::Fast => mpx_runtime::Scheduler::WorkStealing.as_str(),
+        Determinism::BitExact => mpx_runtime::Scheduler::FixedChunk.as_str(),
+    }
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let (args, flags) = extract_flags(args, &["threads", "strategy", "weighted"])?;
+    let (args, flags) = extract_flags(args, &["threads", "strategy", "determinism", "weighted"])?;
     let spec = args.first().ok_or("bench: missing workload")?;
     let beta = parse_beta(args.get(1).ok_or("bench: missing beta")?)?;
     let seed: u64 = args
@@ -807,7 +842,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
     let builder = DecomposerBuilder::new(beta)
         .seed(seed)
-        .traversal(flags.strategy);
+        .traversal(flags.strategy)
+        .determinism(flags.determinism);
     // The whole pipeline — including graph generation and verification,
     // which have parallel inner loops — runs under the requested thread
     // count so every phase's wall-clock is attributable to it. The
@@ -851,23 +887,27 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     println!("  \"seed\": {seed},");
     println!("  \"threads\": {effective_threads},");
     println!("  \"strategy\": \"{}\",", flags.strategy.as_str());
+    println!("  \"determinism\": \"{}\",", flags.determinism.as_str());
+    println!("  \"scheduler\": \"{}\",", scheduler_of(flags.determinism));
     println!("  \"n\": {},", g.num_vertices());
     println!("  \"m\": {},", g.num_edges());
     println!(
         "  \"phases_ms\": {{ \"gen\": {gen_ms:.3}, \"build\": {build_ms:.3}, \"partition\": {partition_ms:.3}, \"verify\": {verify_ms:.3} }},"
     );
     println!(
-        "  \"partition\": {{ \"clusters\": {}, \"max_radius\": {}, \"cut_edges\": {}, \"rounds\": {}, \"relaxations\": {}, \"bottom_up_rounds\": {} }},",
+        "  \"partition\": {{ \"clusters\": {}, \"max_radius\": {}, \"cut_edges\": {}, \"rounds\": {}, \"relaxations\": {}, \"bottom_up_rounds\": {}, \"cas_success\": {}, \"cas_retries\": {} }},",
         d.num_clusters(),
         d.max_radius(),
         stats.cut_edges,
         telemetry.rounds,
         telemetry.relaxations,
-        telemetry.bottom_up_rounds
+        telemetry.bottom_up_rounds,
+        telemetry.cas_success,
+        telemetry.cas_retries
     );
     println!(
-        "  \"runtime\": {{ \"par_regions\": {}, \"worker_participations\": {}, \"chunks_claimed\": {} }}",
-        rt_delta.regions, rt_delta.participations, rt_delta.chunks
+        "  \"runtime\": {{ \"par_regions\": {}, \"worker_participations\": {}, \"chunks_claimed\": {}, \"steals\": {} }}",
+        rt_delta.regions, rt_delta.participations, rt_delta.chunks, rt_delta.steals
     );
     println!("}}");
     Ok(())
@@ -895,7 +935,8 @@ fn bench_weighted(spec: &str, beta: f64, seed: u64, flags: &RunFlags) -> Result<
         .traversal(Traversal::TopDownSeq);
     let par_builder = DecomposerBuilder::new(beta)
         .seed(seed)
-        .traversal(Traversal::TopDownPar);
+        .traversal(Traversal::TopDownPar)
+        .determinism(flags.determinism);
     let (g, gen_ms, ds, seq_telemetry, sequential_ms, dp, par_telemetry, parallel_ms, verify_ms) =
         with_thread_choice(threads, || {
             let (g, gen_ms) = time_ms(|| parse_weighted_workload(spec, seed));
@@ -940,6 +981,8 @@ fn bench_weighted(spec: &str, beta: f64, seed: u64, flags: &RunFlags) -> Result<
     println!("  \"beta\": {beta},");
     println!("  \"seed\": {seed},");
     println!("  \"threads\": {effective_threads},");
+    println!("  \"determinism\": \"{}\",", flags.determinism.as_str());
+    println!("  \"scheduler\": \"{}\",", scheduler_of(flags.determinism));
     println!("  \"n\": {},", g.num_vertices());
     println!("  \"m\": {},", g.num_edges());
     println!(
@@ -963,8 +1006,13 @@ fn bench_weighted(spec: &str, beta: f64, seed: u64, flags: &RunFlags) -> Result<
         par_telemetry.delta
     );
     println!(
-        "  \"weighted_telemetry\": {{ \"buckets\": {}, \"phases\": {}, \"relaxations\": {}, \"delta\": {:.6} }},",
-        par_telemetry.buckets, par_telemetry.phases, par_telemetry.relaxations, par_telemetry.delta
+        "  \"weighted_telemetry\": {{ \"buckets\": {}, \"phases\": {}, \"relaxations\": {}, \"delta\": {:.6}, \"cas_success\": {}, \"cas_retries\": {} }},",
+        par_telemetry.buckets,
+        par_telemetry.phases,
+        par_telemetry.relaxations,
+        par_telemetry.delta,
+        par_telemetry.cas_success,
+        par_telemetry.cas_retries
     );
     println!("  \"agree\": {agree}");
     println!("}}");
@@ -1197,7 +1245,17 @@ fn default_workload(spec: &str) -> String {
 /// telemetry exactly. `--trace[=path]` additionally exports the trace on
 /// its own (file or stderr).
 fn cmd_profile(args: &[String]) -> Result<(), String> {
-    let (args, flags) = extract_flags(args, &["threads", "strategy", "runs", "weighted", "trace"])?;
+    let (args, flags) = extract_flags(
+        args,
+        &[
+            "threads",
+            "strategy",
+            "determinism",
+            "runs",
+            "weighted",
+            "trace",
+        ],
+    )?;
     let spec = default_workload(args.first().ok_or("profile: missing workload")?);
     let beta = parse_beta(args.get(1).ok_or("profile: missing beta")?)?;
     let seed: u64 = args
@@ -1212,7 +1270,8 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     }
     let builder = DecomposerBuilder::new(beta)
         .seed(seed)
-        .traversal(flags.strategy);
+        .traversal(flags.strategy)
+        .determinism(flags.determinism);
     let (g, report, baseline, traced, telemetry, trace) =
         with_thread_choice(flags.threads, || {
             let g = parse_workload(&spec, seed)?;
@@ -1226,8 +1285,15 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             drop(session);
             Ok::<_, String>((g, report, baseline, traced, telemetry, trace))
         })?;
-    // Hard invariant 1: tracing must not perturb the output.
-    let labels_match = traced == baseline;
+    // Hard invariant 1: tracing must not perturb the output. Fast mode's
+    // unweighted labels are schedule-dependent (byte-stability is a
+    // BitExact contract), so there the check becomes "the traced run
+    // still satisfies the verifier invariants".
+    let labels_match = if flags.determinism == Determinism::Fast {
+        verify_decomposition(&g, &traced).is_valid()
+    } else {
+        traced == baseline
+    };
     // Hard invariant 2: the span-derived counts must equal the engine
     // telemetry — one engine.round span per round, and the expand/scan
     // span args summing to the relaxation count.
@@ -1242,7 +1308,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     // with generous constants rather than hard-failed — it is a
     // probabilistic guarantee, and `partition_with_retry` is the
     // enforcement path.
-    let round_bound = (4.0 * (n.max(2) as f64).ln() / beta).ceil() as u64 + 2;
+    let round_bound = VerifyReport::radius_bound(n, beta);
     let max_rounds = report.max_rounds();
     let throughput = m as f64 / (report.latency.p50_ms / 1e3).max(1e-9);
     if let Some(sink) = &sink {
@@ -1258,6 +1324,8 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     println!("  \"runs\": {runs},");
     println!("  \"threads\": {effective_threads},");
     println!("  \"strategy\": \"{}\",", flags.strategy.as_str());
+    println!("  \"determinism\": \"{}\",", flags.determinism.as_str());
+    println!("  \"scheduler\": \"{}\",", scheduler_of(flags.determinism));
     println!("  \"n\": {n},");
     println!("  \"m\": {m},");
     println!(
@@ -1296,7 +1364,11 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     println!("  \"trace\": {}", trace.to_json());
     println!("}}");
     if !labels_match {
-        return Err("profile: traced labels differ from untraced labels".into());
+        return Err(if flags.determinism == Determinism::Fast {
+            "profile: traced fast run failed verifier invariants".into()
+        } else {
+            "profile: traced labels differ from untraced labels".to_string()
+        });
     }
     if !consistent {
         return Err(format!(
@@ -1324,7 +1396,8 @@ fn profile_weighted(
 ) -> Result<(), String> {
     let builder = DecomposerBuilder::new(beta)
         .seed(seed)
-        .traversal(flags.strategy);
+        .traversal(flags.strategy)
+        .determinism(flags.determinism);
     let (g, report, baseline, traced, telemetry, trace) =
         with_thread_choice(flags.threads, || {
             let g = parse_weighted_workload(spec, seed)?;
@@ -1369,6 +1442,8 @@ fn profile_weighted(
     println!("  \"runs\": {},", seeds.len());
     println!("  \"threads\": {effective_threads},");
     println!("  \"strategy\": \"{}\",", flags.strategy.as_str());
+    println!("  \"determinism\": \"{}\",", flags.determinism.as_str());
+    println!("  \"scheduler\": \"{}\",", scheduler_of(flags.determinism));
     println!("  \"n\": {n},");
     println!("  \"m\": {m},");
     println!(
@@ -1381,8 +1456,8 @@ fn profile_weighted(
     );
     println!("  \"throughput_edges_per_s\": {throughput:.0},");
     println!(
-        "  \"weighted_telemetry\": {{ \"buckets\": {max_buckets}, \"phases\": {max_phases}, \"relaxations\": {max_relaxations}, \"delta\": {:.6} }},",
-        telemetry.delta
+        "  \"weighted_telemetry\": {{ \"buckets\": {max_buckets}, \"phases\": {max_phases}, \"relaxations\": {max_relaxations}, \"delta\": {:.6}, \"cas_success\": {}, \"cas_retries\": {} }},",
+        telemetry.delta, telemetry.cas_success, telemetry.cas_retries
     );
     print!("  \"per_run\": [");
     for (i, s) in report.samples.iter().enumerate() {

@@ -3,7 +3,7 @@
 
 use mpx::decomp::{
     partition, partition_exact, partition_sequential, partition_with_retry, verify_decomposition,
-    DecompOptions, RetryPolicy, TieBreak,
+    DecompOptions, RetryPolicy, TieBreak, VerifyReport,
 };
 use mpx::graph::gen::{self, Workload};
 use mpx::par::with_threads;
@@ -130,7 +130,7 @@ fn lemma_4_2_radius_bound_whp() {
     // runs on a 2500-vertex graph none should exceed it.
     let g = gen::grid2d(50, 50);
     let beta = 0.1;
-    let bound = 2.0 * (g.num_vertices() as f64).ln() / beta;
+    let bound = VerifyReport::whp_radius_bound(g.num_vertices(), beta);
     for seed in 0..20u64 {
         let d = partition(&g, &DecompOptions::new(beta).with_seed(seed * 17));
         assert!(

@@ -2,7 +2,7 @@
 //! coarsening → spanner / tree / blocks → solver.
 
 use mpx::apps;
-use mpx::decomp::{partition, DecompOptions};
+use mpx::decomp::{partition, DecompOptions, VerifyReport};
 use mpx::graph::{algo, gen, WeightedCsrGraph};
 use mpx::solver::{pcg, Identity, Laplacian, TreeSolver};
 
@@ -80,7 +80,7 @@ fn blocks_compose_with_decomposition_bounds() {
     let g = gen::gnm(800, 4000, 13);
     let bd = apps::block_decomposition(&g, 21);
     assert_eq!(bd.total_edges(), g.num_edges());
-    let bound = (4.0 * (g.num_vertices() as f64).ln()) as u32 + 2;
+    let bound = VerifyReport::radius_bound(g.num_vertices(), 1.0) as u32;
     assert!(apps::blocks::verify_blocks(&g, &bd, bound).is_ok());
 }
 
