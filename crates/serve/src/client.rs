@@ -1,0 +1,150 @@
+//! Blocking client for the `mpx serve` protocol. Used by `mpx loadgen`,
+//! the example, and the test harness (which also pokes the server with
+//! deliberately malformed bytes via [`Client::send_raw`]).
+
+use crate::protocol::{
+    self, ErrorReply, FrameKind, PartitionReply, PartitionRequest, StatsReply, WireError,
+};
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The reply did not decode.
+    Wire(WireError),
+    /// The server replied with a typed error.
+    Server(ErrorReply),
+    /// The server replied with an unexpected (but valid) frame kind.
+    Unexpected(FrameKind),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(k) => write!(f, "unexpected reply kind {}", k.as_u16()),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ClientError::Io(io),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+impl ClientError {
+    /// The server's typed error, if that is what this is.
+    pub fn as_server_error(&self) -> Option<&ErrorReply> {
+        match self {
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One connection to a decomposition server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sets a read timeout on replies (`None` blocks forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Runs one decomposition on the server.
+    pub fn partition(&mut self, req: &PartitionRequest) -> Result<PartitionReply, ClientError> {
+        protocol::write_frame(&mut self.stream, FrameKind::Partition, &req.encode())?;
+        match self.read_reply()? {
+            Reply::Partition(p) => Ok(p),
+            Reply::Error(e) => Err(ClientError::Server(e)),
+            Reply::Stats(_) => Err(ClientError::Unexpected(FrameKind::StatsReply)),
+            Reply::ShutdownAck => Err(ClientError::Unexpected(FrameKind::ShutdownReply)),
+        }
+    }
+
+    /// Fetches the server's counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        protocol::write_frame(&mut self.stream, FrameKind::Stats, &[])?;
+        match self.read_reply()? {
+            Reply::Stats(s) => Ok(s),
+            Reply::Error(e) => Err(ClientError::Server(e)),
+            Reply::Partition(_) => Err(ClientError::Unexpected(FrameKind::PartitionReply)),
+            Reply::ShutdownAck => Err(ClientError::Unexpected(FrameKind::ShutdownReply)),
+        }
+    }
+
+    /// Asks the server to drain and stop. Returns once the server has
+    /// acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        protocol::write_frame(&mut self.stream, FrameKind::Shutdown, &[])?;
+        match self.read_reply()? {
+            Reply::ShutdownAck => Ok(()),
+            Reply::Error(e) => Err(ClientError::Server(e)),
+            Reply::Partition(_) => Err(ClientError::Unexpected(FrameKind::PartitionReply)),
+            Reply::Stats(_) => Err(ClientError::Unexpected(FrameKind::StatsReply)),
+        }
+    }
+
+    /// Writes raw bytes down the socket, bypassing the frame encoder —
+    /// the robustness suite uses this to deliver malformed frames.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Half-closes the write side, signalling end-of-input (used by the
+    /// truncation tests to simulate a client dying mid-frame).
+    pub fn close_write(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Reads one reply frame and decodes it by kind.
+    pub fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        let (kind, payload) = protocol::read_frame(&mut self.stream)?;
+        Ok(match kind {
+            FrameKind::PartitionReply => Reply::Partition(PartitionReply::decode(&payload)?),
+            FrameKind::StatsReply => Reply::Stats(StatsReply::decode(&payload)?),
+            FrameKind::ShutdownReply => Reply::ShutdownAck,
+            FrameKind::Error => Reply::Error(ErrorReply::decode(&payload)?),
+            other => return Err(ClientError::Unexpected(other)),
+        })
+    }
+}
+
+/// A decoded server reply.
+#[derive(Debug)]
+pub enum Reply {
+    /// Successful decomposition.
+    Partition(PartitionReply),
+    /// Server counters.
+    Stats(StatsReply),
+    /// Shutdown acknowledged.
+    ShutdownAck,
+    /// Typed error.
+    Error(ErrorReply),
+}

@@ -1,0 +1,300 @@
+//! Bounded pool of warm [`Workspace`] sessions with admission control.
+//!
+//! The server holds `workers` workspaces. A connection handler calls
+//! [`SessionPool::checkout`]; it either gets a [`WorkspaceLease`]
+//! immediately, waits in a bounded queue (at most `queue_depth`
+//! waiters), or is rejected with a typed [`AdmissionError`] — the wire
+//! layer turns those into [`Overloaded`](crate::protocol::ErrorCode::Overloaded)
+//! / [`ShuttingDown`](crate::protocol::ErrorCode::ShuttingDown) replies.
+//! Dropping the lease returns the workspace and wakes one waiter.
+//!
+//! A [`drain`](SessionPool::drain) flips the pool into shutdown mode:
+//! every queued waiter is released with `Draining`, new checkouts are
+//! refused, and [`wait_idle`](SessionPool::wait_idle) blocks until the
+//! in-flight leases come home.
+
+use mpx_decomp::Workspace;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex};
+
+/// Why a checkout was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The wait queue is full; the client should back off and retry.
+    Overloaded,
+    /// The pool is draining; the request will never run.
+    Draining,
+}
+
+/// Point-in-time pool counters (also exported over the wire as part of
+/// [`StatsReply`](crate::protocol::StatsReply)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Configured number of worker sessions.
+    pub workers: u32,
+    /// Configured wait-queue bound.
+    pub queue_depth: u32,
+    /// Sessions checked out right now.
+    pub in_flight: u32,
+    /// High-water mark of concurrent checkouts — the stress suite pins
+    /// this at ≤ `workers` to prove the pool never over-admits.
+    pub in_flight_hwm: u32,
+    /// Checkouts currently blocked in the wait queue.
+    pub waiting: u32,
+    /// High-water mark of the wait queue.
+    pub waiting_hwm: u32,
+    /// Total successful checkouts.
+    pub checkouts: u64,
+    /// Checkouts refused with [`AdmissionError::Overloaded`].
+    pub rejected_overload: u64,
+    /// Queued checkouts released by a drain.
+    pub drained: u64,
+}
+
+struct PoolState {
+    free: Vec<Workspace>,
+    draining: bool,
+    in_flight: u32,
+    in_flight_hwm: u32,
+    waiting: u32,
+    waiting_hwm: u32,
+    checkouts: u64,
+    rejected_overload: u64,
+    drained: u64,
+}
+
+/// Fixed-size pool of warm decomposition workspaces. See the module
+/// docs for the admission protocol.
+pub struct SessionPool {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    workers: u32,
+    queue_depth: u32,
+}
+
+impl SessionPool {
+    /// A pool of `workers` fresh workspaces with a wait queue bounded at
+    /// `queue_depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        assert!(workers > 0, "session pool needs at least one worker");
+        SessionPool {
+            state: Mutex::new(PoolState {
+                free: (0..workers).map(|_| Workspace::new()).collect(),
+                draining: false,
+                in_flight: 0,
+                in_flight_hwm: 0,
+                waiting: 0,
+                waiting_hwm: 0,
+                checkouts: 0,
+                rejected_overload: 0,
+                drained: 0,
+            }),
+            available: Condvar::new(),
+            workers: workers as u32,
+            queue_depth: queue_depth as u32,
+        }
+    }
+
+    /// Configured worker-session count.
+    pub fn workers(&self) -> usize {
+        self.workers as usize
+    }
+
+    /// Borrows a workspace, blocking in the bounded wait queue if all
+    /// are busy. Returns immediately with a typed error when the queue
+    /// is full or the pool is draining — admission control must never
+    /// silently hang a connection.
+    pub fn checkout(&self) -> Result<WorkspaceLease<'_>, AdmissionError> {
+        let mut state = self.state.lock().unwrap();
+        // The drain check runs before the free-list pop so that once a
+        // drain starts, no request — queued or new — wins a freed
+        // workspace over the shutdown.
+        if state.draining {
+            return Err(AdmissionError::Draining);
+        }
+        if let Some(ws) = state.free.pop() {
+            return Ok(self.lease(&mut state, ws));
+        }
+        if state.waiting >= self.queue_depth {
+            state.rejected_overload += 1;
+            return Err(AdmissionError::Overloaded);
+        }
+        state.waiting += 1;
+        state.waiting_hwm = state.waiting_hwm.max(state.waiting);
+        loop {
+            state = self.available.wait(state).unwrap();
+            if state.draining {
+                state.waiting -= 1;
+                state.drained += 1;
+                return Err(AdmissionError::Draining);
+            }
+            if let Some(ws) = state.free.pop() {
+                state.waiting -= 1;
+                return Ok(self.lease(&mut state, ws));
+            }
+        }
+    }
+
+    fn lease(&self, state: &mut PoolState, ws: Workspace) -> WorkspaceLease<'_> {
+        state.in_flight += 1;
+        state.in_flight_hwm = state.in_flight_hwm.max(state.in_flight);
+        state.checkouts += 1;
+        WorkspaceLease {
+            pool: self,
+            workspace: Some(ws),
+        }
+    }
+
+    /// Starts a drain: refuses new checkouts and releases every queued
+    /// waiter with [`AdmissionError::Draining`]. In-flight leases finish
+    /// normally. Idempotent.
+    pub fn drain(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.draining = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Blocks until no lease is outstanding. Call after
+    /// [`SessionPool::drain`]
+    /// (otherwise new checkouts can race the idle condition).
+    pub fn wait_idle(&self) {
+        let mut state = self.state.lock().unwrap();
+        while state.in_flight > 0 {
+            state = self.available.wait(state).unwrap();
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        let state = self.state.lock().unwrap();
+        PoolStats {
+            workers: self.workers,
+            queue_depth: self.queue_depth,
+            in_flight: state.in_flight,
+            in_flight_hwm: state.in_flight_hwm,
+            waiting: state.waiting,
+            waiting_hwm: state.waiting_hwm,
+            checkouts: state.checkouts,
+            rejected_overload: state.rejected_overload,
+            drained: state.drained,
+        }
+    }
+
+    fn give_back(&self, ws: Workspace) {
+        let mut state = self.state.lock().unwrap();
+        state.free.push(ws);
+        state.in_flight -= 1;
+        drop(state);
+        // notify_all, not notify_one: wait_idle and queued checkouts
+        // share the condvar, and a single wakeup could land on the
+        // "wrong" sleeper and stall the other forever.
+        self.available.notify_all();
+    }
+}
+
+/// An exclusively borrowed [`Workspace`]; derefs to it and returns it
+/// to the pool on drop.
+pub struct WorkspaceLease<'p> {
+    pool: &'p SessionPool,
+    workspace: Option<Workspace>,
+}
+
+impl Deref for WorkspaceLease<'_> {
+    type Target = Workspace;
+    fn deref(&self) -> &Workspace {
+        self.workspace.as_ref().expect("lease taken")
+    }
+}
+
+impl DerefMut for WorkspaceLease<'_> {
+    fn deref_mut(&mut self) -> &mut Workspace {
+        self.workspace.as_mut().expect("lease taken")
+    }
+}
+
+impl Drop for WorkspaceLease<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.workspace.take() {
+            self.pool.give_back(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn checkout_and_return() {
+        let pool = SessionPool::new(2, 4);
+        let a = pool.checkout().unwrap();
+        let b = pool.checkout().unwrap();
+        assert_eq!(pool.stats().in_flight, 2);
+        drop(a);
+        drop(b);
+        let s = pool.stats();
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.in_flight_hwm, 2);
+        assert_eq!(s.checkouts, 2);
+    }
+
+    #[test]
+    fn overload_is_immediate() {
+        let pool = Arc::new(SessionPool::new(1, 0));
+        let _held = pool.checkout().unwrap();
+        assert_eq!(pool.checkout().err(), Some(AdmissionError::Overloaded));
+        assert_eq!(pool.stats().rejected_overload, 1);
+    }
+
+    #[test]
+    fn queued_checkout_wakes_on_return() {
+        let pool = Arc::new(SessionPool::new(1, 2));
+        let held = pool.checkout().unwrap();
+        let p2 = Arc::clone(&pool);
+        let waiter = std::thread::spawn(move || p2.checkout().map(|_| ()).is_ok());
+        // Let the waiter park, then free the workspace.
+        while pool.stats().waiting == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(held);
+        assert!(waiter.join().unwrap());
+        assert_eq!(pool.stats().waiting_hwm, 1);
+    }
+
+    #[test]
+    fn drain_releases_waiters_and_blocks_new_checkouts() {
+        let pool = Arc::new(SessionPool::new(1, 4));
+        let held = pool.checkout().unwrap();
+        let p2 = Arc::clone(&pool);
+        let waiter = std::thread::spawn(move || p2.checkout().err());
+        while pool.stats().waiting == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.drain();
+        assert_eq!(waiter.join().unwrap(), Some(AdmissionError::Draining));
+        assert_eq!(pool.checkout().err(), Some(AdmissionError::Draining));
+        drop(held);
+        pool.wait_idle();
+        let s = pool.stats();
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.drained, 1);
+    }
+
+    #[test]
+    fn leased_workspace_actually_runs() {
+        let pool = SessionPool::new(1, 0);
+        let g = mpx_graph::gen::grid2d(8, 8);
+        let opts = mpx_decomp::DecompOptions::new(0.4).with_seed(3);
+        let mut lease = pool.checkout().unwrap();
+        let (d, _) = lease.partition_view(&g, &opts);
+        assert_eq!(d.assignment().len(), 64);
+        assert!(lease.runs() >= 1);
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`graph`] — CSR graphs, generators, I/O, sequential oracles.
 //! * [`par`] — parallel primitives (atomic bitsets, scans, parallel BFS,
 //!   thread-pool control, work/depth telemetry).
+//! * [`runtime`] — the std-only work pool underneath [`par`]: schedulers
+//!   (fixed-chunk, work-stealing) and utilization counters
+//!   ([`runtime::stats`]).
 //! * [`decomp`] — **the paper's contribution**: low-diameter decompositions
 //!   via exponentially shifted shortest paths, in parallel, sequential,
 //!   exact-reference and weighted variants.
@@ -23,6 +26,10 @@
 //! * [`trace`] — structured tracing and metrics: spans through every
 //!   layer, p50/p99 profiling, human/JSON/Chrome exporters (see
 //!   `mpx profile` and `mpx partition --trace`).
+//! * [`serve`] — the decomposition service: a TCP server over shared
+//!   mmap'd `.mpx` snapshots with a warm session pool, a versioned
+//!   binary protocol, a client library, and a load generator (see
+//!   `mpx serve` / `mpx loadgen` and `docs/PROTOCOL.md`).
 //!
 //! ## Quickstart
 //!
@@ -67,6 +74,8 @@ pub use mpx_baselines as baselines;
 pub use mpx_decomp as decomp;
 pub use mpx_graph as graph;
 pub use mpx_par as par;
+pub use mpx_runtime as runtime;
+pub use mpx_serve as serve;
 pub use mpx_solver as solver;
 pub use mpx_trace as trace;
 pub use mpx_viz as viz;

@@ -14,6 +14,10 @@
 //! mpx bench-ingest <graph> [--threads N]     ingestion JSON benchmark
 //! mpx profile <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S] [--weighted] [--trace[=path]]
 //!                                            p50/p99 latency + round-bound JSON report
+//! mpx serve <snapshot.mpx>... [--threads N] [--workers K] [--port P] [--queue Q]
+//!                                            long-running decomposition server
+//! mpx loadgen <host:port> <beta> [seed] [--clients C] [--requests R] [--shutdown]
+//!                                            hammer a server, emit BENCH_serve JSON
 //! mpx render-grid <side> <beta> <out.ppm> [seed]
 //!                                            Figure-1-style mosaic
 //! ```
@@ -84,7 +88,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mpx gen <workload> <out> [seed] [--weighted]\n  mpx stats <graph>\n  mpx convert <in> <out> [--weighted] [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph> [--weighted]\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--weighted] [--threads N] [--strategy S] [--determinism D] [--parser P]\n  mpx bench <workload> <beta> [seed] [--weighted] [--threads N] [--strategy S] [--determinism D]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx profile <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S] [--determinism D] [--weighted] [--trace[=path]]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>[:<ef>] gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\n  (profile also accepts a bare family name, e.g. `grid` = grid:200; rmat edge factor defaults to 8)\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nweighted (--weighted): weighted edge list (u v w) | weighted .mpx snapshot (mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)\ndeterminism: bitexact (default; byte-identical across thread counts) | fast (lock-free CAS claiming + work stealing)\ntracing: --trace[=path] on partition/profile, or MPX_TRACE=human|json|chrome (sets format, enables tracing)"
+    "usage:\n  mpx gen <workload> <out> [seed] [--weighted]\n  mpx stats <graph>\n  mpx convert <in> <out> [--weighted] [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph> [--weighted]\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--weighted] [--threads N] [--strategy S] [--determinism D] [--parser P]\n  mpx bench <workload> <beta> [seed] [--weighted] [--threads N] [--strategy S] [--determinism D]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx profile <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S] [--determinism D] [--weighted] [--trace[=path]]\n  mpx serve <snapshot.mpx>... [--threads N] [--workers K] [--port P] [--queue Q]\n  mpx loadgen <host:port> <beta> [seed] [--clients C] [--requests R] [--strategy S] [--determinism D] [--snapshot I] [--shutdown]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>[:<ef>] gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\n  (profile also accepts a bare family name, e.g. `grid` = grid:200; rmat edge factor defaults to 8)\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nweighted (--weighted): weighted edge list (u v w) | weighted .mpx snapshot (mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)\ndeterminism: bitexact (default; byte-identical across thread counts) | fast (lock-free CAS claiming + work stealing)\ntracing: --trace[=path] on partition/profile, or MPX_TRACE=human|json|chrome (sets format, enables tracing)"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -98,6 +102,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("bench-session") => cmd_bench_session(&args[1..]),
         Some("bench-ingest") => cmd_bench_ingest(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("render-grid") => cmd_render(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
@@ -115,6 +121,20 @@ struct RunFlags {
     weighted: bool,
     /// `--trace` → `Some(None)` (stderr); `--trace=path` → `Some(Some(path))`.
     trace: Option<Option<String>>,
+    /// `serve`: warm worker sessions in the pool.
+    workers: Option<usize>,
+    /// `serve`: TCP port (0 = ephemeral, printed on startup).
+    port: u16,
+    /// `serve`: admission-queue bound.
+    queue: Option<usize>,
+    /// `loadgen`: concurrent client connections.
+    clients: Option<usize>,
+    /// `loadgen`: requests per client.
+    requests: Option<usize>,
+    /// `loadgen`: snapshot id to target.
+    snapshot_id: u32,
+    /// `loadgen`: send a shutdown frame after the load completes.
+    shutdown: bool,
 }
 
 /// Extracts the `--threads N` / `--threads=N`, `--strategy S` /
@@ -151,6 +171,15 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         }
         Ok(k)
     };
+    let parse_count = |flag: &str, value: &str| -> Result<usize, String> {
+        let k: usize = value
+            .parse()
+            .map_err(|_| format!("--{flag}: bad value '{value}'"))?;
+        if k == 0 {
+            return Err(format!("--{flag}: need at least one"));
+        }
+        Ok(k)
+    };
     let mut rest = Vec::with_capacity(args.len());
     let mut flags = RunFlags {
         threads: None,
@@ -160,6 +189,13 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         runs: None,
         weighted: false,
         trace: None,
+        workers: None,
+        port: 0,
+        queue: None,
+        clients: None,
+        requests: None,
+        snapshot_id: 0,
+        shutdown: false,
     };
     let permit = |flag: &str| -> Result<(), String> {
         if allowed.contains(&flag) {
@@ -205,6 +241,67 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         } else if let Some(value) = arg.strip_prefix("--runs=") {
             permit("runs")?;
             flags.runs = Some(parse_runs(value)?);
+        } else if arg == "--workers" {
+            permit("workers")?;
+            let value = it.next().ok_or("--workers: missing value")?;
+            flags.workers = Some(parse_count("workers", value)?);
+        } else if let Some(value) = arg.strip_prefix("--workers=") {
+            permit("workers")?;
+            flags.workers = Some(parse_count("workers", value)?);
+        } else if arg == "--port" {
+            permit("port")?;
+            let value = it.next().ok_or("--port: missing value")?;
+            flags.port = value
+                .parse()
+                .map_err(|_| format!("--port: bad value '{value}'"))?;
+        } else if let Some(value) = arg.strip_prefix("--port=") {
+            permit("port")?;
+            flags.port = value
+                .parse()
+                .map_err(|_| format!("--port: bad value '{value}'"))?;
+        } else if arg == "--queue" {
+            permit("queue")?;
+            let value = it.next().ok_or("--queue: missing value")?;
+            flags.queue = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("--queue: bad value '{value}'"))?,
+            );
+        } else if let Some(value) = arg.strip_prefix("--queue=") {
+            permit("queue")?;
+            flags.queue = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("--queue: bad value '{value}'"))?,
+            );
+        } else if arg == "--clients" {
+            permit("clients")?;
+            let value = it.next().ok_or("--clients: missing value")?;
+            flags.clients = Some(parse_count("clients", value)?);
+        } else if let Some(value) = arg.strip_prefix("--clients=") {
+            permit("clients")?;
+            flags.clients = Some(parse_count("clients", value)?);
+        } else if arg == "--requests" {
+            permit("requests")?;
+            let value = it.next().ok_or("--requests: missing value")?;
+            flags.requests = Some(parse_count("requests", value)?);
+        } else if let Some(value) = arg.strip_prefix("--requests=") {
+            permit("requests")?;
+            flags.requests = Some(parse_count("requests", value)?);
+        } else if arg == "--snapshot" {
+            permit("snapshot")?;
+            let value = it.next().ok_or("--snapshot: missing value")?;
+            flags.snapshot_id = value
+                .parse()
+                .map_err(|_| format!("--snapshot: bad value '{value}'"))?;
+        } else if let Some(value) = arg.strip_prefix("--snapshot=") {
+            permit("snapshot")?;
+            flags.snapshot_id = value
+                .parse()
+                .map_err(|_| format!("--snapshot: bad value '{value}'"))?;
+        } else if arg == "--shutdown" {
+            permit("shutdown")?;
+            flags.shutdown = true;
         } else if arg == "--weighted" {
             permit("weighted")?;
             flags.weighted = true;
@@ -1483,6 +1580,128 @@ fn profile_weighted(
         return Err(format!(
             "profile: trace/telemetry mismatch (span phases {span_phases} vs {}, mark relaxations {mark_relax} vs {}, unmatched {})",
             telemetry.phases, telemetry.relaxations, trace.unmatched
+        ));
+    }
+    Ok(())
+}
+
+/// `mpx serve <snapshot.mpx>... [--threads N] [--workers K] [--port P]
+/// [--queue Q]` — long-running decomposition server over mmap'd
+/// snapshots. Prints `listening on <addr>` once bound (CI greps for
+/// it), then blocks until a client sends a shutdown frame.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (rest, flags) = extract_flags(args, &["threads", "workers", "port", "queue"])?;
+    if rest.is_empty() {
+        return Err("serve: need at least one .mpx snapshot".into());
+    }
+    if let Some(n) = flags.threads {
+        // The engine's process-global pool sizes itself from MPX_THREADS
+        // on first use; pin it before any decomposition runs. (Requests
+        // arrive on plain connection threads, which dispatch parallel
+        // work to that global pool.)
+        std::env::set_var("MPX_THREADS", n.to_string());
+    }
+    let mut snapshots = Vec::with_capacity(rest.len());
+    for (id, path) in rest.iter().enumerate() {
+        let snap =
+            mpx::serve::ServeSnapshot::open(path).map_err(|e| format!("serve: {path}: {e}"))?;
+        eprintln!(
+            "snapshot {id}: {path} ({} vertices, {} edges, {})",
+            snap.num_vertices(),
+            snap.num_edges(),
+            if snap.is_weighted() {
+                "weighted"
+            } else {
+                "unweighted"
+            }
+        );
+        snapshots.push(snap);
+    }
+    let mut config = mpx::serve::ServerConfig::default();
+    if let Some(w) = flags.workers {
+        config.workers = w;
+        config.queue_depth = 2 * w;
+    }
+    if let Some(q) = flags.queue {
+        config.queue_depth = q;
+    }
+    let server = mpx::serve::Server::bind(("127.0.0.1", flags.port), snapshots, config)
+        .map_err(|e| format!("serve: bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "listening on {addr} ({} workers, queue {})",
+        config.workers, config.queue_depth
+    );
+    std::io::stdout().flush().ok();
+    let stats = server.run().map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "served {} requests over {} connections ({} protocol errors, {} overloaded, {} drained, {} verify failures, in-flight hwm {})",
+        stats.served,
+        stats.connections,
+        stats.protocol_errors,
+        stats.rejected_overload,
+        stats.drained,
+        stats.verify_failures,
+        stats.in_flight_hwm
+    );
+    Ok(())
+}
+
+/// `mpx loadgen <host:port> <beta> [seed] [--clients C] [--requests R]
+/// [--strategy S] [--determinism D] [--snapshot I] [--shutdown]` —
+/// hammers a running server and prints the `BENCH_serve` JSON report
+/// (p50/p99 latency, requests/sec) to stdout.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let (rest, flags) = extract_flags(
+        args,
+        &[
+            "clients",
+            "requests",
+            "strategy",
+            "determinism",
+            "snapshot",
+            "shutdown",
+        ],
+    )?;
+    let addr = rest
+        .first()
+        .ok_or("loadgen: missing server address")?
+        .clone();
+    let beta = parse_beta(rest.get(1).ok_or("loadgen: missing beta")?)?;
+    let seed: u64 = match rest.get(2) {
+        Some(s) => s.parse().map_err(|_| format!("loadgen: bad seed '{s}'"))?,
+        None => 1,
+    };
+    if rest.len() > 3 {
+        return Err(format!("loadgen: unexpected argument '{}'", rest[3]));
+    }
+    let config = mpx::serve::LoadgenConfig {
+        clients: flags.clients.unwrap_or(4),
+        requests: flags.requests.unwrap_or(32),
+        snapshot: flags.snapshot_id,
+        beta,
+        seed,
+        traversal: flags.strategy,
+        determinism: flags.determinism,
+        ..mpx::serve::LoadgenConfig::default()
+    };
+    let report =
+        mpx::serve::loadgen::run(addr.as_str(), &config).map_err(|e| format!("loadgen: {e}"))?;
+    print!("{}", report.to_json());
+    std::io::stdout().flush().ok();
+    if flags.shutdown {
+        let mut client =
+            mpx::serve::Client::connect(addr.as_str()).map_err(|e| format!("loadgen: {e}"))?;
+        client
+            .shutdown()
+            .map_err(|e| format!("loadgen: shutdown: {e}"))?;
+    }
+    if report.errors > 0 || report.rejected > 0 {
+        return Err(format!(
+            "loadgen: {} requests failed, {} rejected after retries (of {})",
+            report.errors,
+            report.rejected,
+            config.clients * config.requests
         ));
     }
     Ok(())

@@ -1,0 +1,189 @@
+//! Backpressure and shutdown: a full bounded queue rejects promptly
+//! with a typed reply; shutdown mid-load lets the in-flight request
+//! finish, releases the queued one with a drain reply, closes the
+//! listener, and leaves no threads running (Server::run only returns
+//! after its thread::scope joins every connection handler; runtime
+//! stats confirm quiescence afterwards).
+
+mod serve_common;
+
+use mpx::serve::protocol::{ErrorCode, PartitionRequest};
+use mpx::serve::Client;
+use serve_common::TestServer;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A request heavy enough (many rounds on a quarter-million-vertex
+/// grid) that the admission-control choreography below comfortably
+/// completes while it is still running.
+const HEAVY_SIDE: usize = 400;
+const HEAVY_BETA: f64 = 0.02;
+
+fn heavy_request() -> PartitionRequest {
+    // skip_verify: the point is occupancy, not the verifier.
+    let mut req = PartitionRequest::new(0, 1, HEAVY_BETA);
+    req.skip_verify = true;
+    req
+}
+
+fn poll_stats(addr: std::net::SocketAddr, pred: impl Fn(&mpx::serve::StatsReply) -> bool) {
+    let mut c = Client::connect(addr).expect("stats client");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = c.stats().expect("stats request");
+        if pred(&stats) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting on stats: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn backpressure_rejects_promptly_and_shutdown_drains() {
+    let g = mpx::graph::gen::grid2d(HEAVY_SIDE, HEAVY_SIDE);
+    let snap = serve_common::temp_snapshot("backpressure", &g);
+    // One worker, queue of one: the third concurrent request must be
+    // rejected, not parked.
+    let server = TestServer::start(&[&snap], 1, 1);
+    let addr = server.addr;
+
+    std::thread::scope(|scope| {
+        // A: occupies the only worker session.
+        let a = scope.spawn(move || {
+            let mut c = Client::connect(addr).expect("A connect");
+            c.partition(&heavy_request())
+        });
+        poll_stats(addr, |s| s.in_flight == 1);
+
+        // B: queues behind A (fills the wait queue).
+        let b = scope.spawn(move || {
+            let mut c = Client::connect(addr).expect("B connect");
+            c.partition(&heavy_request())
+        });
+        poll_stats(addr, |s| s.waiting == 1);
+
+        // D: queue full — typed overloaded reply, and promptly (well
+        // under the heavy request's runtime; generous bound for CI).
+        let mut d = Client::connect(addr).expect("D connect");
+        let t0 = Instant::now();
+        let err = d
+            .partition(&heavy_request())
+            .expect_err("third concurrent request must be rejected");
+        let rejected_after = t0.elapsed();
+        assert_eq!(
+            err.as_server_error().map(|e| e.code),
+            Some(ErrorCode::Overloaded),
+            "expected overloaded, got {err}"
+        );
+        assert!(
+            rejected_after < Duration::from_secs(5),
+            "overload rejection took {rejected_after:?} — admission control is not prompt"
+        );
+        // The rejecting connection itself stays usable for stats.
+        let stats = d.stats().expect("stats on the rejected connection");
+        assert_eq!(stats.rejected_overload, 1);
+
+        // Shutdown mid-load.
+        let mut c = Client::connect(addr).expect("shutdown client");
+        c.shutdown().expect("shutdown ack");
+
+        // A (in flight) completes successfully.
+        let a_reply = a
+            .join()
+            .expect("A thread")
+            .expect("in-flight request must finish");
+        assert!(a_reply.clusters > 0);
+        // B (queued) gets the typed drain reply.
+        let b_err = b
+            .join()
+            .expect("B thread")
+            .expect_err("queued request must get a drain reply");
+        assert_eq!(
+            b_err.as_server_error().map(|e| e.code),
+            Some(ErrorCode::ShuttingDown),
+            "expected shutting_down, got {b_err}"
+        );
+    });
+
+    // run() returned ⇒ its thread::scope joined every connection
+    // handler: no leaked threads by construction.
+    let stats = server.join();
+    assert_eq!(stats.served, 1, "only A ran: {stats:?}");
+    assert_eq!(stats.rejected_overload, 1, "{stats:?}");
+    assert!(
+        stats.drained >= 1,
+        "B must be counted as drained: {stats:?}"
+    );
+    assert_eq!(stats.in_flight_hwm, 1, "single worker ⇒ hwm 1: {stats:?}");
+    assert_eq!(stats.verify_failures, 0);
+
+    // Listener is closed.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_secs(2)).is_err(),
+        "listener must be closed after shutdown"
+    );
+
+    // Runtime quiescence: no stray worker keeps dispatching parallel
+    // regions after the server is gone.
+    let before = mpx::runtime::stats::snapshot();
+    std::thread::sleep(Duration::from_millis(200));
+    let after = mpx::runtime::stats::snapshot();
+    assert_eq!(
+        after.delta_since(&before).regions,
+        0,
+        "parallel regions ran after server shutdown — leaked worker?"
+    );
+
+    std::fs::remove_file(&snap).ok();
+}
+
+/// Shutdown with no load: immediate, clean, zero served.
+#[test]
+fn idle_shutdown_is_immediate() {
+    let g = mpx::graph::gen::grid2d(16, 16);
+    let snap = serve_common::temp_snapshot("idle", &g);
+    let server = TestServer::start(&[&snap], 2, 2);
+    let addr = server.addr;
+
+    let t0 = Instant::now();
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown().unwrap();
+    let stats = server.join();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "idle shutdown took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(stats.served, 0);
+    assert_eq!(stats.drained, 0);
+    std::fs::remove_file(&snap).ok();
+}
+
+/// The out-of-band [`ShutdownHandle`] (no client involved) also drains
+/// cleanly — this is what Ctrl-C handling or an operator task would use.
+#[test]
+fn shutdown_handle_stops_the_server() {
+    let g = mpx::graph::gen::grid2d(16, 16);
+    let snap = serve_common::temp_snapshot("handle", &g);
+    let server = TestServer::start(&[&snap], 1, 1);
+    let addr = server.addr;
+
+    // Serve something first so the path is warm.
+    let mut c = Client::connect(addr).unwrap();
+    let reply = c.partition(&PartitionRequest::new(0, 3, 0.5)).unwrap();
+    assert!(reply.clusters > 0);
+    drop(c);
+
+    server.handle.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.served, 1);
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_secs(2)).is_err(),
+        "listener must be closed after handle shutdown"
+    );
+    std::fs::remove_file(&snap).ok();
+}

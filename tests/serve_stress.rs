@@ -1,0 +1,179 @@
+//! Concurrent-correctness stress: N client threads × M requests with
+//! mixed seeds/strategies against one server over two snapshots
+//! (unweighted + weighted). Every per-seed BitExact label vector must
+//! be byte-identical no matter which worker session served it or how
+//! requests interleaved — and equal to an in-process reference run.
+//! The pool must never exceed its configured session count.
+
+mod serve_common;
+
+use mpx::decomp::{DecompOptions, Determinism, Traversal};
+use mpx::serve::protocol::PartitionRequest;
+use mpx::serve::Client;
+use serve_common::TestServer;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+const WORKERS: usize = 3;
+const QUEUE: usize = 16;
+const CLIENT_THREADS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 12;
+const SEED_SPACE: u64 = 5; // few distinct seeds → heavy cross-thread overlap
+const BETA: f64 = 0.25;
+
+const STRATEGIES: [Traversal; 3] = [Traversal::Auto, Traversal::TopDownPar, Traversal::BottomUp];
+
+#[test]
+fn concurrent_bitexact_labels_are_byte_identical_across_workers() {
+    let unweighted = mpx::graph::gen::grid2d(48, 48);
+    let weighted = serve_common::weighted_gnm(1500, 6000, 11);
+    let snap_u = serve_common::temp_snapshot("stress_u", &unweighted);
+    let snap_w = serve_common::temp_weighted_snapshot("stress_w", &weighted);
+    // No prewarm: the in-flight high-water mark must come from client
+    // traffic for the ≥2-sessions assertion below to mean anything.
+    let server = TestServer::start_opts(&[&snap_u, &snap_w], WORKERS, QUEUE, false);
+    let addr = server.addr;
+
+    // In-process references, per (snapshot, seed). BitExact pins the
+    // labels regardless of traversal strategy or thread schedule, so
+    // one reference per seed covers every strategy the clients mix in.
+    let mut reference: HashMap<(u32, u64), Vec<u32>> = HashMap::new();
+    let mut ws = mpx::decomp::Workspace::new();
+    for seed in 0..SEED_SPACE {
+        let opts = DecompOptions::new(BETA).with_seed(seed);
+        let (d, _) = ws.partition_view(&unweighted, &opts);
+        reference.insert((0, seed), d.assignment().to_vec());
+        let (dw, _) = ws.partition_weighted_view(&weighted, &opts, None);
+        reference.insert((1, seed), dw.assignment.clone());
+    }
+
+    // served[(snapshot, seed)] -> every label vector any thread got back.
+    type ServedLabels = HashMap<(u32, u64), Vec<Vec<u32>>>;
+    let served: Mutex<ServedLabels> = Mutex::new(HashMap::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..CLIENT_THREADS {
+            let served = &served;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("stress client connect");
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let k = t * REQUESTS_PER_CLIENT + i;
+                    let seed = (k as u64 * 7 + t as u64) % SEED_SPACE;
+                    let snapshot = (k % 2) as u32;
+                    let mut req = PartitionRequest::new(snapshot, seed, BETA);
+                    req.traversal = STRATEGIES[k % STRATEGIES.len()];
+                    req.determinism = Determinism::BitExact;
+                    req.want_labels = true;
+                    let reply = client.partition(&req).expect("stress request");
+                    assert_eq!(reply.snapshot, snapshot);
+                    assert_eq!(reply.seed, seed);
+                    assert!(reply.verified, "server-side verify must run and pass");
+                    assert_eq!(reply.weighted, snapshot == 1);
+                    let labels = reply.labels.expect("labels were requested");
+                    served
+                        .lock()
+                        .unwrap()
+                        .entry((snapshot, seed))
+                        .or_default()
+                        .push(labels);
+                }
+            });
+        }
+    });
+
+    // Every label vector for a (snapshot, seed) is byte-identical to the
+    // in-process reference — worker identity and interleaving invisible.
+    let served = served.into_inner().unwrap();
+    let mut checked = 0usize;
+    for ((snapshot, seed), vectors) in &served {
+        let expected = &reference[&(*snapshot, *seed)];
+        for v in vectors {
+            assert_eq!(
+                v, expected,
+                "snapshot {snapshot} seed {seed}: served labels diverge from reference"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, CLIENT_THREADS * REQUESTS_PER_CLIENT);
+
+    // The pool never over-admitted: concurrent checkouts stayed within
+    // the configured session count (and the load was actually
+    // concurrent — more than one session saw use).
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.workers, WORKERS as u32);
+    assert!(
+        stats.in_flight_hwm <= WORKERS as u32,
+        "pool exceeded its session count: {stats:?}"
+    );
+    assert!(
+        stats.in_flight_hwm >= 2,
+        "load never exercised ≥2 worker sessions: {stats:?}"
+    );
+    assert_eq!(stats.served, (CLIENT_THREADS * REQUESTS_PER_CLIENT) as u64);
+    assert_eq!(stats.protocol_errors, 0);
+    c.shutdown().unwrap();
+
+    let final_stats = server.join();
+    assert_eq!(
+        final_stats.served,
+        (CLIENT_THREADS * REQUESTS_PER_CLIENT) as u64
+    );
+    assert!(final_stats.in_flight_hwm <= WORKERS as u32);
+    assert_eq!(final_stats.verify_failures, 0);
+    std::fs::remove_file(&snap_u).ok();
+    std::fs::remove_file(&snap_w).ok();
+}
+
+/// Fast mode over the weighted snapshot stays bit-identical too (the
+/// CAS-reduction Δ-stepping path guarantees it), so a mixed
+/// BitExact/Fast weighted load must agree with the same reference.
+#[test]
+fn weighted_fast_mode_stays_bit_identical_under_concurrency() {
+    let weighted = serve_common::weighted_gnm(1000, 4000, 23);
+    let snap = serve_common::temp_weighted_snapshot("stress_fast_w", &weighted);
+    let server = TestServer::start(&[&snap], 2, 8);
+    let addr = server.addr;
+
+    let mut ws = mpx::decomp::Workspace::new();
+    let mut reference: HashMap<u64, Vec<u32>> = HashMap::new();
+    for seed in 0..3u64 {
+        let opts = DecompOptions::new(0.3).with_seed(seed);
+        let (d, _) = ws.partition_weighted_view(&weighted, &opts, None);
+        reference.insert(seed, d.assignment.clone());
+    }
+
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..6 {
+                    let seed = ((t + i) % 3) as u64;
+                    let mut req = PartitionRequest::new(0, seed, 0.3);
+                    req.determinism = if (t + i) % 2 == 0 {
+                        Determinism::Fast
+                    } else {
+                        Determinism::BitExact
+                    };
+                    req.want_labels = true;
+                    let reply = client.partition(&req).expect("request");
+                    assert!(reply.verified);
+                    assert_eq!(
+                        reply.labels.as_deref(),
+                        Some(reference[&seed].as_slice()),
+                        "weighted labels must be bit-identical in both determinism modes"
+                    );
+                }
+            });
+        }
+    });
+
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown().unwrap();
+    let stats = server.join();
+    assert_eq!(stats.served, 24);
+    assert_eq!(stats.verify_failures, 0);
+    std::fs::remove_file(&snap).ok();
+}
