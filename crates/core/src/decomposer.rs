@@ -122,6 +122,64 @@ impl Workspace {
         )
     }
 
+    /// Partitions a **reordered** view whose current id `u` names
+    /// original vertex `new_to_old[u]` (the permutation section of a
+    /// reordered `.mpx` v2 snapshot).
+    ///
+    /// Shifts are drawn per **original** id and gathered through the
+    /// permutation ([`ExpShifts::regenerate_permuted`]), so the returned
+    /// decomposition — still in the view's current id space, matching the
+    /// view for telemetry, cut and radius queries — maps back through
+    /// [`Decomposition::remap_labels`]`(new_to_old)` to assignments and
+    /// distances bit-identical to partitioning the original graph
+    /// directly. (Parent pointers are the one legitimate difference: both
+    /// runs build valid shortest-path trees, but the engine breaks
+    /// equal-distance predecessor ties by smallest *current* id.)
+    ///
+    /// ```
+    /// # use mpx_decomp::{DecompOptions, Workspace};
+    /// # use mpx_graph::{gen, CsrGraph};
+    /// # let g = gen::grid2d(8, 8);
+    /// # let new_to_old: Vec<u32> = (0..64).rev().collect();
+    /// # let old_to_new: Vec<u32> = (0..64).rev().collect();
+    /// # let edges: Vec<(u32, u32)> = g
+    /// #     .edges()
+    /// #     .map(|(u, v)| (old_to_new[u as usize], old_to_new[v as usize]))
+    /// #     .collect();
+    /// # let reordered = CsrGraph::from_edges(64, &edges);
+    /// # let opts = DecompOptions::new(0.4).with_seed(7);
+    /// let (original, _) = Workspace::new().partition_view(&g, &opts);
+    /// let (permuted, _) =
+    ///     Workspace::new().partition_view_permuted(&reordered, &opts, &new_to_old);
+    /// let remapped = permuted.remap_labels(&new_to_old);
+    /// assert_eq!(remapped.assignment(), original.assignment());
+    /// assert_eq!(remapped.distances(), original.distances());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts` fails [`DecompOptions::validate`] or `new_to_old`
+    /// is not a permutation of `0..n`.
+    pub fn partition_view_permuted<V: GraphView>(
+        &mut self,
+        view: &V,
+        opts: &DecompOptions,
+        new_to_old: &[mpx_graph::Vertex],
+    ) -> (Decomposition, PartitionTelemetry) {
+        opts.assert_valid();
+        self.runs += 1;
+        self.shifts
+            .regenerate_permuted(view.num_vertices(), opts, new_to_old);
+        engine::partition_view_reusing(
+            view,
+            &self.shifts,
+            opts.traversal,
+            opts.alpha,
+            opts.determinism,
+            &mut self.scratch,
+        )
+    }
+
     /// Weighted twin of [`Workspace::partition_view`]: partitions a
     /// [`WeightedGraphView`] under `opts` (Section 6 shifted multi-source
     /// Dijkstra, strategy-routed — [`Traversal::TopDownSeq`] runs the

@@ -58,6 +58,38 @@ impl Decomposition {
         d
     }
 
+    /// Translates a decomposition computed in a **reordered** id space
+    /// back to original ids.
+    ///
+    /// With `new_to_old[u]` naming the original id of current vertex `u`
+    /// (the permutation section of a reordered `.mpx` v2 snapshot),
+    /// original vertex `new_to_old[v]` receives center
+    /// `new_to_old[assignment[v]]`, the same distance, and the remapped
+    /// parent. Combined with `ExpShifts::regenerate_permuted`, the result
+    /// is bit-identical to decomposing the original graph directly.
+    ///
+    /// Panics if `new_to_old` is not a permutation of `0..n`.
+    pub fn remap_labels(&self, new_to_old: &[Vertex]) -> Decomposition {
+        let n = self.assignment.len();
+        assert_eq!(new_to_old.len(), n, "permutation length != num_vertices");
+        let mut assignment = vec![NO_VERTEX; n];
+        let mut dist_to_center = vec![0 as Dist; n];
+        let mut parent = vec![NO_VERTEX; n];
+        let mut seen = vec![false; n];
+        for v in 0..n {
+            let old = new_to_old[v] as usize;
+            assert!(!seen[old], "permutation repeats original id {old}");
+            seen[old] = true;
+            assignment[old] = new_to_old[self.assignment[v] as usize];
+            dist_to_center[old] = self.dist_to_center[v];
+            parent[old] = match self.parent[v] {
+                NO_VERTEX => NO_VERTEX,
+                p => new_to_old[p as usize],
+            };
+        }
+        Decomposition::from_raw(assignment, dist_to_center, parent)
+    }
+
     /// Internal coherence checks (cheap; full graph-aware verification lives
     /// in [`crate::verify_decomposition`]).
     pub fn check_internal(&self) -> Result<(), String> {
@@ -274,6 +306,27 @@ mod tests {
         // Vertex 1 claims center 0 but vertex 0 is assigned elsewhere.
         let _ =
             Decomposition::from_raw(vec![2, 0, 2], vec![1, 1, 0], vec![2, NO_VERTEX, NO_VERTEX]);
+    }
+
+    #[test]
+    fn remap_labels_translates_all_arrays() {
+        let d = sample();
+        // New id u names original vertex new_to_old[u].
+        let new_to_old = [3u32, 1, 0, 2];
+        let r = d.remap_labels(&new_to_old);
+        // New center 0 is original vertex 3, new center 2 is original 0;
+        // members follow their centers through the permutation.
+        assert_eq!(r.assignment(), &[0, 3, 0, 3]);
+        assert_eq!(r.distances(), &[0, 1, 1, 0]);
+        assert_eq!(r.parents(), &[NO_VERTEX, 3, 0, NO_VERTEX]);
+        // Identity permutation is a no-op.
+        assert_eq!(d.remap_labels(&[0, 1, 2, 3]), d);
+    }
+
+    #[test]
+    #[should_panic]
+    fn remap_labels_rejects_non_permutation() {
+        let _ = sample().remap_labels(&[0, 0, 2, 3]);
     }
 
     #[test]

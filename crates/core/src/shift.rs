@@ -140,6 +140,47 @@ impl ExpShifts {
         }
     }
 
+    /// Resamples shifts for a **reordered** graph whose current id `u`
+    /// names original vertex `new_to_old[u]`, such that decomposing the
+    /// reordered graph and mapping the result back through `new_to_old`
+    /// is bit-identical to decomposing the original graph (see
+    /// `Decomposition::remap_labels`).
+    ///
+    /// Per-vertex quantities are gathered through the permutation
+    /// (`delta'[u] = delta[new_to_old[u]]`, likewise `start_round`), so
+    /// every vertex keeps the shift its original id drew. `frac_key`
+    /// cannot simply be gathered: the engine's claim keys fall back to the
+    /// low 32 **current-id** bits on full ties ([`ExpShifts::claim_key`]),
+    /// and original ids are not available there. Instead each vertex's
+    /// key becomes the dense rank of its original claim key — ranks are
+    /// unique, so claim-key order under the new ids reduces to exactly the
+    /// original claim-key order and the lexicographic fallback never
+    /// fires.
+    pub fn regenerate_permuted(&mut self, n: usize, opts: &DecompOptions, new_to_old: &[u32]) {
+        assert_eq!(new_to_old.len(), n, "permutation length != n");
+        self.regenerate(n, opts);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.par_sort_unstable_by_key(|&u| self.claim_key(u));
+        let mut rank = vec![0u32; n];
+        for (r, &u) in order.iter().enumerate() {
+            rank[u as usize] = r as u32;
+        }
+        let delta: Vec<f64> = new_to_old
+            .par_iter()
+            .map(|&o| self.delta[o as usize])
+            .collect();
+        let start_round: Vec<u32> = new_to_old
+            .par_iter()
+            .map(|&o| self.start_round[o as usize])
+            .collect();
+        let frac_key: Vec<u32> = new_to_old.par_iter().map(|&o| rank[o as usize]).collect();
+        // Copy back instead of assigning so the workspace keeps its
+        // amortized buffer capacity.
+        self.delta.copy_from_slice(&delta);
+        self.start_round.copy_from_slice(&start_round);
+        self.frac_key.copy_from_slice(&frac_key);
+    }
+
     /// Bytes of buffer capacity currently reserved (the quantity a
     /// reusable workspace amortizes across runs).
     pub fn capacity_bytes(&self) -> usize {
@@ -407,6 +448,36 @@ mod tests {
             }
         }
         assert!(s.capacity_bytes() >= 5000 * 16);
+    }
+
+    #[test]
+    fn permuted_shifts_gather_values_and_preserve_claim_order() {
+        use mpx_par::rng::hash_index;
+        for tb in [TieBreak::FractionalShift, TieBreak::Permutation] {
+            let n = 600usize;
+            let o = opts(0.3, 11).with_tie_break(tb);
+            let base = ExpShifts::generate(n, &o);
+            // A deterministic pseudo-random permutation new id → old id.
+            let mut new_to_old: Vec<u32> = (0..n as u32).collect();
+            new_to_old.sort_unstable_by_key(|&v| hash_index(99, v as u64));
+            let mut p = ExpShifts::default();
+            p.regenerate_permuted(n, &o, &new_to_old);
+            for (u, &old) in new_to_old.iter().enumerate() {
+                assert_eq!(p.delta[u], base.delta[old as usize]);
+                assert_eq!(p.start_round[u], base.start_round[old as usize]);
+            }
+            assert_eq!(p.delta_max, base.delta_max);
+            // Claim-key comparisons under new ids must reduce to the
+            // original comparisons under old ids, for every pair ordering.
+            for u in 0..n as u32 {
+                for v in (u + 1)..(u + 17).min(n as u32) {
+                    let permuted = p.claim_key(u) < p.claim_key(v);
+                    let original = base.claim_key(new_to_old[u as usize])
+                        < base.claim_key(new_to_old[v as usize]);
+                    assert_eq!(permuted, original, "tie_break {tb:?} pair ({u}, {v})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -56,6 +56,24 @@ impl CsrGraph {
         builder.build()
     }
 
+    /// Builds a graph from raw CSR arrays, checking every invariant.
+    ///
+    /// The checked public counterpart of the internal fast path: for callers
+    /// outside this crate that already hold CSR form (e.g. snapshot decoders)
+    /// and must not silently construct an invalid graph.
+    ///
+    /// ```
+    /// use mpx_graph::CsrGraph;
+    /// let g = CsrGraph::try_from_csr(vec![0, 1, 2], vec![1, 0]).unwrap();
+    /// assert_eq!(g.num_edges(), 1);
+    /// assert!(CsrGraph::try_from_csr(vec![0, 1, 1], vec![1]).is_err()); // asymmetric
+    /// ```
+    pub fn try_from_csr(offsets: Vec<usize>, targets: Vec<Vertex>) -> Result<Self, String> {
+        let g = CsrGraph { offsets, targets };
+        g.validate()?;
+        Ok(g)
+    }
+
     /// Builds a graph directly from CSR arrays.
     ///
     /// This is the fast path used by the builder and by generators that can

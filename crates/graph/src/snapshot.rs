@@ -36,6 +36,13 @@
 //! loaders refuse them with a clear error rather than silently dropping
 //! the weights.
 //!
+//! **Version 2** ([`VERSION2`], [`FLAG_COMPRESSED`]) keeps the same
+//! 64-byte header shape but stores the adjacency delta-varint byte-coded
+//! (see `docs/FORMATS.md`). This module parses v2 headers (so `inspect`
+//! and format dispatch work from the graph crate alone) but the codec,
+//! writer and readers live in the `mpx-compress` crate; the raw-CSR
+//! loaders here refuse v2 files with an error naming those readers.
+//!
 //! ```
 //! use mpx_graph::{gen, snapshot, GraphView};
 //! let g = gen::grid2d(8, 8);
@@ -64,18 +71,36 @@ use std::path::Path;
 /// tools fail fast on binary input.
 pub const MAGIC: [u8; 8] = *b"MPXCSR1\n";
 
-/// Current (and only) format version.
+/// The raw-CSR format version written by [`write_snapshot`] /
+/// [`write_weighted_snapshot`].
 pub const VERSION: u32 = 1;
+
+/// The compressed format version (delta-varint adjacency, written and
+/// read by the `mpx-compress` crate). This crate only parses its header;
+/// the payload codec lives entirely in `mpx-compress`.
+pub const VERSION2: u32 = 2;
 
 /// Flags bit: the payload carries one `f64` weight per arc after the
 /// targets array. Set by [`write_weighted_snapshot`]; files with this bit
-/// must be loaded through the weighted loaders.
+/// must be loaded through the weighted loaders. Version 1 only.
 pub const FLAG_WEIGHTED: u32 = 1;
+
+/// Flags bit (version 2, required): the adjacency payload is
+/// delta-varint byte-coded. Always set in a v2 header — the bit exists so
+/// `flags` alone identifies what the payload is.
+pub const FLAG_COMPRESSED: u32 = 2;
+
+/// Flags bit (version 2, optional): the graph was reordered for locality
+/// and the file carries a `new id → original id` permutation section.
+pub const FLAG_PERMUTED: u32 = 4;
 
 /// All flag bits a version-1 reader understands; anything else is
 /// rejected (an unknown optional feature cannot be proven safe to
 /// ignore).
 const KNOWN_FLAGS: u32 = FLAG_WEIGHTED;
+
+/// All flag bits a version-2 reader understands.
+const KNOWN_FLAGS_V2: u32 = FLAG_COMPRESSED | FLAG_PERMUTED;
 
 /// Header size in bytes; also the byte offset of the offsets array.
 pub const HEADER_LEN: usize = 64;
@@ -89,6 +114,19 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The raw-CSR loaders in this module only understand version 1; a
+/// version-2 (compressed) file must go through the `mpx-compress` crate,
+/// and the error says so.
+fn require_v1(header: &SnapshotHeader) -> io::Result<()> {
+    if header.version != VERSION {
+        return Err(bad(
+            "snapshot is compressed (version 2); use CompressedCsr::open or \
+             MappedCompressedCsr::open from the mpx-compress crate",
+        ));
+    }
+    Ok(())
 }
 
 /// FNV-1a over one chunk.
@@ -164,9 +202,11 @@ impl ChunkedFnv {
 /// Decoded snapshot header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SnapshotHeader {
-    /// Format version (currently always [`VERSION`]).
+    /// Format version ([`VERSION`] or [`VERSION2`]).
     pub version: u32,
-    /// Feature flags; zero or [`FLAG_WEIGHTED`] in version 1.
+    /// Feature flags; zero or [`FLAG_WEIGHTED`] in version 1,
+    /// [`FLAG_COMPRESSED`] (plus optionally [`FLAG_PERMUTED`]) in
+    /// version 2.
     pub flags: u32,
     /// Vertex count.
     pub n: u64,
@@ -174,6 +214,10 @@ pub struct SnapshotHeader {
     pub m: u64,
     /// Chunked-FNV checksum of the payload (both arrays).
     pub checksum: u64,
+    /// Length in bytes of the delta-varint encoded adjacency stream.
+    /// Version 2 only (stored in the former reserved bytes 40..48);
+    /// always zero in version 1.
+    pub enc_len: u64,
 }
 
 impl SnapshotHeader {
@@ -193,27 +237,49 @@ impl SnapshotHeader {
         }
         let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().unwrap());
         let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
-        let header = SnapshotHeader {
+        let mut header = SnapshotHeader {
             version: u32_at(8),
             flags: u32_at(12),
             n: u64_at(16),
             m: u64_at(24),
             checksum: u64_at(32),
+            enc_len: 0,
         };
-        if header.version != VERSION {
-            return Err(bad(format!(
-                "unsupported snapshot version {} (this reader understands {VERSION})",
-                header.version
-            )));
-        }
-        if header.flags & !KNOWN_FLAGS != 0 {
-            return Err(bad(format!(
-                "snapshot uses unknown feature flags {:#x}",
-                header.flags
-            )));
-        }
-        if bytes[40..HEADER_LEN].iter().any(|&b| b != 0) {
-            return Err(bad("nonzero reserved bytes in snapshot header"));
+        match header.version {
+            VERSION => {
+                if header.flags & !KNOWN_FLAGS != 0 {
+                    return Err(bad(format!(
+                        "snapshot uses unknown feature flags {:#x}",
+                        header.flags
+                    )));
+                }
+                if bytes[40..HEADER_LEN].iter().any(|&b| b != 0) {
+                    return Err(bad("nonzero reserved bytes in snapshot header"));
+                }
+            }
+            VERSION2 => {
+                if header.flags & !KNOWN_FLAGS_V2 != 0 {
+                    return Err(bad(format!(
+                        "snapshot uses unknown feature flags {:#x}",
+                        header.flags
+                    )));
+                }
+                if header.flags & FLAG_COMPRESSED == 0 {
+                    return Err(bad(
+                        "version-2 snapshot without FLAG_COMPRESSED (the bit is required)",
+                    ));
+                }
+                header.enc_len = u64_at(40);
+                if bytes[48..HEADER_LEN].iter().any(|&b| b != 0) {
+                    return Err(bad("nonzero reserved bytes in snapshot header"));
+                }
+            }
+            v => {
+                return Err(bad(format!(
+                    "unsupported snapshot version {v} (this reader understands \
+                     {VERSION} and {VERSION2})"
+                )));
+            }
         }
         Ok(header)
     }
@@ -227,6 +293,9 @@ impl SnapshotHeader {
         out[16..24].copy_from_slice(&self.n.to_le_bytes());
         out[24..32].copy_from_slice(&self.m.to_le_bytes());
         out[32..40].copy_from_slice(&self.checksum.to_le_bytes());
+        // Bytes 40..48 are reserved-zero in v1 and `enc_len` in v2; the
+        // field is kept zero for v1 headers so one store covers both.
+        out[40..48].copy_from_slice(&self.enc_len.to_le_bytes());
         out
     }
 
@@ -246,6 +315,24 @@ impl SnapshotHeader {
             .checked_add(1)
             .and_then(|c| c.checked_mul(8))
             .ok_or_else(|| bad("snapshot offsets array overflows usize"))?;
+        if self.version == VERSION2 {
+            // 64-byte header, byte-offsets u64[n+1], degrees u32[n],
+            // optional permutation u32[n], encoded stream u8[enc_len].
+            let degrees = n
+                .checked_mul(4)
+                .ok_or_else(|| bad("snapshot degrees array overflows usize"))?;
+            let perm = if self.is_permuted() { degrees } else { 0 };
+            let enc: usize = self
+                .enc_len
+                .try_into()
+                .map_err(|_| bad("snapshot enc_len overflows usize"))?;
+            return HEADER_LEN
+                .checked_add(offsets)
+                .and_then(|t| t.checked_add(degrees))
+                .and_then(|t| t.checked_add(perm))
+                .and_then(|t| t.checked_add(enc))
+                .ok_or_else(|| bad("snapshot file length overflows usize"));
+        }
         let targets = m
             .checked_mul(8) // 2m arcs × 4 bytes
             .ok_or_else(|| bad("snapshot targets array overflows usize"))?;
@@ -265,6 +352,18 @@ impl SnapshotHeader {
     /// Whether the payload carries the per-arc weight array.
     pub fn is_weighted(&self) -> bool {
         self.flags & FLAG_WEIGHTED != 0
+    }
+
+    /// Whether the adjacency payload is delta-varint compressed
+    /// (version 2).
+    pub fn is_compressed(&self) -> bool {
+        self.flags & FLAG_COMPRESSED != 0
+    }
+
+    /// Whether the file carries a `new id → original id` permutation
+    /// section (version 2, reordered snapshots).
+    pub fn is_permuted(&self) -> bool {
+        self.flags & FLAG_PERMUTED != 0
     }
 
     /// Byte offset where the targets array starts.
@@ -303,6 +402,7 @@ pub fn write_snapshot<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
         n: g.num_vertices() as u64,
         m: g.num_edges() as u64,
         checksum: 0,
+        enc_len: 0,
     };
     file.write_all(&header.encode())?;
 
@@ -357,6 +457,7 @@ pub fn write_weighted_snapshot<P: AsRef<Path>>(g: &WeightedCsrGraph, path: P) ->
         n: g.num_vertices() as u64,
         m: g.num_edges() as u64,
         checksum: 0,
+        enc_len: 0,
     };
     file.write_all(&header.encode())?;
 
@@ -425,6 +526,7 @@ pub fn read_snapshot<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
     let _span = mpx_trace::span!("snapshot.read");
     let bytes = std::fs::read(path)?;
     let header = SnapshotHeader::parse(&bytes)?;
+    require_v1(&header)?;
     if header.is_weighted() {
         return Err(bad(
             "snapshot is weighted; use read_weighted_snapshot or MappedWeightedCsr",
@@ -444,6 +546,7 @@ pub fn read_weighted_snapshot<P: AsRef<Path>>(path: P) -> io::Result<WeightedCsr
     let _span = mpx_trace::span!("snapshot.read", weighted = true);
     let bytes = std::fs::read(path)?;
     let header = SnapshotHeader::parse(&bytes)?;
+    require_v1(&header)?;
     if !header.is_weighted() {
         return Err(bad(
             "snapshot is unweighted; use read_snapshot or MappedCsr (or \
@@ -593,7 +696,7 @@ fn weight_check(
 /// allocation, plus the aligned reinterpret casts over it. Everything is
 /// bounds- and alignment-checked at construction; the exposed API is safe.
 #[allow(unsafe_code)]
-mod filebuf {
+pub mod filebuf {
     use std::fs::File;
     use std::io::{self, Read};
     use std::path::Path;
@@ -833,6 +936,7 @@ impl MappedCsr {
         let _span = mpx_trace::span!("snapshot.mmap_open");
         let (buf, mapped) = filebuf::FileBytes::map_or_read(path.as_ref())?;
         let header = SnapshotHeader::parse(buf.bytes())?;
+        require_v1(&header)?;
         if header.is_weighted() {
             return Err(bad(
                 "snapshot is weighted; use MappedWeightedCsr or read_weighted_snapshot",
@@ -985,6 +1089,7 @@ impl MappedWeightedCsr {
         let _span = mpx_trace::span!("snapshot.mmap_open", weighted = true);
         let (buf, mapped) = filebuf::FileBytes::map_or_read(path.as_ref())?;
         let header = SnapshotHeader::parse(buf.bytes())?;
+        require_v1(&header)?;
         if !header.is_weighted() {
             return Err(bad(
                 "snapshot is unweighted; use MappedCsr or read_snapshot",
@@ -1326,6 +1431,7 @@ mod tests {
             n: 123,
             m: 456,
             checksum: 0xdead_beef,
+            enc_len: 0,
         };
         assert_eq!(SnapshotHeader::parse(&h.encode()).unwrap(), h);
     }

@@ -23,8 +23,10 @@ use crate::protocol::{
     self, ErrorCode, ErrorReply, FrameKind, PartitionReply, PartitionRequest, StatsReply,
     WireError, FRAME_HEADER_LEN,
 };
+use mpx_compress::MappedCompressedCsr;
 use mpx_decomp::{verify_weighted, DecompOptions, VerifyReport};
-use mpx_graph::snapshot::{read_header, MappedCsr, MappedWeightedCsr};
+use mpx_graph::snapshot::{read_header, MappedCsr, MappedWeightedCsr, VERSION2};
+use mpx_graph::{GraphView, Vertex};
 use mpx_trace::{record_event, SpanGuard, Value};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
@@ -37,24 +39,33 @@ use std::time::Duration;
 /// flag. Bounds shutdown latency without costing steady-state work.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
-/// One mmap'd `.mpx` snapshot, weighted or not (auto-detected from the
-/// header flag at open time).
+/// One mmap'd `.mpx` snapshot — raw v1 (weighted or not) or compressed
+/// v2, auto-detected from the header at open time.
 pub enum ServeSnapshot {
     /// Unweighted CSR snapshot.
     Unweighted(MappedCsr),
     /// Weighted CSR snapshot (f64 edge weights).
     Weighted(MappedWeightedCsr),
+    /// Delta-varint compressed v2 snapshot (optionally reordered);
+    /// requests run straight off the compressed pages, and labels are
+    /// remapped to original ids when a permutation section is present.
+    Compressed(MappedCompressedCsr),
 }
 
 impl ServeSnapshot {
-    /// Opens and validates a snapshot, picking the weighted or
-    /// unweighted mapping from the header flags. Weighted snapshots get
-    /// their weights validated once here so per-request runs can skip
-    /// the check.
+    /// Opens and validates a snapshot, picking the mapping from the
+    /// header: version 2 opens as [`ServeSnapshot::Compressed`],
+    /// version 1 as weighted or unweighted per the flag. Weighted
+    /// snapshots get their weights validated once here so per-request
+    /// runs can skip the check.
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<ServeSnapshot> {
         let path = path.as_ref();
         let header = read_header(path)?;
-        if header.is_weighted() {
+        if header.version == VERSION2 {
+            // Fully validated at open (structure, symmetry, permutation).
+            let mapped = MappedCompressedCsr::open(path)?;
+            Ok(ServeSnapshot::Compressed(mapped))
+        } else if header.is_weighted() {
             let mapped = MappedWeightedCsr::open(path)?;
             mapped
                 .validate()
@@ -76,6 +87,7 @@ impl ServeSnapshot {
         match self {
             ServeSnapshot::Unweighted(m) => m.num_vertices(),
             ServeSnapshot::Weighted(m) => m.num_vertices(),
+            ServeSnapshot::Compressed(m) => m.num_vertices(),
         }
     }
 
@@ -84,12 +96,18 @@ impl ServeSnapshot {
         match self {
             ServeSnapshot::Unweighted(m) => m.num_edges(),
             ServeSnapshot::Weighted(m) => m.num_edges(),
+            ServeSnapshot::Compressed(m) => m.num_edges(),
         }
     }
 
     /// True for weighted snapshots.
     pub fn is_weighted(&self) -> bool {
         matches!(self, ServeSnapshot::Weighted(_))
+    }
+
+    /// True for compressed (v2) snapshots.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, ServeSnapshot::Compressed(_))
     }
 }
 
@@ -311,6 +329,9 @@ fn prewarm(pool: &SessionPool, snapshots: &[ServeSnapshot]) {
                 }
                 ServeSnapshot::Weighted(m) => {
                     let _ = lease.partition_weighted_view(m, &opts, None);
+                }
+                ServeSnapshot::Compressed(m) => {
+                    let _ = lease.partition_view(m, &opts);
                 }
             }
         }
@@ -565,33 +586,8 @@ fn run_partition(
     opts: &DecompOptions,
 ) -> Result<PartitionReply, String> {
     match snapshot {
-        ServeSnapshot::Unweighted(m) => {
-            let (d, tel) = ws.partition_view(m, opts);
-            let verified = if req.skip_verify {
-                false
-            } else {
-                d.check_internal()?;
-                let radius = u64::from(d.max_radius());
-                let bound = VerifyReport::radius_bound(m.num_vertices(), req.beta);
-                if radius > bound {
-                    return Err(format!("max radius {radius} exceeds bound {bound}"));
-                }
-                true
-            };
-            Ok(PartitionReply {
-                snapshot: req.snapshot,
-                seed: req.seed,
-                n: m.num_vertices() as u64,
-                clusters: d.num_clusters() as u64,
-                max_radius: f64::from(d.max_radius()),
-                cut_edges: d.cut_edges_view(m) as u64,
-                rounds: tel.rounds,
-                relaxations: tel.relaxations,
-                weighted: false,
-                verified,
-                labels: req.want_labels.then(|| d.assignment().to_vec()),
-            })
-        }
+        ServeSnapshot::Unweighted(m) => run_unweighted(ws, m, None, req, opts),
+        ServeSnapshot::Compressed(m) => run_unweighted(ws, m, m.permutation(), req, opts),
         ServeSnapshot::Weighted(m) => {
             let (d, tel) = ws.partition_weighted_view(m, opts, None);
             let verified = if req.skip_verify {
@@ -615,6 +611,52 @@ fn run_partition(
             })
         }
     }
+}
+
+/// The unweighted run shared by the raw and compressed arms. `perm` is
+/// the snapshot's `new id → original id` section when it was reordered:
+/// shifts then follow original ids ([`mpx_decomp::Workspace::partition_view_permuted`])
+/// and returned labels are remapped, so replies are byte-identical to
+/// serving the unreordered graph. Stats (cut, radius, rounds) are
+/// permutation-invariant and come from the view's own id space.
+fn run_unweighted<V: GraphView>(
+    ws: &mut mpx_decomp::Workspace,
+    m: &V,
+    perm: Option<&[Vertex]>,
+    req: &PartitionRequest,
+    opts: &DecompOptions,
+) -> Result<PartitionReply, String> {
+    let (d, tel) = match perm {
+        Some(p) => ws.partition_view_permuted(m, opts, p),
+        None => ws.partition_view(m, opts),
+    };
+    let verified = if req.skip_verify {
+        false
+    } else {
+        d.check_internal()?;
+        let radius = u64::from(d.max_radius());
+        let bound = VerifyReport::radius_bound(m.num_vertices(), req.beta);
+        if radius > bound {
+            return Err(format!("max radius {radius} exceeds bound {bound}"));
+        }
+        true
+    };
+    Ok(PartitionReply {
+        snapshot: req.snapshot,
+        seed: req.seed,
+        n: m.num_vertices() as u64,
+        clusters: d.num_clusters() as u64,
+        max_radius: f64::from(d.max_radius()),
+        cut_edges: d.cut_edges_view(m) as u64,
+        rounds: tel.rounds,
+        relaxations: tel.relaxations,
+        weighted: false,
+        verified,
+        labels: req.want_labels.then(|| match perm {
+            Some(p) => d.remap_labels(p).assignment().to_vec(),
+            None => d.assignment().to_vec(),
+        }),
+    })
 }
 
 fn snapshot_stats(shared: &Shared<'_>) -> StatsReply {

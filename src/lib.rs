@@ -23,6 +23,10 @@
 //! * [`solver`] — Laplacian (SDD) solver substrate with spanning-tree
 //!   preconditioning.
 //! * [`viz`] — figure rendering (reproduces the paper's Figure 1).
+//! * [`compress`] — delta-varint compressed `.mpx` v2 snapshots: a
+//!   parallel byte-code encoder, zero-copy decode views that drive the
+//!   engine straight off compressed pages, and offline locality
+//!   reordering (`mpx convert --compress --reorder`).
 //! * [`trace`] — structured tracing and metrics: spans through every
 //!   layer, p50/p99 profiling, human/JSON/Chrome exporters (see
 //!   `mpx profile` and `mpx partition --trace`).
@@ -71,6 +75,7 @@
 
 pub use mpx_apps as apps;
 pub use mpx_baselines as baselines;
+pub use mpx_compress as compress;
 pub use mpx_decomp as decomp;
 pub use mpx_graph as graph;
 pub use mpx_par as par;
@@ -82,6 +87,7 @@ pub use mpx_viz as viz;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
+    pub use mpx_compress::{CompressedCsr, MappedCompressedCsr, Reorder};
     pub use mpx_decomp::{
         partition, partition_exact, partition_hybrid, partition_sequential, partition_view,
         partition_with_retry, verify_decomposition, ConfigError, DecompOptions, Decomposer,

@@ -3,7 +3,8 @@
 //! ```text
 //! mpx gen <workload> <out> [seed]            generate a graph (any format)
 //! mpx stats <graph>                          print graph statistics
-//! mpx convert <in> <out> [--parser P]        transcode between graph formats
+//! mpx convert <in> <out> [--compress] [--reorder R] [--parser P]
+//!                                            transcode formats / compress to v2
 //! mpx inspect <graph>                        header + structure summary
 //! mpx partition <graph> <beta> [seed] [labels-out.txt] [--threads N] [--strategy S] [--parser P]
 //!                                            decompose + verify + stats
@@ -35,6 +36,15 @@
 //! readers by default; `--parser sequential` on `convert` forces the
 //! line-at-a-time reference readers (their outputs are bit-identical).
 //!
+//! `mpx convert --compress [--reorder degree|bfs|none]` writes the
+//! delta-varint compressed v2 snapshot format (`mpx-compress`), optionally
+//! reordering vertices first for locality; the new→old permutation is
+//! persisted so labels always come back in original ids. `inspect`,
+//! `partition` and `serve` auto-detect v2 snapshots, mmap them and let the
+//! engine stream-decode adjacency straight off the compressed pages —
+//! labels are byte-identical to the uncompressed path. `bench-ingest`
+//! reports the v1-vs-v2 size and decode-overhead columns CI gates on.
+//!
 //! Thread count resolution: `--threads N` wins, else the `MPX_THREADS`
 //! environment variable, else the machine's logical CPU count.
 //!
@@ -63,9 +73,13 @@
 //! workloads get deterministic `U[0.25, 4]` edge lengths hashed from the
 //! seed and endpoints.
 
+use mpx::compress::{
+    apply_permutation, reorder_permutation, write_compressed_snapshot, CompressedCsr,
+    MappedCompressedCsr, Reorder,
+};
 use mpx::decomp::{
     verify_decomposition, verify_weighted, ConfigError, DecompOptions, DecomposerBuilder,
-    DecompositionStats, Determinism, Traversal, VerifyReport, MAX_GRAPH_SIZE,
+    DecompositionStats, Determinism, Traversal, VerifyReport, Workspace, MAX_GRAPH_SIZE,
 };
 use mpx::graph::{
     gen, io, snapshot, CsrGraph, GraphFormat, GraphView, TextParser, Vertex, WeightedCsrGraph,
@@ -88,7 +102,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  mpx gen <workload> <out> [seed] [--weighted]\n  mpx stats <graph>\n  mpx convert <in> <out> [--weighted] [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph> [--weighted]\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--weighted] [--threads N] [--strategy S] [--determinism D] [--parser P]\n  mpx bench <workload> <beta> [seed] [--weighted] [--threads N] [--strategy S] [--determinism D]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx profile <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S] [--determinism D] [--weighted] [--trace[=path]]\n  mpx serve <snapshot.mpx>... [--threads N] [--workers K] [--port P] [--queue Q]\n  mpx loadgen <host:port> <beta> [seed] [--clients C] [--requests R] [--strategy S] [--determinism D] [--snapshot I] [--shutdown]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>[:<ef>] gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\n  (profile also accepts a bare family name, e.g. `grid` = grid:200; rmat edge factor defaults to 8)\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nweighted (--weighted): weighted edge list (u v w) | weighted .mpx snapshot (mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)\ndeterminism: bitexact (default; byte-identical across thread counts) | fast (lock-free CAS claiming + work stealing)\ntracing: --trace[=path] on partition/profile, or MPX_TRACE=human|json|chrome (sets format, enables tracing)"
+    "usage:\n  mpx gen <workload> <out> [seed] [--weighted]\n  mpx stats <graph>\n  mpx convert <in> <out> [--weighted] [--compress] [--reorder degree|bfs|none] [--parser auto|parallel|sequential] [--threads N]\n  mpx inspect <graph> [--weighted]\n  mpx partition <graph> <beta> [seed] [labels-out.txt] [--weighted] [--threads N] [--strategy S] [--determinism D] [--parser P]\n  mpx bench <workload> <beta> [seed] [--weighted] [--threads N] [--strategy S] [--determinism D]\n  mpx bench-session <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S]\n  mpx bench-ingest <graph> [--threads N]\n  mpx profile <workload> <beta> [seed] [--runs K] [--threads N] [--strategy S] [--determinism D] [--weighted] [--trace[=path]]\n  mpx serve <snapshot.mpx>... [--threads N] [--workers K] [--port P] [--queue Q]\n  mpx loadgen <host:port> <beta> [seed] [--clients C] [--requests R] [--strategy S] [--determinism D] [--snapshot I] [--shutdown]\n  mpx render-grid <side> <beta> <out.ppm> [seed]\n\nworkloads: grid:<side> rmat:<scale>[:<ef>] gnm:<n>:<m> ba:<n>:<m> regular:<n>:<d> path:<n> sbm:<n>:<k> file:<path>\n  (profile also accepts a bare family name, e.g. `grid` = grid:200; rmat edge factor defaults to 8)\ngraph files: edge list (.txt/.el) | DIMACS (.gr) | METIS (.metis/.graph) | binary snapshot (.mpx, mmap'd)\nweighted (--weighted): weighted edge list (u v w) | weighted .mpx snapshot (mmap'd)\nthreads: --threads N > MPX_THREADS env > logical CPUs\nstrategy: auto (default) | parallel | sequential | bottomup | hybrid (alias of auto)\ndeterminism: bitexact (default; byte-identical across thread counts) | fast (lock-free CAS claiming + work stealing)\ntracing: --trace[=path] on partition/profile, or MPX_TRACE=human|json|chrome (sets format, enables tracing)\ncompressed snapshots: convert --compress [--reorder R] writes a delta-varint v2 .mpx; inspect/partition/serve auto-detect v2 and stream-decode zero-copy"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -119,6 +133,10 @@ struct RunFlags {
     parser: TextParser,
     runs: Option<usize>,
     weighted: bool,
+    /// `convert`: write a compressed (v2) snapshot.
+    compress: bool,
+    /// `convert`: offline vertex reordering before compression.
+    reorder: Reorder,
     /// `--trace` → `Some(None)` (stderr); `--trace=path` → `Some(Some(path))`.
     trace: Option<Option<String>>,
     /// `serve`: warm worker sessions in the pool.
@@ -188,6 +206,8 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         parser: TextParser::Auto,
         runs: None,
         weighted: false,
+        compress: false,
+        reorder: Reorder::None,
         trace: None,
         workers: None,
         port: 0,
@@ -302,6 +322,16 @@ fn extract_flags(args: &[String], allowed: &[&str]) -> Result<(Vec<String>, RunF
         } else if arg == "--shutdown" {
             permit("shutdown")?;
             flags.shutdown = true;
+        } else if arg == "--compress" {
+            permit("compress")?;
+            flags.compress = true;
+        } else if arg == "--reorder" {
+            permit("reorder")?;
+            let value = it.next().ok_or("--reorder: missing value")?;
+            flags.reorder = value.parse().map_err(|e| format!("--reorder: {e}"))?;
+        } else if let Some(value) = arg.strip_prefix("--reorder=") {
+            permit("reorder")?;
+            flags.reorder = value.parse().map_err(|e| format!("--reorder: {e}"))?;
         } else if arg == "--weighted" {
             permit("weighted")?;
             flags.weighted = true;
@@ -611,11 +641,24 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 /// output extension. `--parser sequential` forces the reference text
 /// readers (bit-identical output; the CI ingestion job diffs the two).
 /// `--weighted` transcodes weights too: weighted edge list ⇄ weighted
-/// `.mpx` snapshot, weights preserved bit-for-bit.
+/// `.mpx` snapshot, weights preserved bit-for-bit. `--compress` writes a
+/// delta-varint compressed v2 snapshot instead of the raw v1 layout, and
+/// `--reorder degree|bfs` (implies `--compress`) relabels vertices for
+/// locality first, persisting the permutation in the snapshot so
+/// partitions still report original-id labels.
 fn cmd_convert(args: &[String]) -> Result<(), String> {
-    let (args, flags) = extract_flags(args, &["parser", "threads", "weighted"])?;
+    let (args, flags) = extract_flags(
+        args,
+        &["parser", "threads", "weighted", "compress", "reorder"],
+    )?;
     let input = args.first().ok_or("convert: missing input path")?;
     let out = args.get(1).ok_or("convert: missing output path")?;
+    if flags.compress || flags.reorder != Reorder::None {
+        if flags.weighted {
+            return Err("convert: --compress/--reorder apply to unweighted graphs only".into());
+        }
+        return convert_compressed(input, out, &flags);
+    }
     if flags.weighted {
         return convert_weighted(input, out, flags.threads);
     }
@@ -633,7 +676,7 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     // Both the parallel text parse and the snapshot checksum have
     // parallel inner loops, so the whole transcode honors --threads.
     let (n, m) = with_thread_choice(flags.threads, || {
-        let g = io::read_graph_as(input, in_format, flags.parser).map_err(|e| e.to_string())?;
+        let g = read_unweighted_any(input, flags.parser)?;
         io::write_graph(&g, out, out_format).map_err(|e| e.to_string())?;
         Ok::<_, String>((g.num_vertices(), g.num_edges()))
     })?;
@@ -672,6 +715,74 @@ fn convert_weighted(input: &str, out: &str, threads: Option<usize>) -> Result<()
     Ok(())
 }
 
+/// Loads an unweighted graph from any supported input, including
+/// compressed v2 snapshots — reordered snapshots are mapped back to
+/// original ids so every convert round-trip is lossless.
+fn read_unweighted_any(input: &str, parser: TextParser) -> Result<CsrGraph, String> {
+    let format = io::detect_format(input).map_err(|e| e.to_string())?;
+    if format == GraphFormat::Snapshot {
+        let header = snapshot::read_header(input).map_err(|e| e.to_string())?;
+        if header.version == snapshot::VERSION2 {
+            let c = mpx::compress::CompressedCsr::open(input).map_err(|e| e.to_string())?;
+            let g = c.to_graph();
+            return Ok(match c.permutation() {
+                Some(new_to_old) => {
+                    // Undo the stored relabeling: original id o lives at
+                    // stored id old_to_new[o].
+                    let mut old_to_new = vec![0 as Vertex; new_to_old.len()];
+                    for (new_id, &old_id) in new_to_old.iter().enumerate() {
+                        old_to_new[old_id as usize] = new_id as Vertex;
+                    }
+                    apply_permutation(&g, &old_to_new)
+                }
+                None => g,
+            });
+        }
+    }
+    io::read_graph_as(input, format, parser).map_err(|e| e.to_string())
+}
+
+/// The `--compress`/`--reorder` arm of `convert`: writes a delta-varint
+/// compressed v2 snapshot, optionally relabeled for locality first (the
+/// `new id → original id` permutation rides in the file). The freshly
+/// written snapshot is re-opened through the mmap reader — running its
+/// full structural audit — before success is reported.
+fn convert_compressed(input: &str, out: &str, flags: &RunFlags) -> Result<(), String> {
+    let in_format = io::detect_format(input).map_err(|e| e.to_string())?;
+    if GraphFormat::from_extension(std::path::Path::new(out)) != Some(GraphFormat::Snapshot) {
+        return Err(format!(
+            "convert: --compress writes snapshots; output '{out}' needs a .mpx extension"
+        ));
+    }
+    let (n, m, bytes_per_arc, ratio) = with_thread_choice(flags.threads, || {
+        let g = read_unweighted_any(input, flags.parser)?;
+        let perm = reorder_permutation(&g, flags.reorder);
+        let stored = match &perm {
+            Some(p) => apply_permutation(&g, p),
+            None => g.clone(),
+        };
+        write_compressed_snapshot(&stored, perm.as_deref(), out).map_err(|e| e.to_string())?;
+        let c = MappedCompressedCsr::open(out).map_err(|e| e.to_string())?;
+        let v2_bytes = std::fs::metadata(out).map_err(|e| e.to_string())?.len();
+        // The raw v1 snapshot of the same graph: header + u64 offsets +
+        // u32 arcs.
+        let v1_bytes =
+            (snapshot::HEADER_LEN + 8 * (g.num_vertices() + 1) + 4 * 2 * g.num_edges()) as u64;
+        Ok::<_, String>((
+            g.num_vertices(),
+            g.num_edges(),
+            c.bytes_per_arc(),
+            v2_bytes as f64 / v1_bytes as f64,
+        ))
+    })?;
+    println!(
+        "converted {input} ({in_format}) -> {out} (snapshot v2, reorder={}): \
+         n={n} m={m} bytes_per_arc={bytes_per_arc:.3} size_vs_v1={ratio:.3}",
+        flags.reorder
+    );
+    Ok(())
+}
+
 /// `mpx inspect <graph>` — prints the detected format, header fields for
 /// snapshots, and cheap structure statistics (n, m, degree spread).
 /// `--weighted` (implied for weighted snapshots) loads the weighted view
@@ -689,6 +800,9 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
             "header: version={} flags={:#x} n={} m={} checksum={:#018x}",
             header.version, header.flags, header.n, header.m, header.checksum
         );
+        if header.version == snapshot::VERSION2 {
+            return inspect_compressed(path, &header);
+        }
         // A weighted snapshot can only be opened through the weighted
         // reader; auto-switch rather than failing the unweighted load.
         weighted |= header.is_weighted();
@@ -712,6 +826,58 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let (mut min_deg, mut max_deg, mut isolated) = (usize::MAX, 0usize, 0usize);
     for v in 0..n as u32 {
         let d = GraphView::degree(&loaded, v);
+        min_deg = min_deg.min(d);
+        max_deg = max_deg.max(d);
+        isolated += usize::from(d == 0);
+    }
+    if n == 0 {
+        min_deg = 0;
+    }
+    let avg = if n == 0 {
+        0.0
+    } else {
+        2.0 * m as f64 / n as f64
+    };
+    println!("degree: min={min_deg} avg={avg:.2} max={max_deg} isolated={isolated}");
+    Ok(())
+}
+
+/// The compressed (v2) arm of `inspect`: decodes the flags, reports the
+/// encoded-vs-raw size, and streams the byte-coded lists for the degree
+/// statistics — all off the mmap'd pages.
+fn inspect_compressed(path: &str, header: &snapshot::SnapshotHeader) -> Result<(), String> {
+    let c = MappedCompressedCsr::open(path).map_err(|e| e.to_string())?;
+    println!(
+        "v2: compressed={} permuted={} enc_len={}",
+        header.is_compressed(),
+        header.is_permuted(),
+        header.enc_len
+    );
+    let arcs = 2 * c.num_edges() as u64;
+    println!(
+        "encoding: bytes_per_arc={:.3} raw_bytes_per_arc=4.000 compression_ratio={:.3}",
+        c.bytes_per_arc(),
+        if arcs == 0 {
+            0.0
+        } else {
+            header.enc_len as f64 / (4 * arcs) as f64
+        }
+    );
+    println!(
+        "load: {}",
+        if c.is_mapped() {
+            "zero-copy mmap (streaming decode)"
+        } else {
+            "owned (streaming decode)"
+        }
+    );
+    let n = c.num_vertices();
+    let m = c.num_edges();
+    println!("n: {n}");
+    println!("m: {m}");
+    let (mut min_deg, mut max_deg, mut isolated) = (usize::MAX, 0usize, 0usize);
+    for v in 0..n as u32 {
+        let d = GraphView::degree(&c, v);
         min_deg = min_deg.min(d);
         max_deg = max_deg.max(d);
         isolated += usize::from(d == 0);
@@ -784,6 +950,15 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     if flags.weighted {
         return partition_weighted_cmd(path, beta, seed, args.get(3), &flags, sink);
     }
+    // Compressed v2 snapshots take their own path: the engine streams the
+    // byte-coded lists, and reordered snapshots remap labels back to
+    // original ids.
+    if io::detect_format(path).map_err(|e| e.to_string())? == GraphFormat::Snapshot {
+        let header = snapshot::read_header(path).map_err(|e| e.to_string())?;
+        if header.version == snapshot::VERSION2 {
+            return partition_compressed_cmd(path, beta, seed, args.get(3), &flags, sink);
+        }
+    }
     // `.mpx` snapshots stay memory-mapped: the engine traverses the file's
     // pages directly and only the verifier materializes an owned copy.
     // Loading happens inside the thread choice so `--threads` bounds the
@@ -834,6 +1009,87 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         let mut f = std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| e.to_string())?);
         for v in 0..g.num_vertices() {
             writeln!(f, "{}", d.center_of(v as u32)).map_err(|e| e.to_string())?;
+        }
+        println!("labels written to {out}");
+    }
+    Ok(())
+}
+
+/// The compressed-snapshot arm of `partition`: mmaps a v2 file and runs
+/// the engine straight off the byte-coded pages. For reordered snapshots
+/// the shifts follow original ids
+/// ([`mpx::decomp::Workspace::partition_view_permuted`]) and the labels
+/// are remapped, so stdout and the labels file are byte-identical to
+/// partitioning the uncompressed original. Verification and stats run
+/// against the decoded graph in the file's id space (both are
+/// permutation-invariant).
+fn partition_compressed_cmd(
+    path: &str,
+    beta: f64,
+    seed: u64,
+    labels_out: Option<&String>,
+    flags: &RunFlags,
+    sink: Option<TraceSink>,
+) -> Result<(), String> {
+    let opts = DecompOptions::try_new(beta)
+        .map_err(|e: ConfigError| e.to_string())?
+        .with_seed(seed)
+        .with_traversal(flags.strategy)
+        .with_determinism(flags.determinism);
+    let session = sink.as_ref().map(|_| mpx::trace::start());
+    let (mapped, d, telemetry) = with_thread_choice(flags.threads, || {
+        let mapped = MappedCompressedCsr::open(path).map_err(|e| e.to_string())?;
+        opts.validate_for(mapped.num_vertices(), mapped.num_edges())
+            .map_err(|e| e.to_string())?;
+        let mut ws = Workspace::new();
+        let (d, telemetry) = match mapped.permutation() {
+            Some(perm) => ws.partition_view_permuted(&mapped, &opts, perm),
+            None => ws.partition_view(&mapped, &opts),
+        };
+        Ok::<_, String>((mapped, d, telemetry))
+    })?;
+    if let (Some(session), Some(sink)) = (session, &sink) {
+        let mut trace = session.finish();
+        trace.set_counter("rounds", telemetry.rounds as f64);
+        trace.set_counter("relaxations", telemetry.relaxations as f64);
+        trace.set_counter("bottom_up_rounds", telemetry.bottom_up_rounds as f64);
+        trace.set_counter("clusters", telemetry.clusters as f64);
+        emit_trace(&trace, sink)?;
+    }
+    let g = mapped.to_graph();
+    let stats = DecompositionStats::compute(&g, &d);
+    println!("{stats}");
+    println!(
+        "engine: strategy={} determinism={} rounds={} relaxations={} bottom_up_rounds={} cas_success={} cas_retries={} source={}",
+        flags.strategy.as_str(),
+        flags.determinism.as_str(),
+        telemetry.rounds,
+        telemetry.relaxations,
+        telemetry.bottom_up_rounds,
+        telemetry.cas_success,
+        telemetry.cas_retries,
+        if mapped.is_mapped() {
+            "mmap-compressed"
+        } else {
+            "owned-compressed"
+        }
+    );
+    let report = verify_decomposition(&g, &d);
+    if report.is_valid() {
+        println!("verified: partition + strong diameter + Lemma 4.1 hold");
+    } else {
+        return Err(format!("verification FAILED: {:?}", report.errors));
+    }
+    if let Some(out) = labels_out {
+        // Labels go out in original ids, matching the v1 path byte for
+        // byte even when the snapshot was reordered.
+        let labels = match mapped.permutation() {
+            Some(perm) => d.remap_labels(perm),
+            None => d,
+        };
+        let mut f = std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| e.to_string())?);
+        for v in 0..g.num_vertices() {
+            writeln!(f, "{}", labels.center_of(v as u32)).map_err(|e| e.to_string())?;
         }
         println!("labels written to {out}");
     }
@@ -1209,9 +1465,13 @@ fn cmd_bench_session(args: &[String]) -> Result<(), String> {
 /// `mpx bench-ingest <graph> [--threads N]` — measures the ingestion
 /// pipeline on one on-disk text graph and emits a single JSON object:
 /// sequential vs parallel text parse (asserting the CSRs are identical),
-/// snapshot write, owned snapshot load, and zero-copy mmap open. This is
+/// snapshot write, owned snapshot load, and zero-copy mmap open, plus the
+/// compressed v2 side of the same graph (encode, both decode paths,
+/// bytes/arc, and best-of-3 partition wall-clock over the raw vs the
+/// compressed mmap — the streaming-decode overhead CI gates on). This is
 /// the machine-readable evidence that (a) the parallel parser is a pure
-/// wall-clock optimization and (b) binary snapshots beat text parsing.
+/// wall-clock optimization, (b) binary snapshots beat text parsing, and
+/// (c) compressed pages stay within budget of raw ones.
 fn cmd_bench_ingest(args: &[String]) -> Result<(), String> {
     let (args, flags) = extract_flags(args, &["threads"])?;
     let path = args.first().ok_or("bench-ingest: missing graph path")?;
@@ -1248,45 +1508,113 @@ fn cmd_bench_ingest(args: &[String]) -> Result<(), String> {
     // Every timed phase — including the snapshot checksum/validation,
     // which has parallel inner loops — runs under the requested thread
     // count so the JSON's "threads" describes the whole measurement.
-    let (par, seq_ms, par_ms, snap_bytes, snapshot_write_ms, owned_load_ms, mmap_open_ms) =
-        with_thread_choice(threads, || {
-            let (seq, seq_ms) = time_ms(|| io::read_graph_as(path, format, TextParser::Sequential));
-            let (par, par_ms) = time_ms(|| io::read_graph_as(path, format, TextParser::Parallel));
-            let seq = seq.map_err(|e| e.to_string())?;
-            let par = par.map_err(|e| e.to_string())?;
-            if seq != par {
-                return Err("bench-ingest: parallel parse differs from sequential parse".into());
-            }
+    #[allow(clippy::type_complexity)]
+    let (
+        par,
+        seq_ms,
+        par_ms,
+        snap_bytes,
+        snapshot_write_ms,
+        owned_load_ms,
+        mmap_open_ms,
+        v2_bytes,
+        bytes_per_arc,
+        v2_encode_ms,
+        v2_owned_load_ms,
+        v2_mmap_open_ms,
+        raw_partition_ms,
+        v2_partition_ms,
+    ) = with_thread_choice(threads, || {
+        let (seq, seq_ms) = time_ms(|| io::read_graph_as(path, format, TextParser::Sequential));
+        let (par, par_ms) = time_ms(|| io::read_graph_as(path, format, TextParser::Parallel));
+        let seq = seq.map_err(|e| e.to_string())?;
+        let par = par.map_err(|e| e.to_string())?;
+        if seq != par {
+            return Err("bench-ingest: parallel parse differs from sequential parse".into());
+        }
 
-            let mut snap_path = std::env::temp_dir();
-            snap_path.push(format!("mpx-bench-ingest-{}.mpx", std::process::id()));
-            let (write_res, snapshot_write_ms) =
-                time_ms(|| snapshot::write_snapshot(&par, &snap_path));
-            write_res.map_err(|e| e.to_string())?;
-            let snap_bytes = std::fs::metadata(&snap_path)
-                .map_err(|e| e.to_string())?
-                .len();
-            let (owned, owned_load_ms) = time_ms(|| snapshot::read_snapshot(&snap_path));
-            let owned = owned.map_err(|e| e.to_string())?;
-            let (mapped, mmap_open_ms) = time_ms(|| snapshot::MappedCsr::open(&snap_path));
-            let mapped = mapped.map_err(|e| e.to_string())?;
-            let identical = owned == par && mapped.to_graph() == par;
+        let mut snap_path = std::env::temp_dir();
+        snap_path.push(format!("mpx-bench-ingest-{}.mpx", std::process::id()));
+        let (write_res, snapshot_write_ms) = time_ms(|| snapshot::write_snapshot(&par, &snap_path));
+        write_res.map_err(|e| e.to_string())?;
+        let snap_bytes = std::fs::metadata(&snap_path)
+            .map_err(|e| e.to_string())?
+            .len();
+        let (owned, owned_load_ms) = time_ms(|| snapshot::read_snapshot(&snap_path));
+        let owned = owned.map_err(|e| e.to_string())?;
+        let (mapped, mmap_open_ms) = time_ms(|| snapshot::MappedCsr::open(&snap_path));
+        let mapped = mapped.map_err(|e| e.to_string())?;
+        let identical = owned == par && mapped.to_graph() == par;
+        if !identical {
             std::fs::remove_file(&snap_path).ok();
-            if !identical {
-                return Err(
-                    "bench-ingest: snapshot round-trip differs from parsed graph".to_string(),
-                );
-            }
-            Ok((
-                par,
-                seq_ms,
-                par_ms,
-                snap_bytes,
-                snapshot_write_ms,
-                owned_load_ms,
-                mmap_open_ms,
-            ))
-        })?;
+            return Err("bench-ingest: snapshot round-trip differs from parsed graph".to_string());
+        }
+
+        // The compressed v2 side of the same graph: encode, both
+        // decode paths, and the engine running straight off each
+        // mmap'd format (best-of-3) to price the streaming decode.
+        let mut v2_path = std::env::temp_dir();
+        v2_path.push(format!("mpx-bench-ingest-{}-v2.mpx", std::process::id()));
+        let (enc_res, v2_encode_ms) = time_ms(|| write_compressed_snapshot(&par, None, &v2_path));
+        enc_res.map_err(|e| e.to_string())?;
+        let v2_bytes = std::fs::metadata(&v2_path)
+            .map_err(|e| e.to_string())?
+            .len();
+        let (owned2, v2_owned_load_ms) = time_ms(|| CompressedCsr::open(&v2_path));
+        let owned2 = owned2.map_err(|e| e.to_string())?;
+        let (mapped2, v2_mmap_open_ms) = time_ms(|| MappedCompressedCsr::open(&v2_path));
+        let mapped2 = mapped2.map_err(|e| e.to_string())?;
+        let bytes_per_arc = mapped2.bytes_per_arc();
+        let identical2 = owned2.to_graph() == par && mapped2.to_graph() == par;
+        if !identical2 {
+            std::fs::remove_file(&snap_path).ok();
+            std::fs::remove_file(&v2_path).ok();
+            return Err(
+                "bench-ingest: compressed round-trip differs from parsed graph".to_string(),
+            );
+        }
+
+        let opts = DecompOptions::new(0.3).with_seed(42);
+        let mut ws = Workspace::new();
+        let best_of_3 = |ws: &mut Workspace, f: &dyn Fn(&mut Workspace)| {
+            (0..3)
+                .map(|_| time_ms(|| f(ws)).1)
+                .fold(f64::INFINITY, f64::min)
+        };
+        // Warm each view (page faults, shift buffers) before timing.
+        let d_raw = ws.partition_view(&mapped, &opts).0;
+        let raw_partition_ms = best_of_3(&mut ws, &|ws| {
+            let _ = ws.partition_view(&mapped, &opts);
+        });
+        let d_v2 = ws.partition_view(&mapped2, &opts).0;
+        let v2_partition_ms = best_of_3(&mut ws, &|ws| {
+            let _ = ws.partition_view(&mapped2, &opts);
+        });
+        let labels_agree = d_raw == d_v2;
+        std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_file(&v2_path).ok();
+        if !labels_agree {
+            return Err(
+                "bench-ingest: labels over compressed pages differ from raw mmap".to_string(),
+            );
+        }
+        Ok((
+            par,
+            seq_ms,
+            par_ms,
+            snap_bytes,
+            snapshot_write_ms,
+            owned_load_ms,
+            mmap_open_ms,
+            v2_bytes,
+            bytes_per_arc,
+            v2_encode_ms,
+            v2_owned_load_ms,
+            v2_mmap_open_ms,
+            raw_partition_ms,
+            v2_partition_ms,
+        ))
+    })?;
 
     // Hand-rolled JSON: flat, stable key order, no external deps.
     println!("{{");
@@ -1305,6 +1633,22 @@ fn cmd_bench_ingest(args: &[String]) -> Result<(), String> {
     println!(
         "  \"text_vs_mmap_speedup\": {:.3},",
         par_ms / mmap_open_ms.max(1e-9)
+    );
+    println!("  \"snapshot_v2_bytes\": {v2_bytes},");
+    println!("  \"bytes_per_arc\": {bytes_per_arc:.3},");
+    println!(
+        "  \"compression_ratio\": {:.3},",
+        v2_bytes as f64 / snap_bytes.max(1) as f64
+    );
+    println!(
+        "  \"snapshot_v2_ms\": {{ \"encode\": {v2_encode_ms:.3}, \"owned_load\": {v2_owned_load_ms:.3}, \"mmap_open\": {v2_mmap_open_ms:.3} }},"
+    );
+    println!(
+        "  \"partition_ms\": {{ \"raw_mmap\": {raw_partition_ms:.3}, \"compressed_mmap\": {v2_partition_ms:.3} }},"
+    );
+    println!(
+        "  \"decode_overhead\": {:.3},",
+        v2_partition_ms / raw_partition_ms.max(1e-9)
     );
     println!("  \"outputs_identical\": true");
     println!("}}");

@@ -25,6 +25,12 @@ pub fn temp_weighted_snapshot(name: &str, g: &mpx::graph::WeightedCsrGraph) -> P
     path
 }
 
+/// A unique temp `.mpx` path without writing anything — for suites that
+/// produce the snapshot themselves (e.g. compressed v2 writers).
+pub fn temp_file(name: &str) -> PathBuf {
+    temp_path(name)
+}
+
 fn temp_path(name: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
